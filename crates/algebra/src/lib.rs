@@ -1,0 +1,44 @@
+//! Multi-valued algebras for delay-fault and static-fault test generation.
+//!
+//! Two algebras back the two test generators of the paper:
+//!
+//! * [`delay`] — the **8-valued robust gate-delay-fault algebra** of TDgen
+//!   (Section 3, Tables 1 and 2): `{0, 1, R, F, 0h, 1h, Rc, Fc}`. One value
+//!   describes a signal across *both* time frames of a two-pattern test —
+//!   its initial-frame value, its final-frame value, whether a hazard is
+//!   possible in between, and whether it carries the fault effect (the `c`
+//!   in `Rc`/`Fc` plays the role D/D̄ play in static ATPG).
+//! * [`static5`] — the **5-valued D-algebra** `{0, 1, D, D̄}` + X of SEMILET,
+//!   encoded as (good-machine bit, faulty-machine bit) pairs; `X` is the
+//!   full value set.
+//!
+//! Both algebras are exposed in the *set* form the paper works with
+//! ("during test pattern generation for each gate a set of values is
+//! maintained that are possible for that gate"): a signal's state is a
+//! bitmask of still-possible values, and [`delay::eval_gate`] /
+//! [`delay::narrow_inputs`] (and their `static5` twins) perform forward and
+//! backward implications over those sets.
+//!
+//! [`logic3`] holds the plain 3-valued Kleene logic used by the good-machine
+//! simulator and the synchronizing-sequence search.
+//!
+//! # Example
+//!
+//! ```
+//! use gdf_algebra::delay::{DelayValue, eval2};
+//! use gdf_netlist::GateKind;
+//!
+//! // The paper's robustness rule: a fault-carrying falling transition
+//! // propagates through an AND gate only past a steady, hazard-free 1.
+//! assert_eq!(eval2(GateKind::And, DelayValue::Fc, DelayValue::S1), DelayValue::Fc);
+//! assert_eq!(eval2(GateKind::And, DelayValue::Fc, DelayValue::H1), DelayValue::F);
+//! ```
+
+pub mod delay;
+pub mod logic3;
+pub mod static5;
+pub mod tables;
+
+pub use delay::{DelaySet, DelayValue};
+pub use logic3::Logic3;
+pub use static5::{StaticSet, StaticValue};

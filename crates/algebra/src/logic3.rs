@@ -1,0 +1,177 @@
+//! Plain 3-valued (Kleene) logic `{0, 1, X}`.
+//!
+//! Used by the good-machine simulator (FAUSIM phase 1), by the
+//! synchronizing-sequence search (an unknown power-up state is all-X), and
+//! as the interface type for pattern vectors where unassigned positions are
+//! don't-cares.
+
+use gdf_netlist::GateKind;
+use std::fmt;
+
+/// A 3-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic3 {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown / don't-care.
+    #[default]
+    X,
+}
+
+impl Logic3 {
+    /// All three values.
+    pub const ALL: [Logic3; 3] = [Logic3::Zero, Logic3::One, Logic3::X];
+
+    /// Converts from a Boolean.
+    pub fn from_bool(b: bool) -> Logic3 {
+        if b {
+            Logic3::One
+        } else {
+            Logic3::Zero
+        }
+    }
+
+    /// `Some(bool)` if the value is known.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic3::Zero => Some(false),
+            Logic3::One => Some(true),
+            Logic3::X => None,
+        }
+    }
+
+    /// Whether the value is known (not `X`).
+    pub fn is_known(self) -> bool {
+        self != Logic3::X
+    }
+
+    /// Kleene negation.
+    pub fn not(self) -> Logic3 {
+        match self {
+            Logic3::Zero => Logic3::One,
+            Logic3::One => Logic3::Zero,
+            Logic3::X => Logic3::X,
+        }
+    }
+
+    /// Kleene conjunction.
+    pub fn and(self, other: Logic3) -> Logic3 {
+        match (self, other) {
+            (Logic3::Zero, _) | (_, Logic3::Zero) => Logic3::Zero,
+            (Logic3::One, Logic3::One) => Logic3::One,
+            _ => Logic3::X,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: Logic3) -> Logic3 {
+        match (self, other) {
+            (Logic3::One, _) | (_, Logic3::One) => Logic3::One,
+            (Logic3::Zero, Logic3::Zero) => Logic3::Zero,
+            _ => Logic3::X,
+        }
+    }
+
+    /// Kleene exclusive-or.
+    pub fn xor(self, other: Logic3) -> Logic3 {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Logic3::from_bool(a ^ b),
+            _ => Logic3::X,
+        }
+    }
+}
+
+impl fmt::Display for Logic3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Logic3::Zero => f.write_str("0"),
+            Logic3::One => f.write_str("1"),
+            Logic3::X => f.write_str("X"),
+        }
+    }
+}
+
+impl From<bool> for Logic3 {
+    fn from(b: bool) -> Self {
+        Logic3::from_bool(b)
+    }
+}
+
+/// Evaluates a combinational gate over 3-valued inputs.
+///
+/// # Panics
+///
+/// Panics if `kind` is `Input`/`Dff` or `vals` is empty.
+pub fn eval_gate3(kind: GateKind, vals: &[Logic3]) -> Logic3 {
+    debug_assert!(!vals.is_empty());
+    match kind {
+        GateKind::Buf => vals[0],
+        GateKind::Not => vals[0].not(),
+        GateKind::And => vals.iter().fold(Logic3::One, |a, &b| a.and(b)),
+        GateKind::Nand => vals.iter().fold(Logic3::One, |a, &b| a.and(b)).not(),
+        GateKind::Or => vals.iter().fold(Logic3::Zero, |a, &b| a.or(b)),
+        GateKind::Nor => vals.iter().fold(Logic3::Zero, |a, &b| a.or(b)).not(),
+        GateKind::Xor => vals.iter().fold(Logic3::Zero, |a, &b| a.xor(b)),
+        GateKind::Xnor => vals.iter().fold(Logic3::Zero, |a, &b| a.xor(b)).not(),
+        GateKind::Input | GateKind::Dff => {
+            panic!("eval_gate3 called on non-combinational kind {kind:?}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic3::{One, X, Zero};
+
+    #[test]
+    fn kleene_tables() {
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.or(X), One);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(X.not(), X);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(One.xor(Zero), One);
+    }
+
+    #[test]
+    fn gate_eval_with_controlling_x() {
+        assert_eq!(eval_gate3(GateKind::And, &[Zero, X, X]), Zero);
+        assert_eq!(eval_gate3(GateKind::Nand, &[Zero, X]), One);
+        assert_eq!(eval_gate3(GateKind::Or, &[One, X]), One);
+        assert_eq!(eval_gate3(GateKind::Nor, &[X, X]), X);
+        assert_eq!(eval_gate3(GateKind::Xor, &[One, One, One]), One);
+        assert_eq!(eval_gate3(GateKind::Xnor, &[One, X]), X);
+    }
+
+    #[test]
+    fn agrees_with_bool_on_known_values() {
+        for kind in GateKind::COMBINATIONAL {
+            let arity = if matches!(kind, GateKind::Buf | GateKind::Not) {
+                1
+            } else {
+                3
+            };
+            for pat in 0..(1u32 << arity) {
+                let bools: Vec<bool> = (0..arity).map(|i| pat & (1 << i) != 0).collect();
+                let vals: Vec<Logic3> = bools.iter().map(|&b| Logic3::from_bool(b)).collect();
+                assert_eq!(
+                    eval_gate3(kind, &vals).to_bool(),
+                    Some(kind.eval_bool(&bools)),
+                    "{kind:?} {bools:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Logic3::from(true), One);
+        assert_eq!(X.to_bool(), None);
+        assert_eq!(format!("{Zero}{One}{X}"), "01X");
+        assert_eq!(Logic3::default(), X);
+    }
+}

@@ -1,0 +1,108 @@
+//! Rendering of the paper's truth tables (Tables 1 and 2).
+//!
+//! The benchmark binaries `table1_and_algebra` and `table2_inverter_algebra`
+//! print these tables so the reproduction can be compared against the paper
+//! line by line; the unit tests in [`crate::delay`] assert the entries.
+
+use crate::delay::{eval2, DelayValue};
+use gdf_netlist::GateKind;
+use std::fmt::Write as _;
+
+/// Renders the full 8×8 two-input table for `kind` in the paper's value
+/// order (`0, 1, R, F, 0h, 1h, Rc, Fc`), as an ASCII table.
+///
+/// # Panics
+///
+/// Panics for non-combinational or single-input kinds.
+///
+/// # Example
+///
+/// ```
+/// use gdf_algebra::tables::render_two_input_table;
+/// use gdf_netlist::GateKind;
+///
+/// let t = render_two_input_table(GateKind::And);
+/// assert!(t.contains("Rc"));
+/// ```
+pub fn render_two_input_table(kind: GateKind) -> String {
+    assert!(
+        kind.is_combinational() && !matches!(kind, GateKind::Buf | GateKind::Not),
+        "two-input table requires a multi-input gate kind"
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "{kind} |  {}", header());
+    let _ = writeln!(out, "---+{}", "-".repeat(8 * 5));
+    for a in DelayValue::ALL {
+        let _ = write!(out, "{:<3}|", a.symbol());
+        for b in DelayValue::ALL {
+            let _ = write!(out, " {:<4}", eval2(kind, a, b).symbol());
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the inverter table (the paper's Table 2).
+pub fn render_inverter_table() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "in  |  {}", header());
+    let _ = writeln!(out, "----+{}", "-".repeat(8 * 5));
+    let _ = write!(out, "out |");
+    for v in DelayValue::ALL {
+        let _ = write!(out, " {:<4}", v.not().symbol());
+    }
+    let _ = writeln!(out);
+    out
+}
+
+fn header() -> String {
+    let mut h = String::new();
+    for v in DelayValue::ALL {
+        let _ = write!(h, "{:<5}", v.symbol());
+    }
+    h
+}
+
+/// The table-1 row for value `a` (AND gate), in column order — convenience
+/// for tests and the bench binary.
+pub fn and_table_row(a: DelayValue) -> [DelayValue; 8] {
+    let mut row = [DelayValue::S0; 8];
+    for (j, b) in DelayValue::ALL.into_iter().enumerate() {
+        row[j] = eval2(GateKind::And, a, b);
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DelayValue::*;
+
+    #[test]
+    fn rendered_tables_contain_all_symbols() {
+        let t = render_two_input_table(GateKind::And);
+        for v in DelayValue::ALL {
+            assert!(t.contains(v.symbol()), "{v} missing");
+        }
+        let inv = render_inverter_table();
+        assert!(inv.contains("Fc"));
+    }
+
+    #[test]
+    fn paper_rc_row_verbatim() {
+        // The row printed in the paper for Rc: "0  Rc  Rc  0h  0h  Rc | Rc  0h"
+        assert_eq!(and_table_row(Rc), [S0, Rc, Rc, H0, H0, Rc, Rc, H0]);
+    }
+
+    #[test]
+    fn paper_fc_row_verbatim() {
+        // The row printed in the paper for Fc: "0  Fc  0h  F  0h  F | 0h  Fc"
+        assert_eq!(and_table_row(Fc), [S0, Fc, H0, F, H0, F, H0, Fc]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn render_rejects_single_input_kinds() {
+        let _ = render_two_input_table(GateKind::Not);
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the multi-valued algebras: value-level
+//! evaluation, set-level forward images and backward narrowing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gdf_algebra::delay::{self, DelaySet, DelayValue};
+use gdf_algebra::static5::{self, StaticSet, StaticValue};
+use gdf_netlist::GateKind;
+
+fn bench_value_eval(c: &mut Criterion) {
+    let vals = [
+        DelayValue::Rc,
+        DelayValue::H1,
+        DelayValue::S1,
+        DelayValue::R,
+    ];
+    c.bench_function("delay::eval_gate AND4", |b| {
+        b.iter(|| delay::eval_gate(GateKind::And, black_box(&vals)))
+    });
+    c.bench_function("delay::eval_gate XOR4", |b| {
+        b.iter(|| delay::eval_gate(GateKind::Xor, black_box(&vals)))
+    });
+    let svals = [StaticValue::D, StaticValue::S1, StaticValue::Db];
+    c.bench_function("static5::eval_gate NAND3", |b| {
+        b.iter(|| static5::eval_gate(GateKind::Nand, black_box(&svals)))
+    });
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let ins = [
+        DelaySet::ALL,
+        DelaySet::CLEAN,
+        DelaySet::from_values([DelayValue::Rc, DelayValue::S1, DelayValue::H0]),
+    ];
+    c.bench_function("delay::eval_gate_sets NOR3 (full sets)", |b| {
+        b.iter(|| delay::eval_gate_sets(GateKind::Nor, black_box(&ins)))
+    });
+    c.bench_function("delay::narrow_inputs NAND3", |b| {
+        b.iter(|| {
+            let mut out = DelaySet::CARRYING;
+            let mut scratch = ins;
+            delay::narrow_inputs(GateKind::Nand, black_box(&mut out), black_box(&mut scratch))
+        })
+    });
+    let sins = [StaticSet::ALL, StaticSet::GOOD, StaticSet::FAULT_EFFECT];
+    c.bench_function("static5::eval_gate_sets OR3", |b| {
+        b.iter(|| static5::eval_gate_sets(GateKind::Or, black_box(&sins)))
+    });
+    c.bench_function("static5::narrow_inputs AND3", |b| {
+        b.iter(|| {
+            let mut out = StaticSet::FAULT_EFFECT;
+            let mut scratch = sins;
+            static5::narrow_inputs(GateKind::And, black_box(&mut out), black_box(&mut scratch))
+        })
+    });
+}
+
+criterion_group!(benches, bench_value_eval, bench_set_ops);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the test generators: TDgen per-fault search,
+//! the SEMILET per-frame engine, and the synchronizer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gdf_algebra::static5::{StaticSet, StaticValue};
+use gdf_netlist::{suite, DelayFault, DelayFaultKind, FaultSite, FaultUniverse};
+use gdf_semilet::frame::{FrameEngine, FrameGoal, PpiConstraint};
+use gdf_semilet::justify::{synchronize, SyncLimits};
+use gdf_tdgen::TdGen;
+
+fn bench_tdgen(c: &mut Criterion) {
+    let s27 = suite::s27();
+    let gen27 = TdGen::new(&s27);
+    let g11 = s27.node_by_name("G11").expect("s27 net");
+    let fault = DelayFault {
+        site: FaultSite::on_stem(g11),
+        kind: DelayFaultKind::SlowToFall,
+    };
+    c.bench_function("tdgen one fault s27", |b| {
+        b.iter(|| gen27.generate(black_box(fault)))
+    });
+
+    let big = suite::table3_circuit("s344").expect("suite circuit");
+    let gen_big = TdGen::new(&big);
+    let faults = FaultUniverse::default().delay_faults(&big);
+    let sample: Vec<DelayFault> = faults.iter().copied().take(8).collect();
+    c.bench_function("tdgen 8 faults s344_syn", |b| {
+        b.iter(|| {
+            for &f in &sample {
+                black_box(gen_big.generate(f));
+            }
+        })
+    });
+}
+
+fn bench_semilet(c: &mut Criterion) {
+    let circuit = suite::s27();
+    let engine = FrameEngine::new(&circuit, 100);
+    let ppis = vec![
+        PpiConstraint::Fixed(StaticSet::singleton(StaticValue::S0)),
+        PpiConstraint::Fixed(StaticSet::singleton(StaticValue::D)),
+        PpiConstraint::Fixed(StaticSet::singleton(StaticValue::S0)),
+    ];
+    c.bench_function("frame engine propagate s27", |b| {
+        b.iter(|| engine.solve(black_box(&ppis), &FrameGoal::ObserveAtPo, None))
+    });
+
+    let sr = gdf_netlist::generator::shift_register(6);
+    c.bench_function("synchronize 6-stage shift register", |b| {
+        b.iter(|| synchronize(&sr, black_box(&[(5, true)]), SyncLimits::default()))
+    });
+}
+
+criterion_group!(benches, bench_tdgen, bench_semilet);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the simulation substrate: good-machine
+//! simulation (scalar and 64-way parallel), two-frame waveform evaluation
+//! and TDsim fault simulation over the full fault universe.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gdf_algebra::Logic3;
+use gdf_netlist::{suite, FaultUniverse};
+use gdf_sim::{detected_delay_faults, two_frame_values, GoodSimulator, ParallelSimulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_goodsim(c: &mut Criterion) {
+    let circuit = suite::table3_circuit("s344").expect("suite circuit");
+    let sim = GoodSimulator::new(&circuit);
+    let pi = vec![Logic3::One; circuit.num_inputs()];
+    let st = vec![Logic3::Zero; circuit.num_dffs()];
+    c.bench_function("goodsim eval_comb s344_syn", |b| {
+        b.iter(|| sim.eval_comb(black_box(&pi), black_box(&st)))
+    });
+
+    let psim = ParallelSimulator::new(&circuit);
+    let mut rng = StdRng::seed_from_u64(1);
+    let ppi: Vec<u64> = (0..circuit.num_inputs()).map(|_| rng.gen()).collect();
+    let pst: Vec<u64> = (0..circuit.num_dffs()).map(|_| rng.gen()).collect();
+    c.bench_function("parallel eval_comb s344_syn (64 patterns)", |b| {
+        b.iter(|| psim.eval_comb(black_box(&ppi), black_box(&pst)))
+    });
+}
+
+fn bench_waveform_and_tdsim(c: &mut Criterion) {
+    let circuit = suite::table3_circuit("s344").expect("suite circuit");
+    let mut rng = StdRng::seed_from_u64(2);
+    let v1: Vec<bool> = (0..circuit.num_inputs()).map(|_| rng.gen()).collect();
+    let v2: Vec<bool> = (0..circuit.num_inputs()).map(|_| rng.gen()).collect();
+    let st: Vec<bool> = (0..circuit.num_dffs()).map(|_| rng.gen()).collect();
+    c.bench_function("two_frame_values s344_syn", |b| {
+        b.iter(|| two_frame_values(&circuit, black_box(&v1), black_box(&v2), black_box(&st)))
+    });
+
+    let w = two_frame_values(&circuit, &v1, &v2, &st);
+    let faults = FaultUniverse::default().delay_faults(&circuit);
+    c.bench_function("tdsim full universe s344_syn (one pattern)", |b| {
+        b.iter(|| detected_delay_faults(&circuit, black_box(&w), black_box(&faults), &[], &[]))
+    });
+}
+
+criterion_group!(benches, bench_goodsim, bench_waveform_and_tdsim);
+criterion_main!(benches);

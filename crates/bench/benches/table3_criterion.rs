@@ -1,0 +1,26 @@
+//! Criterion wrapper around the Table 3 pipeline: the full extended-
+//! FOGBUSTER run (generation + three-phase fault simulation + dropping)
+//! on the small suite circuits. This is the end-to-end number the
+//! `time[s]` column of the table binary reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdf_core::DelayAtpg;
+use gdf_netlist::suite;
+
+fn bench_full_runs(c: &mut Criterion) {
+    let s27 = suite::s27();
+    c.bench_function("table3 full run s27", |b| {
+        b.iter(|| DelayAtpg::new(&s27).run())
+    });
+
+    let s298 = suite::table3_circuit("s298").expect("suite circuit");
+    let mut group = c.benchmark_group("table3 medium");
+    group.sample_size(10);
+    group.bench_function("full run s298_syn", |b| {
+        b.iter(|| DelayAtpg::new(&s298).run())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates **Table 2** of the paper: the inverter truth table of the
+//! 8-valued robust delay algebra.
+//!
+//! ```text
+//! cargo run -p gdf-bench --bin table2_inverter_algebra
+//! ```
+
+use gdf_algebra::delay::DelayValue;
+use gdf_algebra::tables::render_inverter_table;
+
+fn main() {
+    println!("Table 2 — truth table for the inverter (paper §3):\n");
+    print!("{}", render_inverter_table());
+
+    // Assert the involution structure the paper's table encodes.
+    use DelayValue::*;
+    let expect = [
+        (S0, S1),
+        (S1, S0),
+        (R, F),
+        (F, R),
+        (H0, H1),
+        (H1, H0),
+        (Rc, Fc),
+        (Fc, Rc),
+    ];
+    for (input, output) in expect {
+        assert_eq!(input.not(), output, "NOT({input})");
+    }
+    println!(
+        "\nreading: frame values invert, hazards stay hazards, and the\n\
+         fault-effect mark survives with flipped polarity (Rc ↔ Fc) — an\n\
+         inverter never blocks robust propagation.   ✓ reproduced"
+    );
+}

@@ -1,0 +1,168 @@
+//! Static test-set compaction.
+//!
+//! The paper's `#pat` column counts every applied vector, and sequential
+//! delay tests are long (initialization + pair + propagation), so test-set
+//! size matters on the tester. This module implements classic *reverse-
+//! order greedy* static compaction: re-fault-simulate the sequences from
+//! last to first against the tested-fault set and keep a sequence only if
+//! it detects at least one fault no retained sequence covers. Later
+//! sequences tend to cover earlier ones because fault dropping already
+//! removed their targets from the later runs' fault lists — the same
+//! observation behind reverse-order compaction for stuck-at tests.
+//!
+//! Compaction preserves coverage by construction (asserted here and in the
+//! integration tests): the kept set detects every fault the full set
+//! detected, under the same §5 fault-simulation semantics.
+
+use crate::driver::{AtpgRun, DelayAtpg, FaultClassification};
+use crate::pattern::TestSequence;
+use gdf_netlist::DelayFault;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The result of compacting a run's test set.
+#[derive(Debug, Clone)]
+pub struct CompactionResult {
+    /// Indexes (into the run's sequence list) of the retained sequences,
+    /// in application order.
+    pub kept: Vec<usize>,
+    /// Total vectors before compaction.
+    pub patterns_before: u32,
+    /// Total vectors after compaction.
+    pub patterns_after: u32,
+    /// Number of tested faults the retained set provably covers.
+    pub covered: usize,
+}
+
+impl CompactionResult {
+    /// Pattern-count reduction, `0.0..1.0`.
+    pub fn reduction(&self) -> f64 {
+        if self.patterns_before == 0 {
+            0.0
+        } else {
+            1.0 - self.patterns_after as f64 / self.patterns_before as f64
+        }
+    }
+}
+
+/// Greedy reverse-order compaction of `run`'s sequences.
+///
+/// `atpg` must be the driver that produced `run` (same circuit and
+/// configuration), so the fault simulation semantics match.
+///
+/// # Example
+///
+/// ```
+/// use gdf_core::compact::compact_sequences;
+/// use gdf_core::DelayAtpg;
+/// use gdf_netlist::suite;
+///
+/// let c = suite::s27();
+/// let atpg = DelayAtpg::new(&c);
+/// let run = atpg.run();
+/// let compact = compact_sequences(&atpg, &run);
+/// assert!(compact.patterns_after <= compact.patterns_before);
+/// ```
+pub fn compact_sequences(atpg: &DelayAtpg<'_>, run: &AtpgRun) -> CompactionResult {
+    let tested: Vec<DelayFault> = run
+        .records
+        .iter()
+        .filter(|r| r.classification == FaultClassification::Tested)
+        .map(|r| r.fault)
+        .collect();
+    let patterns_before: u32 = run.sequences.iter().map(|s| s.len() as u32).sum();
+
+    // Per-sequence detection sets over the tested faults. The relied-PPO
+    // information is not retained in the run, so the conservative choice
+    // (no PPO invalidation credit) is applied uniformly; coverage is
+    // judged under the same rule for "before" and "after".
+    let detect = |seq: &TestSequence| -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(atpg.config().xfill_seed);
+        let hits = atpg.fault_simulate_sequence(seq, &[], &tested, &mut rng);
+        let mut set = vec![false; tested.len()];
+        for h in hits {
+            set[h] = true;
+        }
+        set
+    };
+    let detection: Vec<Vec<bool>> = run.sequences.iter().map(detect).collect();
+    let baseline: Vec<bool> = (0..tested.len())
+        .map(|i| detection.iter().any(|d| d[i]))
+        .collect();
+
+    let mut covered = vec![false; tested.len()];
+    let mut kept_rev: Vec<usize> = Vec::new();
+    for idx in (0..run.sequences.len()).rev() {
+        let contributes = detection[idx]
+            .iter()
+            .zip(&covered)
+            .any(|(&d, &c)| d && !c);
+        if contributes {
+            kept_rev.push(idx);
+            for (c, &d) in covered.iter_mut().zip(&detection[idx]) {
+                *c |= d;
+            }
+        }
+    }
+    kept_rev.reverse();
+
+    // Coverage preservation under the uniform rule.
+    debug_assert_eq!(
+        covered.iter().filter(|&&c| c).count(),
+        baseline.iter().filter(|&&c| c).count(),
+        "compaction must not lose simulated coverage"
+    );
+
+    let patterns_after = kept_rev
+        .iter()
+        .map(|&i| run.sequences[i].len() as u32)
+        .sum();
+    CompactionResult {
+        kept: kept_rev,
+        patterns_before,
+        patterns_after,
+        covered: covered.iter().filter(|&&c| c).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdf_netlist::suite;
+
+    #[test]
+    fn compaction_preserves_simulated_coverage_on_s27() {
+        let c = suite::s27();
+        let atpg = DelayAtpg::new(&c);
+        let run = atpg.run();
+        let compact = compact_sequences(&atpg, &run);
+        assert!(compact.patterns_after <= compact.patterns_before);
+        assert!(!compact.kept.is_empty());
+        // Re-check coverage of the kept set explicitly.
+        let tested: Vec<_> = run
+            .records
+            .iter()
+            .filter(|r| r.classification == FaultClassification::Tested)
+            .map(|r| r.fault)
+            .collect();
+        let mut covered = vec![false; tested.len()];
+        for &k in &compact.kept {
+            let mut rng = StdRng::seed_from_u64(atpg.config().xfill_seed);
+            for h in atpg.fault_simulate_sequence(&run.sequences[k], &[], &tested, &mut rng) {
+                covered[h] = true;
+            }
+        }
+        assert_eq!(covered.iter().filter(|&&c| c).count(), compact.covered);
+    }
+
+    #[test]
+    fn kept_indexes_are_ordered_and_unique() {
+        let c = suite::table3_circuit("s298").expect("suite circuit");
+        let atpg = DelayAtpg::new(&c);
+        let run = atpg.run();
+        let compact = compact_sequences(&atpg, &run);
+        assert!(compact.kept.windows(2).all(|w| w[0] < w[1]));
+        assert!(compact.kept.len() <= run.sequences.len());
+        assert!(compact.reduction() >= 0.0);
+    }
+}

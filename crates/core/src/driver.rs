@@ -1,0 +1,695 @@
+//! The extended FOGBUSTER driver (Figure 4 of the paper).
+//!
+//! For every undetected fault the driver runs:
+//!
+//! ```text
+//! select fault → local test generation (TDgen)
+//!   ├─ effect at PO ──────────────┐
+//!   └─ effect at PPO → forward propagation (SEMILET)
+//!          │  (fail: propagation justification → re-enter TDgen;
+//!          │         or ban this PPO and re-enter TDgen)
+//!          ▼
+//!      initialization (synchronizing sequence, SEMILET)
+//!          ▼
+//!      test found → three-phase fault simulation → drop detected faults
+//! ```
+//!
+//! Inter-phase backtracking is realized by re-entering the local generator
+//! with additional constraints: a failed observation flip-flop is *banned*
+//! (its PPO may no longer carry the effect), and a failed propagation may
+//! first trigger *propagation justification* — a re-entry that forces the
+//! unjustifiable (`Xf`) PPOs to steady, specifiable values, exactly the
+//! fast-clock-frame re-entry the paper describes.
+//!
+//! Classification follows the paper's accounting: `untestable` is reported
+//! when the (bounded) search space is exhausted without hitting a
+//! backtrack limit anywhere; hitting any limit yields `aborted`.
+
+use crate::pattern::TestSequence;
+use crate::report::{CircuitReport, Table3Row};
+use gdf_algebra::delay::DelaySet;
+use gdf_algebra::logic3::Logic3;
+use gdf_algebra::static5::{StaticSet, StaticValue};
+use gdf_netlist::{Circuit, DelayFault, FaultUniverse, NodeId};
+use gdf_semilet::justify::{synchronize, SyncLimits, SyncOutcome};
+use gdf_semilet::propagate::{propagate_to_po, PropagateLimits, PropagateOutcome};
+use gdf_sim::{detected_delay_faults, two_frame_values, Fausim};
+use gdf_tdgen::{FaultModel, LocalObservation, LocalTest, PpoValue, TdGen, TdGenConfig, TdGenOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Configuration of the combined system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayAtpgConfig {
+    /// Backtrack limit of the local (TDgen) search — the paper uses 100.
+    pub local_backtrack_limit: u32,
+    /// Backtrack limit of each sequential (SEMILET) frame — paper: 100.
+    pub sequential_backtrack_limit: u32,
+    /// Maximum slow-clock propagation frames.
+    pub max_propagation_frames: usize,
+    /// Maximum synchronizing-sequence length.
+    pub max_sync_frames: usize,
+    /// Robust (paper default) or non-robust fault model.
+    pub model: FaultModel,
+    /// Which fault universe to target.
+    pub universe: FaultUniverse,
+    /// Seed for the random X-fill before fault simulation (paper §5:
+    /// "X-values left by the test generation are set at random").
+    pub xfill_seed: u64,
+    /// How many alternative observation targets the inter-phase
+    /// backtracking may try per fault.
+    pub max_observation_retries: usize,
+}
+
+impl Default for DelayAtpgConfig {
+    fn default() -> Self {
+        DelayAtpgConfig {
+            local_backtrack_limit: 100,
+            sequential_backtrack_limit: 100,
+            max_propagation_frames: 32,
+            max_sync_frames: 32,
+            model: FaultModel::Robust,
+            universe: FaultUniverse::default(),
+            xfill_seed: 0x1995_0308,
+            max_observation_retries: 4,
+        }
+    }
+}
+
+/// Final classification of one fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClassification {
+    /// A complete test sequence detects it (explicitly generated or
+    /// credited by fault simulation).
+    Tested,
+    /// Proven untestable within the documented search bounds.
+    Untestable,
+    /// Abandoned at a backtrack limit (or retry budget).
+    Aborted,
+}
+
+/// Per-fault result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The fault.
+    pub fault: DelayFault,
+    /// Its classification.
+    pub classification: FaultClassification,
+    /// `true` if the fault was credited by fault simulation rather than
+    /// explicitly targeted.
+    pub by_simulation: bool,
+    /// Index into [`AtpgRun::sequences`] of the detecting sequence.
+    pub sequence_index: Option<usize>,
+}
+
+/// The outcome of a full ATPG run on one circuit.
+#[derive(Debug, Clone)]
+pub struct AtpgRun {
+    /// One record per fault, in fault-list order.
+    pub records: Vec<FaultRecord>,
+    /// Every emitted test sequence.
+    pub sequences: Vec<TestSequence>,
+    /// The aggregate report (one Table 3 row).
+    pub report: CircuitReport,
+}
+
+/// The combined TDgen + SEMILET delay-fault ATPG.
+///
+/// # Example
+///
+/// ```
+/// use gdf_core::{DelayAtpg, FaultClassification};
+/// use gdf_netlist::suite;
+///
+/// let c = suite::s27();
+/// let run = DelayAtpg::new(&c).run();
+/// let tested = run
+///     .records
+///     .iter()
+///     .filter(|r| r.classification == FaultClassification::Tested)
+///     .count();
+/// assert!(tested > 0);
+/// ```
+#[derive(Debug)]
+pub struct DelayAtpg<'c> {
+    circuit: &'c Circuit,
+    config: DelayAtpgConfig,
+}
+
+/// Everything fault simulation needs about one emitted test.
+#[derive(Debug, Clone)]
+struct TestMeta {
+    /// PPO nets whose steady value the propagation relies on.
+    relied_ppos: Vec<NodeId>,
+    /// Target fault (for the sanity check).
+    fault: DelayFault,
+}
+
+enum GenOutcome {
+    Test(Box<(TestSequence, TestMeta)>),
+    Untestable,
+    Aborted,
+}
+
+impl<'c> DelayAtpg<'c> {
+    /// Creates a driver with the paper's default limits.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Self::with_config(circuit, DelayAtpgConfig::default())
+    }
+
+    /// Creates a driver with an explicit configuration.
+    pub fn with_config(circuit: &'c Circuit, config: DelayAtpgConfig) -> Self {
+        DelayAtpg { circuit, config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DelayAtpgConfig {
+        &self.config
+    }
+
+    /// Runs the complete Figure 4 loop over the whole fault list.
+    pub fn run(&self) -> AtpgRun {
+        let start = Instant::now();
+        let faults = self.config.universe.delay_faults(self.circuit);
+        let mut records: Vec<Option<FaultRecord>> = vec![None; faults.len()];
+        let mut sequences: Vec<TestSequence> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(self.config.xfill_seed);
+        let mut dropped = 0u32;
+
+        for idx in 0..faults.len() {
+            if records[idx].is_some() {
+                continue;
+            }
+            let fault = faults[idx];
+            match self.generate_one(fault) {
+                GenOutcome::Test(boxed) => {
+                    let (sequence, meta) = *boxed;
+                    let seq_index = sequences.len();
+                    records[idx] = Some(FaultRecord {
+                        fault,
+                        classification: FaultClassification::Tested,
+                        by_simulation: false,
+                        sequence_index: Some(seq_index),
+                    });
+                    // Three-phase fault simulation drops extra faults.
+                    let hits =
+                        self.simulate_and_drop(&sequence, &meta, &faults, &records, &mut rng);
+                    for hit in hits {
+                        if records[hit].is_none() {
+                            dropped += 1;
+                            records[hit] = Some(FaultRecord {
+                                fault: faults[hit],
+                                classification: FaultClassification::Tested,
+                                by_simulation: true,
+                                sequence_index: Some(seq_index),
+                            });
+                        }
+                    }
+                    sequences.push(sequence);
+                }
+                GenOutcome::Untestable => {
+                    records[idx] = Some(FaultRecord {
+                        fault,
+                        classification: FaultClassification::Untestable,
+                        by_simulation: false,
+                        sequence_index: None,
+                    });
+                }
+                GenOutcome::Aborted => {
+                    records[idx] = Some(FaultRecord {
+                        fault,
+                        classification: FaultClassification::Aborted,
+                        by_simulation: false,
+                        sequence_index: None,
+                    });
+                }
+            }
+        }
+
+        let records: Vec<FaultRecord> = records.into_iter().map(|r| r.expect("decided")).collect();
+        let tested = records
+            .iter()
+            .filter(|r| r.classification == FaultClassification::Tested)
+            .count() as u32;
+        let untestable = records
+            .iter()
+            .filter(|r| r.classification == FaultClassification::Untestable)
+            .count() as u32;
+        let aborted = records
+            .iter()
+            .filter(|r| r.classification == FaultClassification::Aborted)
+            .count() as u32;
+        let patterns = sequences.iter().map(|s| s.len() as u32).sum();
+        let report = CircuitReport {
+            row: Table3Row {
+                circuit: self.circuit.name().to_string(),
+                tested,
+                untestable,
+                aborted,
+                patterns,
+                elapsed: start.elapsed(),
+            },
+            dropped_by_simulation: dropped,
+            sequences: sequences.len() as u32,
+        };
+        AtpgRun {
+            records,
+            sequences,
+            report,
+        }
+    }
+
+    /// Figure 4 for a single fault.
+    fn generate_one(&self, fault: DelayFault) -> GenOutcome {
+        let gen = TdGen::with_config(
+            self.circuit,
+            TdGenConfig {
+                backtrack_limit: self.config.local_backtrack_limit,
+                model: self.config.model,
+            },
+        );
+        let mut banned: Vec<usize> = Vec::new();
+        let mut pj: Option<(usize, Vec<(NodeId, DelaySet)>)> = None;
+        let mut any_aborted = false;
+
+        for _attempt in 0..=self.config.max_observation_retries + 1 {
+            let mut constraints: Vec<(NodeId, DelaySet)> = banned
+                .iter()
+                .map(|&i| (self.ppo_net(i), DelaySet::CLEAN))
+                .collect();
+            if let Some((_, ref extra)) = pj {
+                constraints.extend(extra.iter().copied());
+            }
+            match gen.generate_with_constraints(fault, &constraints) {
+                TdGenOutcome::Aborted => return GenOutcome::Aborted,
+                TdGenOutcome::Untestable => {
+                    if let Some((pj_dff, _)) = pj.take() {
+                        // Propagation justification failed: fall back to
+                        // banning the observation target it was rescuing.
+                        banned.push(pj_dff);
+                        continue;
+                    }
+                    if banned.is_empty() {
+                        return GenOutcome::Untestable; // genuinely untestable locally
+                    }
+                    // All observation alternatives exhausted.
+                    return if any_aborted {
+                        GenOutcome::Aborted
+                    } else {
+                        GenOutcome::Untestable
+                    };
+                }
+                TdGenOutcome::Test(t) => match t.observation {
+                    LocalObservation::AtPo(_) => {
+                        match self.initialize(&t) {
+                            Ok(init) => {
+                                return GenOutcome::Test(Box::new(self.assemble(
+                                    fault,
+                                    &t,
+                                    init,
+                                    Vec::new(),
+                                    Vec::new(),
+                                )))
+                            }
+                            Err(true) => return GenOutcome::Aborted,
+                            Err(false) => {
+                                // The required state of this local test is
+                                // unsynchronizable; there is no clean handle
+                                // to enumerate alternative PO tests.
+                                return if any_aborted {
+                                    GenOutcome::Aborted
+                                } else {
+                                    GenOutcome::Untestable
+                                };
+                            }
+                        }
+                    }
+                    LocalObservation::AtPpo { dff, .. } => {
+                        let start = self.start_state(&t);
+                        let limits = PropagateLimits {
+                            backtrack_limit: self.config.sequential_backtrack_limit,
+                            max_frames: self.config.max_propagation_frames,
+                        };
+                        match propagate_to_po(self.circuit, &start, limits) {
+                            PropagateOutcome::Propagated(p) => match self.initialize(&t) {
+                                Ok(init) => {
+                                    let relied =
+                                        p.relied_dffs.iter().map(|&i| self.ppo_net(i)).collect();
+                                    return GenOutcome::Test(Box::new(self.assemble(
+                                        fault, &t, init, p.vectors, relied,
+                                    )));
+                                }
+                                Err(true) => return GenOutcome::Aborted,
+                                Err(false) => {
+                                    pj = None;
+                                    banned.push(dff);
+                                    continue;
+                                }
+                            },
+                            PropagateOutcome::Unpropagatable => {
+                                let has_xf = t
+                                    .ppo_values
+                                    .iter()
+                                    .any(|v| *v == PpoValue::UnjustifiableX);
+                                if pj.is_none() && has_xf {
+                                    // Propagation justification: force the
+                                    // Xf PPOs steady so the next local test
+                                    // hands SEMILET a fully known state.
+                                    let extra: Vec<(NodeId, DelaySet)> = t
+                                        .ppo_values
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|&(_, v)| *v == PpoValue::UnjustifiableX)
+                                        .map(|(i, _)| {
+                                            (self.ppo_net(i), DelaySet::STEADY_CLEAN)
+                                        })
+                                        .collect();
+                                    pj = Some((dff, extra));
+                                    continue;
+                                }
+                                pj = None;
+                                banned.push(dff);
+                                continue;
+                            }
+                            PropagateOutcome::Aborted => {
+                                any_aborted = true;
+                                pj = None;
+                                banned.push(dff);
+                                continue;
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        GenOutcome::Aborted // retry budget exhausted
+    }
+
+    /// The PPO net of flip-flop `i`.
+    fn ppo_net(&self, i: usize) -> NodeId {
+        self.circuit.ppo_of_dff(self.circuit.dffs()[i])
+    }
+
+    /// The 5-valued state handed to the propagation phase: the latched
+    /// fault effect, the steady specifiable bits, and `Xf` elsewhere.
+    fn start_state(&self, t: &LocalTest) -> Vec<StaticSet> {
+        t.ppo_values
+            .iter()
+            .map(|v| match v {
+                PpoValue::Steady0 => StaticSet::singleton(StaticValue::S0),
+                PpoValue::Steady1 => StaticSet::singleton(StaticValue::S1),
+                PpoValue::FaultEffect { good_one: true } => {
+                    StaticSet::singleton(StaticValue::D)
+                }
+                PpoValue::FaultEffect { good_one: false } => {
+                    StaticSet::singleton(StaticValue::Db)
+                }
+                PpoValue::UnjustifiableX => StaticSet::GOOD,
+            })
+            .collect()
+    }
+
+    /// Initialization phase. `Err(true)` = aborted, `Err(false)` =
+    /// unsynchronizable.
+    fn initialize(&self, t: &LocalTest) -> Result<Vec<Vec<Logic3>>, bool> {
+        let targets: Vec<(usize, bool)> = t
+            .required_state
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.to_bool().map(|b| (i, b)))
+            .collect();
+        let limits = SyncLimits {
+            backtrack_limit: self.config.sequential_backtrack_limit,
+            max_frames: self.config.max_sync_frames,
+        };
+        match synchronize(self.circuit, &targets, limits) {
+            SyncOutcome::Synchronized(seq) => Ok(seq),
+            SyncOutcome::Aborted => Err(true),
+            SyncOutcome::Unsynchronizable => Err(false),
+        }
+    }
+
+    fn assemble(
+        &self,
+        fault: DelayFault,
+        t: &LocalTest,
+        init: Vec<Vec<Logic3>>,
+        propagation: Vec<Vec<Logic3>>,
+        relied_ppos: Vec<NodeId>,
+    ) -> (TestSequence, TestMeta) {
+        let sequence = TestSequence::new(init, t.v1.clone(), t.v2.clone(), propagation);
+        let meta = TestMeta {
+            relied_ppos,
+            fault,
+        };
+        (sequence, meta)
+    }
+
+    /// The three-phase fault simulation of §5. Returns the indexes of
+    /// additionally detected faults.
+    fn simulate_and_drop(
+        &self,
+        sequence: &TestSequence,
+        meta: &TestMeta,
+        faults: &[DelayFault],
+        records: &[Option<FaultRecord>],
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let candidates: Vec<usize> = (0..faults.len())
+            .filter(|&i| records[i].is_none())
+            .collect();
+        let candidate_faults: Vec<DelayFault> = candidates.iter().map(|&i| faults[i]).collect();
+        let hits =
+            self.fault_simulate_sequence(sequence, &meta.relied_ppos, &candidate_faults, rng);
+        let _ = meta.fault;
+        hits.into_iter().map(|k| candidates[k]).collect()
+    }
+
+    /// Runs the three-phase fault simulation of one sequence against an
+    /// arbitrary candidate fault list, returning the indexes (into
+    /// `faults`) of the robustly detected ones. Public so that test-set
+    /// compaction and fault grading can reuse the exact §5 semantics.
+    pub fn fault_simulate_sequence(
+        &self,
+        sequence: &TestSequence,
+        relied_ppos: &[NodeId],
+        faults: &[DelayFault],
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let circuit = self.circuit;
+        // Phase 1: good-machine simulation of the initialization frames
+        // with random X-fill, yielding the state when V1 is applied.
+        let filled = sequence.filled_with(|| rng.gen());
+        let fast = sequence.fast_frame_index();
+        let init_vectors: Vec<Vec<Logic3>> = filled[..fast.saturating_sub(1)]
+            .iter()
+            .map(|v| v.iter().map(|&b| Logic3::from_bool(b)).collect())
+            .collect();
+        let sim = gdf_sim::GoodSimulator::new(circuit);
+        let (_frames, state_l3) = sim.run(&sim.initial_state(), &init_vectors);
+        let state1: Vec<bool> = state_l3
+            .iter()
+            .map(|l| l.to_bool().unwrap_or_else(|| rng.gen()))
+            .collect();
+        let v1 = &filled[fast - 1];
+        let v2 = &filled[fast];
+        let waveform = two_frame_values(circuit, v1, v2, &state1);
+
+        // Phase 2: which PPOs with non-steady values are observable
+        // through the propagation frames?
+        let prop_vectors: Vec<Vec<Logic3>> = filled[fast + 1..]
+            .iter()
+            .map(|v| v.iter().map(|&b| Logic3::from_bool(b)).collect())
+            .collect();
+        let fausim = Fausim::new(circuit);
+        let state2: Vec<Logic3> = circuit
+            .dffs()
+            .iter()
+            .map(|&ff| Logic3::from_bool(waveform[circuit.ppo_of_dff(ff).index()].final_value()))
+            .collect();
+        let mut observable_ppos: Vec<NodeId> = Vec::new();
+        if !prop_vectors.is_empty() {
+            for i in 0..circuit.num_dffs() {
+                let ppo = self.ppo_net(i);
+                if waveform[ppo.index()].is_steady_clean() {
+                    continue;
+                }
+                if fausim
+                    .propagate_state_diff(&state2, i, &prop_vectors)
+                    .is_observed()
+                {
+                    observable_ppos.push(ppo);
+                }
+            }
+        }
+
+        // Phase 3: robust delay fault simulation of the fast frame by
+        // critical path tracing, with the invalidation check.
+        let hits = detected_delay_faults(circuit, &waveform, faults, &observable_ppos, relied_ppos);
+        hits.into_iter().map(|(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdf_netlist::{generator, suite, CircuitBuilder, GateKind};
+
+    #[test]
+    fn s27_full_run_accounting() {
+        let c = suite::s27();
+        let run = DelayAtpg::new(&c).run();
+        let row = &run.report.row;
+        assert_eq!(
+            row.total_faults() as usize,
+            run.records.len(),
+            "every fault classified exactly once"
+        );
+        assert!(row.tested > 0, "some faults must be tested");
+        assert!(row.untestable > 0, "robust model leaves untestables (paper)");
+        assert!(row.patterns > 0);
+        // Each tested-with-sequence record points at a real sequence.
+        for r in &run.records {
+            match r.classification {
+                FaultClassification::Tested => {
+                    let idx = r.sequence_index.expect("tested needs a sequence");
+                    assert!(idx < run.sequences.len());
+                }
+                _ => assert!(r.sequence_index.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_detect_their_target_faults() {
+        // End-to-end: re-simulate each explicitly generated sequence and
+        // confirm the target fault is robustly detected.
+        let c = suite::s27();
+        let run = DelayAtpg::new(&c).run();
+        let mut checked = 0;
+        for r in &run.records {
+            if r.by_simulation || r.classification != FaultClassification::Tested {
+                continue;
+            }
+            let seq = &run.sequences[r.sequence_index.expect("sequence")];
+            let mut rng = StdRng::seed_from_u64(42);
+            let filled = seq.filled_with(|| rng.gen());
+            let fast = seq.fast_frame_index();
+            let init: Vec<Vec<Logic3>> = filled[..fast - 1]
+                .iter()
+                .map(|v| v.iter().map(|&b| Logic3::from_bool(b)).collect())
+                .collect();
+            let sim = gdf_sim::GoodSimulator::new(&c);
+            let (_f, st) = sim.run(&sim.initial_state(), &init);
+            let state1: Vec<bool> = st
+                .iter()
+                .map(|l| l.to_bool().unwrap_or_else(|| rng.gen()))
+                .collect();
+            let w = two_frame_values(&c, &filled[fast - 1], &filled[fast], &state1);
+            // Observable PPOs: all of them if propagation frames exist
+            // (the sequence was built to make the right one observable).
+            let all_ppos: Vec<NodeId> = c.ppos();
+            let obs: &[NodeId] = if seq.propagation_len() > 0 {
+                &all_ppos
+            } else {
+                &[]
+            };
+            let hits = detected_delay_faults(&c, &w, &[r.fault], obs, &[]);
+            assert_eq!(
+                hits.len(),
+                1,
+                "sequence does not provoke/observe {}",
+                r.fault.describe(&c)
+            );
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn combinational_circuit_needs_no_sequential_phases() {
+        let mut b = CircuitBuilder::new("comb");
+        b.add_input("a");
+        b.add_input("en");
+        b.add_gate("y", GateKind::And, &["a", "en"]);
+        b.mark_output("y");
+        let c = b.build().unwrap();
+        let run = DelayAtpg::new(&c).run();
+        assert!(run.report.row.tested > 0);
+        for seq in &run.sequences {
+            assert_eq!(seq.init_len(), 0);
+            assert_eq!(seq.propagation_len(), 0);
+            assert_eq!(seq.len(), 2);
+        }
+    }
+
+    #[test]
+    fn shift_register_tests_use_propagation_and_init() {
+        let c = generator::shift_register(2);
+        let run = DelayAtpg::new(&c).run();
+        assert!(run.report.row.tested > 0);
+        // Some sequence must need propagation (faults near the SR input
+        // are observed through state).
+        assert!(
+            run.sequences.iter().any(|s| s.propagation_len() > 0),
+            "expected at least one latched-observation test"
+        );
+    }
+
+    #[test]
+    fn nonrobust_mode_never_tests_fewer() {
+        let c = suite::s27();
+        let robust = DelayAtpg::new(&c).run();
+        let nonrobust = DelayAtpg::with_config(
+            &c,
+            DelayAtpgConfig {
+                model: FaultModel::NonRobust,
+                ..DelayAtpgConfig::default()
+            },
+        )
+        .run();
+        assert!(
+            nonrobust.report.row.tested >= robust.report.row.tested,
+            "non-robust {} < robust {}",
+            nonrobust.report.row.tested,
+            robust.report.row.tested
+        );
+        assert!(
+            nonrobust.report.row.untestable <= robust.report.row.untestable,
+            "the paper predicts fewer untestables under the relaxed model"
+        );
+    }
+
+    #[test]
+    fn fault_simulation_drops_faults() {
+        let c = suite::s27();
+        let run = DelayAtpg::new(&c).run();
+        assert!(
+            run.report.dropped_by_simulation > 0,
+            "fault dropping should credit some faults on s27"
+        );
+        assert!(run.records.iter().any(|r| r.by_simulation));
+    }
+
+    #[test]
+    fn tight_limits_cause_aborts_not_hangs() {
+        let c = suite::table3_circuit("s298").unwrap();
+        let cfg = DelayAtpgConfig {
+            local_backtrack_limit: 2,
+            sequential_backtrack_limit: 2,
+            max_propagation_frames: 4,
+            max_sync_frames: 4,
+            max_observation_retries: 1,
+            ..DelayAtpgConfig::default()
+        };
+        // Only run a slice of the fault list through generate_one via a
+        // reduced universe to keep the test fast.
+        let cfg = DelayAtpgConfig {
+            universe: gdf_netlist::FaultUniverse::stems_only(),
+            ..cfg
+        };
+        let run = DelayAtpg::with_config(&c, cfg).run();
+        assert_eq!(run.report.row.total_faults() as usize, run.records.len());
+    }
+}

@@ -1,0 +1,213 @@
+//! Test-sequence assembly with the clock schedule of Figure 2.
+//!
+//! A complete test for one gate delay fault is a vector sequence
+//! `init… , V1, V2(fast), prop…`: synchronizing vectors and propagation
+//! vectors run with a **slow** clock (the circuit behaves fault-free), the
+//! single test frame launches `V1 → V2` and samples at the **fast**
+//! (rated) clock, where the delay fault can corrupt the sampled values.
+
+use gdf_algebra::logic3::Logic3;
+use std::fmt;
+
+/// Clock speed of one time frame (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockSpeed {
+    /// Relaxed clock: even a delay-faulty circuit settles correctly.
+    Slow,
+    /// Rated clock: a delay fault of realistic size corrupts the sampled
+    /// value.
+    Fast,
+}
+
+impl fmt::Display for ClockSpeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockSpeed::Slow => f.write_str("slow"),
+            ClockSpeed::Fast => f.write_str("fast"),
+        }
+    }
+}
+
+/// One applied PI vector together with its capture-clock speed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedVector {
+    /// The primary-input values (`X` = don't-care, filled before tester
+    /// application).
+    pub pi: Vec<Logic3>,
+    /// The clock speed at which the frame's result is captured.
+    pub clock: ClockSpeed,
+}
+
+/// A complete per-fault test sequence.
+///
+/// # Example
+///
+/// ```
+/// use gdf_algebra::Logic3;
+/// use gdf_core::pattern::{ClockSpeed, TestSequence};
+///
+/// let seq = TestSequence::new(
+///     vec![vec![Logic3::Zero]],            // init
+///     vec![Logic3::Zero],                  // V1
+///     vec![Logic3::One],                   // V2 (fast frame)
+///     vec![vec![Logic3::X]],               // propagation
+/// );
+/// assert_eq!(seq.len(), 4);
+/// assert_eq!(seq.fast_frame_index(), 2);
+/// assert_eq!(seq.vectors()[2].clock, ClockSpeed::Fast);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSequence {
+    vectors: Vec<TimedVector>,
+    fast_index: usize,
+}
+
+impl TestSequence {
+    /// Assembles `init… , V1, V2(fast), prop…`.
+    pub fn new(
+        init: Vec<Vec<Logic3>>,
+        v1: Vec<Logic3>,
+        v2: Vec<Logic3>,
+        propagation: Vec<Vec<Logic3>>,
+    ) -> Self {
+        let mut vectors = Vec::with_capacity(init.len() + 2 + propagation.len());
+        for v in init {
+            vectors.push(TimedVector {
+                pi: v,
+                clock: ClockSpeed::Slow,
+            });
+        }
+        vectors.push(TimedVector {
+            pi: v1,
+            clock: ClockSpeed::Slow,
+        });
+        let fast_index = vectors.len();
+        vectors.push(TimedVector {
+            pi: v2,
+            clock: ClockSpeed::Fast,
+        });
+        for v in propagation {
+            vectors.push(TimedVector {
+                pi: v,
+                clock: ClockSpeed::Slow,
+            });
+        }
+        TestSequence {
+            vectors,
+            fast_index,
+        }
+    }
+
+    /// All frames in application order.
+    pub fn vectors(&self) -> &[TimedVector] {
+        &self.vectors
+    }
+
+    /// Number of frames (this is what the paper's `#pat` column counts:
+    /// "includes the patterns needed for initialization and propagation").
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the sequence is empty (never true for assembled tests).
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Index of the fast (at-speed) frame.
+    pub fn fast_frame_index(&self) -> usize {
+        self.fast_index
+    }
+
+    /// Number of initialization frames before `V1`.
+    pub fn init_len(&self) -> usize {
+        self.fast_index - 1
+    }
+
+    /// Number of propagation frames after the fast frame.
+    pub fn propagation_len(&self) -> usize {
+        self.vectors.len() - self.fast_index - 1
+    }
+
+    /// The `(V1, V2)` pair of the launch/capture frames.
+    pub fn test_pair(&self) -> (&[Logic3], &[Logic3]) {
+        (
+            &self.vectors[self.fast_index - 1].pi,
+            &self.vectors[self.fast_index].pi,
+        )
+    }
+
+    /// Replaces every `X` with values drawn from `fill` (deterministic
+    /// X-fill; the paper sets leftover don't-cares randomly before fault
+    /// simulation).
+    pub fn filled_with(&self, mut fill: impl FnMut() -> bool) -> Vec<Vec<bool>> {
+        self.vectors
+            .iter()
+            .map(|tv| {
+                tv.pi
+                    .iter()
+                    .map(|l| l.to_bool().unwrap_or_else(&mut fill))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for TestSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, tv) in self.vectors.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            for l in &tv.pi {
+                write!(f, "{l}")?;
+            }
+            write!(f, "/{}", tv.clock)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic3::{One, X, Zero};
+
+    #[test]
+    fn assembly_and_indexing() {
+        let seq = TestSequence::new(
+            vec![vec![Zero, One], vec![One, One]],
+            vec![Zero, Zero],
+            vec![One, Zero],
+            vec![vec![X, X]],
+        );
+        assert_eq!(seq.len(), 5);
+        assert_eq!(seq.init_len(), 2);
+        assert_eq!(seq.propagation_len(), 1);
+        assert_eq!(seq.fast_frame_index(), 3);
+        assert_eq!(seq.vectors()[3].clock, ClockSpeed::Fast);
+        assert!(seq
+            .vectors()
+            .iter()
+            .enumerate()
+            .all(|(i, tv)| (tv.clock == ClockSpeed::Fast) == (i == 3)));
+        let (v1, v2) = seq.test_pair();
+        assert_eq!(v1, &[Zero, Zero]);
+        assert_eq!(v2, &[One, Zero]);
+    }
+
+    #[test]
+    fn fill_replaces_only_x() {
+        let seq = TestSequence::new(vec![], vec![X, One], vec![Zero, X], vec![]);
+        let filled = seq.filled_with(|| true);
+        assert_eq!(filled, vec![vec![true, true], vec![false, true]]);
+    }
+
+    #[test]
+    fn display_shows_clocks() {
+        let seq = TestSequence::new(vec![], vec![Zero], vec![One], vec![]);
+        let text = seq.to_string();
+        assert!(text.contains("/slow"));
+        assert!(text.contains("/fast"));
+    }
+}

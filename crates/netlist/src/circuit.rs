@@ -1,0 +1,758 @@
+//! The arena-based circuit representation and its builder.
+//!
+//! A [`Circuit`] models a synchronous sequential circuit as in Figure 1 of
+//! the paper: a combinational block fed by primary inputs (PIs) and the
+//! outputs of D flip-flops (pseudo primary inputs, PPIs), driving primary
+//! outputs (POs) and the D inputs of the flip-flops (pseudo primary outputs,
+//! PPOs). A single global clock is implicit; the ATPG decides per time frame
+//! whether that clock tick is "slow" or "fast".
+
+use crate::gate::GateKind;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node (gate, primary input or flip-flop) inside a [`Circuit`].
+///
+/// Node ids are dense and stable: they index directly into the circuit's
+/// node arena, so per-node side tables can be plain vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single node: a primary input, a D flip-flop, or a combinational gate.
+///
+/// The node's *output net* is identified with the node itself; fanout
+/// branches are `(sink, pin)` pairs recorded in [`Node::fanout`].
+#[derive(Debug, Clone)]
+pub struct Node {
+    name: String,
+    kind: GateKind,
+    fanin: Vec<NodeId>,
+    fanout: Vec<(NodeId, u8)>,
+    is_output: bool,
+}
+
+impl Node {
+    /// The signal name of this node's output net.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The gate kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Fanin nets, in pin order. For a `Dff`, `fanin()[0]` is the D net
+    /// (the pseudo primary output the flip-flop latches).
+    pub fn fanin(&self) -> &[NodeId] {
+        &self.fanin
+    }
+
+    /// Fanout branches as `(sink node, input pin of the sink)` pairs.
+    pub fn fanout(&self) -> &[(NodeId, u8)] {
+        &self.fanout
+    }
+
+    /// Whether this node's output net is a primary output.
+    pub fn is_output(&self) -> bool {
+        self.is_output
+    }
+}
+
+/// Summary statistics of a circuit, used for reporting and by the synthetic
+/// benchmark generator to verify profile conformance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Number of D flip-flops.
+    pub num_dffs: usize,
+    /// Number of combinational gates (everything except PIs and DFFs).
+    pub num_gates: usize,
+    /// Maximum combinational level (depth of the combinational block).
+    pub max_level: u32,
+    /// Number of stems with more than one fanout branch.
+    pub num_fanout_stems: usize,
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} PI, {} PO, {} DFF, {} gates, depth {}, {} fanout stems",
+            self.num_inputs,
+            self.num_outputs,
+            self.num_dffs,
+            self.num_gates,
+            self.max_level,
+            self.num_fanout_stems
+        )
+    }
+}
+
+/// A validated, levelized gate-level netlist.
+///
+/// Construct one with [`CircuitBuilder`] or [`crate::parser::parse_bench`].
+///
+/// # Example
+///
+/// ```
+/// use gdf_netlist::{CircuitBuilder, GateKind};
+///
+/// let mut b = CircuitBuilder::new("toy");
+/// b.add_input("a");
+/// b.add_input("b");
+/// b.add_dff("q", "d");
+/// b.add_gate("d", GateKind::Nand, &["a", "q"]);
+/// b.add_gate("y", GateKind::Nor, &["b", "d"]);
+/// b.mark_output("y");
+/// let c = b.build().expect("valid circuit");
+/// assert_eq!(c.num_gates(), 2);
+/// assert_eq!(c.ppo_of_dff(c.dffs()[0]), c.node_by_name("d").unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    dffs: Vec<NodeId>,
+    by_name: HashMap<String, NodeId>,
+    /// Combinational level; 0 for PIs and DFF outputs.
+    level: Vec<u32>,
+    /// Combinational gates in topological (level) order.
+    topo: Vec<NodeId>,
+    max_level: u32,
+}
+
+impl Circuit {
+    /// The circuit name (e.g. `"s27"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes, indexable by [`NodeId`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this circuit.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Total node count (PIs + DFFs + gates).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Flip-flop nodes in declaration order. The node's output is the PPI;
+    /// its single fanin is the PPO.
+    pub fn dffs(&self) -> &[NodeId] {
+        &self.dffs
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of flip-flops (state bits).
+    pub fn num_dffs(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Number of combinational gates.
+    pub fn num_gates(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// The pseudo-primary-output net latched by flip-flop `dff`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dff` is not a flip-flop node.
+    pub fn ppo_of_dff(&self, dff: NodeId) -> NodeId {
+        let node = self.node(dff);
+        assert_eq!(node.kind(), GateKind::Dff, "{dff} is not a DFF");
+        node.fanin()[0]
+    }
+
+    /// All pseudo primary outputs, in flip-flop declaration order.
+    pub fn ppos(&self) -> Vec<NodeId> {
+        self.dffs.iter().map(|&d| self.ppo_of_dff(d)).collect()
+    }
+
+    /// Looks up a node by signal name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Combinational level of a node's output net (0 for PIs and PPIs).
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// Depth of the combinational block.
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Combinational gates in topological order (sources excluded); a forward
+    /// sweep in this order evaluates every gate after its fanins.
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Whether `id` is a source of the combinational block (PI or DFF
+    /// output).
+    pub fn is_source(&self, id: NodeId) -> bool {
+        !self.node(id).kind().is_combinational()
+    }
+
+    /// Whether `id` drives an observation point: a PO net or a PPO net.
+    pub fn is_observable_net(&self, id: NodeId) -> bool {
+        self.node(id).is_output()
+            || self
+                .node(id)
+                .fanout()
+                .iter()
+                .any(|&(s, _)| self.node(s).kind() == GateKind::Dff)
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats {
+            num_inputs: self.num_inputs(),
+            num_outputs: self.num_outputs(),
+            num_dffs: self.num_dffs(),
+            num_gates: self.num_gates(),
+            max_level: self.max_level,
+            num_fanout_stems: self
+                .nodes
+                .iter()
+                .filter(|n| n.fanout().len() > 1)
+                .count(),
+        }
+    }
+
+    /// The transitive fanout cone of `seed` (including `seed` itself),
+    /// restricted to the combinational block (stops at DFFs and POs).
+    ///
+    /// Used to restrict where fault-carrying values may appear.
+    pub fn output_cone(&self, seed: NodeId) -> Vec<bool> {
+        let mut in_cone = vec![false; self.nodes.len()];
+        let mut stack = vec![seed];
+        in_cone[seed.index()] = true;
+        while let Some(id) = stack.pop() {
+            for &(sink, _) in self.node(id).fanout() {
+                if self.node(sink).kind() == GateKind::Dff {
+                    continue;
+                }
+                if !in_cone[sink.index()] {
+                    in_cone[sink.index()] = true;
+                    stack.push(sink);
+                }
+            }
+        }
+        in_cone
+    }
+}
+
+/// Errors reported by [`CircuitBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A signal name was defined more than once.
+    DuplicateDefinition(String),
+    /// A gate references a signal that is never defined.
+    UnknownSignal {
+        /// The gate whose fanin is undefined.
+        gate: String,
+        /// The undefined fanin signal.
+        signal: String,
+    },
+    /// A signal was declared `OUTPUT(...)` but never defined.
+    UndefinedOutput(String),
+    /// The combinational block contains a cycle (a feedback loop that does
+    /// not pass through a flip-flop).
+    CombinationalCycle(String),
+    /// A gate has an invalid number of inputs for its kind.
+    BadArity {
+        /// The offending gate.
+        gate: String,
+        /// Its kind.
+        kind: GateKind,
+        /// The number of fanins supplied.
+        got: usize,
+    },
+    /// The circuit has no nodes.
+    Empty,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateDefinition(name) => {
+                write!(f, "signal `{name}` is defined more than once")
+            }
+            BuildError::UnknownSignal { gate, signal } => {
+                write!(f, "gate `{gate}` references undefined signal `{signal}`")
+            }
+            BuildError::UndefinedOutput(name) => {
+                write!(f, "output `{name}` is never defined")
+            }
+            BuildError::CombinationalCycle(name) => {
+                write!(f, "combinational cycle through signal `{name}`")
+            }
+            BuildError::BadArity { gate, kind, got } => {
+                write!(f, "gate `{gate}` of kind {kind} has invalid fanin count {got}")
+            }
+            BuildError::Empty => write!(f, "circuit has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[derive(Debug, Clone)]
+struct PendingNode {
+    name: String,
+    kind: GateKind,
+    fanin_names: Vec<String>,
+}
+
+/// Incremental, name-based circuit constructor supporting forward
+/// references, as required by the `.bench` format.
+///
+/// Call [`CircuitBuilder::build`] to resolve names, check arities, verify
+/// acyclicity of the combinational block and levelize the result.
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    pending: Vec<PendingNode>,
+    output_names: Vec<String>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            pending: Vec::new(),
+            output_names: Vec::new(),
+        }
+    }
+
+    /// Declares a primary input.
+    pub fn add_input(&mut self, name: impl Into<String>) -> &mut Self {
+        self.pending.push(PendingNode {
+            name: name.into(),
+            kind: GateKind::Input,
+            fanin_names: Vec::new(),
+        });
+        self
+    }
+
+    /// Declares a D flip-flop whose output net is `q` and whose D input is
+    /// the (possibly not yet defined) signal `d`.
+    pub fn add_dff(&mut self, q: impl Into<String>, d: impl Into<String>) -> &mut Self {
+        self.pending.push(PendingNode {
+            name: q.into(),
+            kind: GateKind::Dff,
+            fanin_names: vec![d.into()],
+        });
+        self
+    }
+
+    /// Declares a combinational gate driving net `name`.
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanin: &[&str],
+    ) -> &mut Self {
+        self.pending.push(PendingNode {
+            name: name.into(),
+            kind,
+            fanin_names: fanin.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Marks a net as a primary output.
+    pub fn mark_output(&mut self, name: impl Into<String>) -> &mut Self {
+        self.output_names.push(name.into());
+        self
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no nodes have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Resolves names and produces a validated [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if a name is duplicated or undefined, a gate
+    /// has an invalid arity, the circuit is empty, or the combinational block
+    /// is cyclic.
+    pub fn build(&self) -> Result<Circuit, BuildError> {
+        if self.pending.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        let mut by_name: HashMap<String, NodeId> = HashMap::with_capacity(self.pending.len());
+        for (i, p) in self.pending.iter().enumerate() {
+            if by_name.insert(p.name.clone(), NodeId(i as u32)).is_some() {
+                return Err(BuildError::DuplicateDefinition(p.name.clone()));
+            }
+        }
+
+        let mut nodes: Vec<Node> = Vec::with_capacity(self.pending.len());
+        for p in &self.pending {
+            let (min, max) = p.kind.arity_range();
+            if p.fanin_names.len() < min || p.fanin_names.len() > max {
+                return Err(BuildError::BadArity {
+                    gate: p.name.clone(),
+                    kind: p.kind,
+                    got: p.fanin_names.len(),
+                });
+            }
+            let mut fanin = Vec::with_capacity(p.fanin_names.len());
+            for f in &p.fanin_names {
+                let id = by_name.get(f).copied().ok_or_else(|| BuildError::UnknownSignal {
+                    gate: p.name.clone(),
+                    signal: f.clone(),
+                })?;
+                fanin.push(id);
+            }
+            nodes.push(Node {
+                name: p.name.clone(),
+                kind: p.kind,
+                fanin,
+                fanout: Vec::new(),
+                is_output: false,
+            });
+        }
+
+        let mut outputs = Vec::with_capacity(self.output_names.len());
+        for o in &self.output_names {
+            let id = by_name
+                .get(o)
+                .copied()
+                .ok_or_else(|| BuildError::UndefinedOutput(o.clone()))?;
+            if !nodes[id.index()].is_output {
+                nodes[id.index()].is_output = true;
+                outputs.push(id);
+            }
+        }
+
+        // Fanout lists.
+        let fanin_lists: Vec<Vec<NodeId>> = nodes.iter().map(|n| n.fanin.clone()).collect();
+        for (sink_idx, fanin) in fanin_lists.iter().enumerate() {
+            for (pin, &src) in fanin.iter().enumerate() {
+                nodes[src.index()]
+                    .fanout
+                    .push((NodeId(sink_idx as u32), pin as u8));
+            }
+        }
+
+        // Levelize: Kahn's algorithm over the combinational block. Sources
+        // are PIs and DFF outputs; a DFF *consumes* its D net but its output
+        // is level 0, so DFF nodes never appear in the worklist as sinks.
+        let n = nodes.len();
+        let mut level = vec![0u32; n];
+        let mut remaining = vec![0usize; n];
+        let mut ready: Vec<NodeId> = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            if node.kind.is_combinational() {
+                remaining[i] = node.fanin.len();
+                if node.fanin.is_empty() {
+                    ready.push(NodeId(i as u32));
+                }
+            }
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            if !node.kind.is_combinational() {
+                for &(sink, _) in &node.fanout {
+                    if nodes[sink.index()].kind.is_combinational() {
+                        remaining[sink.index()] -= 1;
+                        if remaining[sink.index()] == 0 {
+                            ready.push(sink);
+                        }
+                    }
+                }
+                let _ = i;
+            }
+        }
+        // Deduplicate multi-edges: a gate fed twice by the same source had its
+        // counter decremented twice, which is correct because `fanout`
+        // contains one entry per pin.
+        let mut topo: Vec<NodeId> = Vec::new();
+        let mut head = 0;
+        while head < ready.len() {
+            let id = ready[head];
+            head += 1;
+            let lv = nodes[id.index()]
+                .fanin
+                .iter()
+                .map(|f| level[f.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            level[id.index()] = lv;
+            topo.push(id);
+            for &(sink, _) in &nodes[id.index()].fanout {
+                if nodes[sink.index()].kind.is_combinational() {
+                    remaining[sink.index()] -= 1;
+                    if remaining[sink.index()] == 0 {
+                        ready.push(sink);
+                    }
+                }
+            }
+        }
+        let scheduled = topo.len();
+        let total_comb = nodes.iter().filter(|n| n.kind.is_combinational()).count();
+        if scheduled != total_comb {
+            let stuck = nodes
+                .iter()
+                .enumerate()
+                .find(|(i, n)| n.kind.is_combinational() && remaining[*i] > 0)
+                .map(|(_, n)| n.name.clone())
+                .unwrap_or_default();
+            return Err(BuildError::CombinationalCycle(stuck));
+        }
+        let max_level = level.iter().copied().max().unwrap_or(0);
+
+        let inputs = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == GateKind::Input)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let dffs = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == GateKind::Dff)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+
+        Ok(Circuit {
+            name: self.name.clone(),
+            nodes,
+            inputs,
+            outputs,
+            dffs,
+            by_name,
+            level,
+            topo,
+            max_level,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Circuit {
+        let mut b = CircuitBuilder::new("toy");
+        b.add_input("a");
+        b.add_input("b");
+        b.add_dff("q", "d");
+        b.add_gate("d", GateKind::Nand, &["a", "q"]);
+        b.add_gate("y", GateKind::Nor, &["b", "d"]);
+        b.mark_output("y");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_toy() {
+        let c = toy();
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_dffs(), 1);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        let d = c.node_by_name("d").unwrap();
+        let q = c.node_by_name("q").unwrap();
+        assert_eq!(c.ppo_of_dff(q), d);
+        assert_eq!(c.level(q), 0);
+        assert_eq!(c.level(d), 1);
+        assert_eq!(c.level(c.node_by_name("y").unwrap()), 2);
+        assert_eq!(c.max_level(), 2);
+    }
+
+    #[test]
+    fn fanout_pins_recorded() {
+        let c = toy();
+        let a = c.node_by_name("a").unwrap();
+        let d = c.node_by_name("d").unwrap();
+        assert_eq!(c.node(a).fanout(), &[(d, 0)]);
+        // d feeds both the DFF (pin 0) and y (pin 1 of y).
+        let q = c.node_by_name("q").unwrap();
+        let y = c.node_by_name("y").unwrap();
+        let mut fo = c.node(d).fanout().to_vec();
+        fo.sort();
+        let mut expect = vec![(q, 0u8), (y, 1u8)];
+        expect.sort();
+        assert_eq!(fo, expect);
+    }
+
+    #[test]
+    fn observable_nets() {
+        let c = toy();
+        assert!(c.is_observable_net(c.node_by_name("y").unwrap()));
+        assert!(c.is_observable_net(c.node_by_name("d").unwrap())); // feeds DFF
+        assert!(!c.is_observable_net(c.node_by_name("a").unwrap()));
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let mut b = CircuitBuilder::new("dup");
+        b.add_input("a");
+        b.add_input("a");
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::DuplicateDefinition("a".into())
+        );
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        b.add_gate("g", GateKind::And, &["nope", "nada"]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::UnknownSignal { .. }
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let mut b = CircuitBuilder::new("cyc");
+        b.add_input("a");
+        b.add_gate("x", GateKind::And, &["a", "y"]);
+        b.add_gate("y", GateKind::Or, &["x", "a"]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::CombinationalCycle(_)
+        ));
+    }
+
+    #[test]
+    fn feedback_through_dff_is_fine() {
+        let mut b = CircuitBuilder::new("loop");
+        b.add_input("a");
+        b.add_dff("q", "d");
+        b.add_gate("d", GateKind::Xor, &["a", "q"]);
+        b.mark_output("d");
+        let c = b.build().unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut b = CircuitBuilder::new("arity");
+        b.add_input("a");
+        b.add_input("b");
+        b.add_gate("g", GateKind::Not, &["a", "b"]);
+        assert!(matches!(b.build().unwrap_err(), BuildError::BadArity { .. }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(CircuitBuilder::new("e").build().unwrap_err(), BuildError::Empty);
+    }
+
+    #[test]
+    fn undefined_output_rejected() {
+        let mut b = CircuitBuilder::new("o");
+        b.add_input("a");
+        b.mark_output("ghost");
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UndefinedOutput("ghost".into())
+        );
+    }
+
+    #[test]
+    fn topo_order_respects_fanin() {
+        let c = toy();
+        let pos: HashMap<NodeId, usize> = c
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        for &id in c.topo_order() {
+            for &f in c.node(id).fanin() {
+                if c.node(f).kind().is_combinational() {
+                    assert!(pos[&f] < pos[&id]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_cone_stops_at_dff() {
+        let c = toy();
+        let d = c.node_by_name("d").unwrap();
+        let cone = c.output_cone(d);
+        assert!(cone[d.index()]);
+        assert!(cone[c.node_by_name("y").unwrap().index()]);
+        assert!(!cone[c.node_by_name("q").unwrap().index()]);
+    }
+
+    #[test]
+    fn stats_display() {
+        let s = toy().stats();
+        assert_eq!(s.num_gates, 2);
+        let txt = s.to_string();
+        assert!(txt.contains("2 PI"));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = BuildError::DuplicateDefinition("x".into());
+        assert!(!e.to_string().is_empty());
+    }
+}

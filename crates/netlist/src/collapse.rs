@@ -1,0 +1,285 @@
+//! Delay-fault equivalence collapsing.
+//!
+//! Two gate delay faults are *equivalent* when every (robust) test for one
+//! detects the other. For the gate delay fault model the safe structural
+//! equivalences run through single-input gates:
+//!
+//! * `b = BUF(a)`, `a` single-fanout: `a StR ≡ b StR`, `a StF ≡ b StF` —
+//!   every transition passes unchanged and no other path exists;
+//! * `b = NOT(a)`, `a` single-fanout: polarities swap (`a StR ≡ b StF`);
+//! * a fanout *branch* feeding a BUF/NOT collapses onto the gate's output
+//!   stem the same way (the branch's only continuation is through the
+//!   gate).
+//!
+//! Controlling-value equivalences familiar from stuck-at collapsing (AND
+//! output sa0 ≡ input sa0) do **not** carry over: delay-fault detection
+//! conditions depend on which input transitions last, so only the chain
+//! rules above are applied. Collapsing shrinks the fault list the
+//! generator must target; classifications transfer to all class members.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::fault::{DelayFault, DelayFaultKind, FaultSite};
+use crate::gate::GateKind;
+use std::collections::HashMap;
+
+/// The result of collapsing a fault list.
+#[derive(Debug, Clone)]
+pub struct CollapsedFaults {
+    /// One representative per equivalence class, in first-occurrence order.
+    pub representatives: Vec<DelayFault>,
+    /// For every input fault (by index into the original list), the index
+    /// of its representative in [`CollapsedFaults::representatives`].
+    pub class_of: Vec<usize>,
+}
+
+impl CollapsedFaults {
+    /// All members (original-list indexes) of the class with the given
+    /// representative index.
+    pub fn members(&self, class: usize) -> Vec<usize> {
+        self.class_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Collapse ratio (`representatives / original`), 1.0 = nothing
+    /// collapsed.
+    pub fn ratio(&self) -> f64 {
+        if self.class_of.is_empty() {
+            1.0
+        } else {
+            self.representatives.len() as f64 / self.class_of.len() as f64
+        }
+    }
+}
+
+/// Collapses `faults` under the chain equivalences.
+///
+/// # Example
+///
+/// ```
+/// use gdf_netlist::collapse::collapse_delay_faults;
+/// use gdf_netlist::{CircuitBuilder, FaultUniverse, GateKind};
+///
+/// let mut b = CircuitBuilder::new("chain");
+/// b.add_input("a");
+/// b.add_gate("n1", GateKind::Not, &["a"]);
+/// b.add_gate("n2", GateKind::Not, &["n1"]);
+/// b.mark_output("n2");
+/// let c = b.build().expect("valid");
+/// let faults = FaultUniverse::default().delay_faults(&c);
+/// let collapsed = collapse_delay_faults(&c, &faults);
+/// // a-StR ≡ n1-StF ≡ n2-StR and the mirror class: 6 faults → 2 classes.
+/// assert_eq!(collapsed.representatives.len(), 2);
+/// ```
+pub fn collapse_delay_faults(circuit: &Circuit, faults: &[DelayFault]) -> CollapsedFaults {
+    let mut parent: Vec<usize> = (0..faults.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    fn unite(parent: &mut [usize], a: usize, b: usize) {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra != rb {
+            let lo = ra.min(rb);
+            let hi = ra.max(rb);
+            parent[hi] = lo;
+        }
+    }
+
+    let index: HashMap<DelayFault, usize> = faults
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f, i))
+        .collect();
+    let lookup = |site: FaultSite, kind: DelayFaultKind| -> Option<usize> {
+        index.get(&DelayFault { site, kind }).copied()
+    };
+
+    for &gate in circuit.topo_order() {
+        let node = circuit.node(gate);
+        let inverts = match node.kind() {
+            GateKind::Buf => false,
+            GateKind::Not => true,
+            _ => continue,
+        };
+        let src: NodeId = node.fanin()[0];
+        let map_kind = |k: DelayFaultKind| -> DelayFaultKind {
+            if inverts {
+                match k {
+                    DelayFaultKind::SlowToRise => DelayFaultKind::SlowToFall,
+                    DelayFaultKind::SlowToFall => DelayFaultKind::SlowToRise,
+                }
+            } else {
+                k
+            }
+        };
+        let single_fanout = circuit.node(src).fanout().len() == 1;
+        for kind in DelayFaultKind::ALL {
+            let out_kind = map_kind(kind);
+            let out = lookup(FaultSite::on_stem(gate), out_kind);
+            if single_fanout {
+                // Whole stem flows through this gate.
+                if let (Some(a), Some(b)) = (lookup(FaultSite::on_stem(src), kind), out) {
+                    unite(&mut parent, a, b);
+                }
+            } else {
+                // Only the branch into this gate is equivalent.
+                if let (Some(a), Some(b)) = (
+                    lookup(FaultSite::on_branch(src, gate, 0), kind),
+                    out,
+                ) {
+                    unite(&mut parent, a, b);
+                }
+            }
+        }
+    }
+
+    // Build representative list in first-occurrence order.
+    let mut rep_index: HashMap<usize, usize> = HashMap::new();
+    let mut representatives = Vec::new();
+    let mut class_of = Vec::with_capacity(faults.len());
+    for i in 0..faults.len() {
+        let root = find(&mut parent, i);
+        let class = *rep_index.entry(root).or_insert_with(|| {
+            representatives.push(faults[root]);
+            representatives.len() - 1
+        });
+        class_of.push(class);
+    }
+    CollapsedFaults {
+        representatives,
+        class_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::fault::FaultUniverse;
+
+    #[test]
+    fn buffer_chain_collapses_without_polarity_flip() {
+        let mut b = CircuitBuilder::new("bufchain");
+        b.add_input("a");
+        b.add_gate("b1", GateKind::Buf, &["a"]);
+        b.add_gate("b2", GateKind::Buf, &["b1"]);
+        b.mark_output("b2");
+        let c = b.build().unwrap();
+        let faults = FaultUniverse::default().delay_faults(&c);
+        let col = collapse_delay_faults(&c, &faults);
+        assert_eq!(col.representatives.len(), 2);
+        // Classes keep polarity separate.
+        for class in 0..2 {
+            let kinds: Vec<DelayFaultKind> = col
+                .members(class)
+                .iter()
+                .map(|&i| faults[i].kind)
+                .collect();
+            assert!(kinds.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn inverter_flips_polarity_in_class() {
+        let mut b = CircuitBuilder::new("inv");
+        b.add_input("a");
+        b.add_gate("n", GateKind::Not, &["a"]);
+        b.mark_output("n");
+        let c = b.build().unwrap();
+        let faults = FaultUniverse::default().delay_faults(&c);
+        let col = collapse_delay_faults(&c, &faults);
+        assert_eq!(col.representatives.len(), 2);
+        let a = c.node_by_name("a").unwrap();
+        let n = c.node_by_name("n").unwrap();
+        // a StR must share a class with n StF.
+        let idx_a_str = faults
+            .iter()
+            .position(|f| {
+                f.site == FaultSite::on_stem(a) && f.kind == DelayFaultKind::SlowToRise
+            })
+            .unwrap();
+        let idx_n_stf = faults
+            .iter()
+            .position(|f| {
+                f.site == FaultSite::on_stem(n) && f.kind == DelayFaultKind::SlowToFall
+            })
+            .unwrap();
+        assert_eq!(col.class_of[idx_a_str], col.class_of[idx_n_stf]);
+    }
+
+    #[test]
+    fn fanout_stems_do_not_collapse_through() {
+        // a fans out to two buffers: the stem is NOT equivalent to either
+        // buffer output (only the branches are).
+        let mut b = CircuitBuilder::new("fan");
+        b.add_input("a");
+        b.add_gate("b1", GateKind::Buf, &["a"]);
+        b.add_gate("b2", GateKind::Buf, &["a"]);
+        b.mark_output("b1");
+        b.mark_output("b2");
+        let c = b.build().unwrap();
+        let faults = FaultUniverse::default().delay_faults(&c);
+        let col = collapse_delay_faults(&c, &faults);
+        // Universe: stems a,b1,b2 + branches a→b1, a→b2 = 5 sites ×2 = 10.
+        // Branch a→b1 ≡ b1, branch a→b2 ≡ b2 → 3 sites ×2 = 6 classes.
+        assert_eq!(faults.len(), 10);
+        assert_eq!(col.representatives.len(), 6);
+        let a = c.node_by_name("a").unwrap();
+        let b1 = c.node_by_name("b1").unwrap();
+        let stem_class = col.class_of[faults
+            .iter()
+            .position(|f| f.site == FaultSite::on_stem(a) && f.kind == DelayFaultKind::SlowToRise)
+            .unwrap()];
+        let b1_class = col.class_of[faults
+            .iter()
+            .position(|f| f.site == FaultSite::on_stem(b1) && f.kind == DelayFaultKind::SlowToRise)
+            .unwrap()];
+        assert_ne!(stem_class, b1_class);
+    }
+
+    #[test]
+    fn collapse_reduces_s27_universe() {
+        let c = crate::suite::s27();
+        let faults = FaultUniverse::default().delay_faults(&c);
+        let col = collapse_delay_faults(&c, &faults);
+        assert!(col.representatives.len() < faults.len());
+        assert!(col.ratio() < 1.0);
+        // Every fault belongs to exactly one class with a valid index.
+        for &class in &col.class_of {
+            assert!(class < col.representatives.len());
+        }
+    }
+
+    #[test]
+    fn chain_classes_have_multiple_members() {
+        // Semantic soundness (identical detecting pattern sets per class)
+        // is cross-checked against TDsim in `tests/collapse_semantics.rs`;
+        // here only the structural grouping is asserted.
+        let mut b = CircuitBuilder::new("sem");
+        b.add_input("a");
+        b.add_input("en");
+        b.add_gate("n1", GateKind::Not, &["a"]);
+        b.add_gate("b1", GateKind::Buf, &["n1"]);
+        b.add_gate("y", GateKind::And, &["b1", "en"]);
+        b.mark_output("y");
+        let c = b.build().unwrap();
+        let faults = FaultUniverse::default().delay_faults(&c);
+        let col = collapse_delay_faults(&c, &faults);
+        let n1 = c.node_by_name("n1").unwrap();
+        let idx = faults
+            .iter()
+            .position(|f| {
+                f.site == FaultSite::on_stem(n1) && f.kind == DelayFaultKind::SlowToRise
+            })
+            .unwrap();
+        assert!(col.members(col.class_of[idx]).len() >= 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! The fault universe.
+//!
+//! Section 3 of the paper: *"Under this model each gate output and each fan
+//! out branch can contain a Slow-to-Rise (StR) and a Slow-to-Fall (StF)
+//! fault, that both need to be tested robustly."*
+//!
+//! A [`FaultSite`] therefore designates either a *stem* (a node's output
+//! net) or a specific *branch* of that net (one `(sink, pin)` edge). The
+//! same site type is reused for the single-stuck-at universe needed by the
+//! SEMILET substrate.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::gate::GateKind;
+use std::fmt;
+
+/// A fault location: a stem or one fanout branch of a stem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaultSite {
+    /// The driving node whose output net hosts the fault.
+    pub stem: NodeId,
+    /// `None` for a fault on the stem itself; `Some((sink, pin))` for a
+    /// fault on the branch feeding input `pin` of `sink`.
+    pub branch: Option<(NodeId, u8)>,
+}
+
+impl FaultSite {
+    /// A fault on the stem (the gate output itself).
+    pub fn on_stem(stem: NodeId) -> Self {
+        FaultSite { stem, branch: None }
+    }
+
+    /// A fault on one fanout branch.
+    pub fn on_branch(stem: NodeId, sink: NodeId, pin: u8) -> Self {
+        FaultSite {
+            stem,
+            branch: Some((sink, pin)),
+        }
+    }
+
+    /// Whether this is a branch fault.
+    pub fn is_branch(self) -> bool {
+        self.branch.is_some()
+    }
+
+    /// Human-readable description using circuit signal names.
+    pub fn describe(self, circuit: &Circuit) -> String {
+        match self.branch {
+            None => circuit.node(self.stem).name().to_string(),
+            Some((sink, pin)) => format!(
+                "{}->{}[{}]",
+                circuit.node(self.stem).name(),
+                circuit.node(sink).name(),
+                pin
+            ),
+        }
+    }
+}
+
+/// Direction of a gate delay fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DelayFaultKind {
+    /// The line is slow to rise: a 0→1 transition arrives late.
+    SlowToRise,
+    /// The line is slow to fall: a 1→0 transition arrives late.
+    SlowToFall,
+}
+
+impl DelayFaultKind {
+    /// Both fault directions.
+    pub const ALL: [DelayFaultKind; 2] = [DelayFaultKind::SlowToRise, DelayFaultKind::SlowToFall];
+
+    /// Short name as used in the paper ("StR"/"StF").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            DelayFaultKind::SlowToRise => "StR",
+            DelayFaultKind::SlowToFall => "StF",
+        }
+    }
+}
+
+impl fmt::Display for DelayFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A gate delay fault: a site plus a slow transition direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DelayFault {
+    /// Where the extra delay sits.
+    pub site: FaultSite,
+    /// Which transition is slow.
+    pub kind: DelayFaultKind,
+}
+
+impl DelayFault {
+    /// Human-readable description, e.g. `"G11 StR"` or `"G8->G15[1] StF"`.
+    pub fn describe(self, circuit: &Circuit) -> String {
+        format!("{} {}", self.site.describe(circuit), self.kind)
+    }
+}
+
+/// Polarity of a single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StuckAtKind {
+    /// Stuck at logic 0.
+    StuckAt0,
+    /// Stuck at logic 1.
+    StuckAt1,
+}
+
+impl StuckAtKind {
+    /// Both polarities.
+    pub const ALL: [StuckAtKind; 2] = [StuckAtKind::StuckAt0, StuckAtKind::StuckAt1];
+
+    /// The stuck value as a Boolean.
+    pub fn value(self) -> bool {
+        matches!(self, StuckAtKind::StuckAt1)
+    }
+}
+
+impl fmt::Display for StuckAtKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckAtKind::StuckAt0 => f.write_str("sa0"),
+            StuckAtKind::StuckAt1 => f.write_str("sa1"),
+        }
+    }
+}
+
+/// A single stuck-at fault (for the SEMILET static-fault substrate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StuckFault {
+    /// Fault location.
+    pub site: FaultSite,
+    /// Stuck polarity.
+    pub kind: StuckAtKind,
+}
+
+impl StuckFault {
+    /// Human-readable description, e.g. `"G11 sa0"`.
+    pub fn describe(self, circuit: &Circuit) -> String {
+        format!("{} {}", self.site.describe(circuit), self.kind)
+    }
+}
+
+/// Options controlling fault-universe enumeration.
+///
+/// The paper tests *"each line"*; by default we enumerate every node output
+/// (including primary inputs and flip-flop outputs) and every fanout branch
+/// of multi-fanout stems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultUniverse {
+    /// Include primary-input stems as fault sites.
+    pub include_pi_stems: bool,
+    /// Include flip-flop output (PPI) stems as fault sites.
+    pub include_ppi_stems: bool,
+    /// Include fanout branches of multi-fanout stems.
+    pub include_branches: bool,
+}
+
+impl Default for FaultUniverse {
+    fn default() -> Self {
+        FaultUniverse {
+            include_pi_stems: true,
+            include_ppi_stems: true,
+            include_branches: true,
+        }
+    }
+}
+
+impl FaultUniverse {
+    /// The paper's universe (all lines: every stem and every branch).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Only gate-output stems (no PI/PPI stems, no branches) — a reduced
+    /// universe useful for quick smoke runs.
+    pub fn stems_only() -> Self {
+        FaultUniverse {
+            include_pi_stems: false,
+            include_ppi_stems: false,
+            include_branches: false,
+        }
+    }
+
+    /// Enumerates fault sites for `circuit` under these options.
+    pub fn sites(&self, circuit: &Circuit) -> Vec<FaultSite> {
+        let mut sites = Vec::new();
+        for (idx, node) in circuit.nodes().iter().enumerate() {
+            let id = NodeId(idx as u32);
+            let included = match node.kind() {
+                GateKind::Input => self.include_pi_stems,
+                GateKind::Dff => self.include_ppi_stems,
+                _ => true,
+            };
+            if !included {
+                continue;
+            }
+            sites.push(FaultSite::on_stem(id));
+            if self.include_branches && node.fanout().len() > 1 {
+                for &(sink, pin) in node.fanout() {
+                    sites.push(FaultSite::on_branch(id, sink, pin));
+                }
+            }
+        }
+        sites
+    }
+
+    /// Enumerates the delay-fault list: one StR and one StF per site.
+    pub fn delay_faults(&self, circuit: &Circuit) -> Vec<DelayFault> {
+        self.sites(circuit)
+            .into_iter()
+            .flat_map(|site| {
+                DelayFaultKind::ALL
+                    .into_iter()
+                    .map(move |kind| DelayFault { site, kind })
+            })
+            .collect()
+    }
+
+    /// Enumerates the single-stuck-at fault list: one sa0 and one sa1 per
+    /// site.
+    pub fn stuck_faults(&self, circuit: &Circuit) -> Vec<StuckFault> {
+        self.sites(circuit)
+            .into_iter()
+            .flat_map(|site| {
+                StuckAtKind::ALL
+                    .into_iter()
+                    .map(move |kind| StuckFault { site, kind })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+
+    fn toy() -> Circuit {
+        let mut b = CircuitBuilder::new("toy");
+        b.add_input("a");
+        b.add_input("b");
+        b.add_dff("q", "d");
+        b.add_gate("d", GateKind::Nand, &["a", "q"]);
+        b.add_gate("y", GateKind::Nor, &["b", "d"]);
+        b.mark_output("y");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn default_universe_counts() {
+        let c = toy();
+        let sites = FaultUniverse::default().sites(&c);
+        // Stems: a, b, q, d, y = 5. Branches: only `d` has 2 fanouts -> 2.
+        assert_eq!(sites.len(), 7);
+        assert_eq!(sites.iter().filter(|s| s.is_branch()).count(), 2);
+        assert_eq!(FaultUniverse::default().delay_faults(&c).len(), 14);
+        assert_eq!(FaultUniverse::default().stuck_faults(&c).len(), 14);
+    }
+
+    #[test]
+    fn stems_only_universe() {
+        let c = toy();
+        let sites = FaultUniverse::stems_only().sites(&c);
+        // Only gate stems d and y.
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().all(|s| !s.is_branch()));
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let c = toy();
+        let d = c.node_by_name("d").unwrap();
+        let y = c.node_by_name("y").unwrap();
+        let f = DelayFault {
+            site: FaultSite::on_branch(d, y, 1),
+            kind: DelayFaultKind::SlowToFall,
+        };
+        assert_eq!(f.describe(&c), "d->y[1] StF");
+        let s = StuckFault {
+            site: FaultSite::on_stem(d),
+            kind: StuckAtKind::StuckAt1,
+        };
+        assert_eq!(s.describe(&c), "d sa1");
+    }
+
+    #[test]
+    fn single_fanout_stems_have_no_branch_faults() {
+        let c = toy();
+        let a = c.node_by_name("a").unwrap();
+        let sites = FaultUniverse::default().sites(&c);
+        assert!(sites
+            .iter()
+            .all(|s| !(s.stem == a && s.is_branch())));
+    }
+}

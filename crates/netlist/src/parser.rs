@@ -1,0 +1,289 @@
+//! Reader for the ISCAS'89 `.bench` netlist format.
+//!
+//! The format is line oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G11 = NAND(G0, G10)
+//! ```
+//!
+//! There is no mature crate for this format, so the parser is written from
+//! scratch. It is tolerant of whitespace, blank lines, `#` comments and
+//! lower-case keywords, and reports precise line numbers on error.
+
+use crate::circuit::{BuildError, Circuit, CircuitBuilder};
+use crate::gate::GateKind;
+use std::fmt;
+
+/// Errors reported by [`parse_bench`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line could not be parsed at all.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what was expected.
+        message: String,
+    },
+    /// A gate keyword was not recognized.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized keyword.
+        keyword: String,
+    },
+    /// The netlist parsed but failed semantic validation.
+    Build(BuildError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseBenchError::UnknownGate { line, keyword } => {
+                write!(f, "line {line}: unknown gate keyword `{keyword}`")
+            }
+            ParseBenchError::Build(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseBenchError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ParseBenchError {
+    fn from(e: BuildError) -> Self {
+        ParseBenchError::Build(e)
+    }
+}
+
+/// Parses ISCAS'89 `.bench` text into a validated [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, unknown gate keywords, or
+/// semantic problems (undefined signals, cycles, bad arities).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), gdf_netlist::ParseBenchError> {
+/// let src = "
+///     INPUT(a)
+///     OUTPUT(y)
+///     q = DFF(d)
+///     d = NAND(a, q)
+///     y = NOT(d)
+/// ";
+/// let c = gdf_netlist::parse_bench("tiny", src)?;
+/// assert_eq!(c.num_gates(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
+    let mut builder = CircuitBuilder::new(name);
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = strip_decl(line, "INPUT") {
+            let signal = parse_single_arg(rest, line_no)?;
+            builder.add_input(signal);
+            continue;
+        }
+        if let Some(rest) = strip_decl(line, "OUTPUT") {
+            let signal = parse_single_arg(rest, line_no)?;
+            builder.mark_output(signal);
+            continue;
+        }
+
+        // `name = KIND(arg, arg, ...)`
+        let eq = line.find('=').ok_or_else(|| ParseBenchError::Syntax {
+            line: line_no,
+            message: format!("expected `signal = GATE(...)`, got `{line}`"),
+        })?;
+        let lhs = line[..eq].trim();
+        if lhs.is_empty() || !is_signal_name(lhs) {
+            return Err(ParseBenchError::Syntax {
+                line: line_no,
+                message: format!("invalid signal name `{lhs}`"),
+            });
+        }
+        let rhs = line[eq + 1..].trim();
+        let open = rhs.find('(').ok_or_else(|| ParseBenchError::Syntax {
+            line: line_no,
+            message: format!("expected `GATE(...)` after `=`, got `{rhs}`"),
+        })?;
+        if !rhs.ends_with(')') {
+            return Err(ParseBenchError::Syntax {
+                line: line_no,
+                message: "missing closing parenthesis".into(),
+            });
+        }
+        let keyword = rhs[..open].trim();
+        let kind = GateKind::from_bench_keyword(keyword).ok_or_else(|| {
+            ParseBenchError::UnknownGate {
+                line: line_no,
+                keyword: keyword.to_string(),
+            }
+        })?;
+        let args: Vec<&str> = rhs[open + 1..rhs.len() - 1]
+            .split(',')
+            .map(str::trim)
+            .collect();
+        if args.iter().any(|a| a.is_empty() || !is_signal_name(a)) {
+            return Err(ParseBenchError::Syntax {
+                line: line_no,
+                message: format!("invalid argument list in `{rhs}`"),
+            });
+        }
+        if kind == GateKind::Dff {
+            if args.len() != 1 {
+                return Err(ParseBenchError::Syntax {
+                    line: line_no,
+                    message: "DFF takes exactly one argument".into(),
+                });
+            }
+            builder.add_dff(lhs, args[0]);
+        } else {
+            builder.add_gate(lhs, kind, &args);
+        }
+    }
+    Ok(builder.build()?)
+}
+
+fn strip_decl<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let upper_len = keyword.len();
+    if line.len() > upper_len && line[..upper_len].eq_ignore_ascii_case(keyword) {
+        let rest = line[upper_len..].trim_start();
+        if rest.starts_with('(') {
+            return Some(rest);
+        }
+    }
+    None
+}
+
+fn parse_single_arg(rest: &str, line_no: usize) -> Result<&str, ParseBenchError> {
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .map(str::trim)
+        .ok_or_else(|| ParseBenchError::Syntax {
+            line: line_no,
+            message: "expected `(signal)`".into(),
+        })?;
+    if inner.is_empty() || !is_signal_name(inner) {
+        return Err(ParseBenchError::Syntax {
+            line: line_no,
+            message: format!("invalid signal name `{inner}`"),
+        });
+    }
+    Ok(inner)
+}
+
+fn is_signal_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '[' | ']' | '$'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "
+        # a tiny sequential circuit
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(y)
+        q = DFF(d)
+        d = NAND(a, q)
+        y = NOR(b, d)
+    ";
+
+    #[test]
+    fn parses_tiny() {
+        let c = parse_bench("tiny", TINY).unwrap();
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_dffs(), 1);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.node(c.node_by_name("d").unwrap()).kind(), GateKind::Nand);
+    }
+
+    #[test]
+    fn accepts_lower_case_and_buff_alias() {
+        let c = parse_bench(
+            "lc",
+            "input(x)\noutput(z)\nz = buff(x)\n",
+        )
+        .unwrap();
+        assert_eq!(c.node(c.node_by_name("z").unwrap()).kind(), GateKind::Buf);
+    }
+
+    #[test]
+    fn comment_after_statement() {
+        let c = parse_bench("c", "INPUT(a) # the input\nOUTPUT(a)\n").unwrap();
+        assert_eq!(c.num_inputs(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let err = parse_bench("bad", "INPUT(a)\nz = FROB(a)\nOUTPUT(z)").unwrap_err();
+        assert!(matches!(err, ParseBenchError::UnknownGate { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_equals() {
+        let err = parse_bench("bad", "z NAND(a, b)").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_paren() {
+        let err = parse_bench("bad", "INPUT(a)\nz = NOT(a").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_dff_with_two_args() {
+        let err = parse_bench("bad", "INPUT(a)\nINPUT(b)\nq = DFF(a, b)").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Syntax { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_undefined_signal_via_build() {
+        let err = parse_bench("bad", "INPUT(a)\nz = AND(a, ghost)\nOUTPUT(z)").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Build(_)));
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let err = parse_bench("bad", "???").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn signal_names_with_brackets() {
+        let c = parse_bench("v", "INPUT(data[0])\nOUTPUT(out$1)\nout$1 = NOT(data[0])").unwrap();
+        assert!(c.node_by_name("data[0]").is_some());
+    }
+}

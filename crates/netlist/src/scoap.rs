@@ -1,0 +1,279 @@
+//! SCOAP-style testability measures.
+//!
+//! Both test generators need an ordering heuristic when several fanins could
+//! justify an objective. We compute the classic Goldstein SCOAP measures on
+//! the combinational block, treating flip-flop outputs as inputs with an
+//! extra *sequential weight* so that justifying through state bits is
+//! considered more expensive than justifying through primary inputs — which
+//! matches the intuition (and the paper's experience) that state values must
+//! ultimately be produced by a synchronizing sequence.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::gate::GateKind;
+
+/// Per-net SCOAP measures.
+///
+/// `cc0\[n\]` / `cc1\[n\]` estimate the effort to set net `n` to 0 / 1;
+/// `co\[n\]` estimates the effort to observe net `n` at a PO or PPO.
+/// Smaller is easier.
+#[derive(Debug, Clone)]
+pub struct Testability {
+    /// 0-controllability per node.
+    pub cc0: Vec<u32>,
+    /// 1-controllability per node.
+    pub cc1: Vec<u32>,
+    /// Observability per node.
+    pub co: Vec<u32>,
+}
+
+/// Cost assigned to controlling a primary input.
+pub const PI_COST: u32 = 1;
+/// Extra cost assigned to controlling a flip-flop output (PPI), reflecting
+/// that a synchronizing sequence must establish it.
+pub const PPI_COST: u32 = 8;
+/// Saturation bound to keep measures finite on reconvergent circuits.
+const CAP: u32 = 1 << 24;
+
+impl Testability {
+    /// Computes SCOAP measures for `circuit`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gdf_netlist::{scoap::Testability, suite};
+    ///
+    /// let c = suite::s27();
+    /// let t = Testability::compute(&c);
+    /// let pi = c.inputs()[0];
+    /// assert!(t.cc0[pi.index()] <= t.cc0[c.dffs()[0].index()]);
+    /// ```
+    pub fn compute(circuit: &Circuit) -> Self {
+        let n = circuit.num_nodes();
+        let mut cc0 = vec![CAP; n];
+        let mut cc1 = vec![CAP; n];
+        for &pi in circuit.inputs() {
+            cc0[pi.index()] = PI_COST;
+            cc1[pi.index()] = PI_COST;
+        }
+        for &ff in circuit.dffs() {
+            cc0[ff.index()] = PPI_COST;
+            cc1[ff.index()] = PPI_COST;
+        }
+        for &gate in circuit.topo_order() {
+            let node = circuit.node(gate);
+            let fanin = node.fanin();
+            let (c0, c1) = gate_controllability(node.kind(), fanin, &cc0, &cc1);
+            cc0[gate.index()] = c0.min(CAP);
+            cc1[gate.index()] = c1.min(CAP);
+        }
+
+        let mut co = vec![CAP; n];
+        for (idx, node) in circuit.nodes().iter().enumerate() {
+            if node.is_output() {
+                co[idx] = 0;
+            }
+        }
+        for &ff in circuit.dffs() {
+            let d = circuit.ppo_of_dff(ff);
+            // Observing a PPO costs the sequential weight: the effect still
+            // has to be driven from the state bit to a real PO.
+            co[d.index()] = co[d.index()].min(PPI_COST);
+        }
+        for &gate in circuit.topo_order().iter().rev() {
+            let node = circuit.node(gate);
+            let out_co = co[gate.index()];
+            if out_co == CAP {
+                continue;
+            }
+            for (pin, &fi) in node.fanin().iter().enumerate() {
+                let side_cost: u32 = node
+                    .fanin()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(p, _)| p != pin)
+                    .map(|(_, &other)| match node.kind().noncontrolling_value() {
+                        Some(true) => cc1[other.index()],
+                        Some(false) => cc0[other.index()],
+                        // Parity/unate gates: to propagate, side inputs just
+                        // need *some* value; take the cheaper one.
+                        None => cc0[other.index()].min(cc1[other.index()]),
+                    })
+                    .fold(0u32, |a, b| a.saturating_add(b));
+                let through = out_co.saturating_add(side_cost).saturating_add(1);
+                if through < co[fi.index()] {
+                    co[fi.index()] = through;
+                }
+            }
+        }
+        Testability { cc0, cc1, co }
+    }
+
+    /// Effort to set node `id` to value `v`.
+    pub fn controllability(&self, id: NodeId, v: bool) -> u32 {
+        if v {
+            self.cc1[id.index()]
+        } else {
+            self.cc0[id.index()]
+        }
+    }
+
+    /// Among `candidates`, the one whose value-`v` controllability is
+    /// smallest (easiest to justify). Returns `None` on an empty slice.
+    pub fn easiest_to_control(&self, candidates: &[NodeId], v: bool) -> Option<NodeId> {
+        candidates
+            .iter()
+            .copied()
+            .min_by_key(|&id| self.controllability(id, v))
+    }
+
+    /// Among `candidates`, the one that is hardest to control to `v` —
+    /// classic heuristic for picking which input to backtrace first.
+    pub fn hardest_to_control(&self, candidates: &[NodeId], v: bool) -> Option<NodeId> {
+        candidates
+            .iter()
+            .copied()
+            .max_by_key(|&id| self.controllability(id, v))
+    }
+}
+
+fn gate_controllability(
+    kind: GateKind,
+    fanin: &[NodeId],
+    cc0: &[u32],
+    cc1: &[u32],
+) -> (u32, u32) {
+    let f0 = |id: NodeId| cc0[id.index()];
+    let f1 = |id: NodeId| cc1[id.index()];
+    let sum0: u32 = fanin.iter().map(|&f| f0(f)).fold(0, |a, b| a.saturating_add(b));
+    let sum1: u32 = fanin.iter().map(|&f| f1(f)).fold(0, |a, b| a.saturating_add(b));
+    let min0 = fanin.iter().map(|&f| f0(f)).min().unwrap_or(CAP);
+    let min1 = fanin.iter().map(|&f| f1(f)).min().unwrap_or(CAP);
+    match kind {
+        GateKind::Buf => (f0(fanin[0]).saturating_add(1), f1(fanin[0]).saturating_add(1)),
+        GateKind::Not => (f1(fanin[0]).saturating_add(1), f0(fanin[0]).saturating_add(1)),
+        GateKind::And => (min0.saturating_add(1), sum1.saturating_add(1)),
+        GateKind::Nand => (sum1.saturating_add(1), min0.saturating_add(1)),
+        GateKind::Or => (sum0.saturating_add(1), min1.saturating_add(1)),
+        GateKind::Nor => (min1.saturating_add(1), sum0.saturating_add(1)),
+        GateKind::Xor | GateKind::Xnor => {
+            // Cheapest even/odd-parity assignment; exact for 2 inputs, a
+            // reasonable bound for wider parity gates.
+            let even = xor_parity_cost(fanin, cc0, cc1, false);
+            let odd = xor_parity_cost(fanin, cc0, cc1, true);
+            if kind == GateKind::Xor {
+                (even.saturating_add(1), odd.saturating_add(1))
+            } else {
+                (odd.saturating_add(1), even.saturating_add(1))
+            }
+        }
+        GateKind::Input | GateKind::Dff => unreachable!("sources handled by caller"),
+    }
+}
+
+fn xor_parity_cost(fanin: &[NodeId], cc0: &[u32], cc1: &[u32], odd: bool) -> u32 {
+    // Greedy: start from the all-zeros assignment (even parity) and, if the
+    // required parity differs, flip the input with the cheapest delta.
+    let base: u32 = fanin
+        .iter()
+        .map(|&f| cc0[f.index()])
+        .fold(0, |a, b| a.saturating_add(b));
+    if !odd {
+        // Even parity: all zeros, or flip two inputs — all-zeros is a sound
+        // lower-cost proxy.
+        base
+    } else {
+        let best_delta = fanin
+            .iter()
+            .map(|&f| cc1[f.index()].saturating_sub(cc0[f.index()]).max(0))
+            .min()
+            .unwrap_or(0);
+        let cheapest_flip = fanin
+            .iter()
+            .map(|&f| {
+                base.saturating_sub(cc0[f.index()])
+                    .saturating_add(cc1[f.index()])
+            })
+            .min()
+            .unwrap_or(base);
+        cheapest_flip.max(base.saturating_add(best_delta).saturating_sub(base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+
+    fn chain() -> Circuit {
+        let mut b = CircuitBuilder::new("chain");
+        b.add_input("a");
+        b.add_input("b");
+        b.add_input("c");
+        b.add_gate("g1", GateKind::And, &["a", "b"]);
+        b.add_gate("g2", GateKind::And, &["g1", "c"]);
+        b.mark_output("g2");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn and_chain_controllability_grows() {
+        let c = chain();
+        let t = Testability::compute(&c);
+        let g1 = c.node_by_name("g1").unwrap();
+        let g2 = c.node_by_name("g2").unwrap();
+        // Setting an AND output to 1 needs all inputs at 1: cost grows with
+        // depth.
+        assert!(t.cc1[g2.index()] > t.cc1[g1.index()]);
+        // Setting an AND output to 0 needs only one input: stays cheap.
+        assert!(t.cc0[g2.index()] <= t.cc0[g1.index()] + 2);
+    }
+
+    #[test]
+    fn observability_decreases_toward_outputs() {
+        let c = chain();
+        let t = Testability::compute(&c);
+        let g2 = c.node_by_name("g2").unwrap();
+        let a = c.node_by_name("a").unwrap();
+        assert_eq!(t.co[g2.index()], 0);
+        assert!(t.co[a.index()] > 0);
+    }
+
+    #[test]
+    fn ppi_more_expensive_than_pi() {
+        let mut b = CircuitBuilder::new("seq");
+        b.add_input("a");
+        b.add_dff("q", "d");
+        b.add_gate("d", GateKind::And, &["a", "q"]);
+        b.mark_output("d");
+        let c = b.build().unwrap();
+        let t = Testability::compute(&c);
+        let a = c.node_by_name("a").unwrap();
+        let q = c.node_by_name("q").unwrap();
+        assert!(t.cc1[q.index()] > t.cc1[a.index()]);
+    }
+
+    #[test]
+    fn easiest_and_hardest_selectors() {
+        let c = chain();
+        let t = Testability::compute(&c);
+        let a = c.node_by_name("a").unwrap();
+        let g1 = c.node_by_name("g1").unwrap();
+        assert_eq!(t.easiest_to_control(&[a, g1], true), Some(a));
+        assert_eq!(t.hardest_to_control(&[a, g1], true), Some(g1));
+        assert_eq!(t.easiest_to_control(&[], true), None);
+    }
+
+    #[test]
+    fn xor_controllabilities_finite() {
+        let mut b = CircuitBuilder::new("x");
+        b.add_input("a");
+        b.add_input("b");
+        b.add_gate("z", GateKind::Xor, &["a", "b"]);
+        b.mark_output("z");
+        let c = b.build().unwrap();
+        let t = Testability::compute(&c);
+        let z = c.node_by_name("z").unwrap();
+        assert!(t.cc0[z.index()] < CAP);
+        assert!(t.cc1[z.index()] < CAP);
+    }
+}

@@ -1,0 +1,189 @@
+//! The benchmark suite used by the Table 3 reproduction.
+//!
+//! `s27` is the exact ISCAS'89 netlist (it is printed in full in the
+//! benchmark literature and is small enough to verify by hand). The
+//! remaining Table 3 circuits are *synthetic profile-matched* stand-ins
+//! produced by [`crate::generator`]; see `DESIGN.md` §5 for the
+//! substitution rationale. Each synthetic circuit carries the suffix
+//! `_syn` to make the substitution impossible to miss in any output.
+
+use crate::circuit::Circuit;
+use crate::generator::{generate, CircuitProfile};
+use crate::parser::parse_bench;
+
+/// The exact ISCAS'89 `s27` netlist: 4 PIs, 1 PO, 3 DFFs, 10 gates.
+///
+/// # Example
+///
+/// ```
+/// let c = gdf_netlist::suite::s27();
+/// assert_eq!(c.stats().num_gates, 10);
+/// ```
+pub fn s27() -> Circuit {
+    const SRC: &str = "
+        # s27 — ISCAS'89 sequential benchmark (exact netlist)
+        INPUT(G0)
+        INPUT(G1)
+        INPUT(G2)
+        INPUT(G3)
+        OUTPUT(G17)
+        G5 = DFF(G10)
+        G6 = DFF(G11)
+        G7 = DFF(G13)
+        G14 = NOT(G0)
+        G17 = NOT(G11)
+        G8 = AND(G14, G6)
+        G15 = OR(G12, G8)
+        G16 = OR(G3, G8)
+        G9 = NAND(G16, G15)
+        G10 = NOR(G14, G11)
+        G11 = NOR(G5, G9)
+        G12 = NOR(G1, G7)
+        G13 = NOR(G2, G12)
+    ";
+    parse_bench("s27", SRC).expect("embedded s27 netlist is valid")
+}
+
+/// Published profile of one Table 3 circuit:
+/// `(name, pi, po, dff, gates, seed salt)`.
+///
+/// Counts follow the standard ISCAS'89 statistics tables; where
+/// distributions disagree by a gate or two we use the most commonly cited
+/// values. The paper's Table 3 rows appear in this order.
+///
+/// The *salt* disambiguates the per-circuit generation seed: a handful of
+/// profiles draw a degenerate random instance (logic that is largely
+/// robustly untestable) under salt 0, so a fixed salt was chosen once to
+/// get a structurally typical instance; see `DESIGN.md` §5. All salts are
+/// hard-coded — the suite is fully deterministic.
+pub const TABLE3_PROFILES: &[(&str, usize, usize, usize, usize, u64)] = &[
+    ("s27", 4, 1, 3, 10, 0),
+    ("s208", 10, 1, 8, 96, 2),
+    ("s298", 3, 6, 14, 119, 0),
+    ("s344", 9, 11, 15, 160, 0),
+    ("s349", 9, 11, 15, 161, 0),
+    ("s386", 7, 7, 6, 159, 0),
+    ("s420", 18, 1, 16, 218, 1),
+    ("s641", 35, 24, 19, 379, 0),
+    ("s713", 35, 23, 19, 393, 0),
+    ("s838", 34, 1, 32, 446, 0),
+    ("s1196", 14, 14, 18, 529, 0),
+    ("s1238", 14, 14, 18, 508, 0),
+];
+
+/// Paper's Table 3 reference numbers for side-by-side reporting:
+/// `(name, tested, untestable, aborted, patterns, seconds_on_sparc10)`.
+pub const TABLE3_PAPER_RESULTS: &[(&str, u32, u32, u32, u32, u32)] = &[
+    ("s27", 39, 11, 13, 40, 0),
+    ("s208", 112, 242, 13, 16, 90),
+    ("s298", 164, 260, 163, 110, 452),
+    ("s344", 313, 199, 1148, 100, 403),
+    ("s349", 312, 211, 494, 101, 394),
+    ("s386", 332, 335, 500, 77, 80),
+    ("s420", 124, 584, 390, 32, 169),
+    ("s641", 807, 136, 166, 211, 310),
+    ("s713", 427, 395, 560, 432, 795),
+    ("s838", 113, 1277, 292, 84, 522),
+    ("s1196", 2114, 69, 152, 1533, 243),
+    ("s1238", 2181, 136, 1533, 1524, 301),
+];
+
+/// Fixed generation seed so the synthetic suite is identical across runs
+/// and machines.
+pub const SUITE_SEED: u64 = 0x1995_0308; // DATE'95, paper starts at p. 308
+
+/// Returns the benchmark circuit for a Table 3 row: the exact `s27`, or the
+/// synthetic profile-matched stand-in `<name>_syn` otherwise. Returns
+/// `None` for names not in [`TABLE3_PROFILES`].
+pub fn table3_circuit(name: &str) -> Option<Circuit> {
+    let &(n, pi, po, dff, gates, salt) = TABLE3_PROFILES.iter().find(|&&(n, ..)| n == name)?;
+    if n == "s27" {
+        return Some(s27());
+    }
+    let profile = CircuitProfile::new(
+        format!("{n}_syn"),
+        pi,
+        po,
+        dff,
+        gates,
+        SUITE_SEED ^ fxhash(n) ^ salt,
+    );
+    Some(generate(&profile))
+}
+
+/// All Table 3 circuits in paper order.
+pub fn table3_suite() -> Vec<Circuit> {
+    TABLE3_PROFILES
+        .iter()
+        .map(|&(name, ..)| table3_circuit(name).expect("profile exists"))
+        .collect()
+}
+
+/// Tiny deterministic string hash (FNV-1a) used to derive per-circuit seeds.
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_matches_published_structure() {
+        let c = s27();
+        let s = c.stats();
+        assert_eq!(s.num_inputs, 4);
+        assert_eq!(s.num_outputs, 1);
+        assert_eq!(s.num_dffs, 3);
+        assert_eq!(s.num_gates, 10);
+        // Famous structural facts about s27:
+        let g11 = c.node_by_name("G11").unwrap();
+        assert!(c.node(g11).fanout().len() >= 2, "G11 is a fanout stem");
+        let g17 = c.node_by_name("G17").unwrap();
+        assert!(c.node(g17).is_output());
+    }
+
+    #[test]
+    fn table3_profiles_all_generate() {
+        for &(name, pi, _po, dff, gates, _salt) in TABLE3_PROFILES {
+            let c = table3_circuit(name).unwrap();
+            assert_eq!(c.num_inputs(), pi, "{name}");
+            assert_eq!(c.num_dffs(), dff, "{name}");
+            assert_eq!(c.num_gates(), gates, "{name}");
+        }
+    }
+
+    #[test]
+    fn synthetic_circuits_are_marked() {
+        let c = table3_circuit("s298").unwrap();
+        assert_eq!(c.name(), "s298_syn");
+        assert_eq!(table3_circuit("s27").unwrap().name(), "s27");
+    }
+
+    #[test]
+    fn unknown_circuit_is_none() {
+        assert!(table3_circuit("s9234").is_none());
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = table3_circuit("s641").unwrap();
+        let b = table3_circuit("s641").unwrap();
+        assert_eq!(crate::writer::to_bench(&a), crate::writer::to_bench(&b));
+    }
+
+    #[test]
+    fn paper_results_cover_all_profiles() {
+        for &(name, ..) in TABLE3_PROFILES {
+            assert!(
+                TABLE3_PAPER_RESULTS.iter().any(|&(n, ..)| n == name),
+                "missing paper row for {name}"
+            );
+        }
+    }
+}

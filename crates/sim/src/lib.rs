@@ -1,0 +1,31 @@
+//! Simulation substrate: good-machine logic simulation, the FAUSIM
+//! sequential fault simulator and the TDsim robust delay-fault simulator.
+//!
+//! Section 5 of the paper splits fault simulation into three phases, which
+//! map onto this crate as follows:
+//!
+//! 1. *"Simulation of the good machine for all time frames of the
+//!    initialization and for the fast clock frame"* — [`goodsim`], a
+//!    3-valued sequential simulator (plus a 64-bit parallel-pattern variant
+//!    used for fault grading and benches).
+//! 2. *"Stuck-at fault simulation of the propagation phase for all PPOs
+//!    where possibly fault effects can occur"* — [`fausim`], which injects a
+//!    `D`/`D̄` state difference at a pseudo primary input and propagates it
+//!    through fault-free (slow-clock) frames; it also provides full
+//!    sequential single-stuck-at simulation for the SEMILET substrate.
+//! 3. *"Delay fault simulation of the fast time frame by critical path
+//!    tracing"* — [`tdsim`], working on the two-frame 8-valued waveform
+//!    produced by [`waveform`], including the paper's *invalidation* check
+//!    for faults observed through a PPO.
+
+pub mod event;
+pub mod fausim;
+pub mod goodsim;
+pub mod tdsim;
+pub mod waveform;
+
+pub use event::EventSimulator;
+pub use fausim::{Fausim, PropagationOutcome};
+pub use goodsim::{GoodSimulator, ParallelSimulator};
+pub use tdsim::{detected_delay_faults, DelayObservation};
+pub use waveform::two_frame_values;

@@ -1,0 +1,1026 @@
+//! The complete branch-and-bound search of TDgen.
+//!
+//! Decision variables are primary-input values (each PI takes one of
+//! `{0, 1, R, F}`) and pseudo-primary-input *initial* bits; everything else
+//! follows by implication. Objectives (fault-effect propagation through the
+//! D-frontier) are backtraced through the implication tables to a decision,
+//! guided by SCOAP testability measures.
+//!
+//! Two value networks cooperate:
+//!
+//! * the **implication network** ([`ImplicationNet`]) holds arc-consistent
+//!   sets under all constraints (including the excitation requirement at
+//!   the fault site) — it provides conflict detection, pruning and
+//!   objective guidance;
+//! * a **forward functional check** recomputes value sets purely forward
+//!   from the *decided* inputs (undecided inputs keep their full domains).
+//!   Only this check declares success: if the forward image of an
+//!   observation point is entirely fault-carrying, then *every* completion
+//!   of the remaining don't-cares detects the fault — which is what the
+//!   emitted test with `X` positions promises.
+//!
+//! Completeness comes from the decision tree covering the full PI/PPI
+//! space; objectives are heuristics only. The paper's backtrack-limit
+//! abort (default 100) sits on top.
+
+use crate::network::{FaultModel, ImplicationNet, Implied};
+use crate::result::{LocalObservation, LocalTest, PpoValue};
+use gdf_algebra::delay::{DelaySet, DelayValue};
+use gdf_algebra::logic3::{eval_gate3, Logic3};
+use gdf_netlist::scoap::Testability;
+use gdf_netlist::{Circuit, DelayFault, GateKind, NodeId};
+
+/// Configuration of the local test generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TdGenConfig {
+    /// Abort the fault after this many backtracks (paper: 100).
+    pub backtrack_limit: u32,
+    /// Robust (paper default) or non-robust fault model.
+    pub model: FaultModel,
+}
+
+impl Default for TdGenConfig {
+    fn default() -> Self {
+        TdGenConfig {
+            backtrack_limit: 100,
+            model: FaultModel::Robust,
+        }
+    }
+}
+
+/// Result of local test generation for one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TdGenOutcome {
+    /// A (possibly partially specified) two-pattern test was found.
+    Test(LocalTest),
+    /// The complete search space was exhausted: no robust local test
+    /// exists under the model in force.
+    Untestable,
+    /// The backtrack limit was hit before the search finished.
+    Aborted,
+}
+
+impl TdGenOutcome {
+    /// Convenience accessor for the successful case.
+    pub fn test(&self) -> Option<&LocalTest> {
+        match self {
+            TdGenOutcome::Test(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// The TDgen local test generator for one circuit.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug)]
+pub struct TdGen<'c> {
+    circuit: &'c Circuit,
+    config: TdGenConfig,
+    testability: Testability,
+}
+
+#[derive(Debug)]
+struct Decision {
+    node: NodeId,
+    /// The restriction currently applied.
+    applied: DelaySet,
+    /// Remaining alternative restrictions, tried back-to-front.
+    alts: Vec<DelaySet>,
+    trail_mark: usize,
+}
+
+/// Forward functional image: one set per node, plus the observation found.
+struct ForwardImage {
+    f: Vec<DelaySet>,
+}
+
+impl<'c> TdGen<'c> {
+    /// Creates a generator with the default configuration.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Self::with_config(circuit, TdGenConfig::default())
+    }
+
+    /// Creates a generator with an explicit configuration.
+    pub fn with_config(circuit: &'c Circuit, config: TdGenConfig) -> Self {
+        TdGen {
+            circuit,
+            config,
+            testability: Testability::compute(circuit),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> TdGenConfig {
+        self.config
+    }
+
+    /// Generates a local two-pattern test for `fault`.
+    pub fn generate(&self, fault: DelayFault) -> TdGenOutcome {
+        self.generate_with_constraints(fault, &[])
+    }
+
+    /// Like [`TdGen::generate`], with extra per-net set constraints applied
+    /// before the search. The driver uses this for two of Figure 4's
+    /// feedback edges: *propagation justification* (forcing additional
+    /// PPOs to steady, specifiable values) and inter-phase backtracking
+    /// (banning an observation PPO whose sequential propagation failed).
+    ///
+    /// An outcome of `Untestable` under non-empty constraints only proves
+    /// untestability *under those constraints*.
+    pub fn generate_with_constraints(
+        &self,
+        fault: DelayFault,
+        constraints: &[(NodeId, DelaySet)],
+    ) -> TdGenOutcome {
+        let mut net = ImplicationNet::new(self.circuit, fault, self.config.model);
+        for &(node, set) in constraints {
+            if !net.assign(node, set) {
+                return TdGenOutcome::Untestable;
+            }
+        }
+        // Any test must provoke the fault: pin the site to the provoking
+        // transition up front (completeness is unaffected — every test has
+        // this value at the site).
+        let t = net.provoking_value();
+        if !net.assign(fault.site.stem, DelaySet::singleton(t)) {
+            return TdGenOutcome::Untestable;
+        }
+        let mut stack: Vec<Decision> = Vec::new();
+        let mut backtracks: u32 = 0;
+
+        loop {
+            let consistent = net.propagate() == Implied::Consistent;
+            if consistent {
+                let restr: Vec<(NodeId, DelaySet)> =
+                    stack.iter().map(|d| (d.node, d.applied)).collect();
+                let image = self.forward_image(&net, &restr);
+                if self.forward_success(&net, &image).is_some() {
+                    // Drop every state-bit decision the observation does
+                    // not actually need: each kept one becomes a burden on
+                    // the initialization phase.
+                    let (restr, image) = self.minimize_state_decisions(&net, restr);
+                    let obs = self
+                        .forward_success(&net, &image)
+                        .expect("minimization preserves success");
+                    return TdGenOutcome::Test(
+                        self.extract(&net, &restr, &image, obs, backtracks),
+                    );
+                }
+                if self.may_reach_observable(&net)
+                    && self.pick_decision(&mut net, &mut stack).is_some()
+                {
+                    continue;
+                }
+            }
+            // Backtrack.
+            backtracks += 1;
+            if backtracks > self.config.backtrack_limit {
+                return TdGenOutcome::Aborted;
+            }
+            let mut retried = false;
+            while let Some(mut d) = stack.pop() {
+                net.rollback(d.trail_mark);
+                if let Some(alt) = d.alts.pop() {
+                    let _ = net.assign(d.node, alt);
+                    d.applied = alt;
+                    stack.push(d);
+                    retried = true;
+                    break;
+                }
+            }
+            if !retried {
+                return TdGenOutcome::Untestable;
+            }
+        }
+    }
+
+    /// The leaf domain of a decision variable: its natural domain
+    /// intersected with every restriction the decision stack applies.
+    fn leaf_set(&self, node: NodeId, stack: &[Decision]) -> DelaySet {
+        let mut s = DelaySet::HAZARD_FREE;
+        for d in stack {
+            if d.node == node {
+                s = s.intersect(d.applied);
+            }
+        }
+        s
+    }
+
+    /// Same, over a plain restriction list.
+    fn leaf_set_r(&self, node: NodeId, restr: &[(NodeId, DelaySet)]) -> DelaySet {
+        let mut s = DelaySet::HAZARD_FREE;
+        for &(n, r) in restr {
+            if n == node {
+                s = s.intersect(r);
+            }
+        }
+        s
+    }
+
+    /// Computes the forward functional image from the decided leaves:
+    /// undecided PIs keep their full 4-value domain, PPI finals follow the
+    /// functionally determined PPO initial bits, and the fault site
+    /// converts on its faulted edges. Correlation between reconvergent
+    /// signals is lost in the set domain, so the image over-approximates —
+    /// which makes the success check conservative (sound).
+    fn forward_image(&self, net: &ImplicationNet<'_>, restr: &[(NodeId, DelaySet)]) -> ForwardImage {
+        let circuit = self.circuit;
+        let n = circuit.num_nodes();
+
+        // Pass 1: 3-valued initial-frame values (functional in leaf inits).
+        let mut init3 = vec![Logic3::X; n];
+        for &pi in circuit.inputs() {
+            init3[pi.index()] = component3(self.leaf_set_r(pi, restr), DelayValue::initial);
+        }
+        for &ff in circuit.dffs() {
+            init3[ff.index()] = component3(self.leaf_set_r(ff, restr), DelayValue::initial);
+        }
+        for &g in circuit.topo_order() {
+            let node = circuit.node(g);
+            let ins: Vec<Logic3> = node.fanin().iter().map(|&f| init3[f.index()]).collect();
+            init3[g.index()] = eval_gate3(node.kind(), &ins);
+        }
+
+        // Pass 2: 8-valued forward sets with the site conversion.
+        let mut f = vec![DelaySet::EMPTY; n];
+        for &pi in circuit.inputs() {
+            f[pi.index()] = self.leaf_set_r(pi, restr);
+        }
+        for &ff in circuit.dffs() {
+            let mut leaf = self.leaf_set_r(ff, restr);
+            // Register coupling, forward direction only: the PPI's final
+            // value is the PPO's (functionally determined) initial value.
+            if let Some(b) = init3[circuit.ppo_of_dff(ff).index()].to_bool() {
+                leaf = leaf.iter().filter(|v| v.final_value() == b).collect();
+            }
+            f[ff.index()] = leaf;
+        }
+        let fault = net.fault();
+        for &g in circuit.topo_order() {
+            let node = circuit.node(g);
+            let ins: Vec<DelaySet> = node
+                .fanin()
+                .iter()
+                .enumerate()
+                .map(|(pin, &src)| {
+                    let s = f[src.index()];
+                    let converted = match fault.site.branch {
+                        None => src == fault.site.stem,
+                        Some((sink, fpin)) => {
+                            src == fault.site.stem && sink == g && fpin == pin as u8
+                        }
+                    };
+                    if converted {
+                        net.convert(s)
+                    } else {
+                        s
+                    }
+                })
+                .collect();
+            f[g.index()] = net.eval_scratch(node.kind(), &ins);
+        }
+        ForwardImage { f }
+    }
+
+    /// Observed set at a PO in the forward image.
+    fn forward_po_set(&self, net: &ImplicationNet<'_>, image: &ForwardImage, po: NodeId) -> DelaySet {
+        let fault = net.fault();
+        let s = image.f[po.index()];
+        if fault.site.stem == po && fault.site.branch.is_none() {
+            net.convert(s)
+        } else {
+            s
+        }
+    }
+
+    /// Observed set at a PPO (flip-flop D input) in the forward image.
+    fn forward_ppo_set(
+        &self,
+        net: &ImplicationNet<'_>,
+        image: &ForwardImage,
+        dff_index: usize,
+    ) -> DelaySet {
+        let fault = net.fault();
+        let dff = self.circuit.dffs()[dff_index];
+        let d = self.circuit.ppo_of_dff(dff);
+        let s = image.f[d.index()];
+        let converted = match fault.site.branch {
+            None => d == fault.site.stem,
+            Some((sink, pin)) => d == fault.site.stem && sink == dff && pin == 0,
+        };
+        if converted {
+            net.convert(s)
+        } else {
+            s
+        }
+    }
+
+    /// Declares success only from the forward image (PO first, then PPO).
+    fn forward_success(
+        &self,
+        net: &ImplicationNet<'_>,
+        image: &ForwardImage,
+    ) -> Option<LocalObservation> {
+        for &po in self.circuit.outputs() {
+            let s = self.forward_po_set(net, image, po);
+            if !s.is_empty() && s.must_carry_fault() {
+                return Some(LocalObservation::AtPo(po));
+            }
+        }
+        for i in 0..self.circuit.num_dffs() {
+            match self.forward_ppo_set(net, image, i).as_singleton() {
+                Some(DelayValue::Rc) => {
+                    return Some(LocalObservation::AtPpo {
+                        dff: i,
+                        good_one: true,
+                    })
+                }
+                Some(DelayValue::Fc) => {
+                    return Some(LocalObservation::AtPpo {
+                        dff: i,
+                        good_one: false,
+                    })
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Greedily removes decisions on flip-flop initial bits whose loss
+    /// does not break the (forward-checked) observation. Returns the
+    /// surviving restrictions and their forward image.
+    fn minimize_state_decisions(
+        &self,
+        net: &ImplicationNet<'_>,
+        mut restr: Vec<(NodeId, DelaySet)>,
+    ) -> (Vec<(NodeId, DelaySet)>, ForwardImage) {
+        let mut idx = restr.len();
+        while idx > 0 {
+            idx -= 1;
+            let (node, _) = restr[idx];
+            if self.circuit.node(node).kind() != GateKind::Dff {
+                continue;
+            }
+            let mut trial = restr.clone();
+            trial.remove(idx);
+            let image = self.forward_image(net, &trial);
+            if self.forward_success(net, &image).is_some() {
+                restr = trial;
+            }
+        }
+        let image = self.forward_image(net, &restr);
+        (restr, image)
+    }
+
+    /// The X-path check on the arc-consistent network: every genuine test
+    /// in this subtree satisfies all constraints, so if no observation
+    /// point may carry, the subtree is dead.
+    fn may_reach_observable(&self, net: &ImplicationNet<'_>) -> bool {
+        self.circuit
+            .outputs()
+            .iter()
+            .any(|&po| net.po_observed_set(po).may_carry_fault())
+            || (0..self.circuit.num_dffs())
+                .any(|i| net.ppo_observed_set(i).may_carry_fault())
+    }
+
+    /// Picks an objective, backtraces it to a decision variable, applies
+    /// the first alternative and pushes the decision. Returns `None` when
+    /// no decision variable remains.
+    fn pick_decision(
+        &self,
+        net: &mut ImplicationNet<'c>,
+        stack: &mut Vec<Decision>,
+    ) -> Option<()> {
+        let objective = self.pick_objective(net);
+        let decision = objective
+            .and_then(|(node, desired)| self.backtrace(net, node, desired, stack))
+            .or_else(|| self.fallback_variable(net, stack));
+        let (node, mut alts) = decision?;
+        debug_assert!(!alts.is_empty());
+        let trail_mark = net.checkpoint();
+        let first = alts.pop().expect("non-empty alternatives");
+        let _ = net.assign(node, first);
+        stack.push(Decision {
+            node,
+            applied: first,
+            alts,
+            trail_mark,
+        });
+        Some(())
+    }
+
+    /// The D-frontier objective: the unresolved fault-effect gate closest
+    /// to an output, or a not-yet-singleton observation point.
+    fn pick_objective(&self, net: &ImplicationNet<'_>) -> Option<(NodeId, DelaySet)> {
+        let mut best: Option<(u32, NodeId, DelaySet)> = None;
+        for &g in self.circuit.topo_order() {
+            let out = net.set(g);
+            if out.must_carry_fault() || !out.may_carry_fault() {
+                continue;
+            }
+            let arity = self.circuit.node(g).fanin().len();
+            let has_carrying_input =
+                (0..arity).any(|p| net.edge_set(g, p).must_carry_fault());
+            if !has_carrying_input {
+                continue;
+            }
+            let cost = self.testability.co[g.index()];
+            let desired = out.intersect(DelaySet::CARRYING);
+            if desired.is_empty() {
+                continue;
+            }
+            if best.as_ref().map_or(true, |&(c, _, _)| cost < c) {
+                best = Some((cost, g, desired));
+            }
+        }
+        if let Some((_, g, desired)) = best {
+            return Some((g, desired));
+        }
+        // No frontier gate: try to force a still-ambiguous observation
+        // point toward a carrying value.
+        for &po in self.circuit.outputs() {
+            let s = net.po_observed_set(po);
+            if s.may_carry_fault() && !s.must_carry_fault() {
+                let desired =
+                    net.unconvert_within(s.intersect(DelaySet::CARRYING), net.set(po));
+                if !desired.is_empty() {
+                    return Some((po, desired));
+                }
+            }
+        }
+        for i in 0..self.circuit.num_dffs() {
+            let s = net.ppo_observed_set(i);
+            if s.may_carry_fault() && s.as_singleton().is_none() {
+                let d = self.circuit.ppo_of_dff(self.circuit.dffs()[i]);
+                let carrying = s.intersect(DelaySet::CARRYING);
+                let pick = carrying.iter().next().expect("may_carry");
+                let desired = net.unconvert_within(DelaySet::singleton(pick), net.set(d));
+                if !desired.is_empty() {
+                    return Some((d, desired));
+                }
+            }
+        }
+        None
+    }
+
+    /// Maps an objective `(node, desired ⊆ set(node))` to a decision on a
+    /// PI or a PPI initial bit.
+    fn backtrace(
+        &self,
+        net: &ImplicationNet<'_>,
+        mut node: NodeId,
+        mut desired: DelaySet,
+        stack: &[Decision],
+    ) -> Option<(NodeId, Vec<DelaySet>)> {
+        let limit = 4 * self.circuit.num_nodes() + 16;
+        for _ in 0..limit {
+            desired = desired.intersect(net.set(node));
+            if desired.is_empty() {
+                return None;
+            }
+            let kind = self.circuit.node(node).kind();
+            match kind {
+                GateKind::Input => return self.pi_decision(net, node, desired, stack),
+                GateKind::Dff => {
+                    let leaf = self.leaf_set(node, stack);
+                    let want_init: Vec<bool> = dedup_bools(desired.iter().map(|v| v.initial()));
+                    let have_init: Vec<bool> = dedup_bools(leaf.iter().map(|v| v.initial()));
+                    if want_init.len() == 1 && have_init.len() == 2 {
+                        return self.ppi_decision(node, want_init[0], leaf);
+                    }
+                    // Redirect the final-value requirement through the
+                    // register to the PPO's initial value.
+                    let finals: Vec<bool> =
+                        dedup_bools(desired.iter().map(|v| v.final_value()));
+                    let d = self.circuit.ppo_of_dff(node);
+                    let d_set = net.set(d);
+                    let redirected: DelaySet = d_set
+                        .iter()
+                        .filter(|u| finals.contains(&u.initial()))
+                        .collect();
+                    if redirected.is_empty() || redirected == d_set {
+                        return None;
+                    }
+                    node = d;
+                    desired = redirected;
+                }
+                _ => {
+                    let arity = self.circuit.node(node).fanin().len();
+                    let orig: Vec<DelaySet> =
+                        (0..arity).map(|p| net.edge_set(node, p)).collect();
+                    let mut ins = orig.clone();
+                    let mut out = desired;
+                    net.narrow_scratch(kind, &mut out, &mut ins);
+                    // Required inputs: those the desired output actually
+                    // constrains. Pursue the hardest one (classic FAN
+                    // heuristic).
+                    let required: Vec<usize> = (0..arity)
+                        .filter(|&p| ins[p] != orig[p] && !ins[p].is_empty())
+                        .collect();
+                    let mut advanced = false;
+                    if let Some(&p) = required.iter().max_by_key(|&&p| self.edge_cost(node, p)) {
+                        let stem = self.circuit.node(node).fanin()[p];
+                        let pre = self.to_pre_conversion(net, node, p, ins[p]);
+                        if !pre.is_empty() && pre != net.set(stem) {
+                            node = stem;
+                            desired = pre;
+                            advanced = true;
+                        }
+                    }
+                    if advanced {
+                        continue;
+                    }
+                    // Disjunctive case: no single input is forced. Pick the
+                    // easiest-to-control undetermined input and choose a
+                    // value for it that keeps the desired output possible.
+                    let candidates: Vec<usize> =
+                        (0..arity).filter(|&p| orig[p].len() > 1).collect();
+                    let &p = candidates.iter().min_by_key(|&&p| self.edge_cost(node, p))?;
+                    let chosen = self.choose_helping_value(net, kind, &orig, p, desired)?;
+                    let stem = self.circuit.node(node).fanin()[p];
+                    let pre =
+                        self.to_pre_conversion(net, node, p, DelaySet::singleton(chosen));
+                    if pre.is_empty() {
+                        return None;
+                    }
+                    node = stem;
+                    desired = pre;
+                }
+            }
+        }
+        None
+    }
+
+    /// Maps an edge-view (post-conversion) requirement back to the stem's
+    /// pre-conversion domain.
+    fn to_pre_conversion(
+        &self,
+        net: &ImplicationNet<'_>,
+        sink: NodeId,
+        pin: usize,
+        edge_desired: DelaySet,
+    ) -> DelaySet {
+        let stem = self.circuit.node(sink).fanin()[pin];
+        let stem_set = net.set(stem);
+        if net.edge_set(sink, pin) == stem_set {
+            // Unconverted edge.
+            edge_desired.intersect(stem_set)
+        } else {
+            net.unconvert_within(edge_desired, stem_set)
+        }
+    }
+
+    /// SCOAP-ish priority of an input edge (used to order backtracing).
+    fn edge_cost(&self, sink: NodeId, pin: usize) -> u32 {
+        let stem = self.circuit.node(sink).fanin()[pin];
+        self.testability.cc0[stem.index()].min(self.testability.cc1[stem.index()])
+    }
+
+    /// Picks a value for input `p` that keeps `desired` producible —
+    /// preferring steady clean values (cheap to justify, robust-friendly).
+    fn choose_helping_value(
+        &self,
+        net: &ImplicationNet<'_>,
+        kind: GateKind,
+        orig: &[DelaySet],
+        p: usize,
+        desired: DelaySet,
+    ) -> Option<DelayValue> {
+        const PREFERENCE: [DelayValue; 8] = [
+            DelayValue::S1,
+            DelayValue::S0,
+            DelayValue::R,
+            DelayValue::F,
+            DelayValue::H1,
+            DelayValue::H0,
+            DelayValue::Rc,
+            DelayValue::Fc,
+        ];
+        let mut fallback = None;
+        for v in PREFERENCE {
+            if !orig[p].contains(v) {
+                continue;
+            }
+            let mut pinned = orig.to_vec();
+            pinned[p] = DelaySet::singleton(v);
+            let image = net.eval_scratch(kind, &pinned);
+            if image.intersect(desired).is_empty() {
+                continue;
+            }
+            if image.intersect(desired) == image {
+                return Some(v); // forces the objective
+            }
+            if fallback.is_none() {
+                fallback = Some(v);
+            }
+        }
+        fallback
+    }
+
+    /// Decision alternatives for a PI: the desired values first, then the
+    /// rest of the *leaf* domain (full coverage keeps the search
+    /// complete). Alternatives are tried back-to-front.
+    fn pi_decision(
+        &self,
+        net: &ImplicationNet<'_>,
+        node: NodeId,
+        desired: DelaySet,
+        stack: &[Decision],
+    ) -> Option<(NodeId, Vec<DelaySet>)> {
+        let leaf = self.leaf_set(node, stack);
+        if leaf.len() <= 1 {
+            return None;
+        }
+        let arc = net.set(node);
+        // Order (tried back-to-front): leaf-only values, then arc values,
+        // then desired values last (tried first).
+        let mut ordered: Vec<DelaySet> = Vec::new();
+        let bucket = |v: DelayValue| -> u8 {
+            if desired.contains(v) {
+                2
+            } else if arc.contains(v) {
+                1
+            } else {
+                0
+            }
+        };
+        for rank in 0..=2u8 {
+            for v in leaf.iter() {
+                if bucket(v) == rank {
+                    ordered.push(DelaySet::singleton(v));
+                }
+            }
+        }
+        Some((node, ordered))
+    }
+
+    /// Decision alternatives for a PPI initial bit.
+    fn ppi_decision(
+        &self,
+        node: NodeId,
+        want: bool,
+        leaf: DelaySet,
+    ) -> Option<(NodeId, Vec<DelaySet>)> {
+        let restrict =
+            |b: bool| -> DelaySet { leaf.iter().filter(|v| v.initial() == b).collect() };
+        let with = restrict(want);
+        let without = restrict(!want);
+        if with.is_empty() || without.is_empty() {
+            return None; // init already determined
+        }
+        Some((node, vec![without, with])) // tried back-to-front: `with` first
+    }
+
+    /// Last-resort decision: prefer variables the implication network has
+    /// already constrained (they matter for the pending objective), then
+    /// any open variable.
+    fn fallback_variable(
+        &self,
+        net: &ImplicationNet<'_>,
+        stack: &[Decision],
+    ) -> Option<(NodeId, Vec<DelaySet>)> {
+        let mut open: Vec<(bool, NodeId)> = Vec::new();
+        for &pi in self.circuit.inputs() {
+            let leaf = self.leaf_set(pi, stack);
+            if leaf.len() > 1 {
+                let constrained = net.set(pi).len() < leaf.len();
+                open.push((constrained, pi));
+            }
+        }
+        for &ff in self.circuit.dffs() {
+            let leaf = self.leaf_set(ff, stack);
+            let inits = dedup_bools(leaf.iter().map(|v| v.initial()));
+            if inits.len() == 2 {
+                let arc_inits = dedup_bools(net.set(ff).iter().map(|v| v.initial()));
+                open.push((arc_inits.len() < 2, ff));
+            }
+        }
+        open.sort_by_key(|&(constrained, _)| !constrained);
+        let (_, node) = *open.first()?;
+        let leaf = self.leaf_set(node, stack);
+        if self.circuit.node(node).kind() == GateKind::Input {
+            let arc = net.set(node);
+            let mut ordered: Vec<DelaySet> = Vec::new();
+            for v in leaf.iter() {
+                if !arc.contains(v) {
+                    ordered.push(DelaySet::singleton(v));
+                }
+            }
+            for v in leaf.iter() {
+                if arc.contains(v) {
+                    ordered.push(DelaySet::singleton(v));
+                }
+            }
+            Some((node, ordered))
+        } else {
+            let arc_inits = dedup_bools(net.set(node).iter().map(|v| v.initial()));
+            let want = arc_inits.first().copied().unwrap_or(false);
+            self.ppi_decision(node, want, leaf)
+        }
+    }
+
+    /// Builds the [`LocalTest`] from the decided leaves and the forward
+    /// image (both of which the emitted `X` semantics are sound for).
+    fn extract(
+        &self,
+        net: &ImplicationNet<'_>,
+        restr: &[(NodeId, DelaySet)],
+        image: &ForwardImage,
+        observation: LocalObservation,
+        backtracks: u32,
+    ) -> LocalTest {
+        let v1 = self
+            .circuit
+            .inputs()
+            .iter()
+            .map(|&pi| component3(self.leaf_set_r(pi, restr), DelayValue::initial))
+            .collect();
+        let v2 = self
+            .circuit
+            .inputs()
+            .iter()
+            .map(|&pi| component3(self.leaf_set_r(pi, restr), DelayValue::final_value))
+            .collect();
+        let required_state = self
+            .circuit
+            .dffs()
+            .iter()
+            .map(|&ff| component3(self.leaf_set_r(ff, restr), DelayValue::initial))
+            .collect();
+        let ppo_values = (0..self.circuit.num_dffs())
+            .map(|i| match self.forward_ppo_set(net, image, i).as_singleton() {
+                Some(DelayValue::S0) => PpoValue::Steady0,
+                Some(DelayValue::S1) => PpoValue::Steady1,
+                Some(DelayValue::Rc) => PpoValue::FaultEffect { good_one: true },
+                Some(DelayValue::Fc) => PpoValue::FaultEffect { good_one: false },
+                _ => PpoValue::UnjustifiableX,
+            })
+            .collect();
+        LocalTest {
+            v1,
+            v2,
+            required_state,
+            observation,
+            ppo_values,
+            backtracks,
+        }
+    }
+}
+
+/// Projects a set onto one Boolean component: known only if all values
+/// agree.
+fn component3(s: DelaySet, f: fn(DelayValue) -> bool) -> Logic3 {
+    let bits = dedup_bools(s.iter().map(f));
+    match bits.as_slice() {
+        [b] => Logic3::from_bool(*b),
+        _ => Logic3::X,
+    }
+}
+
+fn dedup_bools<I: Iterator<Item = bool>>(iter: I) -> Vec<bool> {
+    let mut out = Vec::with_capacity(2);
+    for b in iter {
+        if !out.contains(&b) {
+            out.push(b);
+        }
+        if out.len() == 2 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdf_netlist::{suite, CircuitBuilder, DelayFaultKind, FaultSite, FaultUniverse};
+    use gdf_sim::{detected_delay_faults, two_frame_values};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn stem_fault(c: &Circuit, name: &str, kind: DelayFaultKind) -> DelayFault {
+        DelayFault {
+            site: FaultSite::on_stem(c.node_by_name(name).unwrap()),
+            kind,
+        }
+    }
+
+    /// X-fill a 3-valued vector deterministically.
+    fn fill(v: &[Logic3], rng: &mut StdRng) -> Vec<bool> {
+        v.iter()
+            .map(|l| l.to_bool().unwrap_or_else(|| rng.gen()))
+            .collect()
+    }
+
+    /// Verify a generated test with the independent TDsim machinery, under
+    /// several random completions of the don't-care positions.
+    fn verify_test(c: &Circuit, fault: DelayFault, t: &LocalTest) {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..8 {
+            let v1 = fill(&t.v1, &mut rng);
+            let v2 = fill(&t.v2, &mut rng);
+            let st = fill(&t.required_state, &mut rng);
+            let w = two_frame_values(c, &v1, &v2, &st);
+            let observable: Vec<NodeId> = match t.observation {
+                LocalObservation::AtPo(_) => Vec::new(),
+                LocalObservation::AtPpo { dff, .. } => {
+                    vec![c.ppo_of_dff(c.dffs()[dff])]
+                }
+            };
+            let hits = detected_delay_faults(c, &w, &[fault], &observable, &[]);
+            assert_eq!(
+                hits.len(),
+                1,
+                "test for {} failed under X-fill (v1={v1:?} v2={v2:?} st={st:?})",
+                fault.describe(c)
+            );
+        }
+    }
+
+    #[test]
+    fn combinational_and_gate() {
+        // y = AND(a, b): StR on a needs a:R, b final 1.
+        let mut b = CircuitBuilder::new("and2");
+        b.add_input("a");
+        b.add_input("b");
+        b.add_gate("y", GateKind::And, &["a", "b"]);
+        b.mark_output("y");
+        let c = b.build().unwrap();
+        let fault = stem_fault(&c, "a", DelayFaultKind::SlowToRise);
+        let outcome = TdGen::new(&c).generate(fault);
+        let t = outcome.test().expect("testable");
+        assert_eq!(t.v1[0], Logic3::Zero);
+        assert_eq!(t.v2[0], Logic3::One);
+        verify_test(&c, fault, t);
+    }
+
+    #[test]
+    fn robust_fall_needs_steady_side() {
+        // y = AND(a, b): StF on a needs b steady 1 (V1=V2=1 on b).
+        let mut bld = CircuitBuilder::new("and2");
+        bld.add_input("a");
+        bld.add_input("b");
+        bld.add_gate("y", GateKind::And, &["a", "b"]);
+        bld.mark_output("y");
+        let c = bld.build().unwrap();
+        let fault = stem_fault(&c, "a", DelayFaultKind::SlowToFall);
+        let t = TdGen::new(&c).generate(fault);
+        let t = t.test().expect("testable");
+        assert_eq!(t.v1[1], Logic3::One, "side input steady 1 in frame 1");
+        assert_eq!(t.v2[1], Logic3::One, "side input steady 1 in frame 2");
+        verify_test(&c, fault, t);
+    }
+
+    #[test]
+    fn redundant_fault_proven_untestable() {
+        // y = OR(a, NOT(a)) is constant 1: no transition can be provoked
+        // at y, and nothing propagates past it.
+        let mut bld = CircuitBuilder::new("redundant");
+        bld.add_input("a");
+        bld.add_gate("n", GateKind::Not, &["a"]);
+        bld.add_gate("y", GateKind::Or, &["a", "n"]);
+        bld.mark_output("y");
+        let c = bld.build().unwrap();
+        let fault = stem_fault(&c, "y", DelayFaultKind::SlowToRise);
+        assert_eq!(TdGen::new(&c).generate(fault), TdGenOutcome::Untestable);
+    }
+
+    #[test]
+    fn sequential_observation_at_ppo() {
+        // The only observation for d = NOT(a) is through the flip-flop.
+        let mut bld = CircuitBuilder::new("latch");
+        bld.add_input("a");
+        bld.add_dff("q", "d");
+        bld.add_gate("d", GateKind::Not, &["a"]);
+        bld.add_gate("y", GateKind::Buf, &["q"]);
+        bld.mark_output("y");
+        let c = bld.build().unwrap();
+        let fault = stem_fault(&c, "d", DelayFaultKind::SlowToFall);
+        let outcome = TdGen::new(&c).generate(fault);
+        let t = outcome.test().expect("locally testable via PPO");
+        match t.observation {
+            LocalObservation::AtPpo { dff: 0, good_one } => {
+                // d falls: good machine latches 0 → D̄ (good 0 / faulty 1).
+                assert!(!good_one);
+            }
+            other => panic!("expected PPO observation, got {other:?}"),
+        }
+        assert!(t.needs_propagation());
+        verify_test(&c, fault, t);
+    }
+
+    #[test]
+    fn required_state_extracted() {
+        // y = AND(q, a): propagating a transition on `a` requires q's
+        // frame-1 AND frame-2 value at 1; q's init bit becomes a state
+        // requirement.
+        let mut bld = CircuitBuilder::new("staterq");
+        bld.add_input("a");
+        bld.add_input("b");
+        bld.add_dff("q", "d");
+        bld.add_gate("d", GateKind::Buf, &["b"]);
+        bld.add_gate("y", GateKind::And, &["q", "a"]);
+        bld.mark_output("y");
+        let c = bld.build().unwrap();
+        let fault = stem_fault(&c, "a", DelayFaultKind::SlowToFall);
+        let t = TdGen::new(&c).generate(fault);
+        let t = t.test().expect("testable");
+        // Robust StF through AND needs side steady 1: init(q)=1 and
+        // fin(q)=1; fin(q)=init(d)=b's frame-1 value.
+        assert_eq!(t.required_state[0], Logic3::One);
+        assert_eq!(t.v1[1], Logic3::One, "b frame 1 feeds q's frame-2 value");
+        verify_test(&c, fault, t);
+    }
+
+    #[test]
+    fn s27_all_faults_classified_and_tests_verified() {
+        let c = suite::s27();
+        let faults = FaultUniverse::default().delay_faults(&c);
+        let gen = TdGen::new(&c);
+        let mut tested = 0;
+        let mut untestable = 0;
+        let mut aborted = 0;
+        for f in &faults {
+            match gen.generate(*f) {
+                TdGenOutcome::Test(t) => {
+                    tested += 1;
+                    verify_test(&c, *f, &t);
+                }
+                TdGenOutcome::Untestable => untestable += 1,
+                TdGenOutcome::Aborted => aborted += 1,
+            }
+        }
+        assert!(tested > 0, "s27 has locally testable delay faults");
+        assert_eq!(aborted, 0, "s27 is small enough to decide every fault");
+        assert!(
+            tested + untestable == faults.len(),
+            "{tested}+{untestable} != {}",
+            faults.len()
+        );
+    }
+
+    #[test]
+    fn nonrobust_model_tests_at_least_as_many_faults() {
+        let c = suite::s27();
+        let faults = FaultUniverse::default().delay_faults(&c);
+        let robust = TdGen::new(&c);
+        let nonrobust = TdGen::with_config(
+            &c,
+            TdGenConfig {
+                model: FaultModel::NonRobust,
+                ..TdGenConfig::default()
+            },
+        );
+        let mut robust_tested = 0;
+        let mut nonrobust_tested = 0;
+        for f in &faults {
+            if robust.generate(*f).test().is_some() {
+                robust_tested += 1;
+            }
+            if nonrobust.generate(*f).test().is_some() {
+                nonrobust_tested += 1;
+            }
+        }
+        assert!(
+            nonrobust_tested >= robust_tested,
+            "non-robust {nonrobust_tested} < robust {robust_tested}"
+        );
+    }
+
+    #[test]
+    fn branch_fault_generates_distinct_test() {
+        let c = suite::s27();
+        let g11 = c.node_by_name("G11").unwrap();
+        // G11 fans out to G17 (PO path) and G10 (state path).
+        let g17 = c.node_by_name("G17").unwrap();
+        let fault = DelayFault {
+            site: FaultSite::on_branch(g11, g17, 0),
+            kind: DelayFaultKind::SlowToFall,
+        };
+        let outcome = TdGen::new(&c).generate(fault);
+        if let Some(t) = outcome.test() {
+            verify_test(&c, fault, t);
+        }
+        // Either outcome is legitimate; what matters is no abort on s27.
+        assert_ne!(outcome, TdGenOutcome::Aborted);
+    }
+
+    #[test]
+    fn backtrack_limit_respected() {
+        // A tight limit must abort rather than loop.
+        let c = suite::table3_circuit("s298").unwrap();
+        let cfg = TdGenConfig {
+            backtrack_limit: 1,
+            ..TdGenConfig::default()
+        };
+        let gen = TdGen::with_config(&c, cfg);
+        let faults = FaultUniverse::default().delay_faults(&c);
+        // Just ensure every outcome terminates quickly.
+        for f in faults.iter().take(40) {
+            let _ = gen.generate(*f);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: run the full non-scan delay-fault ATPG on the real ISCAS'89
+//! s27 benchmark and inspect the results.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use gdf::core::{DelayAtpg, FaultClassification};
+use gdf::netlist::suite;
+
+fn main() {
+    // The exact s27 netlist ships with the library; any ISCAS'89 `.bench`
+    // file can be loaded with `gdf::netlist::parse_bench`.
+    let circuit = suite::s27();
+    println!("circuit {}: {}", circuit.name(), circuit.stats());
+
+    // Run the combined TDgen + SEMILET system with the paper's limits
+    // (100 backtracks per engine).
+    let run = DelayAtpg::new(&circuit).run();
+
+    println!("\n{}", gdf::core::CircuitReport::header());
+    println!("{}", run.report.row);
+    println!(
+        "({} faults credited by fault simulation, {} explicit sequences)",
+        run.report.dropped_by_simulation, run.report.sequences
+    );
+
+    // Show one complete test: initialization frames run at the slow clock,
+    // the V1→V2 launch/capture pair at the fast (rated) clock, and the
+    // propagation frames at the slow clock again (Figure 2 of the paper).
+    if let Some(record) = run
+        .records
+        .iter()
+        .find(|r| r.classification == FaultClassification::Tested && !r.by_simulation)
+    {
+        let seq = &run.sequences[record.sequence_index.expect("tested")];
+        println!(
+            "\nexample test for {}:\n  {} frame(s): {}",
+            record.fault.describe(&circuit),
+            seq.len(),
+            seq
+        );
+        println!(
+            "  ({} init, launch/capture pair, {} propagation)",
+            seq.init_len(),
+            seq.propagation_len()
+        );
+    }
+
+    // Static compaction: drop sequences other sequences already cover.
+    let compact = gdf::core::compact_sequences(&DelayAtpg::new(&circuit), &run);
+    println!(
+        "\ncompaction: {} → {} sequences, {} → {} vectors ({:.0}% fewer)",
+        run.sequences.len(),
+        compact.kept.len(),
+        compact.patterns_before,
+        compact.patterns_after,
+        100.0 * compact.reduction()
+    );
+
+    // Per-classification listing.
+    for class in [
+        FaultClassification::Tested,
+        FaultClassification::Untestable,
+        FaultClassification::Aborted,
+    ] {
+        let names: Vec<String> = run
+            .records
+            .iter()
+            .filter(|r| r.classification == class)
+            .take(6)
+            .map(|r| r.fault.describe(&circuit))
+            .collect();
+        println!("\nfirst {class:?} faults: {}", names.join(", "));
+    }
+}

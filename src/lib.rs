@@ -1,0 +1,35 @@
+//! # gdf — gate delay fault ATPG for non-scan sequential circuits
+//!
+//! A from-scratch Rust reproduction of *van Brakel, Gläser, Kerkhoff,
+//! Vierhaus: "Gate Delay Fault Test Generation for Non-Scan Circuits",
+//! DATE 1995*. This facade crate re-exports the whole workspace:
+//!
+//! * [`netlist`] — circuits, the ISCAS'89 `.bench` parser, fault universe,
+//!   SCOAP measures and the benchmark suite;
+//! * [`algebra`] — the 8-valued robust delay algebra (paper Tables 1–2),
+//!   the 5-valued static D-algebra and 3-valued logic;
+//! * [`sim`] — good-machine simulation, FAUSIM and TDsim;
+//! * [`tdgen`] — the combinational two-frame robust delay-fault generator;
+//! * [`semilet`] — FOGBUSTER propagation / initialization and standalone
+//!   sequential stuck-at ATPG;
+//! * [`core`] — the extended-FOGBUSTER driver, pattern assembly, Table 3
+//!   reporting and the enhanced-scan baseline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gdf::core::DelayAtpg;
+//! use gdf::netlist::suite;
+//!
+//! let circuit = suite::s27();
+//! let run = DelayAtpg::new(&circuit).run();
+//! println!("{}", run.report.row);
+//! assert!(run.report.row.tested > 0);
+//! ```
+
+pub use gdf_algebra as algebra;
+pub use gdf_core as core;
+pub use gdf_netlist as netlist;
+pub use gdf_semilet as semilet;
+pub use gdf_sim as sim;
+pub use gdf_tdgen as tdgen;

@@ -1,0 +1,67 @@
+//! Semantic validation of delay-fault equivalence collapsing: on small
+//! circuits, every pair of faults placed in one class must have *exactly*
+//! the same set of robustly detecting `(V1, V2, state)` triples under the
+//! independent TDsim semantics.
+
+use gdf::netlist::collapse::collapse_delay_faults;
+use gdf::netlist::generator::{generate, CircuitProfile};
+use gdf::netlist::{Circuit, FaultUniverse, NodeId};
+use gdf::sim::{detected_delay_faults, two_frame_values};
+
+fn detection_signature(c: &Circuit, fault_idx: usize, faults: &[gdf::netlist::DelayFault]) -> Vec<bool> {
+    let n_pi = c.num_inputs();
+    let n_ff = c.num_dffs();
+    let all_ppos: Vec<NodeId> = c.ppos();
+    let mut sig = Vec::new();
+    for v1pat in 0u32..(1 << n_pi) {
+        for v2pat in 0u32..(1 << n_pi) {
+            for spat in 0u32..(1 << n_ff) {
+                let v1: Vec<bool> = (0..n_pi).map(|i| v1pat & (1 << i) != 0).collect();
+                let v2: Vec<bool> = (0..n_pi).map(|i| v2pat & (1 << i) != 0).collect();
+                let st: Vec<bool> = (0..n_ff).map(|i| spat & (1 << i) != 0).collect();
+                let w = two_frame_values(c, &v1, &v2, &st);
+                let hit = !detected_delay_faults(c, &w, &[faults[fault_idx]], &all_ppos, &[])
+                    .is_empty();
+                sig.push(hit);
+            }
+        }
+    }
+    sig
+}
+
+fn check_circuit(c: &Circuit) {
+    let faults = FaultUniverse::default().delay_faults(c);
+    let col = collapse_delay_faults(c, &faults);
+    for class in 0..col.representatives.len() {
+        let members = col.members(class);
+        if members.len() < 2 {
+            continue;
+        }
+        let reference = detection_signature(c, members[0], &faults);
+        for &m in &members[1..] {
+            let sig = detection_signature(c, m, &faults);
+            assert_eq!(
+                reference,
+                sig,
+                "{}: {} and {} were collapsed but differ",
+                c.name(),
+                faults[members[0]].describe(c),
+                faults[m].describe(c)
+            );
+        }
+    }
+}
+
+#[test]
+fn collapsed_classes_have_identical_detection_sets_s27() {
+    check_circuit(&gdf::netlist::suite::s27());
+}
+
+#[test]
+fn collapsed_classes_identical_on_random_circuits() {
+    for seed in [5u64, 17, 51] {
+        let p = CircuitProfile::new(format!("col{seed}"), 3, 2, 2, 16, seed);
+        let c = generate(&p);
+        check_circuit(&c);
+    }
+}

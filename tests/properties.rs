@@ -1,0 +1,222 @@
+//! Property-based tests (proptest) over randomly generated circuits and
+//! vectors: cross-component invariants that must hold for *any* input.
+
+use gdf::algebra::delay::{eval_gate, eval_gate_sets, narrow_inputs, DelaySet, DelayValue};
+use gdf::algebra::Logic3;
+use gdf::netlist::generator::{generate, CircuitProfile};
+use gdf::netlist::{parse_bench, to_bench, GateKind};
+use gdf::sim::{two_frame_values, GoodSimulator};
+use proptest::prelude::*;
+
+fn arb_delay_value() -> impl Strategy<Value = DelayValue> {
+    (0u8..8).prop_map(DelayValue::from_index)
+}
+
+fn arb_delay_set() -> impl Strategy<Value = DelaySet> {
+    (1u8..=255).prop_map(DelaySet::from_bits)
+}
+
+fn arb_gate_kind() -> impl Strategy<Value = GateKind> {
+    prop::sample::select(vec![
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ])
+}
+
+proptest! {
+    /// The two-input algebra is commutative for every gate kind.
+    #[test]
+    fn algebra_commutative(kind in arb_gate_kind(), a in arb_delay_value(), b in arb_delay_value()) {
+        prop_assert_eq!(eval_gate(kind, &[a, b]), eval_gate(kind, &[b, a]));
+    }
+
+    /// Frame endpoints always follow plain Boolean evaluation.
+    #[test]
+    fn algebra_endpoints_boolean(
+        kind in arb_gate_kind(),
+        vals in prop::collection::vec(arb_delay_value(), 1..5),
+    ) {
+        let out = eval_gate(kind, &vals);
+        let inits: Vec<bool> = vals.iter().map(|v| v.initial()).collect();
+        let fins: Vec<bool> = vals.iter().map(|v| v.final_value()).collect();
+        prop_assert_eq!(out.initial(), kind.eval_bool(&inits));
+        prop_assert_eq!(out.final_value(), kind.eval_bool(&fins));
+    }
+
+    /// Set-level evaluation is exactly the image of the Cartesian product.
+    #[test]
+    fn set_eval_exact(
+        kind in arb_gate_kind(),
+        a in arb_delay_set(),
+        b in arb_delay_set(),
+        c in arb_delay_set(),
+    ) {
+        let got = eval_gate_sets(kind, &[a, b, c]);
+        let mut expect = DelaySet::EMPTY;
+        for va in a.iter() {
+            for vb in b.iter() {
+                for vc in c.iter() {
+                    expect.insert(eval_gate(kind, &[va, vb, vc]));
+                }
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Backward narrowing never removes a feasible input combination.
+    #[test]
+    fn narrowing_sound(
+        kind in arb_gate_kind(),
+        a in arb_delay_set(),
+        b in arb_delay_set(),
+        out in arb_delay_set(),
+    ) {
+        let mut narrowed_out = out;
+        let mut ins = [a, b];
+        narrow_inputs(kind, &mut narrowed_out, &mut ins);
+        for va in a.iter() {
+            for vb in b.iter() {
+                let r = eval_gate(kind, &[va, vb]);
+                if out.contains(r) {
+                    prop_assert!(ins[0].contains(va));
+                    prop_assert!(ins[1].contains(vb));
+                    prop_assert!(narrowed_out.contains(r));
+                }
+            }
+        }
+    }
+
+    /// `.bench` writer/parser round-trip on arbitrary generated circuits.
+    #[test]
+    fn bench_round_trip(seed in 0u64..500, pi in 2usize..6, dff in 0usize..4, gates in 3usize..40) {
+        let profile = CircuitProfile::new("prop", pi, 2, dff, gates, seed);
+        let c1 = generate(&profile);
+        let text = to_bench(&c1);
+        let c2 = parse_bench(c1.name(), &text).expect("round trip parses");
+        prop_assert_eq!(to_bench(&c2), text, "fixed point after one round trip");
+        prop_assert_eq!(c1.num_gates(), c2.num_gates());
+        prop_assert_eq!(c1.num_dffs(), c2.num_dffs());
+    }
+
+    /// The two-frame waveform's endpoints agree with two independent
+    /// binary good-machine simulations on random circuits and vectors.
+    #[test]
+    fn waveform_endpoints_match_simulation(
+        seed in 0u64..200,
+        bits in prop::collection::vec(any::<bool>(), 24),
+    ) {
+        let profile = CircuitProfile::new("wave", 4, 2, 3, 20, seed);
+        let c = generate(&profile);
+        let v1: Vec<bool> = bits[0..4].to_vec();
+        let v2: Vec<bool> = bits[4..8].to_vec();
+        let st: Vec<bool> = bits[8..11].to_vec();
+        let w = two_frame_values(&c, &v1, &v2, &st);
+
+        let sim = GoodSimulator::new(&c);
+        let to3 = |v: &[bool]| -> Vec<Logic3> { v.iter().map(|&b| Logic3::from_bool(b)).collect() };
+        let f1 = sim.eval_comb(&to3(&v1), &to3(&st));
+        let st2: Vec<Logic3> = sim.next_state(&f1);
+        let f2 = sim.eval_comb(&to3(&v2), &st2);
+        for idx in 0..c.num_nodes() {
+            prop_assert_eq!(Some(w[idx].initial()), f1[idx].to_bool());
+            prop_assert_eq!(Some(w[idx].final_value()), f2[idx].to_bool());
+            prop_assert!(!w[idx].carries_fault(), "clean waveform never carries");
+        }
+    }
+
+    /// SCOAP measures are finite and monotone toward the inputs on random
+    /// circuits.
+    #[test]
+    fn scoap_finite(seed in 0u64..200) {
+        let profile = CircuitProfile::new("scoap", 4, 2, 2, 25, seed);
+        let c = generate(&profile);
+        let t = gdf::netlist::scoap::Testability::compute(&c);
+        for &pi in c.inputs() {
+            prop_assert_eq!(t.cc0[pi.index()], gdf::netlist::scoap::PI_COST);
+            prop_assert_eq!(t.cc1[pi.index()], gdf::netlist::scoap::PI_COST);
+        }
+        for node in 0..c.num_nodes() {
+            prop_assert!(t.cc0[node] >= 1);
+            prop_assert!(t.cc1[node] >= 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// TDgen soundness on random circuits: every generated test, X-filled
+    /// arbitrarily, robustly detects its target fault under the
+    /// independent TDsim semantics.
+    #[test]
+    fn tdgen_sound_on_random_circuits(seed in 0u64..60, fill in any::<u64>()) {
+        use gdf::netlist::FaultUniverse;
+        use gdf::sim::detected_delay_faults;
+        use gdf::tdgen::{LocalObservation, TdGen, TdGenOutcome};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let profile = CircuitProfile::new("sound", 4, 2, 2, 22, seed);
+        let c = generate(&profile);
+        let gen = TdGen::new(&c);
+        let faults = FaultUniverse::default().delay_faults(&c);
+        let mut rng = StdRng::seed_from_u64(fill);
+        for &fault in faults.iter().take(20) {
+            if let TdGenOutcome::Test(t) = gen.generate(fault) {
+                let mut fill_vec = |v: &[Logic3]| -> Vec<bool> {
+                    v.iter().map(|l| l.to_bool().unwrap_or_else(|| rng.gen())).collect()
+                };
+                let v1 = fill_vec(&t.v1);
+                let v2 = fill_vec(&t.v2);
+                let st = fill_vec(&t.required_state);
+                let w = two_frame_values(&c, &v1, &v2, &st);
+                let obs: Vec<gdf::netlist::NodeId> = match t.observation {
+                    LocalObservation::AtPo(_) => vec![],
+                    LocalObservation::AtPpo { dff, .. } => vec![c.ppo_of_dff(c.dffs()[dff])],
+                };
+                let hits = detected_delay_faults(&c, &w, &[fault], &obs, &[]);
+                prop_assert_eq!(hits.len(), 1, "unsound test for {}", fault.describe(&c));
+            }
+        }
+    }
+
+    /// Synchronizing sequences really force their targets from all-X, on
+    /// random circuits, checked by 3-valued simulation with both fills.
+    #[test]
+    fn synchronizer_sound_on_random_circuits(seed in 0u64..60) {
+        use gdf::semilet::justify::{synchronize, SyncLimits};
+
+        let profile = CircuitProfile::new("sync", 4, 2, 3, 26, seed);
+        let c = generate(&profile);
+        let sim = GoodSimulator::new(&c);
+        for dff in 0..c.num_dffs() {
+            for target in [false, true] {
+                let targets = [(dff, target)];
+                if let Some(seq) =
+                    synchronize(&c, &targets, SyncLimits::default()).sequence()
+                {
+                    for fill in [Logic3::Zero, Logic3::One] {
+                        let vectors: Vec<Vec<Logic3>> = seq
+                            .iter()
+                            .map(|v| {
+                                v.iter()
+                                    .map(|&l| if l == Logic3::X { fill } else { l })
+                                    .collect()
+                            })
+                            .collect();
+                        let (_f, st) = sim.run(&sim.initial_state(), &vectors);
+                        prop_assert_eq!(
+                            st[dff],
+                            Logic3::from_bool(target),
+                            "sync lied for dff {} := {} (seed {})", dff, target, seed
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

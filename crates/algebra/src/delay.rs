@@ -146,6 +146,7 @@ impl DelayValue {
     }
 
     /// Boolean inversion of the value (the paper's Table 2).
+    #[allow(clippy::should_implement_trait)] // method-call syntax without importing std::ops::Not
     pub fn not(self) -> DelayValue {
         match self {
             DelayValue::S0 => DelayValue::S1,
@@ -216,12 +217,12 @@ pub fn and_n(vals: &[DelayValue]) -> DelayValue {
             (false, false) => DelayValue::F,
         }
     } else if fin {
-        if vals.iter().any(|v| *v == DelayValue::H1) {
+        if vals.contains(&DelayValue::H1) {
             DelayValue::H1
         } else {
             DelayValue::S1
         }
-    } else if vals.iter().any(|v| *v == DelayValue::S0) {
+    } else if vals.contains(&DelayValue::S0) {
         DelayValue::S0
     } else {
         DelayValue::H0
@@ -239,12 +240,8 @@ pub fn or_n(vals: &[DelayValue]) -> DelayValue {
 /// activity flips the output and destroys robustness).
 pub fn xor_n(vals: &[DelayValue]) -> DelayValue {
     debug_assert!(!vals.is_empty());
-    let init = vals
-        .iter()
-        .fold(false, |acc, v| acc ^ v.initial());
-    let fin = vals
-        .iter()
-        .fold(false, |acc, v| acc ^ v.final_value());
+    let init = vals.iter().fold(false, |acc, v| acc ^ v.initial());
+    let fin = vals.iter().fold(false, |acc, v| acc ^ v.final_value());
     if init != fin {
         // Through a parity gate the fault effect survives only when it is
         // the *sole* transition: any other non-steady input (even a second
@@ -429,6 +426,7 @@ impl DelaySet {
     }
 
     /// Applies the inverter table to every value in the set.
+    #[allow(clippy::should_implement_trait)] // method-call syntax without importing std::ops::Not
     pub fn not(self) -> DelaySet {
         DelaySet::from_values(self.iter().map(DelayValue::not))
     }
@@ -722,9 +720,15 @@ mod tests {
                     eval2(GateKind::Or, a, b),
                     eval2(GateKind::And, a.not(), b.not()).not()
                 );
-                assert_eq!(eval2(GateKind::Nand, a, b), eval2(GateKind::And, a, b).not());
+                assert_eq!(
+                    eval2(GateKind::Nand, a, b),
+                    eval2(GateKind::And, a, b).not()
+                );
                 assert_eq!(eval2(GateKind::Nor, a, b), eval2(GateKind::Or, a, b).not());
-                assert_eq!(eval2(GateKind::Xnor, a, b), eval2(GateKind::Xor, a, b).not());
+                assert_eq!(
+                    eval2(GateKind::Xnor, a, b),
+                    eval2(GateKind::Xor, a, b).not()
+                );
             }
         }
     }
@@ -849,12 +853,12 @@ mod tests {
         let mut out = DelaySet::singleton(S1);
         let mut ins = [DelaySet::ALL, DelaySet::ALL];
         narrow_inputs(GateKind::And, &mut out, &mut ins);
-        for i in 0..2 {
-            assert!(ins[i].contains(S1));
-            assert!(!ins[i].contains(S0), "input {i}: {}", ins[i]);
-            assert!(!ins[i].contains(R));
-            assert!(!ins[i].contains(F));
-            assert!(!ins[i].contains(H1), "H1∧H1=H1 ≠ S1 so H1 must go");
+        for (i, input) in ins.iter().enumerate() {
+            assert!(input.contains(S1));
+            assert!(!input.contains(S0), "input {i}: {input}");
+            assert!(!input.contains(R));
+            assert!(!input.contains(F));
+            assert!(!input.contains(H1), "H1∧H1=H1 ≠ S1 so H1 must go");
         }
     }
 

@@ -48,6 +48,7 @@ impl Logic3 {
     }
 
     /// Kleene negation.
+    #[allow(clippy::should_implement_trait)] // method-call syntax without importing std::ops::Not
     pub fn not(self) -> Logic3 {
         match self {
             Logic3::Zero => Logic3::One,
@@ -124,7 +125,7 @@ pub fn eval_gate3(kind: GateKind, vals: &[Logic3]) -> Logic3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Logic3::{One, X, Zero};
+    use Logic3::{One, Zero, X};
 
     #[test]
     fn kleene_tables() {

@@ -74,6 +74,7 @@ impl StaticValue {
     }
 
     /// Negation in both machines.
+    #[allow(clippy::should_implement_trait)] // method-call syntax without importing std::ops::Not
     pub fn not(self) -> StaticValue {
         StaticValue::from_pair(!self.good(), !self.faulty())
     }
@@ -214,6 +215,7 @@ impl StaticSet {
     }
 
     /// Applies negation to every value in the set.
+    #[allow(clippy::should_implement_trait)] // method-call syntax without importing std::ops::Not
     pub fn not(self) -> StaticSet {
         StaticSet::from_values(self.iter().map(StaticValue::not))
     }
@@ -400,7 +402,7 @@ pub fn narrow_inputs(kind: GateKind, out_allowed: &mut StaticSet, ins: &mut [Sta
 #[cfg(test)]
 mod tests {
     use super::*;
-    use StaticValue::{D, Db, S0, S1};
+    use StaticValue::{Db, D, S0, S1};
 
     #[test]
     fn classical_d_calculus() {
@@ -496,6 +498,9 @@ mod tests {
         assert!(StaticSet::FAULT_EFFECT.must_be_fault_effect());
         assert!(StaticSet::ALL.may_be_fault_effect());
         assert!(!StaticSet::GOOD.may_be_fault_effect());
-        assert_eq!(StaticSet::ALL.with_good(true), StaticSet::from_values([S1, D]));
+        assert_eq!(
+            StaticSet::ALL.with_good(true),
+            StaticSet::from_values([S1, D])
+        );
     }
 }

@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks for the multi-valued algebras: value-level
+//! Micro-benchmarks (offline harness) for the multi-valued algebras: value-level
 //! evaluation, set-level forward images and backward narrowing.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gdf_algebra::delay::{self, DelaySet, DelayValue};
 use gdf_algebra::static5::{self, StaticSet, StaticValue};
+use gdf_bench::criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gdf_netlist::GateKind;
 
 fn bench_value_eval(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! Criterion benchmarks for the test generators: TDgen per-fault search,
 //! the SEMILET per-frame engine, and the synchronizer.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gdf_algebra::static5::{StaticSet, StaticValue};
+use gdf_bench::criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gdf_netlist::{suite, DelayFault, DelayFaultKind, FaultSite, FaultUniverse};
 use gdf_semilet::frame::{FrameEngine, FrameGoal, PpiConstraint};
 use gdf_semilet::justify::{synchronize, SyncLimits};

@@ -1,0 +1,71 @@
+//! Serial versus fault-parallel full-suite runs through the unified
+//! engine builder — the seed benchmark for the scaling trajectory.
+//!
+//! The parallel orchestration only speculates on per-fault generation;
+//! classification, fault-simulation credit and reporting stay serialized
+//! on the merge thread, so speed-up is bounded by how much of a run is
+//! generation (most of it on generation-heavy circuits) and by wasted
+//! speculation on faults that fault simulation drops mid-wave.
+//!
+//! ```text
+//! cargo bench -p gdf-bench --bench parallel_scaling
+//! ```
+
+use gdf_bench::criterion::{criterion_group, criterion_main, Criterion};
+use gdf_core::{Atpg, Backend};
+use gdf_netlist::suite;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let threads: usize = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+
+    for name in ["s27", "s298"] {
+        let circuit = suite::table3_circuit(name).expect("suite circuit");
+        let mut group = c.benchmark_group(&format!("non-scan full run {}", circuit.name()));
+        group.sample_size(10);
+        group.bench_function("serial", |b| {
+            b.iter(|| {
+                Atpg::builder(&circuit)
+                    .backend(Backend::NonScan)
+                    .build()
+                    .run()
+            })
+        });
+        group.bench_function(&format!("parallelism({threads})"), |b| {
+            b.iter(|| {
+                Atpg::builder(&circuit)
+                    .backend(Backend::NonScan)
+                    .parallelism(threads)
+                    .build()
+                    .run()
+            })
+        });
+        group.finish();
+    }
+
+    // The stuck-at backend has no cross-fault credit pass, so it scales
+    // closest to linearly — the upper bound for the delay flow.
+    let circuit = suite::table3_circuit("s298").expect("suite circuit");
+    let mut group = c.benchmark_group("stuck-at full run s298_syn");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            Atpg::builder(&circuit)
+                .backend(Backend::StuckAt)
+                .build()
+                .run()
+        })
+    });
+    group.bench_function(&format!("parallelism({threads})"), |b| {
+        b.iter(|| {
+            Atpg::builder(&circuit)
+                .backend(Backend::StuckAt)
+                .parallelism(threads)
+                .build()
+                .run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

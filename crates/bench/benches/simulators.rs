@@ -2,8 +2,8 @@
 //! simulation (scalar and 64-way parallel), two-frame waveform evaluation
 //! and TDsim fault simulation over the full fault universe.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gdf_algebra::Logic3;
+use gdf_bench::criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gdf_netlist::{suite, FaultUniverse};
 use gdf_sim::{detected_delay_faults, two_frame_values, GoodSimulator, ParallelSimulator};
 use rand::rngs::StdRng;

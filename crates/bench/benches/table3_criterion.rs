@@ -3,7 +3,7 @@
 //! on the small suite circuits. This is the end-to-end number the
 //! `time[s]` column of the table binary reports.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gdf_bench::criterion::{criterion_group, criterion_main, Criterion};
 use gdf_core::DelayAtpg;
 use gdf_netlist::suite;
 

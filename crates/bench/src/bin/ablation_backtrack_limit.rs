@@ -29,11 +29,9 @@ fn main() {
         for limit in limits {
             let run = run_circuit(
                 name,
-                DelayAtpgConfig {
-                    local_backtrack_limit: limit,
-                    sequential_backtrack_limit: limit,
-                    ..DelayAtpgConfig::default()
-                },
+                DelayAtpgConfig::new()
+                    .with_local_backtrack_limit(limit)
+                    .with_sequential_backtrack_limit(limit),
             );
             let r = &run.report.row;
             println!(

@@ -28,14 +28,7 @@ fn main() {
     println!("robust vs non-robust gate delay fault model (paper §7 claim)\n");
     println!(
         "{:<11} | {:>8} {:>10} {:>8} | {:>8} {:>10} {:>8} | {:>10}",
-        "circuit",
-        "tested",
-        "untestable",
-        "aborted",
-        "tested",
-        "untestable",
-        "aborted",
-        "Δuntest"
+        "circuit", "tested", "untestable", "aborted", "tested", "untestable", "aborted", "Δuntest"
     );
     println!(
         "{:<11} | {:^28} | {:^28} |",
@@ -46,10 +39,7 @@ fn main() {
         let robust = run_circuit(name, DelayAtpgConfig::default());
         let nonrobust = run_circuit(
             name,
-            DelayAtpgConfig {
-                model: FaultModel::NonRobust,
-                ..DelayAtpgConfig::default()
-            },
+            DelayAtpgConfig::new().with_model(FaultModel::NonRobust),
         );
         let r = &robust.report.row;
         let n = &nonrobust.report.row;

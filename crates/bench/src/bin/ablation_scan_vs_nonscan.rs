@@ -12,8 +12,9 @@
 //! ```
 
 use gdf_bench::run_circuit;
-use gdf_core::scan::{ScanDelayAtpg, ScanOutcome};
+use gdf_core::scan::ScanDelayAtpg;
 use gdf_core::DelayAtpgConfig;
+use gdf_core::FaultOutcome;
 use gdf_netlist::{suite, FaultUniverse};
 use std::time::Instant;
 
@@ -41,9 +42,9 @@ fn main() {
         let mut aborted = 0u32;
         for &f in &faults {
             match scan.generate(f) {
-                ScanOutcome::Test(_) => tested += 1,
-                ScanOutcome::Untestable => untestable += 1,
-                ScanOutcome::Aborted => aborted += 1,
+                FaultOutcome::Detected(_) => tested += 1,
+                FaultOutcome::Untestable => untestable += 1,
+                FaultOutcome::Aborted => aborted += 1,
             }
         }
         let r = &nonscan.report.row;

@@ -26,8 +26,17 @@ fn main() {
     );
     println!(
         "{:<11} | {:>7} {:>8} {:>8} {:>7} {:>8} | {:>7} {:>8} {:>8} {:>7} {:>8}",
-        "circuit", "tested", "untstbl", "aborted", "#pat", "time[s]", "tested", "untstbl",
-        "aborted", "#pat", "time[s]"
+        "circuit",
+        "tested",
+        "untstbl",
+        "aborted",
+        "#pat",
+        "time[s]",
+        "tested",
+        "untstbl",
+        "aborted",
+        "#pat",
+        "time[s]"
     );
     println!(
         "{:<11} | {:^41} | {:^41}",

@@ -1,0 +1,185 @@
+//! A minimal, dependency-free stand-in for the slice of the Criterion
+//! benchmarking API this workspace uses.
+//!
+//! The build environment has no crates.io access, so the `benches/`
+//! targets run with `harness = false` mains built on this module instead
+//! of the real Criterion. The surface is API-compatible for what the
+//! bench files need — `Criterion::bench_function`, `benchmark_group` +
+//! `sample_size`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — so swapping the real
+//! crate back in later is a one-line import change per bench.
+//!
+//! Measurement model: each `iter` call first estimates the cost of one
+//! iteration, picks a batch size that makes a sample take ≥ ~1 ms (so
+//! nanosecond-scale operations are not timer-noise), then records
+//! `sample_size` batched samples and reports min / median / mean.
+//! `GDF_BENCH_SAMPLES` overrides the sample count.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exports of the harness macros under the familiar names.
+pub use crate::{criterion_group, criterion_main};
+
+/// Top-level driver handed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_size = std::env::var("GDF_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Criterion { sample_size }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut b);
+        if let Some(report) = b.report {
+            report.print(name);
+        }
+        self
+    }
+
+    /// Opens a named group; group settings apply to its benchmarks only.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of recorded samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut b);
+        if let Some(report) = b.report {
+            report.print(name);
+        }
+        self
+    }
+
+    /// Ends the group (parity with Criterion; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the measuring.
+pub struct Bencher {
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+struct Report {
+    per_iter: Vec<Duration>,
+}
+
+impl Report {
+    fn print(&self, name: &str) {
+        let mut sorted = self.per_iter.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{name:<44} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            min,
+            median,
+            mean,
+            sorted.len()
+        );
+    }
+}
+
+impl Bencher {
+    /// Measures `f`, batching fast routines so each sample is ≥ ~1 ms.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm-up and batch-size estimation.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(1);
+        let batch: u32 = if one >= target {
+            1
+        } else {
+            (target.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u32
+        };
+
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed() / batch);
+        }
+        self.report = Some(Report { per_iter });
+    }
+}
+
+/// Declares a benchmark *suite*: a function running each target against a
+/// fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::criterion::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed suites.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($suite:ident),+ $(,)?) => {
+        fn main() {
+            $( $suite(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = super::Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

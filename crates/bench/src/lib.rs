@@ -1,5 +1,7 @@
-//! Shared helpers for the table-regeneration binaries and Criterion
-//! benches.
+//! Shared helpers for the table-regeneration binaries and the offline
+//! benches in `benches/`.
+
+pub mod criterion;
 
 use gdf_core::driver::AtpgRun;
 use gdf_core::{DelayAtpg, DelayAtpgConfig};
@@ -12,7 +14,9 @@ pub fn selected_circuits() -> Vec<String> {
     if let Ok(list) = std::env::var("GDF_CIRCUITS") {
         return list.split(',').map(|s| s.trim().to_string()).collect();
     }
-    let quick = std::env::var("GDF_QUICK").map(|v| v == "1").unwrap_or(false);
+    let quick = std::env::var("GDF_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     suite::TABLE3_PROFILES
         .iter()
         .filter(|&&(_, _, _, _, gates, _)| !quick || gates <= 170)

@@ -50,6 +50,12 @@ impl CompactionResult {
 /// `atpg` must be the driver that produced `run` (same circuit and
 /// configuration), so the fault simulation semantics match.
 ///
+/// # Panics
+///
+/// Panics if `run` was produced by a different backend than the non-scan
+/// delay driver (a stuck-at run's records carry [`gdf_netlist::Fault::Stuck`]
+/// faults and its sequences have no launch/capture pair to fault-simulate).
+///
 /// # Example
 ///
 /// ```
@@ -68,7 +74,11 @@ pub fn compact_sequences(atpg: &DelayAtpg<'_>, run: &AtpgRun) -> CompactionResul
         .records
         .iter()
         .filter(|r| r.classification == FaultClassification::Tested)
-        .map(|r| r.fault)
+        .map(|r| {
+            r.fault
+                .as_delay()
+                .expect("non-scan run records delay faults")
+        })
         .collect();
     let patterns_before: u32 = run.sequences.iter().map(|s| s.len() as u32).sum();
 
@@ -93,10 +103,7 @@ pub fn compact_sequences(atpg: &DelayAtpg<'_>, run: &AtpgRun) -> CompactionResul
     let mut covered = vec![false; tested.len()];
     let mut kept_rev: Vec<usize> = Vec::new();
     for idx in (0..run.sequences.len()).rev() {
-        let contributes = detection[idx]
-            .iter()
-            .zip(&covered)
-            .any(|(&d, &c)| d && !c);
+        let contributes = detection[idx].iter().zip(&covered).any(|(&d, &c)| d && !c);
         if contributes {
             kept_rev.push(idx);
             for (c, &d) in covered.iter_mut().zip(&detection[idx]) {
@@ -143,7 +150,7 @@ mod tests {
             .records
             .iter()
             .filter(|r| r.classification == FaultClassification::Tested)
-            .map(|r| r.fault)
+            .filter_map(|r| r.fault.as_delay())
             .collect();
         let mut covered = vec![false; tested.len()];
         for &k in &compact.kept {

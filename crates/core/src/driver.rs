@@ -25,21 +25,29 @@
 //! when the (bounded) search space is exhausted without hitting a
 //! backtrack limit anywhere; hitting any limit yields `aborted`.
 
+use crate::engine::{AtpgError, Detection, FaultOutcome, Limits, NonScanEngine};
 use crate::pattern::TestSequence;
-use crate::report::{CircuitReport, Table3Row};
+use crate::report::CircuitReport;
 use gdf_algebra::delay::DelaySet;
 use gdf_algebra::logic3::Logic3;
 use gdf_algebra::static5::{StaticSet, StaticValue};
-use gdf_netlist::{Circuit, DelayFault, FaultUniverse, NodeId};
+use gdf_netlist::{Circuit, DelayFault, Fault, FaultUniverse, NodeId};
 use gdf_semilet::justify::{synchronize, SyncLimits, SyncOutcome};
 use gdf_semilet::propagate::{propagate_to_po, PropagateLimits, PropagateOutcome};
 use gdf_sim::{detected_delay_faults, two_frame_values, Fausim};
-use gdf_tdgen::{FaultModel, LocalObservation, LocalTest, PpoValue, TdGen, TdGenConfig, TdGenOutcome};
+use gdf_tdgen::{
+    FaultModel, LocalObservation, LocalTest, PpoValue, TdGen, TdGenConfig, TdGenOutcome,
+};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::time::Instant;
+use rand::Rng;
 
 /// Configuration of the combined system.
+///
+/// `#[non_exhaustive]`: construct it with [`DelayAtpgConfig::new`] /
+/// `default()` and the `with_*` setters (or go through
+/// [`crate::engine::Atpg::builder`]), so future fields are not breaking
+/// changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DelayAtpgConfig {
     /// Backtrack limit of the local (TDgen) search — the paper uses 100.
@@ -64,16 +72,87 @@ pub struct DelayAtpgConfig {
 
 impl Default for DelayAtpgConfig {
     fn default() -> Self {
+        // The budget constants live in `Limits::default()` alone, so the
+        // driver's defaults and the engine builder's can never diverge.
+        let limits = Limits::default();
         DelayAtpgConfig {
-            local_backtrack_limit: 100,
-            sequential_backtrack_limit: 100,
-            max_propagation_frames: 32,
-            max_sync_frames: 32,
+            local_backtrack_limit: limits.local_backtrack_limit,
+            sequential_backtrack_limit: limits.sequential_backtrack_limit,
+            max_propagation_frames: limits.max_propagation_frames,
+            max_sync_frames: limits.max_sync_frames,
             model: FaultModel::Robust,
             universe: FaultUniverse::default(),
             xfill_seed: 0x1995_0308,
-            max_observation_retries: 4,
+            max_observation_retries: limits.max_observation_retries,
         }
+    }
+}
+
+impl DelayAtpgConfig {
+    /// The paper's defaults (100 backtracks per engine, robust model).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the local (TDgen) backtrack limit.
+    pub fn with_local_backtrack_limit(mut self, v: u32) -> Self {
+        self.local_backtrack_limit = v;
+        self
+    }
+
+    /// Sets the per-frame sequential (SEMILET) backtrack limit.
+    pub fn with_sequential_backtrack_limit(mut self, v: u32) -> Self {
+        self.sequential_backtrack_limit = v;
+        self
+    }
+
+    /// Sets the maximum number of slow-clock propagation frames.
+    pub fn with_max_propagation_frames(mut self, v: usize) -> Self {
+        self.max_propagation_frames = v;
+        self
+    }
+
+    /// Sets the maximum synchronizing-sequence length.
+    pub fn with_max_sync_frames(mut self, v: usize) -> Self {
+        self.max_sync_frames = v;
+        self
+    }
+
+    /// Selects the robust (default) or non-robust fault model.
+    pub fn with_model(mut self, model: FaultModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Selects the fault universe to target.
+    pub fn with_universe(mut self, universe: FaultUniverse) -> Self {
+        self.universe = universe;
+        self
+    }
+
+    /// Sets the X-fill seed used before fault simulation.
+    pub fn with_xfill_seed(mut self, seed: u64) -> Self {
+        self.xfill_seed = seed;
+        self
+    }
+
+    /// Sets the observation-retry budget of inter-phase backtracking.
+    pub fn with_max_observation_retries(mut self, v: usize) -> Self {
+        self.max_observation_retries = v;
+        self
+    }
+
+    /// Applies every engine-level [`Limits`] budget that concerns the
+    /// non-scan driver — the single mapping between the two structs,
+    /// used by [`crate::engine::Atpg::builder`]. (`max_stuckat_frames`
+    /// has no counterpart here; it only drives the stuck-at backend.)
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.local_backtrack_limit = limits.local_backtrack_limit;
+        self.sequential_backtrack_limit = limits.sequential_backtrack_limit;
+        self.max_propagation_frames = limits.max_propagation_frames;
+        self.max_sync_frames = limits.max_sync_frames;
+        self.max_observation_retries = limits.max_observation_retries;
+        self
     }
 }
 
@@ -92,8 +171,8 @@ pub enum FaultClassification {
 /// Per-fault result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultRecord {
-    /// The fault.
-    pub fault: DelayFault,
+    /// The fault (delay or stuck-at, depending on the engine).
+    pub fault: Fault,
     /// Its classification.
     pub classification: FaultClassification,
     /// `true` if the fault was credited by fault simulation rather than
@@ -103,7 +182,8 @@ pub struct FaultRecord {
     pub sequence_index: Option<usize>,
 }
 
-/// The outcome of a full ATPG run on one circuit.
+/// The outcome of a full ATPG run on one circuit — the shared run shape
+/// of every [`crate::engine::AtpgEngine`] backend.
 #[derive(Debug, Clone)]
 pub struct AtpgRun {
     /// One record per fault, in fault-list order.
@@ -112,6 +192,10 @@ pub struct AtpgRun {
     pub sequences: Vec<TestSequence>,
     /// The aggregate report (one Table 3 row).
     pub report: CircuitReport,
+    /// `None` for a completed run; `Some(reason)` when an observer
+    /// cancelled it or the time budget expired (the remaining faults are
+    /// classified aborted).
+    pub stopped: Option<AtpgError>,
 }
 
 /// The combined TDgen + SEMILET delay-fault ATPG.
@@ -137,21 +221,6 @@ pub struct DelayAtpg<'c> {
     config: DelayAtpgConfig,
 }
 
-/// Everything fault simulation needs about one emitted test.
-#[derive(Debug, Clone)]
-struct TestMeta {
-    /// PPO nets whose steady value the propagation relies on.
-    relied_ppos: Vec<NodeId>,
-    /// Target fault (for the sanity check).
-    fault: DelayFault,
-}
-
-enum GenOutcome {
-    Test(Box<(TestSequence, TestMeta)>),
-    Untestable,
-    Aborted,
-}
-
 impl<'c> DelayAtpg<'c> {
     /// Creates a driver with the paper's default limits.
     pub fn new(circuit: &'c Circuit) -> Self {
@@ -168,100 +237,25 @@ impl<'c> DelayAtpg<'c> {
         &self.config
     }
 
-    /// Runs the complete Figure 4 loop over the whole fault list.
-    pub fn run(&self) -> AtpgRun {
-        let start = Instant::now();
-        let faults = self.config.universe.delay_faults(self.circuit);
-        let mut records: Vec<Option<FaultRecord>> = vec![None; faults.len()];
-        let mut sequences: Vec<TestSequence> = Vec::new();
-        let mut rng = StdRng::seed_from_u64(self.config.xfill_seed);
-        let mut dropped = 0u32;
-
-        for idx in 0..faults.len() {
-            if records[idx].is_some() {
-                continue;
-            }
-            let fault = faults[idx];
-            match self.generate_one(fault) {
-                GenOutcome::Test(boxed) => {
-                    let (sequence, meta) = *boxed;
-                    let seq_index = sequences.len();
-                    records[idx] = Some(FaultRecord {
-                        fault,
-                        classification: FaultClassification::Tested,
-                        by_simulation: false,
-                        sequence_index: Some(seq_index),
-                    });
-                    // Three-phase fault simulation drops extra faults.
-                    let hits =
-                        self.simulate_and_drop(&sequence, &meta, &faults, &records, &mut rng);
-                    for hit in hits {
-                        if records[hit].is_none() {
-                            dropped += 1;
-                            records[hit] = Some(FaultRecord {
-                                fault: faults[hit],
-                                classification: FaultClassification::Tested,
-                                by_simulation: true,
-                                sequence_index: Some(seq_index),
-                            });
-                        }
-                    }
-                    sequences.push(sequence);
-                }
-                GenOutcome::Untestable => {
-                    records[idx] = Some(FaultRecord {
-                        fault,
-                        classification: FaultClassification::Untestable,
-                        by_simulation: false,
-                        sequence_index: None,
-                    });
-                }
-                GenOutcome::Aborted => {
-                    records[idx] = Some(FaultRecord {
-                        fault,
-                        classification: FaultClassification::Aborted,
-                        by_simulation: false,
-                        sequence_index: None,
-                    });
-                }
-            }
-        }
-
-        let records: Vec<FaultRecord> = records.into_iter().map(|r| r.expect("decided")).collect();
-        let tested = records
-            .iter()
-            .filter(|r| r.classification == FaultClassification::Tested)
-            .count() as u32;
-        let untestable = records
-            .iter()
-            .filter(|r| r.classification == FaultClassification::Untestable)
-            .count() as u32;
-        let aborted = records
-            .iter()
-            .filter(|r| r.classification == FaultClassification::Aborted)
-            .count() as u32;
-        let patterns = sequences.iter().map(|s| s.len() as u32).sum();
-        let report = CircuitReport {
-            row: Table3Row {
-                circuit: self.circuit.name().to_string(),
-                tested,
-                untestable,
-                aborted,
-                patterns,
-                elapsed: start.elapsed(),
-            },
-            dropped_by_simulation: dropped,
-            sequences: sequences.len() as u32,
-        };
-        AtpgRun {
-            records,
-            sequences,
-            report,
-        }
+    /// The circuit under test.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
     }
 
-    /// Figure 4 for a single fault.
-    fn generate_one(&self, fault: DelayFault) -> GenOutcome {
+    /// Runs the complete Figure 4 loop over the whole fault list.
+    ///
+    /// This is the serial entry point kept for convenience; it is exactly
+    /// `Atpg::builder(circuit)` with this configuration. Use
+    /// [`crate::engine::Atpg::builder`] for streaming observation,
+    /// parallelism or a time budget.
+    pub fn run(&self) -> AtpgRun {
+        let mut engine = NonScanEngine::with_config(self.circuit, self.config.clone());
+        crate::engine::AtpgEngine::run(&mut engine)
+    }
+
+    /// Figure 4 for a single fault: the per-fault entry point of the
+    /// unified engine API ([`crate::engine::AtpgEngine::target`]).
+    pub fn target_delay(&self, fault: DelayFault) -> FaultOutcome {
         let gen = TdGen::with_config(
             self.circuit,
             TdGenConfig {
@@ -282,7 +276,7 @@ impl<'c> DelayAtpg<'c> {
                 constraints.extend(extra.iter().copied());
             }
             match gen.generate_with_constraints(fault, &constraints) {
-                TdGenOutcome::Aborted => return GenOutcome::Aborted,
+                TdGenOutcome::Aborted => return FaultOutcome::Aborted,
                 TdGenOutcome::Untestable => {
                     if let Some((pj_dff, _)) = pj.take() {
                         // Propagation justification failed: fall back to
@@ -291,36 +285,35 @@ impl<'c> DelayAtpg<'c> {
                         continue;
                     }
                     if banned.is_empty() {
-                        return GenOutcome::Untestable; // genuinely untestable locally
+                        return FaultOutcome::Untestable; // genuinely untestable locally
                     }
                     // All observation alternatives exhausted.
                     return if any_aborted {
-                        GenOutcome::Aborted
+                        FaultOutcome::Aborted
                     } else {
-                        GenOutcome::Untestable
+                        FaultOutcome::Untestable
                     };
                 }
                 TdGenOutcome::Test(t) => match t.observation {
                     LocalObservation::AtPo(_) => {
                         match self.initialize(&t) {
                             Ok(init) => {
-                                return GenOutcome::Test(Box::new(self.assemble(
-                                    fault,
+                                return FaultOutcome::Detected(Box::new(self.assemble(
                                     &t,
                                     init,
                                     Vec::new(),
                                     Vec::new(),
                                 )))
                             }
-                            Err(true) => return GenOutcome::Aborted,
+                            Err(true) => return FaultOutcome::Aborted,
                             Err(false) => {
                                 // The required state of this local test is
                                 // unsynchronizable; there is no clean handle
                                 // to enumerate alternative PO tests.
                                 return if any_aborted {
-                                    GenOutcome::Aborted
+                                    FaultOutcome::Aborted
                                 } else {
-                                    GenOutcome::Untestable
+                                    FaultOutcome::Untestable
                                 };
                             }
                         }
@@ -336,11 +329,11 @@ impl<'c> DelayAtpg<'c> {
                                 Ok(init) => {
                                     let relied =
                                         p.relied_dffs.iter().map(|&i| self.ppo_net(i)).collect();
-                                    return GenOutcome::Test(Box::new(self.assemble(
-                                        fault, &t, init, p.vectors, relied,
-                                    )));
+                                    return FaultOutcome::Detected(Box::new(
+                                        self.assemble(&t, init, p.vectors, relied),
+                                    ));
                                 }
-                                Err(true) => return GenOutcome::Aborted,
+                                Err(true) => return FaultOutcome::Aborted,
                                 Err(false) => {
                                     pj = None;
                                     banned.push(dff);
@@ -348,10 +341,7 @@ impl<'c> DelayAtpg<'c> {
                                 }
                             },
                             PropagateOutcome::Unpropagatable => {
-                                let has_xf = t
-                                    .ppo_values
-                                    .iter()
-                                    .any(|v| *v == PpoValue::UnjustifiableX);
+                                let has_xf = t.ppo_values.contains(&PpoValue::UnjustifiableX);
                                 if pj.is_none() && has_xf {
                                     // Propagation justification: force the
                                     // Xf PPOs steady so the next local test
@@ -361,9 +351,7 @@ impl<'c> DelayAtpg<'c> {
                                         .iter()
                                         .enumerate()
                                         .filter(|&(_, v)| *v == PpoValue::UnjustifiableX)
-                                        .map(|(i, _)| {
-                                            (self.ppo_net(i), DelaySet::STEADY_CLEAN)
-                                        })
+                                        .map(|(i, _)| (self.ppo_net(i), DelaySet::STEADY_CLEAN))
                                         .collect();
                                     pj = Some((dff, extra));
                                     continue;
@@ -383,7 +371,7 @@ impl<'c> DelayAtpg<'c> {
                 },
             }
         }
-        GenOutcome::Aborted // retry budget exhausted
+        FaultOutcome::Aborted // retry budget exhausted
     }
 
     /// The PPO net of flip-flop `i`.
@@ -399,12 +387,8 @@ impl<'c> DelayAtpg<'c> {
             .map(|v| match v {
                 PpoValue::Steady0 => StaticSet::singleton(StaticValue::S0),
                 PpoValue::Steady1 => StaticSet::singleton(StaticValue::S1),
-                PpoValue::FaultEffect { good_one: true } => {
-                    StaticSet::singleton(StaticValue::D)
-                }
-                PpoValue::FaultEffect { good_one: false } => {
-                    StaticSet::singleton(StaticValue::Db)
-                }
+                PpoValue::FaultEffect { good_one: true } => StaticSet::singleton(StaticValue::D),
+                PpoValue::FaultEffect { good_one: false } => StaticSet::singleton(StaticValue::Db),
                 PpoValue::UnjustifiableX => StaticSet::GOOD,
             })
             .collect()
@@ -432,44 +416,28 @@ impl<'c> DelayAtpg<'c> {
 
     fn assemble(
         &self,
-        fault: DelayFault,
         t: &LocalTest,
         init: Vec<Vec<Logic3>>,
         propagation: Vec<Vec<Logic3>>,
         relied_ppos: Vec<NodeId>,
-    ) -> (TestSequence, TestMeta) {
-        let sequence = TestSequence::new(init, t.v1.clone(), t.v2.clone(), propagation);
-        let meta = TestMeta {
+    ) -> Detection {
+        Detection {
+            sequence: TestSequence::new(init, t.v1.clone(), t.v2.clone(), propagation),
+            observed_po: None,
             relied_ppos,
-            fault,
-        };
-        (sequence, meta)
-    }
-
-    /// The three-phase fault simulation of §5. Returns the indexes of
-    /// additionally detected faults.
-    fn simulate_and_drop(
-        &self,
-        sequence: &TestSequence,
-        meta: &TestMeta,
-        faults: &[DelayFault],
-        records: &[Option<FaultRecord>],
-        rng: &mut StdRng,
-    ) -> Vec<usize> {
-        let candidates: Vec<usize> = (0..faults.len())
-            .filter(|&i| records[i].is_none())
-            .collect();
-        let candidate_faults: Vec<DelayFault> = candidates.iter().map(|&i| faults[i]).collect();
-        let hits =
-            self.fault_simulate_sequence(sequence, &meta.relied_ppos, &candidate_faults, rng);
-        let _ = meta.fault;
-        hits.into_iter().map(|k| candidates[k]).collect()
+        }
     }
 
     /// Runs the three-phase fault simulation of one sequence against an
     /// arbitrary candidate fault list, returning the indexes (into
     /// `faults`) of the robustly detected ones. Public so that test-set
     /// compaction and fault grading can reuse the exact §5 semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sequence` is an all-slow static sequence
+    /// ([`TestSequence::at_speed`] is `None`, as emitted by the stuck-at
+    /// engine): delay fault simulation needs a launch/capture pair.
     pub fn fault_simulate_sequence(
         &self,
         sequence: &TestSequence,
@@ -535,6 +503,7 @@ impl<'c> DelayAtpg<'c> {
 mod tests {
     use super::*;
     use gdf_netlist::{generator, suite, CircuitBuilder, GateKind};
+    use rand::SeedableRng;
 
     #[test]
     fn s27_full_run_accounting() {
@@ -547,7 +516,10 @@ mod tests {
             "every fault classified exactly once"
         );
         assert!(row.tested > 0, "some faults must be tested");
-        assert!(row.untestable > 0, "robust model leaves untestables (paper)");
+        assert!(
+            row.untestable > 0,
+            "robust model leaves untestables (paper)"
+        );
         assert!(row.patterns > 0);
         // Each tested-with-sequence record points at a real sequence.
         for r in &run.records {
@@ -595,12 +567,13 @@ mod tests {
             } else {
                 &[]
             };
-            let hits = detected_delay_faults(&c, &w, &[r.fault], obs, &[]);
+            let fault = r.fault.as_delay().expect("non-scan records delay faults");
+            let hits = detected_delay_faults(&c, &w, &[fault], obs, &[]);
             assert_eq!(
                 hits.len(),
                 1,
                 "sequence does not provoke/observe {}",
-                r.fault.describe(&c)
+                fault.describe(&c)
             );
             checked += 1;
         }

@@ -1,0 +1,1099 @@
+//! The unified engine API: one builder, one trait, one outcome type for
+//! all three ATPG backends.
+//!
+//! The paper's headline is the *combined* system, but a production test
+//! flow runs several generators over the same netlist: the non-scan gate
+//! delay ATPG (TDgen + SEMILET, Figure 4), the enhanced-scan baseline,
+//! and SEMILET's standalone sequential stuck-at mode. This module gives
+//! them one surface:
+//!
+//! * [`AtpgEngine`] — the object-safe trait every backend implements:
+//!   `target` one fault, or `run` the whole universe;
+//! * [`Atpg::builder`] — the single fluent constructor
+//!   (`.backend(…)`, `.model(…)`, `.universe(…)`, `.limits(…)`,
+//!   `.seed(…)`, `.observer(…)`, `.time_budget(…)`, `.parallelism(…)`);
+//! * [`FaultOutcome`] / [`AtpgError`] — the shared per-fault result and
+//!   error types replacing `TdGenOutcome` / `ScanOutcome` /
+//!   `StuckAtOutcome` at the public boundary;
+//! * [`Observer`] — streaming per-fault records, progress and
+//!   cooperative cancellation, so callers no longer wait for the whole
+//!   run to buffer;
+//! * fault-level parallel orchestration (`.parallelism(n)`) with a
+//!   deterministic merge: results are **identical to a serial run for
+//!   the same seed**, because workers only *speculate* on per-fault
+//!   generation (a pure function of the fault) while classification,
+//!   fault-simulation credit and the X-fill RNG stream stay on the
+//!   merge thread in fault-list order.
+//!
+//! # Example
+//!
+//! ```
+//! use gdf_core::engine::{Atpg, Backend};
+//! use gdf_netlist::suite;
+//!
+//! let c = suite::s27();
+//! let mut engine = Atpg::builder(&c).backend(Backend::NonScan).build();
+//! let run = engine.run();
+//! assert!(run.report.row.tested > 0);
+//! ```
+
+use crate::driver::{AtpgRun, DelayAtpg, DelayAtpgConfig, FaultClassification, FaultRecord};
+use crate::pattern::TestSequence;
+use crate::report::{CircuitReport, Table3Row};
+use crate::scan::ScanDelayAtpg;
+use gdf_netlist::{Circuit, Fault, FaultUniverse, NodeId};
+use gdf_semilet::stuckat::{StuckAtAtpg, StuckAtConfig, StuckAtOutcome};
+use gdf_tdgen::{FaultModel, TdGenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Search budgets shared by every backend, with the paper's defaults.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`Limits::new`] / [`Limits::default`] and the `with_*` setters, so
+/// future budget knobs are not breaking changes.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Backtrack limit of the local (TDgen) search — the paper uses 100.
+    pub local_backtrack_limit: u32,
+    /// Backtrack limit of each sequential (SEMILET) frame — paper: 100.
+    pub sequential_backtrack_limit: u32,
+    /// Maximum slow-clock propagation frames.
+    pub max_propagation_frames: usize,
+    /// Maximum synchronizing-sequence length.
+    pub max_sync_frames: usize,
+    /// Alternative observation targets the inter-phase backtracking may
+    /// try per fault (non-scan backend).
+    pub max_observation_retries: usize,
+    /// Maximum sequence length of the sequential stuck-at backend.
+    pub max_stuckat_frames: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            local_backtrack_limit: 100,
+            sequential_backtrack_limit: 100,
+            max_propagation_frames: 32,
+            max_sync_frames: 32,
+            max_observation_retries: 4,
+            max_stuckat_frames: 24,
+        }
+    }
+}
+
+impl Limits {
+    /// The paper's default budgets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the local (TDgen) backtrack limit.
+    pub fn with_local_backtrack_limit(mut self, v: u32) -> Self {
+        self.local_backtrack_limit = v;
+        self
+    }
+
+    /// Sets the per-frame sequential (SEMILET) backtrack limit.
+    pub fn with_sequential_backtrack_limit(mut self, v: u32) -> Self {
+        self.sequential_backtrack_limit = v;
+        self
+    }
+
+    /// Sets the maximum number of slow-clock propagation frames.
+    pub fn with_max_propagation_frames(mut self, v: usize) -> Self {
+        self.max_propagation_frames = v;
+        self
+    }
+
+    /// Sets the maximum synchronizing-sequence length.
+    pub fn with_max_sync_frames(mut self, v: usize) -> Self {
+        self.max_sync_frames = v;
+        self
+    }
+
+    /// Sets the observation-retry budget of the non-scan backend.
+    pub fn with_max_observation_retries(mut self, v: usize) -> Self {
+        self.max_observation_retries = v;
+        self
+    }
+
+    /// Sets the maximum sequence length of the stuck-at backend.
+    pub fn with_max_stuckat_frames(mut self, v: usize) -> Self {
+        self.max_stuckat_frames = v;
+        self
+    }
+}
+
+/// Errors of the unified engine API.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtpgError {
+    /// The fault's model does not match the engine (e.g. a stuck-at
+    /// fault handed to a delay-fault backend).
+    UnsupportedFault {
+        /// Name of the rejecting engine.
+        engine: &'static str,
+        /// The offending fault.
+        fault: Fault,
+    },
+    /// An [`Observer`] requested cancellation; the run classified every
+    /// remaining fault as aborted and returned early.
+    Cancelled,
+    /// The `time_budget` expired; the run classified every remaining
+    /// fault as aborted and returned early.
+    TimeBudgetExceeded,
+}
+
+impl fmt::Display for AtpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtpgError::UnsupportedFault { engine, .. } => {
+                write!(f, "fault model not supported by the {engine} engine")
+            }
+            AtpgError::Cancelled => f.write_str("run cancelled by observer"),
+            AtpgError::TimeBudgetExceeded => f.write_str("time budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for AtpgError {}
+
+/// A successful detection: the complete test plus its bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// The complete applied sequence. At-speed two-pattern for the delay
+    /// backends ([`TestSequence::at_speed`] is `Some`), all-slow for the
+    /// stuck-at backend. Vectors cover the circuit's primary inputs —
+    /// except for the enhanced-scan backend, whose two vectors cover the
+    /// PIs followed by the independently loadable scan-cell values (in
+    /// [`Circuit::dffs`] order).
+    pub sequence: TestSequence,
+    /// The observing output, when the backend pins one down, always in
+    /// **original-circuit** node ids (resolvable against
+    /// [`AtpgEngine::circuit`]): the PO of the final frame for the
+    /// stuck-at backend; for the enhanced-scan backend a real PO, or the
+    /// PPO (D net) whose scan cell captures the effect; `None` for the
+    /// non-scan delay driver (observation may move during propagation).
+    pub observed_po: Option<NodeId>,
+    /// PPO nets whose steady value the propagation phase relies on
+    /// (non-scan backend; feeds the §5 invalidation check).
+    pub relied_ppos: Vec<NodeId>,
+}
+
+/// Per-fault result of the unified API — the merge of the per-backend
+/// `TdGenOutcome` / `ScanOutcome` / `StuckAtOutcome` shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// A complete test detects the fault.
+    Detected(Box<Detection>),
+    /// Proven untestable within the documented search bounds.
+    Untestable,
+    /// Abandoned at a backtrack / retry / frame limit.
+    Aborted,
+}
+
+impl FaultOutcome {
+    /// The detection, if the fault was tested.
+    pub fn detection(&self) -> Option<&Detection> {
+        match self {
+            FaultOutcome::Detected(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether a test was found.
+    pub fn is_detected(&self) -> bool {
+        matches!(self, FaultOutcome::Detected(_))
+    }
+}
+
+/// Streaming consumer of a run: per-fault records as they are decided,
+/// progress, and cooperative cancellation.
+///
+/// All callbacks run on the merge thread in deterministic fault-list
+/// order, for serial *and* parallel runs alike.
+pub trait Observer {
+    /// The run is starting; `total_faults` records will follow.
+    fn on_run_start(&mut self, engine: &'static str, circuit: &Circuit, total_faults: usize) {
+        let _ = (engine, circuit, total_faults);
+    }
+
+    /// One fault has been classified (explicitly targeted or credited by
+    /// fault simulation).
+    fn on_fault(&mut self, record: &FaultRecord) {
+        let _ = record;
+    }
+
+    /// A new test sequence was emitted.
+    fn on_sequence(&mut self, index: usize, sequence: &TestSequence) {
+        let _ = (index, sequence);
+    }
+
+    /// Progress: `decided` of `total` faults classified so far.
+    fn on_progress(&mut self, decided: usize, total: usize) {
+        let _ = (decided, total);
+    }
+
+    /// The run finished (or stopped early); the final report.
+    fn on_run_end(&mut self, report: &CircuitReport) {
+        let _ = report;
+    }
+
+    /// Polled between faults; returning `true` stops the run, classifying
+    /// every remaining fault as aborted.
+    fn cancelled(&mut self) -> bool {
+        false
+    }
+}
+
+/// The object-safe engine interface implemented by all three backends.
+pub trait AtpgEngine {
+    /// Stable backend name (`"non-scan"`, `"enhanced-scan"`,
+    /// `"stuck-at"`).
+    fn name(&self) -> &'static str;
+
+    /// The circuit under test (the original netlist, not a rewritten
+    /// view).
+    fn circuit(&self) -> &Circuit;
+
+    /// The fault universe this engine targets, in deterministic order.
+    fn faults(&self) -> &[Fault];
+
+    /// Generates for a single fault. Pure with respect to engine state:
+    /// repeated calls with the same fault return the same outcome.
+    fn target(&mut self, fault: Fault) -> Result<FaultOutcome, AtpgError>;
+
+    /// Runs the whole fault universe: generation, (backend-specific)
+    /// fault-simulation credit, streaming observation, optional
+    /// parallelism and time budget.
+    fn run(&mut self) -> AtpgRun;
+}
+
+/// Entry point of the unified API.
+///
+/// # Example
+///
+/// ```
+/// use gdf_core::engine::{Atpg, Backend, Limits};
+/// use gdf_netlist::suite;
+///
+/// let c = suite::s27();
+/// let mut engine = Atpg::builder(&c)
+///     .backend(Backend::StuckAt)
+///     .limits(Limits::new().with_sequential_backtrack_limit(50))
+///     .build();
+/// let run = engine.run();
+/// assert_eq!(run.report.row.total_faults() as usize, run.records.len());
+/// ```
+pub struct Atpg;
+
+impl Atpg {
+    /// Starts building an engine over `circuit`.
+    pub fn builder(circuit: &Circuit) -> AtpgBuilder<'_> {
+        AtpgBuilder {
+            circuit,
+            backend: Backend::NonScan,
+            model: FaultModel::Robust,
+            universe: FaultUniverse::default(),
+            limits: Limits::default(),
+            seed: 0x1995_0308,
+            parallelism: 1,
+            time_budget: None,
+            observer: None,
+        }
+    }
+}
+
+/// Which generator the builder constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The paper's combined TDgen + SEMILET non-scan delay ATPG.
+    NonScan,
+    /// The enhanced-scan combinational delay baseline.
+    EnhancedScan,
+    /// SEMILET's standalone sequential stuck-at ATPG.
+    StuckAt,
+}
+
+/// Fluent builder for every backend; see [`Atpg::builder`].
+pub struct AtpgBuilder<'c> {
+    circuit: &'c Circuit,
+    backend: Backend,
+    model: FaultModel,
+    universe: FaultUniverse,
+    limits: Limits,
+    seed: u64,
+    parallelism: usize,
+    time_budget: Option<Duration>,
+    observer: Option<Box<dyn Observer + 'c>>,
+}
+
+impl<'c> AtpgBuilder<'c> {
+    /// Selects the backend (default: [`Backend::NonScan`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Robust (default) or non-robust delay fault model. Ignored by the
+    /// stuck-at backend.
+    pub fn model(mut self, model: FaultModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The fault universe to enumerate (default: every stem and branch).
+    pub fn universe(mut self, universe: FaultUniverse) -> Self {
+        self.universe = universe;
+        self
+    }
+
+    /// Search budgets (default: the paper's limits).
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Seed of the deterministic X-fill used by fault-simulation credit.
+    ///
+    /// Only the non-scan backend has a credit pass (and thus an RNG);
+    /// the enhanced-scan and stuck-at backends are fully deterministic
+    /// searches, so this setter has no effect on their results.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of speculative generation workers (default 1 = serial).
+    ///
+    /// Classification, credit and reporting are identical to a serial
+    /// run for the same seed; only wall-clock changes. Values are
+    /// clamped to at least 1.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for `run`; on expiry the remaining faults are
+    /// classified aborted and [`AtpgRun::stopped`] reports
+    /// [`AtpgError::TimeBudgetExceeded`].
+    ///
+    /// A budgeted run is *not* comparable across machines or
+    /// parallelism levels — where the cut falls depends on timing.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Attaches a streaming [`Observer`].
+    pub fn observer(mut self, observer: impl Observer + 'c) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Builds the selected backend as a boxed [`AtpgEngine`].
+    pub fn build(self) -> Box<dyn AtpgEngine + 'c> {
+        let opts = RunOptions {
+            seed: self.seed,
+            parallelism: self.parallelism,
+            time_budget: self.time_budget,
+            observer: self.observer,
+        };
+        match self.backend {
+            Backend::NonScan => {
+                let config = DelayAtpgConfig::new()
+                    .with_model(self.model)
+                    .with_universe(self.universe)
+                    .with_xfill_seed(self.seed)
+                    .with_limits(self.limits);
+                Box::new(NonScanEngine::with_options(self.circuit, config, opts))
+            }
+            Backend::EnhancedScan => Box::new(EnhancedScanEngine::with_options(
+                self.circuit,
+                TdGenConfig {
+                    backtrack_limit: self.limits.local_backtrack_limit,
+                    model: self.model,
+                },
+                self.universe,
+                opts,
+            )),
+            Backend::StuckAt => Box::new(StuckAtEngine::with_options(
+                self.circuit,
+                StuckAtConfig {
+                    backtrack_limit: self.limits.sequential_backtrack_limit,
+                    max_frames: self.limits.max_stuckat_frames,
+                },
+                self.universe,
+                opts,
+            )),
+        }
+    }
+}
+
+/// Runtime options shared by every engine.
+struct RunOptions<'c> {
+    seed: u64,
+    parallelism: usize,
+    time_budget: Option<Duration>,
+    observer: Option<Box<dyn Observer + 'c>>,
+}
+
+impl Default for RunOptions<'_> {
+    fn default() -> Self {
+        RunOptions {
+            seed: 0x1995_0308,
+            parallelism: 1,
+            time_budget: None,
+            observer: None,
+        }
+    }
+}
+
+/// Internal per-backend generation/credit hooks. `Sync` so speculative
+/// generation can fan out across threads.
+trait Worker: Sync {
+    fn generate(&self, fault: Fault) -> Result<FaultOutcome, AtpgError>;
+
+    /// Fault-simulation credit for one emitted detection: indexes into
+    /// `candidates` of the additionally detected faults. The default
+    /// backend has no credit pass.
+    fn credit(&self, detection: &Detection, candidates: &[Fault], rng: &mut StdRng) -> Vec<usize> {
+        let _ = (detection, candidates, rng);
+        Vec::new()
+    }
+}
+
+impl Worker for DelayAtpg<'_> {
+    fn generate(&self, fault: Fault) -> Result<FaultOutcome, AtpgError> {
+        let f = fault.as_delay().ok_or(AtpgError::UnsupportedFault {
+            engine: NON_SCAN,
+            fault,
+        })?;
+        Ok(self.target_delay(f))
+    }
+
+    fn credit(&self, detection: &Detection, candidates: &[Fault], rng: &mut StdRng) -> Vec<usize> {
+        let delay: Vec<_> = candidates
+            .iter()
+            .map(|f| f.as_delay().expect("non-scan universe is delay faults"))
+            .collect();
+        self.fault_simulate_sequence(&detection.sequence, &detection.relied_ppos, &delay, rng)
+    }
+}
+
+impl Worker for ScanDelayAtpg {
+    fn generate(&self, fault: Fault) -> Result<FaultOutcome, AtpgError> {
+        let f = fault.as_delay().ok_or(AtpgError::UnsupportedFault {
+            engine: ENHANCED_SCAN,
+            fault,
+        })?;
+        Ok(self.generate(f))
+    }
+}
+
+impl Worker for StuckAtAtpg<'_> {
+    fn generate(&self, fault: Fault) -> Result<FaultOutcome, AtpgError> {
+        let f = fault.as_stuck().ok_or(AtpgError::UnsupportedFault {
+            engine: STUCK_AT,
+            fault,
+        })?;
+        Ok(match self.generate(f) {
+            StuckAtOutcome::Test { vectors, po } => FaultOutcome::Detected(Box::new(Detection {
+                sequence: TestSequence::static_sequence(vectors),
+                observed_po: Some(po),
+                relied_ppos: Vec::new(),
+            })),
+            StuckAtOutcome::Untestable => FaultOutcome::Untestable,
+            StuckAtOutcome::Aborted => FaultOutcome::Aborted,
+        })
+    }
+}
+
+const NON_SCAN: &str = "non-scan";
+const ENHANCED_SCAN: &str = "enhanced-scan";
+const STUCK_AT: &str = "stuck-at";
+
+/// The paper's combined TDgen + SEMILET system behind the unified API.
+pub struct NonScanEngine<'c> {
+    driver: DelayAtpg<'c>,
+    faults: Vec<Fault>,
+    opts: RunOptions<'c>,
+}
+
+impl<'c> NonScanEngine<'c> {
+    /// Default configuration (paper limits, robust model).
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Self::with_config(circuit, DelayAtpgConfig::default())
+    }
+
+    /// Explicit driver configuration.
+    pub fn with_config(circuit: &'c Circuit, config: DelayAtpgConfig) -> Self {
+        let opts = RunOptions {
+            seed: config.xfill_seed,
+            ..RunOptions::default()
+        };
+        Self::with_options(circuit, config, opts)
+    }
+
+    fn with_options(circuit: &'c Circuit, config: DelayAtpgConfig, opts: RunOptions<'c>) -> Self {
+        let faults = config
+            .universe
+            .delay_faults(circuit)
+            .into_iter()
+            .map(Fault::Delay)
+            .collect();
+        NonScanEngine {
+            driver: DelayAtpg::with_config(circuit, config),
+            faults,
+            opts,
+        }
+    }
+}
+
+impl AtpgEngine for NonScanEngine<'_> {
+    fn name(&self) -> &'static str {
+        NON_SCAN
+    }
+
+    fn circuit(&self) -> &Circuit {
+        self.driver.circuit()
+    }
+
+    fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    fn target(&mut self, fault: Fault) -> Result<FaultOutcome, AtpgError> {
+        Worker::generate(&self.driver, fault)
+    }
+
+    fn run(&mut self) -> AtpgRun {
+        orchestrate(
+            NON_SCAN,
+            self.driver.circuit(),
+            &self.driver,
+            &self.faults,
+            &mut self.opts,
+        )
+    }
+}
+
+/// The enhanced-scan combinational baseline behind the unified API.
+pub struct EnhancedScanEngine<'c> {
+    circuit: &'c Circuit,
+    scan: ScanDelayAtpg,
+    faults: Vec<Fault>,
+    opts: RunOptions<'c>,
+}
+
+impl<'c> EnhancedScanEngine<'c> {
+    /// Default TDgen limits over the scan view.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Self::with_options(
+            circuit,
+            TdGenConfig::default(),
+            FaultUniverse::default(),
+            RunOptions::default(),
+        )
+    }
+
+    fn with_options(
+        circuit: &'c Circuit,
+        config: TdGenConfig,
+        universe: FaultUniverse,
+        opts: RunOptions<'c>,
+    ) -> Self {
+        let faults = universe
+            .delay_faults(circuit)
+            .into_iter()
+            .map(Fault::Delay)
+            .collect();
+        EnhancedScanEngine {
+            circuit,
+            scan: ScanDelayAtpg::with_config(circuit, config),
+            faults,
+            opts,
+        }
+    }
+}
+
+impl AtpgEngine for EnhancedScanEngine<'_> {
+    fn name(&self) -> &'static str {
+        ENHANCED_SCAN
+    }
+
+    fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    fn target(&mut self, fault: Fault) -> Result<FaultOutcome, AtpgError> {
+        Worker::generate(&self.scan, fault)
+    }
+
+    fn run(&mut self) -> AtpgRun {
+        orchestrate(
+            ENHANCED_SCAN,
+            self.circuit,
+            &self.scan,
+            &self.faults,
+            &mut self.opts,
+        )
+    }
+}
+
+/// SEMILET's sequential stuck-at ATPG behind the unified API.
+pub struct StuckAtEngine<'c> {
+    atpg: StuckAtAtpg<'c>,
+    faults: Vec<Fault>,
+    opts: RunOptions<'c>,
+}
+
+impl<'c> StuckAtEngine<'c> {
+    /// Default limits over the full stuck-at universe.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Self::with_options(
+            circuit,
+            StuckAtConfig::default(),
+            FaultUniverse::default(),
+            RunOptions::default(),
+        )
+    }
+
+    fn with_options(
+        circuit: &'c Circuit,
+        config: StuckAtConfig,
+        universe: FaultUniverse,
+        opts: RunOptions<'c>,
+    ) -> Self {
+        let faults = universe
+            .stuck_faults(circuit)
+            .into_iter()
+            .map(Fault::Stuck)
+            .collect();
+        StuckAtEngine {
+            atpg: StuckAtAtpg::with_config(circuit, config),
+            faults,
+            opts,
+        }
+    }
+}
+
+impl AtpgEngine for StuckAtEngine<'_> {
+    fn name(&self) -> &'static str {
+        STUCK_AT
+    }
+
+    fn circuit(&self) -> &Circuit {
+        self.atpg.circuit()
+    }
+
+    fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    fn target(&mut self, fault: Fault) -> Result<FaultOutcome, AtpgError> {
+        Worker::generate(&self.atpg, fault)
+    }
+
+    fn run(&mut self) -> AtpgRun {
+        orchestrate(
+            STUCK_AT,
+            self.atpg.circuit(),
+            &self.atpg,
+            &self.faults,
+            &mut self.opts,
+        )
+    }
+}
+
+/// How many speculative generations each wave schedules per worker. A
+/// wave is the unit between deterministic merges; a small factor keeps
+/// wasted speculation (results for faults an earlier merge drops) low
+/// while still amortizing thread startup.
+const WAVE_FACTOR: usize = 4;
+
+/// The shared run loop: deterministic classification + credit + streaming
+/// on the merge thread, with optional speculative parallel generation.
+///
+/// Invariant: for a fixed seed, the returned [`AtpgRun`] (records,
+/// sequences and normalized report) is identical for every
+/// `parallelism` level, because per-fault generation is pure and every
+/// state mutation (records, credit RNG, sequence numbering, observer
+/// callbacks) happens here in fault-list order.
+fn orchestrate(
+    name: &'static str,
+    circuit: &Circuit,
+    worker: &dyn Worker,
+    faults: &[Fault],
+    opts: &mut RunOptions<'_>,
+) -> AtpgRun {
+    let start = Instant::now();
+    let total = faults.len();
+    let mut records: Vec<Option<FaultRecord>> = vec![None; total];
+    let mut sequences: Vec<TestSequence> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut dropped = 0u32;
+    let mut decided = 0usize;
+    let mut stopped: Option<AtpgError> = None;
+    let parallelism = opts.parallelism.max(1);
+    let observer = &mut opts.observer;
+
+    if let Some(o) = observer.as_deref_mut() {
+        o.on_run_start(name, circuit, total);
+    }
+
+    let mut pos = 0usize;
+    'run: while pos < total {
+        // Collect the next wave of undecided fault indexes.
+        let mut wave: Vec<usize> = Vec::with_capacity(parallelism * WAVE_FACTOR);
+        while pos < total && wave.len() < parallelism * WAVE_FACTOR {
+            if records[pos].is_none() {
+                wave.push(pos);
+            }
+            pos += 1;
+        }
+        if wave.is_empty() {
+            break;
+        }
+
+        // Speculative generation: pure per-fault work, safe to fan out.
+        //
+        // Workers are scoped per wave rather than pooled for the whole
+        // run: the scope is what lets them borrow `worker`/`faults`
+        // without `Arc`, and joining before the merge is what bounds
+        // wasted speculation to one wave of faults that the merge's
+        // credit pass may drop. The spawn cost (~tens of µs per thread)
+        // is noise against per-fault generation on the backends where
+        // parallelism pays; overlapping generation with the merge would
+        // save the join idle time at the price of a watermark protocol —
+        // worth revisiting if profiles ever show the merge dominating.
+        let mut speculative: Vec<Option<Result<FaultOutcome, AtpgError>>> =
+            if parallelism > 1 && wave.len() > 1 {
+                let slots: Vec<OnceLock<Result<FaultOutcome, AtpgError>>> =
+                    (0..wave.len()).map(|_| OnceLock::new()).collect();
+                let next = AtomicUsize::new(0);
+                thread::scope(|s| {
+                    for _ in 0..parallelism.min(wave.len()) {
+                        let next = &next;
+                        let wave = &wave;
+                        let slots = &slots;
+                        s.spawn(move || loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= wave.len() {
+                                break;
+                            }
+                            let out = worker.generate(faults[wave[k]]);
+                            slots[k].set(out).expect("each slot claimed once");
+                        });
+                    }
+                });
+                slots.into_iter().map(OnceLock::into_inner).collect()
+            } else {
+                Vec::new()
+            };
+
+        // Deterministic merge, in fault-list order.
+        for (slot, &idx) in wave.iter().enumerate() {
+            if stopped.is_none() {
+                if observer.as_deref_mut().is_some_and(|o| o.cancelled()) {
+                    stopped = Some(AtpgError::Cancelled);
+                } else if opts
+                    .time_budget
+                    .is_some_and(|budget| start.elapsed() > budget)
+                {
+                    stopped = Some(AtpgError::TimeBudgetExceeded);
+                }
+            }
+            if stopped.is_some() {
+                break 'run;
+            }
+            if records[idx].is_some() {
+                continue; // dropped by an earlier merge in this wave
+            }
+            let outcome = match speculative.get_mut(slot).and_then(Option::take) {
+                Some(out) => out,
+                None => worker.generate(faults[idx]),
+            };
+            let classification = match outcome {
+                Ok(FaultOutcome::Detected(detection)) => {
+                    let seq_index = sequences.len();
+                    records[idx] = Some(FaultRecord {
+                        fault: faults[idx],
+                        classification: FaultClassification::Tested,
+                        by_simulation: false,
+                        sequence_index: Some(seq_index),
+                    });
+                    decided += 1;
+                    if let Some(o) = observer.as_deref_mut() {
+                        o.on_fault(records[idx].as_ref().expect("just set"));
+                    }
+                    // Fault-simulation credit over the still-undecided
+                    // faults, exactly as the serial driver does it.
+                    let undecided: Vec<usize> =
+                        (0..total).filter(|&i| records[i].is_none()).collect();
+                    let candidates: Vec<Fault> = undecided.iter().map(|&i| faults[i]).collect();
+                    let hits = worker.credit(&detection, &candidates, &mut rng);
+                    for hit in hits {
+                        let i = undecided[hit];
+                        if records[i].is_none() {
+                            dropped += 1;
+                            decided += 1;
+                            records[i] = Some(FaultRecord {
+                                fault: faults[i],
+                                classification: FaultClassification::Tested,
+                                by_simulation: true,
+                                sequence_index: Some(seq_index),
+                            });
+                            if let Some(o) = observer.as_deref_mut() {
+                                o.on_fault(records[i].as_ref().expect("just set"));
+                            }
+                        }
+                    }
+                    sequences.push(detection.sequence);
+                    if let Some(o) = observer.as_deref_mut() {
+                        o.on_sequence(seq_index, &sequences[seq_index]);
+                        o.on_progress(decided, total);
+                    }
+                    continue;
+                }
+                Ok(FaultOutcome::Untestable) => FaultClassification::Untestable,
+                Ok(FaultOutcome::Aborted) | Err(_) => FaultClassification::Aborted,
+            };
+            records[idx] = Some(FaultRecord {
+                fault: faults[idx],
+                classification,
+                by_simulation: false,
+                sequence_index: None,
+            });
+            decided += 1;
+            if let Some(o) = observer.as_deref_mut() {
+                o.on_fault(records[idx].as_ref().expect("just set"));
+                o.on_progress(decided, total);
+            }
+        }
+    }
+
+    // Early stop: everything still undecided is abandoned.
+    if stopped.is_some() {
+        for (i, rec) in records.iter_mut().enumerate() {
+            if rec.is_none() {
+                *rec = Some(FaultRecord {
+                    fault: faults[i],
+                    classification: FaultClassification::Aborted,
+                    by_simulation: false,
+                    sequence_index: None,
+                });
+                decided += 1;
+                if let Some(o) = observer.as_deref_mut() {
+                    o.on_fault(rec.as_ref().expect("just set"));
+                }
+            }
+        }
+        if let Some(o) = observer.as_deref_mut() {
+            o.on_progress(decided, total);
+        }
+    }
+
+    let records: Vec<FaultRecord> = records.into_iter().map(|r| r.expect("decided")).collect();
+    let count =
+        |c: FaultClassification| records.iter().filter(|r| r.classification == c).count() as u32;
+    let report = CircuitReport {
+        row: Table3Row {
+            circuit: circuit.name().to_string(),
+            tested: count(FaultClassification::Tested),
+            untestable: count(FaultClassification::Untestable),
+            aborted: count(FaultClassification::Aborted),
+            patterns: sequences.iter().map(|s| s.len() as u32).sum(),
+            elapsed: start.elapsed(),
+        },
+        dropped_by_simulation: dropped,
+        sequences: sequences.len() as u32,
+    };
+    if let Some(o) = observer.as_deref_mut() {
+        o.on_run_end(&report);
+    }
+    AtpgRun {
+        records,
+        sequences,
+        report,
+        stopped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdf_netlist::suite;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn builder_constructs_all_backends() {
+        let c = suite::s27();
+        for (backend, name) in [
+            (Backend::NonScan, NON_SCAN),
+            (Backend::EnhancedScan, ENHANCED_SCAN),
+            (Backend::StuckAt, STUCK_AT),
+        ] {
+            let mut engine = Atpg::builder(&c).backend(backend).build();
+            assert_eq!(engine.name(), name);
+            assert_eq!(engine.circuit().name(), "s27");
+            let faults = engine.faults().to_vec();
+            assert!(!faults.is_empty());
+            let run = engine.run();
+            assert_eq!(run.records.len(), faults.len());
+            assert_eq!(run.report.row.total_faults() as usize, faults.len());
+            assert!(run.stopped.is_none());
+            assert!(run.report.row.tested > 0, "{name} finds tests on s27");
+        }
+    }
+
+    #[test]
+    fn target_rejects_wrong_fault_model() {
+        let c = suite::s27();
+        let stuck = FaultUniverse::default().stuck_faults(&c)[0];
+        let delay = FaultUniverse::default().delay_faults(&c)[0];
+        let mut nonscan = Atpg::builder(&c).backend(Backend::NonScan).build();
+        assert!(matches!(
+            nonscan.target(Fault::Stuck(stuck)),
+            Err(AtpgError::UnsupportedFault { .. })
+        ));
+        let mut stuckat = Atpg::builder(&c).backend(Backend::StuckAt).build();
+        assert!(matches!(
+            stuckat.target(Fault::Delay(delay)),
+            Err(AtpgError::UnsupportedFault { .. })
+        ));
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        events: Arc<Mutex<Vec<String>>>,
+        cancel_after: Option<usize>,
+        seen: usize,
+    }
+
+    impl Observer for Recorder {
+        fn on_run_start(&mut self, engine: &'static str, _c: &Circuit, total: usize) {
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("start {engine} {total}"));
+        }
+        fn on_fault(&mut self, record: &FaultRecord) {
+            self.seen += 1;
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("fault {:?}", record.classification));
+        }
+        fn on_run_end(&mut self, report: &CircuitReport) {
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("end {}", report.row.total_faults()));
+        }
+        fn cancelled(&mut self) -> bool {
+            self.cancel_after.is_some_and(|n| self.seen >= n)
+        }
+    }
+
+    #[test]
+    fn observer_streams_every_record() {
+        let c = suite::s27();
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let mut engine = Atpg::builder(&c)
+            .backend(Backend::NonScan)
+            .observer(Recorder {
+                events: Arc::clone(&events),
+                ..Recorder::default()
+            })
+            .build();
+        let run = engine.run();
+        let events = events.lock().unwrap();
+        assert!(events[0].starts_with("start non-scan"));
+        let fault_events = events.iter().filter(|e| e.starts_with("fault")).count();
+        assert_eq!(fault_events, run.records.len());
+        assert!(events.last().unwrap().starts_with("end"));
+    }
+
+    #[test]
+    fn cancellation_stops_early_and_aborts_rest() {
+        let c = suite::s27();
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let mut engine = Atpg::builder(&c)
+            .backend(Backend::NonScan)
+            .observer(Recorder {
+                events: Arc::clone(&events),
+                cancel_after: Some(3),
+                ..Recorder::default()
+            })
+            .build();
+        let run = engine.run();
+        assert_eq!(run.stopped, Some(AtpgError::Cancelled));
+        assert_eq!(run.records.len(), run.report.row.total_faults() as usize);
+        assert!(run.report.row.aborted > 0, "remaining faults aborted");
+        // Every fault still classified exactly once.
+        let fault_events = events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.starts_with("fault"))
+            .count();
+        assert_eq!(fault_events, run.records.len());
+    }
+
+    #[test]
+    fn zero_time_budget_aborts_everything() {
+        let c = suite::s27();
+        let mut engine = Atpg::builder(&c)
+            .backend(Backend::StuckAt)
+            .time_budget(Duration::ZERO)
+            .build();
+        let run = engine.run();
+        assert_eq!(run.stopped, Some(AtpgError::TimeBudgetExceeded));
+        assert_eq!(
+            run.report.row.aborted as usize,
+            run.records.len(),
+            "nothing decided under a zero budget"
+        );
+    }
+
+    #[test]
+    fn parallel_is_byte_identical_to_serial() {
+        let c = suite::s27();
+        let serial = Atpg::builder(&c)
+            .backend(Backend::NonScan)
+            .seed(7)
+            .build()
+            .run();
+        for n in [2, 4, 7] {
+            let parallel = Atpg::builder(&c)
+                .backend(Backend::NonScan)
+                .seed(7)
+                .parallelism(n)
+                .build()
+                .run();
+            assert_eq!(serial.records, parallel.records, "parallelism {n}");
+            assert_eq!(serial.sequences, parallel.sequences, "parallelism {n}");
+            assert_eq!(
+                serial.report.row.normalized(),
+                parallel.report.row.normalized(),
+                "parallelism {n}"
+            );
+            assert_eq!(
+                serial.report.dropped_by_simulation,
+                parallel.report.dropped_by_simulation
+            );
+        }
+    }
+}

@@ -32,12 +32,18 @@
 
 pub mod compact;
 pub mod driver;
+pub mod engine;
 pub mod pattern;
 pub mod report;
 pub mod scan;
 
 pub use compact::{compact_sequences, CompactionResult};
-pub use driver::{DelayAtpg, DelayAtpgConfig, FaultClassification, FaultRecord};
+pub use driver::{AtpgRun, DelayAtpg, DelayAtpgConfig, FaultClassification, FaultRecord};
+pub use engine::{
+    Atpg, AtpgBuilder, AtpgEngine, AtpgError, Backend, Detection, EnhancedScanEngine, FaultOutcome,
+    Limits, NonScanEngine, Observer, StuckAtEngine,
+};
+pub use gdf_netlist::Fault;
 pub use pattern::{ClockSpeed, TestSequence, TimedVector};
 pub use report::{CircuitReport, Table3Row};
-pub use scan::{ScanDelayAtpg, ScanOutcome};
+pub use scan::ScanDelayAtpg;

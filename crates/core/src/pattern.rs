@@ -59,7 +59,9 @@ pub struct TimedVector {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TestSequence {
     vectors: Vec<TimedVector>,
-    fast_index: usize,
+    /// `Some(i)` for an at-speed two-pattern test whose capture frame is
+    /// `i`; `None` for an all-slow (static-fault) sequence.
+    fast_index: Option<usize>,
 }
 
 impl TestSequence {
@@ -94,8 +96,34 @@ impl TestSequence {
         }
         TestSequence {
             vectors,
-            fast_index,
+            fast_index: Some(fast_index),
         }
+    }
+
+    /// Assembles an all-slow sequence for a *static* fault (the unified
+    /// engine's stuck-at backend): every frame is applied and captured at
+    /// the relaxed clock, so there is no launch/capture pair.
+    ///
+    /// [`Self::at_speed`] returns `None` for such sequences, and the
+    /// frame-role accessors ([`Self::init_len`], [`Self::propagation_len`])
+    /// report zero.
+    pub fn static_sequence(vectors: Vec<Vec<Logic3>>) -> Self {
+        TestSequence {
+            vectors: vectors
+                .into_iter()
+                .map(|pi| TimedVector {
+                    pi,
+                    clock: ClockSpeed::Slow,
+                })
+                .collect(),
+            fast_index: None,
+        }
+    }
+
+    /// `Some(index of the fast frame)` for an at-speed two-pattern test,
+    /// `None` for an all-slow static sequence.
+    pub fn at_speed(&self) -> Option<usize> {
+        self.fast_index
     }
 
     /// All frames in application order.
@@ -115,26 +143,36 @@ impl TestSequence {
     }
 
     /// Index of the fast (at-speed) frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics for all-slow static sequences (see [`Self::at_speed`] for
+    /// the non-panicking accessor).
     pub fn fast_frame_index(&self) -> usize {
         self.fast_index
+            .expect("static sequences have no fast frame; check at_speed() first")
     }
 
-    /// Number of initialization frames before `V1`.
+    /// Number of initialization frames before `V1` (zero for static
+    /// sequences, which have no frame roles).
     pub fn init_len(&self) -> usize {
-        self.fast_index - 1
+        self.fast_index.map_or(0, |i| i - 1)
     }
 
-    /// Number of propagation frames after the fast frame.
+    /// Number of propagation frames after the fast frame (zero for static
+    /// sequences).
     pub fn propagation_len(&self) -> usize {
-        self.vectors.len() - self.fast_index - 1
+        self.fast_index.map_or(0, |i| self.vectors.len() - i - 1)
     }
 
     /// The `(V1, V2)` pair of the launch/capture frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics for all-slow static sequences.
     pub fn test_pair(&self) -> (&[Logic3], &[Logic3]) {
-        (
-            &self.vectors[self.fast_index - 1].pi,
-            &self.vectors[self.fast_index].pi,
-        )
+        let fast = self.fast_frame_index();
+        (&self.vectors[fast - 1].pi, &self.vectors[fast].pi)
     }
 
     /// Replaces every `X` with values drawn from `fill` (deterministic
@@ -171,7 +209,7 @@ impl fmt::Display for TestSequence {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Logic3::{One, X, Zero};
+    use Logic3::{One, Zero, X};
 
     #[test]
     fn assembly_and_indexing() {
@@ -201,6 +239,18 @@ mod tests {
         let seq = TestSequence::new(vec![], vec![X, One], vec![Zero, X], vec![]);
         let filled = seq.filled_with(|| true);
         assert_eq!(filled, vec![vec![true, true], vec![false, true]]);
+    }
+
+    #[test]
+    fn static_sequence_has_no_fast_frame() {
+        let seq = TestSequence::static_sequence(vec![vec![Zero, One], vec![One, X]]);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.at_speed(), None);
+        assert_eq!(seq.init_len(), 0);
+        assert_eq!(seq.propagation_len(), 0);
+        assert!(seq.vectors().iter().all(|tv| tv.clock == ClockSpeed::Slow));
+        let filled = seq.filled_with(|| false);
+        assert_eq!(filled, vec![vec![false, true], vec![true, false]]);
     }
 
     #[test]

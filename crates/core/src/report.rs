@@ -29,6 +29,18 @@ impl Table3Row {
         self.tested + self.untestable + self.aborted
     }
 
+    /// The row with the wall-clock column zeroed — the comparable part.
+    ///
+    /// Two runs of the same deterministic configuration produce equal
+    /// `normalized()` rows even though their `elapsed` times differ; the
+    /// serial-vs-parallel conformance tests compare through this.
+    pub fn normalized(&self) -> Table3Row {
+        Table3Row {
+            elapsed: Duration::ZERO,
+            ..self.clone()
+        }
+    }
+
     /// Fraction of decided (non-aborted) faults that are tested.
     pub fn test_efficiency(&self) -> f64 {
         let decided = (self.tested + self.untestable) as f64;

@@ -14,23 +14,20 @@
 //! eventually made non-scan delay ATPG obsolete (at the price of scan
 //! area, which is exactly what the paper set out to avoid).
 
+use crate::engine::{Detection, FaultOutcome};
+use crate::pattern::TestSequence;
 use gdf_netlist::{Circuit, CircuitBuilder, DelayFault, FaultSite, GateKind, NodeId};
-use gdf_tdgen::{LocalTest, TdGen, TdGenConfig, TdGenOutcome};
-
-/// Result of scan-based generation for one fault.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ScanOutcome {
-    /// A two-pattern test over PIs + scanned state (`V1`/`V2` each cover
-    /// all PIs followed by all flip-flops).
-    Test(LocalTest),
-    /// Robustly untestable even with full enhanced scan (combinationally
-    /// redundant for the delay fault model).
-    Untestable,
-    /// Backtrack limit hit.
-    Aborted,
-}
+use gdf_tdgen::{LocalObservation, TdGen, TdGenConfig, TdGenOutcome};
 
 /// Enhanced-scan delay-fault ATPG over the combinational view.
+///
+/// Results come back as the unified [`FaultOutcome`]: a detection's
+/// sequence is the bare `V1`/`V2` launch/capture pair whose vectors run
+/// over the *scan view's* inputs — all original PIs in order, followed
+/// by all flip-flop (scan-cell) values in [`Circuit::dffs`] order, both
+/// independently loadable with enhanced scan — and `observed_po` names
+/// the observing output in **original-circuit** ids: a real PO maps to
+/// itself, a scan capture maps to the PPO (D net) the cell samples.
 ///
 /// # Example
 ///
@@ -41,8 +38,7 @@ pub enum ScanOutcome {
 /// let c = suite::s27();
 /// let scan = ScanDelayAtpg::new(&c);
 /// let faults = FaultUniverse::default().delay_faults(&c);
-/// let outcomes: Vec<_> = faults.iter().map(|&f| scan.generate(f)).collect();
-/// assert!(outcomes.iter().any(|o| matches!(o, gdf_core::ScanOutcome::Test(_))));
+/// assert!(faults.iter().any(|&f| scan.generate(f).is_detected()));
 /// ```
 #[derive(Debug)]
 pub struct ScanDelayAtpg {
@@ -53,6 +49,10 @@ pub struct ScanDelayAtpg {
     /// Like `node_map`, but flip-flops map to their capture buffers (the
     /// correct identity for branch *sinks*).
     sink_map: Vec<NodeId>,
+    /// Maps view *output* ids back to original-circuit ids: a real PO to
+    /// itself, a capture buffer to the PPO (D net) its scan cell samples.
+    /// Sparse over view ids; `None` for non-output view nodes.
+    po_map: Vec<Option<NodeId>>,
 }
 
 impl ScanDelayAtpg {
@@ -71,18 +71,29 @@ impl ScanDelayAtpg {
             .enumerate()
             .map(|(i, n)| {
                 if n.kind() == GateKind::Dff {
-                    view.node_by_name(&format!("__scan_{}", n.name()))
+                    view.node_by_name(&capture_name(n.name()))
                         .expect("capture buffer exists")
                 } else {
                     node_map[i]
                 }
             })
             .collect();
+        let mut po_map = vec![None; view.num_nodes()];
+        for &po in circuit.outputs() {
+            po_map[node_map[po.index()].index()] = Some(po);
+        }
+        for &ff in circuit.dffs() {
+            let capture = view
+                .node_by_name(&capture_name(circuit.node(ff).name()))
+                .expect("capture buffer exists");
+            po_map[capture.index()] = Some(circuit.ppo_of_dff(ff));
+        }
         ScanDelayAtpg {
             view,
             config,
             node_map,
             sink_map,
+            po_map,
         }
     }
 
@@ -94,7 +105,7 @@ impl ScanDelayAtpg {
 
     /// Generates an enhanced-scan two-pattern test for a fault expressed
     /// in the *original* circuit's node ids.
-    pub fn generate(&self, fault: DelayFault) -> ScanOutcome {
+    pub fn generate(&self, fault: DelayFault) -> FaultOutcome {
         let site = FaultSite {
             stem: self.node_map[fault.site.stem.index()],
             // A branch into a flip-flop becomes the branch into its scan
@@ -110,11 +121,31 @@ impl ScanDelayAtpg {
         };
         let gen = TdGen::with_config(&self.view, self.config);
         match gen.generate(mapped) {
-            TdGenOutcome::Test(t) => ScanOutcome::Test(t),
-            TdGenOutcome::Untestable => ScanOutcome::Untestable,
-            TdGenOutcome::Aborted => ScanOutcome::Aborted,
+            TdGenOutcome::Test(t) => FaultOutcome::Detected(Box::new(Detection {
+                sequence: TestSequence::new(Vec::new(), t.v1.clone(), t.v2.clone(), Vec::new()),
+                observed_po: match t.observation {
+                    // Translate back to original-circuit ids: a real PO
+                    // maps to itself, a capture buffer to the PPO (D net)
+                    // its scan cell samples — so the id resolves against
+                    // `AtpgEngine::circuit()`, which is the original
+                    // netlist, never the view.
+                    LocalObservation::AtPo(po) => self.po_map[po.index()],
+                    // The scan view is combinational, so observation is
+                    // always at a view output.
+                    LocalObservation::AtPpo { .. } => None,
+                },
+                relied_ppos: Vec::new(),
+            })),
+            TdGenOutcome::Untestable => FaultOutcome::Untestable,
+            TdGenOutcome::Aborted => FaultOutcome::Aborted,
         }
     }
+}
+
+/// The view name of the scan capture buffer for flip-flop `q` — the one
+/// definition tying the view builder and the id-map lookups together.
+fn capture_name(ff_name: &str) -> String {
+    format!("__scan_{ff_name}")
 }
 
 /// Rewrites a sequential circuit into its combinational view: every
@@ -148,7 +179,7 @@ pub fn combinational_view(circuit: &Circuit) -> (Circuit, Vec<NodeId>) {
     }
     for &ff in circuit.dffs() {
         let d = circuit.ppo_of_dff(ff);
-        let capture = format!("__scan_{}", circuit.node(ff).name());
+        let capture = capture_name(circuit.node(ff).name());
         b.add_gate(&capture, GateKind::Buf, &[circuit.node(d).name()]);
         b.mark_output(capture);
     }
@@ -198,7 +229,7 @@ mod tests {
         for &f in &faults {
             if nonscan.generate(f).test().is_some() {
                 assert!(
-                    matches!(scan.generate(f), ScanOutcome::Test(_)),
+                    scan.generate(f).is_detected(),
                     "scan lost {}",
                     f.describe(&c)
                 );
@@ -213,7 +244,7 @@ mod tests {
         let scan = ScanDelayAtpg::new(&c);
         let scan_tested = faults
             .iter()
-            .filter(|&&f| matches!(scan.generate(f), ScanOutcome::Test(_)))
+            .filter(|&&f| scan.generate(f).is_detected())
             .count();
         assert!(scan_tested > 0);
         // Spot-check a fault: a slow-to-rise on a DFF output line is
@@ -223,6 +254,40 @@ mod tests {
             site: FaultSite::on_stem(g5),
             kind: DelayFaultKind::SlowToRise,
         };
-        assert!(matches!(scan.generate(f), ScanOutcome::Test(_)));
+        match scan.generate(f) {
+            FaultOutcome::Detected(d) => {
+                assert_eq!(d.sequence.len(), 2, "bare launch/capture pair");
+                // The observing output resolves in the ORIGINAL circuit:
+                // either a real PO or a PPO (flip-flop D net).
+                let po = d.observed_po.expect("combinational observation");
+                assert!(po.index() < c.num_nodes(), "id is in original space");
+                let is_po = c.outputs().contains(&po);
+                let is_ppo = c.ppos().contains(&po);
+                assert!(
+                    is_po || is_ppo,
+                    "{} is neither PO nor PPO",
+                    c.node(po).name()
+                );
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observed_po_ids_resolve_in_original_circuit() {
+        let c = suite::s27();
+        let scan = ScanDelayAtpg::new(&c);
+        for f in FaultUniverse::default().delay_faults(&c) {
+            if let FaultOutcome::Detected(d) = scan.generate(f) {
+                let po = d.observed_po.expect("scan observation is combinational");
+                assert!(po.index() < c.num_nodes());
+                assert!(
+                    c.outputs().contains(&po) || c.ppos().contains(&po),
+                    "{}: observed at {} which is neither PO nor PPO",
+                    f.describe(&c),
+                    c.node(po).name()
+                );
+            }
+        }
     }
 }

@@ -262,11 +262,7 @@ impl Circuit {
             num_dffs: self.num_dffs(),
             num_gates: self.num_gates(),
             max_level: self.max_level,
-            num_fanout_stems: self
-                .nodes
-                .iter()
-                .filter(|n| n.fanout().len() > 1)
-                .count(),
+            num_fanout_stems: self.nodes.iter().filter(|n| n.fanout().len() > 1).count(),
         }
     }
 
@@ -339,7 +335,10 @@ impl fmt::Display for BuildError {
                 write!(f, "combinational cycle through signal `{name}`")
             }
             BuildError::BadArity { gate, kind, got } => {
-                write!(f, "gate `{gate}` of kind {kind} has invalid fanin count {got}")
+                write!(
+                    f,
+                    "gate `{gate}` of kind {kind} has invalid fanin count {got}"
+                )
             }
             BuildError::Empty => write!(f, "circuit has no nodes"),
         }
@@ -459,10 +458,13 @@ impl CircuitBuilder {
             }
             let mut fanin = Vec::with_capacity(p.fanin_names.len());
             for f in &p.fanin_names {
-                let id = by_name.get(f).copied().ok_or_else(|| BuildError::UnknownSignal {
-                    gate: p.name.clone(),
-                    signal: f.clone(),
-                })?;
+                let id = by_name
+                    .get(f)
+                    .copied()
+                    .ok_or_else(|| BuildError::UnknownSignal {
+                        gate: p.name.clone(),
+                        signal: f.clone(),
+                    })?;
                 fanin.push(id);
             }
             nodes.push(Node {
@@ -695,12 +697,18 @@ mod tests {
         b.add_input("a");
         b.add_input("b");
         b.add_gate("g", GateKind::Not, &["a", "b"]);
-        assert!(matches!(b.build().unwrap_err(), BuildError::BadArity { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::BadArity { .. }
+        ));
     }
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(CircuitBuilder::new("e").build().unwrap_err(), BuildError::Empty);
+        assert_eq!(
+            CircuitBuilder::new("e").build().unwrap_err(),
+            BuildError::Empty
+        );
     }
 
     #[test]

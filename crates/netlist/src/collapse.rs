@@ -93,11 +93,8 @@ pub fn collapse_delay_faults(circuit: &Circuit, faults: &[DelayFault]) -> Collap
         }
     }
 
-    let index: HashMap<DelayFault, usize> = faults
-        .iter()
-        .enumerate()
-        .map(|(i, &f)| (f, i))
-        .collect();
+    let index: HashMap<DelayFault, usize> =
+        faults.iter().enumerate().map(|(i, &f)| (f, i)).collect();
     let lookup = |site: FaultSite, kind: DelayFaultKind| -> Option<usize> {
         index.get(&DelayFault { site, kind }).copied()
     };
@@ -131,10 +128,8 @@ pub fn collapse_delay_faults(circuit: &Circuit, faults: &[DelayFault]) -> Collap
                 }
             } else {
                 // Only the branch into this gate is equivalent.
-                if let (Some(a), Some(b)) = (
-                    lookup(FaultSite::on_branch(src, gate, 0), kind),
-                    out,
-                ) {
+                if let (Some(a), Some(b)) = (lookup(FaultSite::on_branch(src, gate, 0), kind), out)
+                {
                     unite(&mut parent, a, b);
                 }
             }
@@ -178,11 +173,8 @@ mod tests {
         assert_eq!(col.representatives.len(), 2);
         // Classes keep polarity separate.
         for class in 0..2 {
-            let kinds: Vec<DelayFaultKind> = col
-                .members(class)
-                .iter()
-                .map(|&i| faults[i].kind)
-                .collect();
+            let kinds: Vec<DelayFaultKind> =
+                col.members(class).iter().map(|&i| faults[i].kind).collect();
             assert!(kinds.windows(2).all(|w| w[0] == w[1]));
         }
     }
@@ -202,15 +194,11 @@ mod tests {
         // a StR must share a class with n StF.
         let idx_a_str = faults
             .iter()
-            .position(|f| {
-                f.site == FaultSite::on_stem(a) && f.kind == DelayFaultKind::SlowToRise
-            })
+            .position(|f| f.site == FaultSite::on_stem(a) && f.kind == DelayFaultKind::SlowToRise)
             .unwrap();
         let idx_n_stf = faults
             .iter()
-            .position(|f| {
-                f.site == FaultSite::on_stem(n) && f.kind == DelayFaultKind::SlowToFall
-            })
+            .position(|f| f.site == FaultSite::on_stem(n) && f.kind == DelayFaultKind::SlowToFall)
             .unwrap();
         assert_eq!(col.class_of[idx_a_str], col.class_of[idx_n_stf]);
     }
@@ -276,9 +264,7 @@ mod tests {
         let n1 = c.node_by_name("n1").unwrap();
         let idx = faults
             .iter()
-            .position(|f| {
-                f.site == FaultSite::on_stem(n1) && f.kind == DelayFaultKind::SlowToRise
-            })
+            .position(|f| f.site == FaultSite::on_stem(n1) && f.kind == DelayFaultKind::SlowToRise)
             .unwrap();
         assert!(col.members(col.class_of[idx]).len() >= 2);
     }

@@ -144,6 +144,66 @@ impl StuckFault {
     }
 }
 
+/// A fault of either model, as targeted through the unified engine API.
+///
+/// The delay-fault engines (non-scan and enhanced-scan) target
+/// [`DelayFault`]s; the sequential stuck-at engine targets
+/// [`StuckFault`]s. `Fault` lets one fault list, one record type and one
+/// `AtpgEngine::target` signature cover all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fault {
+    /// A gate delay fault (slow-to-rise / slow-to-fall).
+    Delay(DelayFault),
+    /// A single stuck-at fault.
+    Stuck(StuckFault),
+}
+
+impl Fault {
+    /// The fault's location, independent of the model.
+    pub fn site(self) -> FaultSite {
+        match self {
+            Fault::Delay(f) => f.site,
+            Fault::Stuck(f) => f.site,
+        }
+    }
+
+    /// The delay fault inside, if this is one.
+    pub fn as_delay(self) -> Option<DelayFault> {
+        match self {
+            Fault::Delay(f) => Some(f),
+            Fault::Stuck(_) => None,
+        }
+    }
+
+    /// The stuck-at fault inside, if this is one.
+    pub fn as_stuck(self) -> Option<StuckFault> {
+        match self {
+            Fault::Stuck(f) => Some(f),
+            Fault::Delay(_) => None,
+        }
+    }
+
+    /// Human-readable description, e.g. `"G11 StR"` or `"G11 sa0"`.
+    pub fn describe(self, circuit: &Circuit) -> String {
+        match self {
+            Fault::Delay(f) => f.describe(circuit),
+            Fault::Stuck(f) => f.describe(circuit),
+        }
+    }
+}
+
+impl From<DelayFault> for Fault {
+    fn from(f: DelayFault) -> Self {
+        Fault::Delay(f)
+    }
+}
+
+impl From<StuckFault> for Fault {
+    fn from(f: StuckFault) -> Self {
+        Fault::Stuck(f)
+    }
+}
+
 /// Options controlling fault-universe enumeration.
 ///
 /// The paper tests *"each line"*; by default we enumerate every node output
@@ -292,8 +352,6 @@ mod tests {
         let c = toy();
         let a = c.node_by_name("a").unwrap();
         let sites = FaultUniverse::default().sites(&c);
-        assert!(sites
-            .iter()
-            .all(|s| !(s.stem == a && s.is_branch())));
+        assert!(sites.iter().all(|s| !(s.stem == a && s.is_branch())));
     }
 }

@@ -260,7 +260,10 @@ mod tests {
     #[test]
     fn keyword_round_trip() {
         for kind in GateKind::COMBINATIONAL {
-            assert_eq!(GateKind::from_bench_keyword(kind.bench_keyword()), Some(kind));
+            assert_eq!(
+                GateKind::from_bench_keyword(kind.bench_keyword()),
+                Some(kind)
+            );
         }
         assert_eq!(GateKind::from_bench_keyword("buff"), Some(GateKind::Buf));
         assert_eq!(GateKind::from_bench_keyword("dff"), Some(GateKind::Dff));

@@ -123,7 +123,11 @@ pub fn generate(profile: &CircuitProfile) -> Circuit {
         held.push(i * profile.num_dff / hold_budget.max(1));
     }
     held.dedup();
-    let hold_gates = if held.is_empty() { 0 } else { 1 + 3 * held.len() };
+    let hold_gates = if held.is_empty() {
+        0
+    } else {
+        1 + 3 * held.len()
+    };
     // A synchronous reset (one AND per flip-flop plus a shared inverter),
     // budget permitting: like most real controllers, and without it almost
     // nothing is synchronizable from the unknown power-up state.
@@ -234,7 +238,9 @@ pub fn generate(profile: &CircuitProfile) -> Circuit {
         fanins.push(vec![load]);
         let nload = n_random;
         for (k, &dff) in held.iter().enumerate() {
-            let data = rng.gen_range(n_src..n_random.max(n_src + 1)).min(n_random - 1);
+            let data = rng
+                .gen_range(n_src..n_random.max(n_src + 1))
+                .min(n_random - 1);
             let q = profile.num_pi + dff;
             let a = n_random + 1 + 3 * k;
             kinds.push(GateKind::And);
@@ -306,6 +312,7 @@ pub fn generate(profile: &CircuitProfile) -> Circuit {
     // Keep every remaining signal observable: attach unused signals as extra
     // fanins of later variable-arity gates, or as extra POs when no later
     // gate exists.
+    #[allow(clippy::needless_range_loop)] // `used` is re-indexed while iterating
     for s in 0..n_sig {
         if used[s] > 0 || (s >= profile.num_pi && s < n_src) {
             continue;
@@ -361,7 +368,8 @@ pub fn generate(profile: &CircuitProfile) -> Circuit {
     for &p in &pos {
         b.mark_output(sig_name(p));
     }
-    b.build().expect("generated circuit is valid by construction")
+    b.build()
+        .expect("generated circuit is valid by construction")
 }
 
 fn pick_source(rng: &mut StdRng, available: usize) -> usize {
@@ -431,9 +439,17 @@ pub fn counter(n: usize) -> Circuit {
             } else {
                 let prev_carry = format!("c{}", i - 1);
                 let prev_q = format!("q{}", i - 1);
-                b.add_gate(&carry, GateKind::And, &[prev_carry.as_str(), prev_q.as_str()]);
+                b.add_gate(
+                    &carry,
+                    GateKind::And,
+                    &[prev_carry.as_str(), prev_q.as_str()],
+                );
             }
-            b.add_gate(format!("t{i}"), GateKind::Xor, &[q.as_str(), carry.as_str()]);
+            b.add_gate(
+                format!("t{i}"),
+                GateKind::Xor,
+                &[q.as_str(), carry.as_str()],
+            );
             b.add_gate(format!("d{i}"), GateKind::And, &[&format!("t{i}"), "nrst"]);
         }
         b.mark_output(format!("d{i}"));

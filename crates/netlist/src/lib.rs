@@ -45,7 +45,7 @@ pub mod writer;
 pub use circuit::{BuildError, Circuit, CircuitBuilder, CircuitStats, Node, NodeId};
 pub use collapse::{collapse_delay_faults, CollapsedFaults};
 pub use fault::{
-    DelayFault, DelayFaultKind, FaultSite, FaultUniverse, StuckAtKind, StuckFault,
+    DelayFault, DelayFaultKind, Fault, FaultSite, FaultUniverse, StuckAtKind, StuckFault,
 };
 pub use gate::GateKind;
 pub use parser::{parse_bench, ParseBenchError};

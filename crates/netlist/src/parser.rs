@@ -139,12 +139,11 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError>
             });
         }
         let keyword = rhs[..open].trim();
-        let kind = GateKind::from_bench_keyword(keyword).ok_or_else(|| {
-            ParseBenchError::UnknownGate {
+        let kind =
+            GateKind::from_bench_keyword(keyword).ok_or_else(|| ParseBenchError::UnknownGate {
                 line: line_no,
                 keyword: keyword.to_string(),
-            }
-        })?;
+            })?;
         let args: Vec<&str> = rhs[open + 1..rhs.len() - 1]
             .split(',')
             .map(str::trim)
@@ -231,11 +230,7 @@ mod tests {
 
     #[test]
     fn accepts_lower_case_and_buff_alias() {
-        let c = parse_bench(
-            "lc",
-            "input(x)\noutput(z)\nz = buff(x)\n",
-        )
-        .unwrap();
+        let c = parse_bench("lc", "input(x)\noutput(z)\nz = buff(x)\n").unwrap();
         assert_eq!(c.node(c.node_by_name("z").unwrap()).kind(), GateKind::Buf);
     }
 

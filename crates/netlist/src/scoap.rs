@@ -136,21 +136,28 @@ impl Testability {
     }
 }
 
-fn gate_controllability(
-    kind: GateKind,
-    fanin: &[NodeId],
-    cc0: &[u32],
-    cc1: &[u32],
-) -> (u32, u32) {
+fn gate_controllability(kind: GateKind, fanin: &[NodeId], cc0: &[u32], cc1: &[u32]) -> (u32, u32) {
     let f0 = |id: NodeId| cc0[id.index()];
     let f1 = |id: NodeId| cc1[id.index()];
-    let sum0: u32 = fanin.iter().map(|&f| f0(f)).fold(0, |a, b| a.saturating_add(b));
-    let sum1: u32 = fanin.iter().map(|&f| f1(f)).fold(0, |a, b| a.saturating_add(b));
+    let sum0: u32 = fanin
+        .iter()
+        .map(|&f| f0(f))
+        .fold(0, |a, b| a.saturating_add(b));
+    let sum1: u32 = fanin
+        .iter()
+        .map(|&f| f1(f))
+        .fold(0, |a, b| a.saturating_add(b));
     let min0 = fanin.iter().map(|&f| f0(f)).min().unwrap_or(CAP);
     let min1 = fanin.iter().map(|&f| f1(f)).min().unwrap_or(CAP);
     match kind {
-        GateKind::Buf => (f0(fanin[0]).saturating_add(1), f1(fanin[0]).saturating_add(1)),
-        GateKind::Not => (f1(fanin[0]).saturating_add(1), f0(fanin[0]).saturating_add(1)),
+        GateKind::Buf => (
+            f0(fanin[0]).saturating_add(1),
+            f1(fanin[0]).saturating_add(1),
+        ),
+        GateKind::Not => (
+            f1(fanin[0]).saturating_add(1),
+            f0(fanin[0]).saturating_add(1),
+        ),
         GateKind::And => (min0.saturating_add(1), sum1.saturating_add(1)),
         GateKind::Nand => (sum1.saturating_add(1), min0.saturating_add(1)),
         GateKind::Or => (sum0.saturating_add(1), min1.saturating_add(1)),
@@ -184,7 +191,7 @@ fn xor_parity_cost(fanin: &[NodeId], cc0: &[u32], cc1: &[u32], odd: bool) -> u32
     } else {
         let best_delta = fanin
             .iter()
-            .map(|&f| cc1[f.index()].saturating_sub(cc0[f.index()]).max(0))
+            .map(|&f| cc1[f.index()].saturating_sub(cc0[f.index()]))
             .min()
             .unwrap_or(0);
         let cheapest_flip = fanin

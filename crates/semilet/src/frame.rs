@@ -161,11 +161,7 @@ impl<'c> FrameEngine<'c> {
         if let FrameGoal::JustifyPpos(targets) = goal {
             for &(i, b) in targets {
                 let d = self.circuit.ppo_of_dff(self.circuit.dffs()[i]);
-                let want = StaticSet::singleton(if b {
-                    StaticValue::S1
-                } else {
-                    StaticValue::S0
-                });
+                let want = StaticSet::singleton(if b { StaticValue::S1 } else { StaticValue::S0 });
                 if !self.assign(&mut net, d, want) {
                     return FrameResult::Exhausted;
                 }
@@ -243,9 +239,7 @@ impl<'c> FrameEngine<'c> {
         }
         while let Some(id) = stack.pop() {
             for &(sink, _) in self.circuit.node(id).fanout() {
-                if self.circuit.node(sink).kind().is_combinational()
-                    && !may_effect[sink.index()]
-                {
+                if self.circuit.node(sink).kind().is_combinational() && !may_effect[sink.index()] {
                     may_effect[sink.index()] = true;
                     stack.push(sink);
                 }
@@ -299,7 +293,13 @@ impl<'c> FrameEngine<'c> {
         }
     }
 
-    fn edge_set(&self, net: &Net, fault: Option<StuckFault>, sink: NodeId, pin: usize) -> StaticSet {
+    fn edge_set(
+        &self,
+        net: &Net,
+        fault: Option<StuckFault>,
+        sink: NodeId,
+        pin: usize,
+    ) -> StaticSet {
         let stem = self.circuit.node(sink).fanin()[pin];
         let s = net.sets[stem.index()];
         if Self::edge_converted(fault, stem, sink, pin as u8) {
@@ -400,12 +400,7 @@ impl<'c> FrameEngine<'c> {
     // Forward functional image & success
     // ------------------------------------------------------------------
 
-    fn leaf_set(
-        &self,
-        node: NodeId,
-        base: StaticSet,
-        stack: &[Decision],
-    ) -> StaticSet {
+    fn leaf_set(&self, node: NodeId, base: StaticSet, stack: &[Decision]) -> StaticSet {
         let mut s = base;
         for d in stack {
             if d.node == node {
@@ -492,7 +487,10 @@ impl<'c> FrameEngine<'c> {
         // a {D, D̄} set means the good-machine value is unknown, so a
         // tester has no expected response to compare against.
         let definite = |s: StaticSet| {
-            matches!(s.as_singleton(), Some(StaticValue::D) | Some(StaticValue::Db))
+            matches!(
+                s.as_singleton(),
+                Some(StaticValue::D) | Some(StaticValue::Db)
+            )
         };
         let achieved = match goal {
             FrameGoal::ObserveAtPo => self
@@ -630,10 +628,7 @@ impl<'c> FrameEngine<'c> {
                 // Excitation first (standalone stuck-at mode): if nothing
                 // carries the effect yet, provoke the site.
                 if let Some(f) = fault {
-                    let any_effect = net
-                        .sets
-                        .iter()
-                        .any(|s| s.must_be_fault_effect())
+                    let any_effect = net.sets.iter().any(|s| s.must_be_fault_effect())
                         || self.any_converted_edge_effect(net, f);
                     if !any_effect {
                         let want_good = !Self::stuck_value(f);
@@ -655,8 +650,8 @@ impl<'c> FrameEngine<'c> {
                         continue;
                     }
                     let arity = self.circuit.node(g).fanin().len();
-                    let has_effect_input = (0..arity)
-                        .any(|p| self.edge_set(net, fault, g, p).must_be_fault_effect());
+                    let has_effect_input =
+                        (0..arity).any(|p| self.edge_set(net, fault, g, p).must_be_fault_effect());
                     if !has_effect_input {
                         continue;
                     }
@@ -665,7 +660,7 @@ impl<'c> FrameEngine<'c> {
                         continue;
                     }
                     let cost = self.testability.co[g.index()];
-                    if best.as_ref().map_or(true, |&(c, _, _)| cost < c) {
+                    if best.as_ref().is_none_or(|&(c, _, _)| cost < c) {
                         best = Some((cost, g, desired));
                     }
                 }
@@ -740,7 +735,9 @@ impl<'c> FrameEngine<'c> {
                     }
                     let candidates: Vec<usize> =
                         (0..arity).filter(|&p| orig[p].len() > 1).collect();
-                    let &p = candidates.iter().min_by_key(|&&p| self.edge_cost(node, p))?;
+                    let &p = candidates
+                        .iter()
+                        .min_by_key(|&&p| self.edge_cost(node, p))?;
                     let chosen = choose_helping_value(kind, &orig, p, desired)?;
                     let stem = self.circuit.node(node).fanin()[p];
                     let pre = self.pre_of(net, fault, node, p, StaticSet::singleton(chosen));
@@ -765,7 +762,11 @@ impl<'c> FrameEngine<'c> {
     ) -> StaticSet {
         let stem = self.circuit.node(sink).fanin()[pin];
         if Self::edge_converted(fault, stem, sink, pin as u8) {
-            Self::unconvert_within(fault.expect("converted"), edge_desired, net.sets[stem.index()])
+            Self::unconvert_within(
+                fault.expect("converted"),
+                edge_desired,
+                net.sets[stem.index()],
+            )
         } else {
             edge_desired.intersect(net.sets[stem.index()])
         }
@@ -814,8 +815,12 @@ impl<'c> FrameEngine<'c> {
         for &pi in self.circuit.inputs() {
             let leaf = self.leaf_set(pi, StaticSet::GOOD, stack);
             if leaf.len() > 1 {
-                let rank = if net.sets[pi.index()].len() < leaf.len() { 0 } else { 1 };
-                if pick.map_or(true, |(r, _)| rank < r) {
+                let rank = if net.sets[pi.index()].len() < leaf.len() {
+                    0
+                } else {
+                    1
+                };
+                if pick.is_none_or(|(r, _)| rank < r) {
                     pick = Some((rank, pi));
                 }
             }
@@ -832,11 +837,7 @@ impl<'c> FrameEngine<'c> {
             }
         }
         let (_, node) = pick?;
-        let leaf = self.leaf_set(
-            node,
-            StaticSet::GOOD,
-            stack,
-        );
+        let leaf = self.leaf_set(node, StaticSet::GOOD, stack);
         let arc = net.sets[node.index()];
         let mut ordered: Vec<StaticSet> = Vec::new();
         for v in leaf.iter() {
@@ -1001,7 +1002,11 @@ mod tests {
     #[test]
     fn propagates_diff_to_po_in_s27() {
         let c = suite::s27();
-        let ppis = vec![fixed(StaticValue::S0), fixed(StaticValue::D), fixed(StaticValue::S0)];
+        let ppis = vec![
+            fixed(StaticValue::S0),
+            fixed(StaticValue::D),
+            fixed(StaticValue::S0),
+        ];
         let engine = FrameEngine::new(&c, 100);
         let result = engine.solve(&ppis, &FrameGoal::ObserveAtPo, None);
         let sol = result.solution().expect("observable");
@@ -1045,7 +1050,11 @@ mod tests {
             .cloned()
             .expect("solvable");
         // en is PI index 1 in shift_register (si, en).
-        assert_eq!(sol.pi[1], Logic3::One, "enable must be on to shift the diff");
+        assert_eq!(
+            sol.pi[1],
+            Logic3::One,
+            "enable must be on to shift the diff"
+        );
         assert!(sol.next_state[1].must_be_fault_effect());
     }
 

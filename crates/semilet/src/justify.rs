@@ -73,7 +73,11 @@ impl Default for SyncLimits {
 /// let outcome = synchronize(&c, &[(1, true)], SyncLimits::default());
 /// assert_eq!(outcome.sequence().map(|s| s.len()), Some(2));
 /// ```
-pub fn synchronize(circuit: &Circuit, targets: &[(usize, bool)], limits: SyncLimits) -> SyncOutcome {
+pub fn synchronize(
+    circuit: &Circuit,
+    targets: &[(usize, bool)],
+    limits: SyncLimits,
+) -> SyncOutcome {
     if targets.is_empty() {
         return SyncOutcome::Synchronized(Vec::new());
     }
@@ -88,7 +92,11 @@ pub fn synchronize(circuit: &Circuit, targets: &[(usize, bool)], limits: SyncLim
         if !seen.insert(pending.clone()) {
             break; // requirement loop
         }
-        match engine.solve(&all_assignable, &FrameGoal::JustifyPpos(pending.clone()), None) {
+        match engine.solve(
+            &all_assignable,
+            &FrameGoal::JustifyPpos(pending.clone()),
+            None,
+        ) {
             FrameResult::Solved(sol) => {
                 let needed = minimize_requirements(circuit, &engine, &pending, &sol);
                 reversed.push(sol.pi.clone());
@@ -165,7 +173,7 @@ fn forward_sync(
         for cand in candidates {
             let (_po, next) = engine.simulate_frame(&state, &cand, None);
             let sc = score(&next);
-            if best.as_ref().map_or(true, |&(b, _, _)| sc > b) {
+            if best.as_ref().is_none_or(|&(b, _, _)| sc > b) {
                 best = Some((sc, cand, next));
             }
         }

@@ -120,8 +120,7 @@ pub fn propagate_to_po_with_fault(
         if !seen.insert(signature(&state)) {
             break; // state loop: no progress possible on this path
         }
-        let ppis: Vec<PpiConstraint> =
-            state.iter().map(|&s| PpiConstraint::Fixed(s)).collect();
+        let ppis: Vec<PpiConstraint> = state.iter().map(|&s| PpiConstraint::Fixed(s)).collect();
         match engine.solve(&ppis, &FrameGoal::ObserveAtPo, fault) {
             FrameResult::Solved(sol) => {
                 vectors.push(sol.pi.clone());
@@ -234,7 +233,11 @@ mod tests {
     #[test]
     fn one_frame_propagation_in_s27() {
         let c = suite::s27();
-        let start = vec![known(false), StaticSet::singleton(StaticValue::D), known(false)];
+        let start = vec![
+            known(false),
+            StaticSet::singleton(StaticValue::D),
+            known(false),
+        ];
         match propagate_to_po(&c, &start, PropagateLimits::default()) {
             PropagateOutcome::Propagated(p) => {
                 assert_eq!(p.vectors.len(), 1, "G6 is one frame from G17");

@@ -89,6 +89,11 @@ impl<'c> StuckAtAtpg<'c> {
         StuckAtAtpg { circuit, config }
     }
 
+    /// The circuit under test.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
     /// Generates a test sequence for one stuck-at fault.
     pub fn generate(&self, fault: StuckFault) -> StuckAtOutcome {
         let engine = FrameEngine::new(self.circuit, self.config.backtrack_limit);
@@ -147,8 +152,7 @@ impl<'c> StuckAtAtpg<'c> {
             if !seen.insert(sig) {
                 break;
             }
-            let ppis: Vec<PpiConstraint> =
-                state.iter().map(|&s| PpiConstraint::Fixed(s)).collect();
+            let ppis: Vec<PpiConstraint> = state.iter().map(|&s| PpiConstraint::Fixed(s)).collect();
             match engine.solve(&ppis, &FrameGoal::ObserveAtPo, Some(fault)) {
                 FrameResult::Solved(sol) => {
                     vectors.push(sol.pi.clone());
@@ -226,18 +230,14 @@ impl<'c> StuckAtAtpg<'c> {
         let candidates: Vec<Vec<Logic3>> = vec![
             vec![Logic3::Zero; n],
             vec![Logic3::One; n],
-            (0..n)
-                .map(|i| Logic3::from_bool(i % 2 == 0))
-                .collect(),
-            (0..n)
-                .map(|i| Logic3::from_bool(i % 2 == 1))
-                .collect(),
+            (0..n).map(|i| Logic3::from_bool(i % 2 == 0)).collect(),
+            (0..n).map(|i| Logic3::from_bool(i % 2 == 1)).collect(),
         ];
         let mut best: Option<(usize, Vec<Logic3>, Vec<StaticSet>)> = None;
         for cand in candidates {
             let (_pos, next) = engine.simulate_frame(state, &cand, Some(fault));
             let known = next.iter().filter(|s| s.len() == 1).count();
-            if best.as_ref().map_or(true, |&(k, _, _)| known > k) {
+            if best.as_ref().is_none_or(|&(k, _, _)| known > k) {
                 best = Some((known, cand, next));
             }
         }
@@ -293,7 +293,10 @@ mod tests {
             site: FaultSite::on_stem(y),
             kind: StuckAtKind::StuckAt1,
         };
-        assert_eq!(StuckAtAtpg::new(&c).generate(fault), StuckAtOutcome::Untestable);
+        assert_eq!(
+            StuckAtAtpg::new(&c).generate(fault),
+            StuckAtOutcome::Untestable
+        );
     }
 
     #[test]
@@ -322,7 +325,11 @@ mod tests {
                 );
             }
         }
-        assert!(found > faults.len() / 3, "only {found}/{} found", faults.len());
+        assert!(
+            found > faults.len() / 3,
+            "only {found}/{} found",
+            faults.len()
+        );
     }
 
     #[test]

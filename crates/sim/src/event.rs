@@ -11,8 +11,8 @@
 
 use gdf_algebra::logic3::{eval_gate3, Logic3};
 use gdf_netlist::{Circuit, NodeId};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Incremental 3-valued simulator with selective trace.
 ///
@@ -131,8 +131,7 @@ impl<'c> EventSimulator<'c> {
         for sink in sinks {
             if !self.queued[sink.index()] {
                 self.queued[sink.index()] = true;
-                self.queue
-                    .push(Reverse((self.circuit.level(sink), sink.0)));
+                self.queue.push(Reverse((self.circuit.level(sink), sink.0)));
             }
         }
     }
@@ -221,10 +220,10 @@ mod tests {
             }
             ev.settle();
             let reference = full.eval_comb(&pi, &st);
-            for idx in 0..c.num_nodes() {
+            for (idx, &expect) in reference.iter().enumerate() {
                 assert_eq!(
                     ev.values()[idx],
-                    reference[idx],
+                    expect,
                     "node {idx} differs in round {round}"
                 );
             }

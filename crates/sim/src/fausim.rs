@@ -189,7 +189,8 @@ impl<'c> Fausim<'c> {
     ) -> Option<(usize, NodeId)> {
         let n = self.circuit.num_dffs();
         let all_x = vec![Logic3::X; n];
-        self.run_pair(&all_x, &all_x, vectors, Some(fault)).observed_at
+        self.run_pair(&all_x, &all_x, vectors, Some(fault))
+            .observed_at
     }
 
     /// Simulates all `faults` against one vector sequence, returning the
@@ -363,11 +364,17 @@ mod tests {
         };
         // a=1, b=1: y1 good=1 faulty=0 → detected; y2 unaffected (stem fine).
         let vectors = vec![vec![One, One]];
-        assert_eq!(fausim.stuck_at_detection_frame(branch_fault, &vectors), Some(0));
+        assert_eq!(
+            fausim.stuck_at_detection_frame(branch_fault, &vectors),
+            Some(0)
+        );
         // With b=0, y1 is 0 either way and y2 masks through b? y2 = OR(s,0)=s;
         // the branch to y2 is fault-free so y2 good=faulty → undetected.
         let vectors = vec![vec![One, Zero]];
-        assert_eq!(fausim.stuck_at_detection_frame(branch_fault, &vectors), None);
+        assert_eq!(
+            fausim.stuck_at_detection_frame(branch_fault, &vectors),
+            None
+        );
     }
 
     #[test]

@@ -184,7 +184,7 @@ impl<'c> ParallelSimulator<'c> {
 mod tests {
     use super::*;
     use gdf_netlist::{suite, CircuitBuilder, GateKind};
-    use Logic3::{One, X, Zero};
+    use Logic3::{One, Zero, X};
 
     #[test]
     fn s27_known_response() {
@@ -236,9 +236,9 @@ mod tests {
         // 16 exhaustive PI patterns with zero state, packed into bits 0..16.
         let mut pi_words = vec![0u64; 4];
         for pat in 0..16u32 {
-            for bit in 0..4 {
+            for (bit, word) in pi_words.iter_mut().enumerate() {
                 if pat & (1 << bit) != 0 {
-                    pi_words[bit] |= 1 << pat;
+                    *word |= 1 << pat;
                 }
             }
         }

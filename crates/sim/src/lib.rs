@@ -29,3 +29,16 @@ pub use fausim::{Fausim, PropagationOutcome};
 pub use goodsim::{GoodSimulator, ParallelSimulator};
 pub use tdsim::{detected_delay_faults, DelayObservation};
 pub use waveform::two_frame_values;
+
+/// The unified engine's fault-parallel orchestration shares simulator
+/// instances across worker threads, so every simulator must stay free of
+/// interior mutability: all scratch state lives in per-call locals. These
+/// compile-time assertions pin that down — adding a `RefCell`/`Cell` to a
+/// simulator becomes a build error here rather than a data race there.
+const _: () = {
+    const fn assert_sync_simulators<T: Send + Sync>() {}
+    assert_sync_simulators::<Fausim<'_>>();
+    assert_sync_simulators::<GoodSimulator<'_>>();
+    assert_sync_simulators::<ParallelSimulator<'_>>();
+    assert_sync_simulators::<EventSimulator<'_>>();
+};

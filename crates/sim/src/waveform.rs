@@ -130,7 +130,11 @@ mod tests {
             }
             for idx in 0..c.num_nodes() {
                 assert_eq!(w[idx].initial(), f1[idx], "node {idx} frame 1 seed {seed}");
-                assert_eq!(w[idx].final_value(), f2[idx], "node {idx} frame 2 seed {seed}");
+                assert_eq!(
+                    w[idx].final_value(),
+                    f2[idx],
+                    "node {idx} frame 2 seed {seed}"
+                );
             }
         }
     }
@@ -148,7 +152,11 @@ mod tests {
         let y = c.node_by_name("y").unwrap();
 
         let steady = two_frame_values(&c, &[false], &[false], &[]);
-        assert_eq!(steady[y.index()], DelayValue::S0, "no transition, no hazard");
+        assert_eq!(
+            steady[y.index()],
+            DelayValue::S0,
+            "no transition, no hazard"
+        );
 
         let rising = two_frame_values(&c, &[false], &[true], &[]);
         assert_eq!(rising[y.index()], DelayValue::H0, "R∧F gives a 0-hazard");

@@ -10,9 +10,7 @@
 //! (`F`) is converted into `Rc` (`Fc`); the state register contributes the
 //! `final(PPI) = initial(PPO)` correlation.
 
-use gdf_algebra::delay::{
-    eval_gate, eval_gate_sets, narrow_inputs, DelaySet, DelayValue,
-};
+use gdf_algebra::delay::{eval_gate, eval_gate_sets, narrow_inputs, DelaySet, DelayValue};
 use gdf_netlist::{Circuit, DelayFault, DelayFaultKind, GateKind, NodeId};
 use std::collections::VecDeque;
 
@@ -257,7 +255,9 @@ impl<'c> ImplicationNet<'c> {
 
     /// The fault-carrying value injected downstream of the site.
     pub fn marked_value(&self) -> DelayValue {
-        self.provoking_value().with_fault_mark().expect("transition")
+        self.provoking_value()
+            .with_fault_mark()
+            .expect("transition")
     }
 
     /// Current (pre-conversion) set of a net.
@@ -429,12 +429,7 @@ impl<'c> ImplicationNet<'c> {
     /// Model-aware backward narrowing on caller-owned scratch sets — used
     /// by the backtrace heuristic to discover which input requirements a
     /// desired output set induces, without touching the network state.
-    pub fn narrow_scratch(
-        &self,
-        kind: GateKind,
-        out: &mut DelaySet,
-        ins: &mut [DelaySet],
-    ) -> bool {
+    pub fn narrow_scratch(&self, kind: GateKind, out: &mut DelaySet, ins: &mut [DelaySet]) -> bool {
         self.narrow_m(kind, out, ins)
     }
 

@@ -115,6 +115,15 @@ impl<'c> TdGen<'c> {
         self.config
     }
 
+    /// The circuit under test.
+    ///
+    /// `TdGen` holds no interior mutability — per-search state lives in
+    /// locals — so one instance is safely shared by the unified engine's
+    /// parallel workers.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
     /// Generates a local two-pattern test for `fault`.
     pub fn generate(&self, fault: DelayFault) -> TdGenOutcome {
         self.generate_with_constraints(fault, &[])
@@ -163,9 +172,7 @@ impl<'c> TdGen<'c> {
                     let obs = self
                         .forward_success(&net, &image)
                         .expect("minimization preserves success");
-                    return TdGenOutcome::Test(
-                        self.extract(&net, &restr, &image, obs, backtracks),
-                    );
+                    return TdGenOutcome::Test(self.extract(&net, &restr, &image, obs, backtracks));
                 }
                 if self.may_reach_observable(&net)
                     && self.pick_decision(&mut net, &mut stack).is_some()
@@ -224,7 +231,11 @@ impl<'c> TdGen<'c> {
     /// converts on its faulted edges. Correlation between reconvergent
     /// signals is lost in the set domain, so the image over-approximates —
     /// which makes the success check conservative (sound).
-    fn forward_image(&self, net: &ImplicationNet<'_>, restr: &[(NodeId, DelaySet)]) -> ForwardImage {
+    fn forward_image(
+        &self,
+        net: &ImplicationNet<'_>,
+        restr: &[(NodeId, DelaySet)],
+    ) -> ForwardImage {
         let circuit = self.circuit;
         let n = circuit.num_nodes();
 
@@ -284,7 +295,12 @@ impl<'c> TdGen<'c> {
     }
 
     /// Observed set at a PO in the forward image.
-    fn forward_po_set(&self, net: &ImplicationNet<'_>, image: &ForwardImage, po: NodeId) -> DelaySet {
+    fn forward_po_set(
+        &self,
+        net: &ImplicationNet<'_>,
+        image: &ForwardImage,
+        po: NodeId,
+    ) -> DelaySet {
         let fault = net.fault();
         let s = image.f[po.index()];
         if fault.site.stem == po && fault.site.branch.is_none() {
@@ -382,18 +398,13 @@ impl<'c> TdGen<'c> {
             .outputs()
             .iter()
             .any(|&po| net.po_observed_set(po).may_carry_fault())
-            || (0..self.circuit.num_dffs())
-                .any(|i| net.ppo_observed_set(i).may_carry_fault())
+            || (0..self.circuit.num_dffs()).any(|i| net.ppo_observed_set(i).may_carry_fault())
     }
 
     /// Picks an objective, backtraces it to a decision variable, applies
     /// the first alternative and pushes the decision. Returns `None` when
     /// no decision variable remains.
-    fn pick_decision(
-        &self,
-        net: &mut ImplicationNet<'c>,
-        stack: &mut Vec<Decision>,
-    ) -> Option<()> {
+    fn pick_decision(&self, net: &mut ImplicationNet<'c>, stack: &mut Vec<Decision>) -> Option<()> {
         let objective = self.pick_objective(net);
         let decision = objective
             .and_then(|(node, desired)| self.backtrace(net, node, desired, stack))
@@ -422,8 +433,7 @@ impl<'c> TdGen<'c> {
                 continue;
             }
             let arity = self.circuit.node(g).fanin().len();
-            let has_carrying_input =
-                (0..arity).any(|p| net.edge_set(g, p).must_carry_fault());
+            let has_carrying_input = (0..arity).any(|p| net.edge_set(g, p).must_carry_fault());
             if !has_carrying_input {
                 continue;
             }
@@ -432,7 +442,7 @@ impl<'c> TdGen<'c> {
             if desired.is_empty() {
                 continue;
             }
-            if best.as_ref().map_or(true, |&(c, _, _)| cost < c) {
+            if best.as_ref().is_none_or(|&(c, _, _)| cost < c) {
                 best = Some((cost, g, desired));
             }
         }
@@ -444,8 +454,7 @@ impl<'c> TdGen<'c> {
         for &po in self.circuit.outputs() {
             let s = net.po_observed_set(po);
             if s.may_carry_fault() && !s.must_carry_fault() {
-                let desired =
-                    net.unconvert_within(s.intersect(DelaySet::CARRYING), net.set(po));
+                let desired = net.unconvert_within(s.intersect(DelaySet::CARRYING), net.set(po));
                 if !desired.is_empty() {
                     return Some((po, desired));
                 }
@@ -493,8 +502,7 @@ impl<'c> TdGen<'c> {
                     }
                     // Redirect the final-value requirement through the
                     // register to the PPO's initial value.
-                    let finals: Vec<bool> =
-                        dedup_bools(desired.iter().map(|v| v.final_value()));
+                    let finals: Vec<bool> = dedup_bools(desired.iter().map(|v| v.final_value()));
                     let d = self.circuit.ppo_of_dff(node);
                     let d_set = net.set(d);
                     let redirected: DelaySet = d_set
@@ -509,8 +517,7 @@ impl<'c> TdGen<'c> {
                 }
                 _ => {
                     let arity = self.circuit.node(node).fanin().len();
-                    let orig: Vec<DelaySet> =
-                        (0..arity).map(|p| net.edge_set(node, p)).collect();
+                    let orig: Vec<DelaySet> = (0..arity).map(|p| net.edge_set(node, p)).collect();
                     let mut ins = orig.clone();
                     let mut out = desired;
                     net.narrow_scratch(kind, &mut out, &mut ins);
@@ -538,11 +545,12 @@ impl<'c> TdGen<'c> {
                     // value for it that keeps the desired output possible.
                     let candidates: Vec<usize> =
                         (0..arity).filter(|&p| orig[p].len() > 1).collect();
-                    let &p = candidates.iter().min_by_key(|&&p| self.edge_cost(node, p))?;
+                    let &p = candidates
+                        .iter()
+                        .min_by_key(|&&p| self.edge_cost(node, p))?;
                     let chosen = self.choose_helping_value(net, kind, &orig, p, desired)?;
                     let stem = self.circuit.node(node).fanin()[p];
-                    let pre =
-                        self.to_pre_conversion(net, node, p, DelaySet::singleton(chosen));
+                    let pre = self.to_pre_conversion(net, node, p, DelaySet::singleton(chosen));
                     if pre.is_empty() {
                         return None;
                     }
@@ -664,8 +672,7 @@ impl<'c> TdGen<'c> {
         want: bool,
         leaf: DelaySet,
     ) -> Option<(NodeId, Vec<DelaySet>)> {
-        let restrict =
-            |b: bool| -> DelaySet { leaf.iter().filter(|v| v.initial() == b).collect() };
+        let restrict = |b: bool| -> DelaySet { leaf.iter().filter(|v| v.initial() == b).collect() };
         let with = restrict(want);
         let without = restrict(!want);
         if with.is_empty() || without.is_empty() {
@@ -751,13 +758,15 @@ impl<'c> TdGen<'c> {
             .map(|&ff| component3(self.leaf_set_r(ff, restr), DelayValue::initial))
             .collect();
         let ppo_values = (0..self.circuit.num_dffs())
-            .map(|i| match self.forward_ppo_set(net, image, i).as_singleton() {
-                Some(DelayValue::S0) => PpoValue::Steady0,
-                Some(DelayValue::S1) => PpoValue::Steady1,
-                Some(DelayValue::Rc) => PpoValue::FaultEffect { good_one: true },
-                Some(DelayValue::Fc) => PpoValue::FaultEffect { good_one: false },
-                _ => PpoValue::UnjustifiableX,
-            })
+            .map(
+                |i| match self.forward_ppo_set(net, image, i).as_singleton() {
+                    Some(DelayValue::S0) => PpoValue::Steady0,
+                    Some(DelayValue::S1) => PpoValue::Steady1,
+                    Some(DelayValue::Rc) => PpoValue::FaultEffect { good_one: true },
+                    Some(DelayValue::Fc) => PpoValue::FaultEffect { good_one: false },
+                    _ => PpoValue::UnjustifiableX,
+                },
+            )
             .collect();
         LocalTest {
             v1,

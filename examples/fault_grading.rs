@@ -10,7 +10,7 @@
 //! cargo run --release --example fault_grading
 //! ```
 
-use gdf::core::DelayAtpg;
+use gdf::core::Atpg;
 use gdf::netlist::{suite, FaultUniverse};
 use gdf::sim::{detected_delay_faults, two_frame_values};
 use rand::rngs::StdRng;
@@ -57,7 +57,7 @@ fn main() {
 
     // Deterministic ATPG for comparison (real rules: unknown power-up
     // state, sequential observation only via propagation).
-    let run = DelayAtpg::new(&circuit).run();
+    let run = Atpg::builder(&circuit).build().run();
     println!("\ndeterministic non-scan ATPG:");
     println!("{}", gdf::core::CircuitReport::header());
     println!("{}", run.report.row);

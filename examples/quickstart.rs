@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use gdf::core::{DelayAtpg, FaultClassification};
+use gdf::core::{Atpg, Backend, DelayAtpg, FaultClassification};
 use gdf::netlist::suite;
 
 fn main() {
@@ -15,8 +15,12 @@ fn main() {
     println!("circuit {}: {}", circuit.name(), circuit.stats());
 
     // Run the combined TDgen + SEMILET system with the paper's limits
-    // (100 backtracks per engine).
-    let run = DelayAtpg::new(&circuit).run();
+    // (100 backtracks per engine) through the unified builder. The same
+    // builder also constructs the enhanced-scan and stuck-at backends.
+    let run = Atpg::builder(&circuit)
+        .backend(Backend::NonScan)
+        .build()
+        .run();
 
     println!("\n{}", gdf::core::CircuitReport::header());
     println!("{}", run.report.row);

@@ -13,7 +13,7 @@
 //! ```
 
 use gdf::algebra::static5::{StaticSet, StaticValue};
-use gdf::core::DelayAtpg;
+use gdf::core::Atpg;
 use gdf::netlist::generator::shift_register;
 use gdf::semilet::justify::{synchronize, SyncLimits};
 use gdf::semilet::propagate::{propagate_to_po, PropagateLimits, PropagateOutcome};
@@ -54,7 +54,7 @@ fn main() {
     }
 
     // --- The full system ------------------------------------------------
-    let run = DelayAtpg::new(&circuit).run();
+    let run = Atpg::builder(&circuit).build().run();
     println!("\n{}", gdf::core::CircuitReport::header());
     println!("{}", run.report.row);
     let max_len = run.sequences.iter().map(|s| s.len()).max().unwrap_or(0);

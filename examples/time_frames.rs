@@ -9,7 +9,7 @@
 //! cargo run --example time_frames
 //! ```
 
-use gdf::core::{DelayAtpg, FaultClassification};
+use gdf::core::{Atpg, FaultClassification};
 use gdf::netlist::suite;
 use gdf::sim::two_frame_values;
 use rand::rngs::StdRng;
@@ -17,7 +17,7 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let circuit = suite::s27();
-    let run = DelayAtpg::new(&circuit).run();
+    let run = Atpg::builder(&circuit).build().run();
 
     let record = run
         .records
@@ -50,7 +50,10 @@ fn main() {
             "propagation   "
         };
         let bits: String = tv.pi.iter().map(|l| l.to_string()).collect();
-        println!("  frame {k}: {bits}  clock={:<5} {role}", tv.clock.to_string());
+        println!(
+            "  frame {k}: {bits}  clock={:<5} {role}",
+            tv.clock.to_string()
+        );
     }
 
     // The fast frame in the 8-valued algebra: fill don't-cares, simulate
@@ -60,7 +63,11 @@ fn main() {
     let fast = seq.fast_frame_index();
     let init: Vec<Vec<gdf::algebra::Logic3>> = filled[..fast - 1]
         .iter()
-        .map(|v| v.iter().map(|&b| gdf::algebra::Logic3::from_bool(b)).collect())
+        .map(|v| {
+            v.iter()
+                .map(|&b| gdf::algebra::Logic3::from_bool(b))
+                .collect()
+        })
         .collect();
     let sim = gdf::sim::GoodSimulator::new(&circuit);
     let (_frames, st) = sim.run(&sim.initial_state(), &init);

@@ -12,7 +12,7 @@
 //! cargo run --example traffic_light_atpg
 //! ```
 
-use gdf::core::{DelayAtpg, FaultClassification};
+use gdf::core::{Atpg, FaultClassification};
 use gdf::netlist::{Circuit, CircuitBuilder, GateKind};
 
 /// state encoding: (s1, s0): 00 = RED, 01 = GREEN, 10 = YELLOW.
@@ -58,7 +58,7 @@ fn main() {
     let circuit = traffic_light();
     println!("circuit {}: {}", circuit.name(), circuit.stats());
 
-    let run = DelayAtpg::new(&circuit).run();
+    let run = Atpg::builder(&circuit).build().run();
     println!("\n{}", gdf::core::CircuitReport::header());
     println!("{}", run.report.row);
 

@@ -4,28 +4,60 @@
 //! Vierhaus: "Gate Delay Fault Test Generation for Non-Scan Circuits",
 //! DATE 1995*. This facade crate re-exports the whole workspace:
 //!
-//! * [`netlist`] — circuits, the ISCAS'89 `.bench` parser, fault universe,
-//!   SCOAP measures and the benchmark suite;
+//! * [`netlist`] — circuits, the ISCAS'89 `.bench` parser, the unified
+//!   fault universe, SCOAP measures and the benchmark suite;
 //! * [`algebra`] — the 8-valued robust delay algebra (paper Tables 1–2),
 //!   the 5-valued static D-algebra and 3-valued logic;
 //! * [`sim`] — good-machine simulation, FAUSIM and TDsim;
 //! * [`tdgen`] — the combinational two-frame robust delay-fault generator;
 //! * [`semilet`] — FOGBUSTER propagation / initialization and standalone
 //!   sequential stuck-at ATPG;
-//! * [`core`] — the extended-FOGBUSTER driver, pattern assembly, Table 3
-//!   reporting and the enhanced-scan baseline.
+//! * [`core`] — the **unified engine API**: one builder over the
+//!   extended-FOGBUSTER driver, the enhanced-scan baseline and the
+//!   sequential stuck-at backend, with streaming observation and
+//!   deterministic fault-parallel orchestration.
 //!
 //! ## Quickstart
 //!
+//! Every backend is constructed through `Atpg::builder` and driven
+//! through the [`core::AtpgEngine`] trait:
+//!
 //! ```
-//! use gdf::core::DelayAtpg;
+//! use gdf::core::{Atpg, Backend};
 //! use gdf::netlist::suite;
 //!
 //! let circuit = suite::s27();
-//! let run = DelayAtpg::new(&circuit).run();
+//! let mut engine = Atpg::builder(&circuit)
+//!     .backend(Backend::NonScan) // or EnhancedScan / StuckAt
+//!     .seed(0x1995)
+//!     .build();
+//! let run = engine.run();
 //! println!("{}", run.report.row);
 //! assert!(run.report.row.tested > 0);
 //! ```
+//!
+//! The builder also takes `.model(…)` (robust / non-robust),
+//! `.universe(…)`, `.limits(…)` (all search budgets, paper defaults),
+//! `.observer(…)` (streaming per-fault records, progress, cooperative
+//! cancellation), `.time_budget(…)`, and `.parallelism(n)` — fault-level
+//! parallel generation whose results are **identical to a serial run**
+//! for the same seed:
+//!
+//! ```
+//! use gdf::core::{Atpg, Backend};
+//! use gdf::netlist::suite;
+//!
+//! let circuit = suite::s27();
+//! let serial = Atpg::builder(&circuit).build().run();
+//! let parallel = Atpg::builder(&circuit).parallelism(4).build().run();
+//! assert_eq!(serial.records, parallel.records);
+//! assert_eq!(serial.sequences, parallel.sequences);
+//! ```
+//!
+//! The pre-engine entry points remain available:
+//! `core::DelayAtpg::new(&circuit).run()` is the serial non-scan run
+//! with default limits (see the `MIGRATION` section in `CHANGES.md` for
+//! the full old-to-new mapping).
 
 pub use gdf_algebra as algebra;
 pub use gdf_core as core;

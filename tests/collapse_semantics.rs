@@ -8,7 +8,11 @@ use gdf::netlist::generator::{generate, CircuitProfile};
 use gdf::netlist::{Circuit, FaultUniverse, NodeId};
 use gdf::sim::{detected_delay_faults, two_frame_values};
 
-fn detection_signature(c: &Circuit, fault_idx: usize, faults: &[gdf::netlist::DelayFault]) -> Vec<bool> {
+fn detection_signature(
+    c: &Circuit,
+    fault_idx: usize,
+    faults: &[gdf::netlist::DelayFault],
+) -> Vec<bool> {
     let n_pi = c.num_inputs();
     let n_ff = c.num_dffs();
     let all_ppos: Vec<NodeId> = c.ppos();
@@ -20,8 +24,8 @@ fn detection_signature(c: &Circuit, fault_idx: usize, faults: &[gdf::netlist::De
                 let v2: Vec<bool> = (0..n_pi).map(|i| v2pat & (1 << i) != 0).collect();
                 let st: Vec<bool> = (0..n_ff).map(|i| spat & (1 << i) != 0).collect();
                 let w = two_frame_values(c, &v1, &v2, &st);
-                let hit = !detected_delay_faults(c, &w, &[faults[fault_idx]], &all_ppos, &[])
-                    .is_empty();
+                let hit =
+                    !detected_delay_faults(c, &w, &[faults[fault_idx]], &all_ppos, &[]).is_empty();
                 sig.push(hit);
             }
         }

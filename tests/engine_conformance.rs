@@ -1,0 +1,222 @@
+//! Conformance suite for the unified engine API: all three backends run
+//! as `Box<dyn AtpgEngine>` through `Atpg::builder`, and their results
+//! must match the pre-refactor direct entry points exactly — plus the
+//! serial-vs-parallel determinism guarantee.
+//!
+//! Circuit selection keeps debug-profile wall-clock sane on one core:
+//! `s27` runs with the full fault universe (sub-second per backend),
+//! `s208` with the stems-only universe (~30 s instead of ~80 s per
+//! non-scan run). Parity is asserted over whatever universe a test uses,
+//! identically on both sides.
+
+use gdf::core::{
+    Atpg, AtpgEngine, Backend, DelayAtpg, DelayAtpgConfig, FaultClassification, FaultOutcome,
+    ScanDelayAtpg,
+};
+use gdf::netlist::{suite, Circuit, FaultUniverse};
+use gdf::semilet::stuckat::{StuckAtAtpg, StuckAtOutcome};
+
+/// `(circuit, universe)` pairs every parity test iterates.
+fn corpus() -> Vec<(Circuit, FaultUniverse)> {
+    vec![
+        (suite::s27(), FaultUniverse::default()),
+        (
+            suite::table3_circuit("s208").expect("s208 profile"),
+            FaultUniverse::stems_only(),
+        ),
+    ]
+}
+
+/// (tested, untestable, aborted) from a run's records.
+fn split(run: &gdf::core::AtpgRun) -> (u32, u32, u32) {
+    let count = |c: FaultClassification| {
+        run.records.iter().filter(|r| r.classification == c).count() as u32
+    };
+    (
+        count(FaultClassification::Tested),
+        count(FaultClassification::Untestable),
+        count(FaultClassification::Aborted),
+    )
+}
+
+/// Asserts two runs of the same configuration are byte-identical modulo
+/// wall-clock.
+fn assert_identical(a: &gdf::core::AtpgRun, b: &gdf::core::AtpgRun, what: &str) {
+    assert_eq!(a.records, b.records, "{what}: records");
+    assert_eq!(a.sequences, b.sequences, "{what}: sequences");
+    assert_eq!(
+        a.report.row.normalized(),
+        b.report.row.normalized(),
+        "{what}: report row"
+    );
+    assert_eq!(
+        a.report.dropped_by_simulation, b.report.dropped_by_simulation,
+        "{what}: credit"
+    );
+}
+
+#[test]
+fn all_backends_run_as_trait_objects() {
+    let circuit = suite::s27();
+    let engines: Vec<Box<dyn AtpgEngine>> = vec![
+        Atpg::builder(&circuit).backend(Backend::NonScan).build(),
+        Atpg::builder(&circuit)
+            .backend(Backend::EnhancedScan)
+            .build(),
+        Atpg::builder(&circuit).backend(Backend::StuckAt).build(),
+    ];
+    for mut engine in engines {
+        let faults = engine.faults().to_vec();
+        assert!(!faults.is_empty(), "{}", engine.name());
+
+        // Per-fault targeting agrees with the whole-universe run (fault 0
+        // is processed first, so it can never be credited by simulation).
+        let spot = engine.target(faults[0]).expect("supported fault model");
+        let run = engine.run();
+        assert_eq!(run.records.len(), faults.len(), "{}", engine.name());
+        assert_eq!(
+            run.records[0].classification == FaultClassification::Tested,
+            spot.is_detected(),
+            "{}: target() and run() disagree on fault 0",
+            engine.name()
+        );
+        assert!(run.stopped.is_none());
+        assert_eq!(
+            run.report.row.total_faults() as usize,
+            faults.len(),
+            "{}",
+            engine.name()
+        );
+        assert!(
+            run.report.row.tested > 0,
+            "{} finds tests on s27",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn non_scan_engine_matches_direct_driver() {
+    for (circuit, universe) in corpus() {
+        let config = DelayAtpgConfig::new().with_universe(universe);
+        let direct = DelayAtpg::with_config(&circuit, config).run();
+        let engine = Atpg::builder(&circuit)
+            .backend(Backend::NonScan)
+            .universe(universe)
+            .build()
+            .run();
+        assert_identical(&direct, &engine, circuit.name());
+
+        let parallel = Atpg::builder(&circuit)
+            .backend(Backend::NonScan)
+            .universe(universe)
+            .parallelism(4)
+            .build()
+            .run();
+        assert_identical(&direct, &parallel, &format!("{} parallel", circuit.name()));
+    }
+}
+
+#[test]
+fn enhanced_scan_engine_matches_direct_calls() {
+    for (circuit, universe) in corpus() {
+        let scan = ScanDelayAtpg::new(&circuit);
+        let faults = universe.delay_faults(&circuit);
+        let mut tested = 0u32;
+        let mut untestable = 0u32;
+        let mut aborted = 0u32;
+        for &f in &faults {
+            match scan.generate(f) {
+                FaultOutcome::Detected(_) => tested += 1,
+                FaultOutcome::Untestable => untestable += 1,
+                FaultOutcome::Aborted => aborted += 1,
+            }
+        }
+        let run = Atpg::builder(&circuit)
+            .backend(Backend::EnhancedScan)
+            .universe(universe)
+            .build()
+            .run();
+        assert_eq!(
+            split(&run),
+            (tested, untestable, aborted),
+            "{}",
+            circuit.name()
+        );
+        // Enhanced-scan sequences are bare launch/capture pairs.
+        assert_eq!(run.report.row.patterns, 2 * tested);
+        assert!(run.sequences.iter().all(|s| s.at_speed() == Some(1)));
+
+        let parallel = Atpg::builder(&circuit)
+            .backend(Backend::EnhancedScan)
+            .universe(universe)
+            .parallelism(4)
+            .build()
+            .run();
+        assert_identical(&run, &parallel, &format!("{} parallel", circuit.name()));
+    }
+}
+
+#[test]
+fn stuck_at_engine_matches_direct_calls() {
+    for (circuit, universe) in corpus() {
+        let atpg = StuckAtAtpg::new(&circuit);
+        let faults = universe.stuck_faults(&circuit);
+        let mut tested = 0u32;
+        let mut untestable = 0u32;
+        let mut aborted = 0u32;
+        let mut patterns = 0u32;
+        for &f in &faults {
+            match atpg.generate(f) {
+                StuckAtOutcome::Test { vectors, .. } => {
+                    tested += 1;
+                    patterns += vectors.len() as u32;
+                }
+                StuckAtOutcome::Untestable => untestable += 1,
+                StuckAtOutcome::Aborted => aborted += 1,
+            }
+        }
+        let run = Atpg::builder(&circuit)
+            .backend(Backend::StuckAt)
+            .universe(universe)
+            .build()
+            .run();
+        assert_eq!(
+            split(&run),
+            (tested, untestable, aborted),
+            "{}",
+            circuit.name()
+        );
+        assert_eq!(run.report.row.patterns, patterns, "{}", circuit.name());
+        // Stuck-at sequences are all-slow static sequences.
+        assert!(run.sequences.iter().all(|s| s.at_speed().is_none()));
+        for record in &run.records {
+            if record.classification == FaultClassification::Tested {
+                assert!(record.sequence_index.is_some());
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_stuck_at_and_scan_identical_on_s27() {
+    // Non-scan parallel determinism (the interesting case: the credit
+    // pass drops faults mid-wave) is covered on both corpus circuits in
+    // `non_scan_engine_matches_direct_driver`; the credit-free backends
+    // only need the cheap circuit here.
+    let circuit = suite::s27();
+    for backend in [Backend::EnhancedScan, Backend::StuckAt] {
+        let serial = Atpg::builder(&circuit)
+            .backend(backend)
+            .seed(3)
+            .build()
+            .run();
+        let parallel = Atpg::builder(&circuit)
+            .backend(backend)
+            .seed(3)
+            .parallelism(4)
+            .build()
+            .run();
+        assert_identical(&serial, &parallel, &format!("{backend:?}"));
+    }
+}

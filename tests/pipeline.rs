@@ -55,7 +55,8 @@ fn s27_every_explicit_sequence_verified() {
         if record.classification == FaultClassification::Tested && !record.by_simulation {
             let seq = &run.sequences[record.sequence_index.expect("tested")];
             for seed in [1u64, 2, 3] {
-                verify_sequence(&circuit, seq, record.fault, seed);
+                let fault = record.fault.as_delay().expect("delay run");
+                verify_sequence(&circuit, seq, fault, seed);
             }
         }
     }
@@ -77,7 +78,8 @@ fn s298_syn_pipeline_produces_tests() {
     for record in run.records.iter().filter(|r| !r.by_simulation) {
         if record.classification == FaultClassification::Tested {
             let seq = &run.sequences[record.sequence_index.expect("tested")];
-            verify_sequence(&circuit, seq, record.fault, 7);
+            let fault = record.fault.as_delay().expect("delay run");
+            verify_sequence(&circuit, seq, fault, 7);
             checked += 1;
             if checked >= 10 {
                 break;
@@ -122,10 +124,7 @@ fn reduced_universe_is_subset_accounting() {
     let full = DelayAtpg::new(&circuit).run();
     let stems = DelayAtpg::with_config(
         &circuit,
-        DelayAtpgConfig {
-            universe: gdf::netlist::FaultUniverse::stems_only(),
-            ..DelayAtpgConfig::default()
-        },
+        DelayAtpgConfig::new().with_universe(gdf::netlist::FaultUniverse::stems_only()),
     )
     .run();
     assert!(stems.records.len() < full.records.len());

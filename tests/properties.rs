@@ -1,60 +1,95 @@
-//! Property-based tests (proptest) over randomly generated circuits and
-//! vectors: cross-component invariants that must hold for *any* input.
+//! Property-based tests over randomly generated circuits and vectors:
+//! cross-component invariants that must hold for *any* input.
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! these properties run over a deterministic sample driven by the
+//! workspace's vendored `rand` shim. Coverage is the same spirit:
+//! hundreds of random cases per property, with the failing case's inputs
+//! in the panic message.
 
 use gdf::algebra::delay::{eval_gate, eval_gate_sets, narrow_inputs, DelaySet, DelayValue};
 use gdf::algebra::Logic3;
 use gdf::netlist::generator::{generate, CircuitProfile};
 use gdf::netlist::{parse_bench, to_bench, GateKind};
 use gdf::sim::{two_frame_values, GoodSimulator};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_delay_value() -> impl Strategy<Value = DelayValue> {
-    (0u8..8).prop_map(DelayValue::from_index)
+const GATE_KINDS: [GateKind; 6] = [
+    GateKind::And,
+    GateKind::Nand,
+    GateKind::Or,
+    GateKind::Nor,
+    GateKind::Xor,
+    GateKind::Xnor,
+];
+
+fn rng_for(property: &str) -> StdRng {
+    // A per-property seed keeps failures reproducible independently of
+    // test execution order.
+    let tag: u64 = property.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    StdRng::seed_from_u64(tag)
 }
 
-fn arb_delay_set() -> impl Strategy<Value = DelaySet> {
-    (1u8..=255).prop_map(DelaySet::from_bits)
+fn arb_gate_kind(rng: &mut StdRng) -> GateKind {
+    GATE_KINDS[rng.gen_range(0..GATE_KINDS.len())]
 }
 
-fn arb_gate_kind() -> impl Strategy<Value = GateKind> {
-    prop::sample::select(vec![
-        GateKind::And,
-        GateKind::Nand,
-        GateKind::Or,
-        GateKind::Nor,
-        GateKind::Xor,
-        GateKind::Xnor,
-    ])
+fn arb_delay_value(rng: &mut StdRng) -> DelayValue {
+    DelayValue::from_index(rng.gen_range(0u8..8))
 }
 
-proptest! {
-    /// The two-input algebra is commutative for every gate kind.
-    #[test]
-    fn algebra_commutative(kind in arb_gate_kind(), a in arb_delay_value(), b in arb_delay_value()) {
-        prop_assert_eq!(eval_gate(kind, &[a, b]), eval_gate(kind, &[b, a]));
+fn arb_delay_set(rng: &mut StdRng) -> DelaySet {
+    DelaySet::from_bits(rng.gen_range(1u16..256) as u8)
+}
+
+/// The two-input algebra is commutative for every gate kind.
+#[test]
+fn algebra_commutative() {
+    let mut rng = rng_for("algebra_commutative");
+    for _ in 0..2000 {
+        let kind = arb_gate_kind(&mut rng);
+        let a = arb_delay_value(&mut rng);
+        let b = arb_delay_value(&mut rng);
+        assert_eq!(
+            eval_gate(kind, &[a, b]),
+            eval_gate(kind, &[b, a]),
+            "{kind:?}({a:?}, {b:?})"
+        );
     }
+}
 
-    /// Frame endpoints always follow plain Boolean evaluation.
-    #[test]
-    fn algebra_endpoints_boolean(
-        kind in arb_gate_kind(),
-        vals in prop::collection::vec(arb_delay_value(), 1..5),
-    ) {
+/// Frame endpoints always follow plain Boolean evaluation.
+#[test]
+fn algebra_endpoints_boolean() {
+    let mut rng = rng_for("algebra_endpoints_boolean");
+    for _ in 0..2000 {
+        let kind = arb_gate_kind(&mut rng);
+        let n = rng.gen_range(1usize..5);
+        let vals: Vec<DelayValue> = (0..n).map(|_| arb_delay_value(&mut rng)).collect();
         let out = eval_gate(kind, &vals);
         let inits: Vec<bool> = vals.iter().map(|v| v.initial()).collect();
         let fins: Vec<bool> = vals.iter().map(|v| v.final_value()).collect();
-        prop_assert_eq!(out.initial(), kind.eval_bool(&inits));
-        prop_assert_eq!(out.final_value(), kind.eval_bool(&fins));
+        assert_eq!(out.initial(), kind.eval_bool(&inits), "{kind:?} {vals:?}");
+        assert_eq!(
+            out.final_value(),
+            kind.eval_bool(&fins),
+            "{kind:?} {vals:?}"
+        );
     }
+}
 
-    /// Set-level evaluation is exactly the image of the Cartesian product.
-    #[test]
-    fn set_eval_exact(
-        kind in arb_gate_kind(),
-        a in arb_delay_set(),
-        b in arb_delay_set(),
-        c in arb_delay_set(),
-    ) {
+/// Set-level evaluation is exactly the image of the Cartesian product.
+#[test]
+fn set_eval_exact() {
+    let mut rng = rng_for("set_eval_exact");
+    for _ in 0..400 {
+        let kind = arb_gate_kind(&mut rng);
+        let a = arb_delay_set(&mut rng);
+        let b = arb_delay_set(&mut rng);
+        let c = arb_delay_set(&mut rng);
         let got = eval_gate_sets(kind, &[a, b, c]);
         let mut expect = DelaySet::EMPTY;
         for va in a.iter() {
@@ -64,17 +99,19 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "{kind:?}({a:?}, {b:?}, {c:?})");
     }
+}
 
-    /// Backward narrowing never removes a feasible input combination.
-    #[test]
-    fn narrowing_sound(
-        kind in arb_gate_kind(),
-        a in arb_delay_set(),
-        b in arb_delay_set(),
-        out in arb_delay_set(),
-    ) {
+/// Backward narrowing never removes a feasible input combination.
+#[test]
+fn narrowing_sound() {
+    let mut rng = rng_for("narrowing_sound");
+    for _ in 0..800 {
+        let kind = arb_gate_kind(&mut rng);
+        let a = arb_delay_set(&mut rng);
+        let b = arb_delay_set(&mut rng);
+        let out = arb_delay_set(&mut rng);
         let mut narrowed_out = out;
         let mut ins = [a, b];
         narrow_inputs(kind, &mut narrowed_out, &mut ins);
@@ -82,38 +119,50 @@ proptest! {
             for vb in b.iter() {
                 let r = eval_gate(kind, &[va, vb]);
                 if out.contains(r) {
-                    prop_assert!(ins[0].contains(va));
-                    prop_assert!(ins[1].contains(vb));
-                    prop_assert!(narrowed_out.contains(r));
+                    assert!(ins[0].contains(va), "{kind:?} {a:?} {b:?} {out:?}");
+                    assert!(ins[1].contains(vb), "{kind:?} {a:?} {b:?} {out:?}");
+                    assert!(narrowed_out.contains(r), "{kind:?} {a:?} {b:?} {out:?}");
                 }
             }
         }
     }
+}
 
-    /// `.bench` writer/parser round-trip on arbitrary generated circuits.
-    #[test]
-    fn bench_round_trip(seed in 0u64..500, pi in 2usize..6, dff in 0usize..4, gates in 3usize..40) {
+/// `.bench` writer/parser round-trip on arbitrary generated circuits.
+#[test]
+fn bench_round_trip() {
+    let mut rng = rng_for("bench_round_trip");
+    for case in 0..60 {
+        let seed = rng.gen_range(0u64..500);
+        let pi = rng.gen_range(2usize..6);
+        let dff = rng.gen_range(0usize..4);
+        let gates = rng.gen_range(3usize..40);
         let profile = CircuitProfile::new("prop", pi, 2, dff, gates, seed);
         let c1 = generate(&profile);
         let text = to_bench(&c1);
         let c2 = parse_bench(c1.name(), &text).expect("round trip parses");
-        prop_assert_eq!(to_bench(&c2), text, "fixed point after one round trip");
-        prop_assert_eq!(c1.num_gates(), c2.num_gates());
-        prop_assert_eq!(c1.num_dffs(), c2.num_dffs());
+        assert_eq!(
+            to_bench(&c2),
+            text,
+            "fixed point after one round trip (case {case}, seed {seed})"
+        );
+        assert_eq!(c1.num_gates(), c2.num_gates(), "case {case}");
+        assert_eq!(c1.num_dffs(), c2.num_dffs(), "case {case}");
     }
+}
 
-    /// The two-frame waveform's endpoints agree with two independent
-    /// binary good-machine simulations on random circuits and vectors.
-    #[test]
-    fn waveform_endpoints_match_simulation(
-        seed in 0u64..200,
-        bits in prop::collection::vec(any::<bool>(), 24),
-    ) {
+/// The two-frame waveform's endpoints agree with two independent binary
+/// good-machine simulations on random circuits and vectors.
+#[test]
+fn waveform_endpoints_match_simulation() {
+    let mut rng = rng_for("waveform_endpoints_match_simulation");
+    for case in 0..60 {
+        let seed = rng.gen_range(0u64..200);
         let profile = CircuitProfile::new("wave", 4, 2, 3, 20, seed);
         let c = generate(&profile);
-        let v1: Vec<bool> = bits[0..4].to_vec();
-        let v2: Vec<bool> = bits[4..8].to_vec();
-        let st: Vec<bool> = bits[8..11].to_vec();
+        let v1: Vec<bool> = (0..4).map(|_| rng.gen()).collect();
+        let v2: Vec<bool> = (0..4).map(|_| rng.gen()).collect();
+        let st: Vec<bool> = (0..3).map(|_| rng.gen()).collect();
         let w = two_frame_values(&c, &v1, &v2, &st);
 
         let sim = GoodSimulator::new(&c);
@@ -122,53 +171,69 @@ proptest! {
         let st2: Vec<Logic3> = sim.next_state(&f1);
         let f2 = sim.eval_comb(&to3(&v2), &st2);
         for idx in 0..c.num_nodes() {
-            prop_assert_eq!(Some(w[idx].initial()), f1[idx].to_bool());
-            prop_assert_eq!(Some(w[idx].final_value()), f2[idx].to_bool());
-            prop_assert!(!w[idx].carries_fault(), "clean waveform never carries");
-        }
-    }
-
-    /// SCOAP measures are finite and monotone toward the inputs on random
-    /// circuits.
-    #[test]
-    fn scoap_finite(seed in 0u64..200) {
-        let profile = CircuitProfile::new("scoap", 4, 2, 2, 25, seed);
-        let c = generate(&profile);
-        let t = gdf::netlist::scoap::Testability::compute(&c);
-        for &pi in c.inputs() {
-            prop_assert_eq!(t.cc0[pi.index()], gdf::netlist::scoap::PI_COST);
-            prop_assert_eq!(t.cc1[pi.index()], gdf::netlist::scoap::PI_COST);
-        }
-        for node in 0..c.num_nodes() {
-            prop_assert!(t.cc0[node] >= 1);
-            prop_assert!(t.cc1[node] >= 1);
+            assert_eq!(
+                Some(w[idx].initial()),
+                f1[idx].to_bool(),
+                "case {case} seed {seed}"
+            );
+            assert_eq!(
+                Some(w[idx].final_value()),
+                f2[idx].to_bool(),
+                "case {case} seed {seed}"
+            );
+            assert!(
+                !w[idx].carries_fault(),
+                "clean waveform never carries (case {case}, seed {seed})"
+            );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// SCOAP measures are finite and monotone toward the inputs on random
+/// circuits.
+#[test]
+fn scoap_finite() {
+    let mut rng = rng_for("scoap_finite");
+    for _ in 0..60 {
+        let seed = rng.gen_range(0u64..200);
+        let profile = CircuitProfile::new("scoap", 4, 2, 2, 25, seed);
+        let c = generate(&profile);
+        let t = gdf::netlist::scoap::Testability::compute(&c);
+        for &pi in c.inputs() {
+            assert_eq!(t.cc0[pi.index()], gdf::netlist::scoap::PI_COST);
+            assert_eq!(t.cc1[pi.index()], gdf::netlist::scoap::PI_COST);
+        }
+        for node in 0..c.num_nodes() {
+            assert!(t.cc0[node] >= 1, "seed {seed}");
+            assert!(t.cc1[node] >= 1, "seed {seed}");
+        }
+    }
+}
 
-    /// TDgen soundness on random circuits: every generated test, X-filled
-    /// arbitrarily, robustly detects its target fault under the
-    /// independent TDsim semantics.
-    #[test]
-    fn tdgen_sound_on_random_circuits(seed in 0u64..60, fill in any::<u64>()) {
-        use gdf::netlist::FaultUniverse;
-        use gdf::sim::detected_delay_faults;
-        use gdf::tdgen::{LocalObservation, TdGen, TdGenOutcome};
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+/// TDgen soundness on random circuits: every generated test, X-filled
+/// arbitrarily, robustly detects its target fault under the independent
+/// TDsim semantics.
+#[test]
+fn tdgen_sound_on_random_circuits() {
+    use gdf::netlist::FaultUniverse;
+    use gdf::sim::detected_delay_faults;
+    use gdf::tdgen::{LocalObservation, TdGen, TdGenOutcome};
 
+    let mut rng = rng_for("tdgen_sound_on_random_circuits");
+    for case in 0..12 {
+        let seed = rng.gen_range(0u64..60);
+        let fill: u64 = rng.gen();
         let profile = CircuitProfile::new("sound", 4, 2, 2, 22, seed);
         let c = generate(&profile);
         let gen = TdGen::new(&c);
         let faults = FaultUniverse::default().delay_faults(&c);
-        let mut rng = StdRng::seed_from_u64(fill);
+        let mut fill_rng = StdRng::seed_from_u64(fill);
         for &fault in faults.iter().take(20) {
             if let TdGenOutcome::Test(t) = gen.generate(fault) {
                 let mut fill_vec = |v: &[Logic3]| -> Vec<bool> {
-                    v.iter().map(|l| l.to_bool().unwrap_or_else(|| rng.gen())).collect()
+                    v.iter()
+                        .map(|l| l.to_bool().unwrap_or_else(|| fill_rng.gen()))
+                        .collect()
                 };
                 let v1 = fill_vec(&t.v1);
                 let v2 = fill_vec(&t.v2);
@@ -179,26 +244,33 @@ proptest! {
                     LocalObservation::AtPpo { dff, .. } => vec![c.ppo_of_dff(c.dffs()[dff])],
                 };
                 let hits = detected_delay_faults(&c, &w, &[fault], &obs, &[]);
-                prop_assert_eq!(hits.len(), 1, "unsound test for {}", fault.describe(&c));
+                assert_eq!(
+                    hits.len(),
+                    1,
+                    "unsound test for {} (case {case}, seed {seed}, fill {fill})",
+                    fault.describe(&c)
+                );
             }
         }
     }
+}
 
-    /// Synchronizing sequences really force their targets from all-X, on
-    /// random circuits, checked by 3-valued simulation with both fills.
-    #[test]
-    fn synchronizer_sound_on_random_circuits(seed in 0u64..60) {
-        use gdf::semilet::justify::{synchronize, SyncLimits};
+/// Synchronizing sequences really force their targets from all-X, on
+/// random circuits, checked by 3-valued simulation with both fills.
+#[test]
+fn synchronizer_sound_on_random_circuits() {
+    use gdf::semilet::justify::{synchronize, SyncLimits};
 
+    let mut rng = rng_for("synchronizer_sound_on_random_circuits");
+    for case in 0..12 {
+        let seed = rng.gen_range(0u64..60);
         let profile = CircuitProfile::new("sync", 4, 2, 3, 26, seed);
         let c = generate(&profile);
         let sim = GoodSimulator::new(&c);
         for dff in 0..c.num_dffs() {
             for target in [false, true] {
                 let targets = [(dff, target)];
-                if let Some(seq) =
-                    synchronize(&c, &targets, SyncLimits::default()).sequence()
-                {
+                if let Some(seq) = synchronize(&c, &targets, SyncLimits::default()).sequence() {
                     for fill in [Logic3::Zero, Logic3::One] {
                         let vectors: Vec<Vec<Logic3>> = seq
                             .iter()
@@ -209,10 +281,10 @@ proptest! {
                             })
                             .collect();
                         let (_f, st) = sim.run(&sim.initial_state(), &vectors);
-                        prop_assert_eq!(
+                        assert_eq!(
                             st[dff],
                             Logic3::from_bool(target),
-                            "sync lied for dff {} := {} (seed {})", dff, target, seed
+                            "sync lied for dff {dff} := {target} (case {case}, seed {seed})"
                         );
                     }
                 }

@@ -22,6 +22,11 @@
 //! [`logic3`] holds the plain 3-valued Kleene logic used by the good-machine
 //! simulator and the synchronizing-sequence search.
 //!
+//! [`packed`] is the bit-parallel face of the delay algebra: 64 values per
+//! [`packed::PackedWave`] as four u64 bit-planes, with word-level gate
+//! evaluation lane-identical to the scalar tables — the substrate of the
+//! word-parallel fault simulator.
+//!
 //! # Example
 //!
 //! ```
@@ -36,9 +41,11 @@
 
 pub mod delay;
 pub mod logic3;
+pub mod packed;
 pub mod static5;
 pub mod tables;
 
 pub use delay::{DelaySet, DelayValue};
 pub use logic3::Logic3;
+pub use packed::PackedWave;
 pub use static5::{StaticSet, StaticValue};

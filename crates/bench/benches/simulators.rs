@@ -5,7 +5,10 @@
 use gdf_algebra::Logic3;
 use gdf_bench::criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gdf_netlist::{suite, FaultUniverse};
-use gdf_sim::{detected_delay_faults, two_frame_values, GoodSimulator, ParallelSimulator};
+use gdf_sim::{
+    detected_delay_faults, detected_delay_faults_packed, two_frame_values, GoodSimulator,
+    ParallelSimulator, SimScratch,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,6 +44,20 @@ fn bench_waveform_and_tdsim(c: &mut Criterion) {
     let faults = FaultUniverse::default().delay_faults(&circuit);
     c.bench_function("tdsim full universe s344_syn (one pattern)", |b| {
         b.iter(|| detected_delay_faults(&circuit, black_box(&w), black_box(&faults), &[], &[]))
+    });
+
+    let mut scratch = SimScratch::default();
+    c.bench_function("tdsim packed full universe s344_syn (64/word)", |b| {
+        b.iter(|| {
+            detected_delay_faults_packed(
+                &circuit,
+                black_box(&w),
+                black_box(&faults),
+                &[],
+                &[],
+                &mut scratch,
+            )
+        })
     });
 }
 

@@ -1,0 +1,184 @@
+//! `BENCH_fsim.json` emitter: the fault-simulation performance trajectory.
+//!
+//! Measures the fault-grading hot path — classify the full delay-fault
+//! universe against random two-pattern tests — with the scalar reference
+//! simulator and the packed (64-fault-per-word) one, plus the raw
+//! good-machine gate-evaluation rate, on three circuits: `s27`, `s208` and
+//! a generated 1000-gate netlist. Appends one JSON record per invocation
+//! so the perf curve is tracked PR over PR.
+//!
+//! ```text
+//! cargo run --release -p gdf-bench --bin bench_fsim            # full run
+//! cargo run --release -p gdf-bench --bin bench_fsim -- --smoke # CI smoke
+//! cargo run --release -p gdf-bench --bin bench_fsim -- --out path.json
+//! ```
+
+use gdf_algebra::Logic3;
+use gdf_netlist::generator::{generate, CircuitProfile};
+use gdf_netlist::{suite, Circuit, FaultUniverse};
+use gdf_sim::{
+    detected_delay_faults, detected_delay_faults_packed, two_frame_values, GoodSimulator,
+    SimScratch,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    name: String,
+    gates: usize,
+    faults: usize,
+    patterns: usize,
+    scalar_faults_per_sec: f64,
+    packed_faults_per_sec: f64,
+    speedup: f64,
+    ns_per_gate_eval: f64,
+}
+
+fn grade(circuit: &Circuit, patterns: usize, packed: bool) -> (usize, f64) {
+    let faults = FaultUniverse::default().delay_faults(circuit);
+    let mut rng = StdRng::seed_from_u64(0x1995_0308);
+    let mut scratch = SimScratch::default();
+    let mut hits = 0usize;
+    let start = Instant::now();
+    for _ in 0..patterns {
+        let v1: Vec<bool> = (0..circuit.num_inputs()).map(|_| rng.gen()).collect();
+        let v2: Vec<bool> = (0..circuit.num_inputs()).map(|_| rng.gen()).collect();
+        let st: Vec<bool> = (0..circuit.num_dffs()).map(|_| rng.gen()).collect();
+        let w = two_frame_values(circuit, &v1, &v2, &st);
+        let detected = if packed {
+            detected_delay_faults_packed(circuit, &w, &faults, &[], &[], &mut scratch)
+        } else {
+            detected_delay_faults(circuit, &w, &faults, &[], &[])
+        };
+        hits += detected.len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let classified = faults.len() * patterns;
+    (hits, classified as f64 / elapsed)
+}
+
+fn gate_eval_rate(circuit: &Circuit, frames: usize) -> f64 {
+    let sim = GoodSimulator::new(circuit);
+    let mut rng = StdRng::seed_from_u64(7);
+    let pi: Vec<Logic3> = (0..circuit.num_inputs())
+        .map(|_| Logic3::from_bool(rng.gen()))
+        .collect();
+    let st: Vec<Logic3> = (0..circuit.num_dffs())
+        .map(|_| Logic3::from_bool(rng.gen()))
+        .collect();
+    let mut values = Vec::new();
+    let start = Instant::now();
+    for _ in 0..frames {
+        sim.eval_comb_into(&pi, &st, &mut values);
+        std::hint::black_box(&values);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    elapsed * 1e9 / (frames * circuit.num_gates().max(1)) as f64
+}
+
+fn bench_circuit(circuit: &Circuit, patterns: usize, eval_frames: usize) -> Row {
+    let faults = FaultUniverse::default().delay_faults(circuit);
+    let (scalar_hits, scalar_rate) = grade(circuit, patterns, false);
+    let (packed_hits, packed_rate) = grade(circuit, patterns, true);
+    assert_eq!(
+        scalar_hits,
+        packed_hits,
+        "packed and scalar grading disagree on {}",
+        circuit.name()
+    );
+    Row {
+        name: circuit.name().to_string(),
+        gates: circuit.num_gates(),
+        faults: faults.len(),
+        patterns,
+        scalar_faults_per_sec: scalar_rate,
+        packed_faults_per_sec: packed_rate,
+        speedup: packed_rate / scalar_rate,
+        ns_per_gate_eval: gate_eval_rate(circuit, eval_frames),
+    }
+}
+
+/// Appends `record` to the JSON array in `path` (creating `[...]` if the
+/// file is missing or empty).
+fn append_record(path: &str, record: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim();
+    let out = if trimmed.is_empty() || trimmed == "[]" {
+        format!("[\n{record}\n]\n")
+    } else {
+        let body = trimmed
+            .strip_suffix(']')
+            .expect("existing bench file must be a JSON array")
+            .trim_end()
+            .to_string();
+        format!("{body},\n{record}\n]\n")
+    };
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fsim.json".to_string());
+    let (patterns, eval_frames) = if smoke { (4, 100) } else { (64, 20_000) };
+
+    let gen1k = generate(&CircuitProfile::new("gen1k", 32, 16, 32, 1000, 0xF51));
+    let circuits = [suite::s27(), suite::table3_circuit("s208").unwrap(), gen1k];
+
+    let mut rows = Vec::new();
+    for c in &circuits {
+        // Small circuits get more patterns so timings are not noise.
+        let scale = (2000 / c.num_gates().max(1)).clamp(1, 64);
+        let row = bench_circuit(c, patterns * scale, eval_frames);
+        println!(
+            "{:<8} {:>5} gates {:>5} faults  scalar {:>12.0} f/s  packed {:>12.0} f/s  speedup {:>6.2}x  {:>7.2} ns/gate-eval",
+            row.name,
+            row.gates,
+            row.faults,
+            row.scalar_faults_per_sec,
+            row.packed_faults_per_sec,
+            row.speedup,
+            row.ns_per_gate_eval,
+        );
+        rows.push(row);
+    }
+
+    let mut record = String::new();
+    let _ = writeln!(record, "  {{");
+    let _ = writeln!(record, "    \"bench\": \"fsim\",");
+    let _ = writeln!(
+        record,
+        "    \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(record, "    \"circuits\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            record,
+            "      {{\"name\": \"{}\", \"gates\": {}, \"faults\": {}, \"patterns\": {}, \
+             \"scalar_faults_per_sec\": {:.0}, \"packed_faults_per_sec\": {:.0}, \
+             \"speedup\": {:.2}, \"ns_per_gate_eval\": {:.2}}}{}",
+            r.name,
+            r.gates,
+            r.faults,
+            r.patterns,
+            r.scalar_faults_per_sec,
+            r.packed_faults_per_sec,
+            r.speedup,
+            r.ns_per_gate_eval,
+            comma
+        );
+    }
+    let _ = writeln!(record, "    ]");
+    let _ = write!(record, "  }}");
+    append_record(&out_path, &record).expect("write bench record");
+    println!("appended record to {out_path}");
+}

@@ -14,7 +14,7 @@
 //! integration tests): the kept set detects every fault the full set
 //! detected, under the same §5 fault-simulation semantics.
 
-use crate::driver::{AtpgRun, DelayAtpg, FaultClassification};
+use crate::driver::{AtpgRun, DelayAtpg, FaultClassification, FsimScratch};
 use crate::pattern::TestSequence;
 use gdf_netlist::DelayFault;
 use rand::rngs::StdRng;
@@ -86,15 +86,19 @@ pub fn compact_sequences(atpg: &DelayAtpg<'_>, run: &AtpgRun) -> CompactionResul
     // information is not retained in the run, so the conservative choice
     // (no PPO invalidation credit) is applied uniformly; coverage is
     // judged under the same rule for "before" and "after".
-    let detect = |seq: &TestSequence| -> Vec<bool> {
+    let mut scratch = FsimScratch::default();
+    let mut detect = |seq: &TestSequence| -> Vec<bool> {
         let mut rng = StdRng::seed_from_u64(atpg.config().xfill_seed);
-        let hits = atpg.fault_simulate_sequence(seq, &[], &tested, &mut rng);
+        let hits = atpg
+            .fault_simulate_sequence(seq, &[], &tested, &mut rng, &mut scratch)
+            .expect("compaction input is a non-scan run with at-speed sequences");
         let mut set = vec![false; tested.len()];
         for h in hits {
             set[h] = true;
         }
         set
     };
+    let detect = &mut detect;
     let detection: Vec<Vec<bool>> = run.sequences.iter().map(detect).collect();
     let baseline: Vec<bool> = (0..tested.len())
         .map(|i| detection.iter().any(|d| d[i]))
@@ -153,9 +157,13 @@ mod tests {
             .filter_map(|r| r.fault.as_delay())
             .collect();
         let mut covered = vec![false; tested.len()];
+        let mut scratch = FsimScratch::default();
         for &k in &compact.kept {
             let mut rng = StdRng::seed_from_u64(atpg.config().xfill_seed);
-            for h in atpg.fault_simulate_sequence(&run.sequences[k], &[], &tested, &mut rng) {
+            let hits = atpg
+                .fault_simulate_sequence(&run.sequences[k], &[], &tested, &mut rng, &mut scratch)
+                .expect("at-speed sequence");
+            for h in hits {
                 covered[h] = true;
             }
         }

@@ -28,13 +28,16 @@
 use crate::engine::{AtpgError, Detection, FaultOutcome, Limits, NonScanEngine};
 use crate::pattern::TestSequence;
 use crate::report::CircuitReport;
-use gdf_algebra::delay::DelaySet;
+use gdf_algebra::delay::{DelaySet, DelayValue};
 use gdf_algebra::logic3::Logic3;
 use gdf_algebra::static5::{StaticSet, StaticValue};
 use gdf_netlist::{Circuit, DelayFault, Fault, FaultUniverse, NodeId};
 use gdf_semilet::justify::{synchronize, SyncLimits, SyncOutcome};
 use gdf_semilet::propagate::{propagate_to_po, PropagateLimits, PropagateOutcome};
-use gdf_sim::{detected_delay_faults, two_frame_values, Fausim};
+use gdf_sim::{
+    detected_delay_faults, detected_delay_faults_packed, two_frame_values, two_frame_values_into,
+    Fausim, SimScratch,
+};
 use gdf_tdgen::{
     FaultModel, LocalObservation, LocalTest, PpoValue, TdGen, TdGenConfig, TdGenOutcome,
 };
@@ -68,6 +71,11 @@ pub struct DelayAtpgConfig {
     /// How many alternative observation targets the inter-phase
     /// backtracking may try per fault.
     pub max_observation_retries: usize,
+    /// Run the scalar reference fault simulator instead of the packed
+    /// (64-fault-per-word) one. The two are classification-identical —
+    /// the differential and conformance tests pin that down — so this
+    /// exists only as the correctness oracle and for A/B benchmarking.
+    pub reference_fsim: bool,
 }
 
 impl Default for DelayAtpgConfig {
@@ -84,6 +92,7 @@ impl Default for DelayAtpgConfig {
             universe: FaultUniverse::default(),
             xfill_seed: 0x1995_0308,
             max_observation_retries: limits.max_observation_retries,
+            reference_fsim: false,
         }
     }
 }
@@ -139,6 +148,12 @@ impl DelayAtpgConfig {
     /// Sets the observation-retry budget of inter-phase backtracking.
     pub fn with_max_observation_retries(mut self, v: usize) -> Self {
         self.max_observation_retries = v;
+        self
+    }
+
+    /// Selects the scalar reference fault simulator (default: packed).
+    pub fn with_reference_fsim(mut self, v: bool) -> Self {
+        self.reference_fsim = v;
         self
     }
 
@@ -433,19 +448,131 @@ impl<'c> DelayAtpg<'c> {
     /// `faults`) of the robustly detected ones. Public so that test-set
     /// compaction and fault grading can reuse the exact §5 semantics.
     ///
-    /// # Panics
+    /// All three phases run bit-parallel: phase 2 propagates one PPO state
+    /// difference per lane ([`Fausim::propagate_state_diffs_packed`]) and
+    /// phase 3 classifies 64 candidate faults per word
+    /// ([`detected_delay_faults_packed`]); `scratch` holds the reusable
+    /// buffers, so a warm call allocates nothing in the sweeps. The
+    /// classifications are identical to the scalar reference
+    /// ([`DelayAtpg::fault_simulate_sequence_scalar`]) for the same RNG
+    /// state.
     ///
-    /// Panics if `sequence` is an all-slow static sequence
-    /// ([`TestSequence::at_speed`] is `None`, as emitted by the stuck-at
-    /// engine): delay fault simulation needs a launch/capture pair.
+    /// # Errors
+    ///
+    /// Returns [`AtpgError::StaticSequence`] if `sequence` is an all-slow
+    /// static sequence ([`TestSequence::at_speed`] is `None`, as emitted
+    /// by the stuck-at engine): delay fault simulation needs a
+    /// launch/capture pair. (Before 0.3 this case panicked.)
     pub fn fault_simulate_sequence(
         &self,
         sequence: &TestSequence,
         relied_ppos: &[NodeId],
         faults: &[DelayFault],
         rng: &mut StdRng,
-    ) -> Vec<usize> {
+        scratch: &mut FsimScratch,
+    ) -> Result<Vec<usize>, AtpgError> {
+        if self.config.reference_fsim {
+            return self.fault_simulate_sequence_scalar(sequence, relied_ppos, faults, rng);
+        }
         let circuit = self.circuit;
+        let Some(fast) = sequence.at_speed() else {
+            return Err(AtpgError::StaticSequence);
+        };
+        // Phase 1: good-machine simulation of the initialization frames
+        // with random X-fill, yielding the state when V1 is applied.
+        sequence.fill_into(|| rng.gen(), &mut scratch.filled);
+        let sim = gdf_sim::GoodSimulator::new(circuit);
+        scratch.sim.state.clear();
+        scratch.sim.state.resize(circuit.num_dffs(), Logic3::X);
+        for v in &scratch.filled[..fast.saturating_sub(1)] {
+            scratch.pi.clear();
+            scratch.pi.extend(v.iter().map(|&b| Logic3::from_bool(b)));
+            sim.eval_comb_into(&scratch.pi, &scratch.sim.state, &mut scratch.sim.logic);
+            sim.next_state_into(&scratch.sim.logic, &mut scratch.sim.state_next);
+            std::mem::swap(&mut scratch.sim.state, &mut scratch.sim.state_next);
+        }
+        scratch.state1.clear();
+        for i in 0..circuit.num_dffs() {
+            let b = scratch.sim.state[i].to_bool().unwrap_or_else(|| rng.gen());
+            scratch.state1.push(b);
+        }
+        two_frame_values_into(
+            circuit,
+            &scratch.filled[fast - 1],
+            &scratch.filled[fast],
+            &scratch.state1,
+            &mut scratch.bits,
+            &mut scratch.wave,
+        );
+
+        // Phase 2: which PPOs with non-steady values are observable
+        // through the propagation frames? One lane per candidate PPO.
+        fill_logic_frames(&scratch.filled[fast + 1..], &mut scratch.prop);
+        scratch.state2.clear();
+        scratch.state2.extend(
+            circuit
+                .ppos()
+                .iter()
+                .map(|&ppo| Logic3::from_bool(scratch.wave[ppo.index()].final_value())),
+        );
+        scratch.observable.clear();
+        if !scratch.prop.is_empty() {
+            let fausim = Fausim::new(circuit);
+            scratch.diff_dffs.clear();
+            for (i, &ppo) in circuit.ppos().iter().enumerate() {
+                if !scratch.wave[ppo.index()].is_steady_clean() {
+                    scratch.diff_dffs.push(i);
+                }
+            }
+            for chunk in scratch.diff_dffs.chunks(64) {
+                let mask = fausim.propagate_state_diffs_packed(
+                    &scratch.state2,
+                    chunk,
+                    &scratch.prop,
+                    &mut scratch.sim,
+                );
+                for (k, &i) in chunk.iter().enumerate() {
+                    if mask >> k & 1 == 1 {
+                        scratch.observable.push(circuit.ppos()[i]);
+                    }
+                }
+            }
+        }
+
+        // Phase 3: robust delay fault simulation of the fast frame, 64
+        // candidate faults per word, with the invalidation check.
+        let hits = detected_delay_faults_packed(
+            circuit,
+            &scratch.wave,
+            faults,
+            &scratch.observable,
+            relied_ppos,
+            &mut scratch.sim,
+        );
+        Ok(hits.into_iter().map(|(k, _)| k).collect())
+    }
+
+    /// The scalar reference implementation of
+    /// [`DelayAtpg::fault_simulate_sequence`]: one cone trace per fault,
+    /// one sequential walk per PPO. Kept as the §5 correctness oracle the
+    /// packed path is differential-tested against (and selected for whole
+    /// runs by [`DelayAtpgConfig::with_reference_fsim`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtpgError::StaticSequence`] for all-slow static
+    /// sequences, like the packed variant.
+    pub fn fault_simulate_sequence_scalar(
+        &self,
+        sequence: &TestSequence,
+        relied_ppos: &[NodeId],
+        faults: &[DelayFault],
+        rng: &mut StdRng,
+    ) -> Result<Vec<usize>, AtpgError> {
+        let circuit = self.circuit;
+        if sequence.at_speed().is_none() {
+            return Err(AtpgError::StaticSequence);
+        }
         // Phase 1: good-machine simulation of the initialization frames
         // with random X-fill, yielding the state when V1 is applied.
         let filled = sequence.filled_with(|| rng.gen());
@@ -495,8 +622,49 @@ impl<'c> DelayAtpg<'c> {
         // Phase 3: robust delay fault simulation of the fast frame by
         // critical path tracing, with the invalidation check.
         let hits = detected_delay_faults(circuit, &waveform, faults, &observable_ppos, relied_ppos);
-        hits.into_iter().map(|(k, _)| k).collect()
+        Ok(hits.into_iter().map(|(k, _)| k).collect())
     }
+}
+
+/// Converts boolean frames into 3-valued frames, reusing `dst`'s outer and
+/// inner buffer capacity.
+fn fill_logic_frames(src: &[Vec<bool>], dst: &mut Vec<Vec<Logic3>>) {
+    dst.truncate(src.len());
+    while dst.len() < src.len() {
+        dst.push(Vec::new());
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.clear();
+        d.extend(s.iter().map(|&b| Logic3::from_bool(b)));
+    }
+}
+
+/// Reusable buffers for the three-phase fault simulation: create one per
+/// worker (the engine keeps one per run) and hand it to every
+/// [`DelayAtpg::fault_simulate_sequence`] call. A warm scratch makes the
+/// simulation sweeps allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct FsimScratch {
+    /// Filled (X-free) frames of the sequence under simulation.
+    filled: Vec<Vec<bool>>,
+    /// 3-valued conversion of the propagation frames.
+    prop: Vec<Vec<Logic3>>,
+    /// One PI frame in 3-valued form (phase-1 stepping).
+    pi: Vec<Logic3>,
+    /// Flip-flop state in the initial (V1) frame after X-fill.
+    state1: Vec<bool>,
+    /// Flip-flop state in the fast (V2) frame.
+    state2: Vec<Logic3>,
+    /// Frame-1 binary node values of the waveform evaluation.
+    bits: Vec<bool>,
+    /// The fault-free two-frame waveform.
+    wave: Vec<DelayValue>,
+    /// PPOs proven observable by the propagation phase.
+    observable: Vec<NodeId>,
+    /// Flip-flop indexes whose state difference phase 2 must propagate.
+    diff_dffs: Vec<usize>,
+    /// The shared packed-simulator scratch.
+    sim: SimScratch,
 }
 
 #[cfg(test)]
@@ -561,7 +729,7 @@ mod tests {
             let w = two_frame_values(&c, &filled[fast - 1], &filled[fast], &state1);
             // Observable PPOs: all of them if propagation frames exist
             // (the sequence was built to make the right one observable).
-            let all_ppos: Vec<NodeId> = c.ppos();
+            let all_ppos: Vec<NodeId> = c.ppos().to_vec();
             let obs: &[NodeId] = if seq.propagation_len() > 0 {
                 &all_ppos
             } else {

@@ -37,7 +37,9 @@
 //! assert!(run.report.row.tested > 0);
 //! ```
 
-use crate::driver::{AtpgRun, DelayAtpg, DelayAtpgConfig, FaultClassification, FaultRecord};
+use crate::driver::{
+    AtpgRun, DelayAtpg, DelayAtpgConfig, FaultClassification, FaultRecord, FsimScratch,
+};
 use crate::pattern::TestSequence;
 use crate::report::{CircuitReport, Table3Row};
 use crate::scan::ScanDelayAtpg;
@@ -149,6 +151,10 @@ pub enum AtpgError {
     /// The `time_budget` expired; the run classified every remaining
     /// fault as aborted and returned early.
     TimeBudgetExceeded,
+    /// A delay-fault operation was handed an all-slow *static* sequence
+    /// (no launch/capture pair), e.g. a stuck-at backend sequence passed
+    /// to [`crate::driver::DelayAtpg::fault_simulate_sequence`].
+    StaticSequence,
 }
 
 impl fmt::Display for AtpgError {
@@ -159,6 +165,10 @@ impl fmt::Display for AtpgError {
             }
             AtpgError::Cancelled => f.write_str("run cancelled by observer"),
             AtpgError::TimeBudgetExceeded => f.write_str("time budget exceeded"),
+            AtpgError::StaticSequence => f.write_str(
+                "delay fault simulation needs an at-speed launch/capture pair, \
+                 got an all-slow static sequence",
+            ),
         }
     }
 }
@@ -462,10 +472,17 @@ trait Worker: Sync {
     fn generate(&self, fault: Fault) -> Result<FaultOutcome, AtpgError>;
 
     /// Fault-simulation credit for one emitted detection: indexes into
-    /// `candidates` of the additionally detected faults. The default
+    /// `candidates` of the additionally detected faults. `scratch` holds
+    /// the merge thread's reusable simulation buffers. The default
     /// backend has no credit pass.
-    fn credit(&self, detection: &Detection, candidates: &[Fault], rng: &mut StdRng) -> Vec<usize> {
-        let _ = (detection, candidates, rng);
+    fn credit(
+        &self,
+        detection: &Detection,
+        candidates: &[Fault],
+        rng: &mut StdRng,
+        scratch: &mut FsimScratch,
+    ) -> Vec<usize> {
+        let _ = (detection, candidates, rng, scratch);
         Vec::new()
     }
 }
@@ -479,12 +496,25 @@ impl Worker for DelayAtpg<'_> {
         Ok(self.target_delay(f))
     }
 
-    fn credit(&self, detection: &Detection, candidates: &[Fault], rng: &mut StdRng) -> Vec<usize> {
+    fn credit(
+        &self,
+        detection: &Detection,
+        candidates: &[Fault],
+        rng: &mut StdRng,
+        scratch: &mut FsimScratch,
+    ) -> Vec<usize> {
         let delay: Vec<_> = candidates
             .iter()
             .map(|f| f.as_delay().expect("non-scan universe is delay faults"))
             .collect();
-        self.fault_simulate_sequence(&detection.sequence, &detection.relied_ppos, &delay, rng)
+        self.fault_simulate_sequence(
+            &detection.sequence,
+            &detection.relied_ppos,
+            &delay,
+            rng,
+            scratch,
+        )
+        .expect("non-scan detections always carry an at-speed sequence")
     }
 }
 
@@ -743,6 +773,7 @@ fn orchestrate(
     let mut records: Vec<Option<FaultRecord>> = vec![None; total];
     let mut sequences: Vec<TestSequence> = Vec::new();
     let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut scratch = FsimScratch::default();
     let mut dropped = 0u32;
     let mut decided = 0usize;
     let mut stopped: Option<AtpgError> = None;
@@ -843,7 +874,7 @@ fn orchestrate(
                     let undecided: Vec<usize> =
                         (0..total).filter(|&i| records[i].is_none()).collect();
                     let candidates: Vec<Fault> = undecided.iter().map(|&i| faults[i]).collect();
-                    let hits = worker.credit(&detection, &candidates, &mut rng);
+                    let hits = worker.credit(&detection, &candidates, &mut rng, &mut scratch);
                     for hit in hits {
                         let i = undecided[hit];
                         if records[i].is_none() {

@@ -38,7 +38,9 @@ pub mod report;
 pub mod scan;
 
 pub use compact::{compact_sequences, CompactionResult};
-pub use driver::{AtpgRun, DelayAtpg, DelayAtpgConfig, FaultClassification, FaultRecord};
+pub use driver::{
+    AtpgRun, DelayAtpg, DelayAtpgConfig, FaultClassification, FaultRecord, FsimScratch,
+};
 pub use engine::{
     Atpg, AtpgBuilder, AtpgEngine, AtpgError, Backend, Detection, EnhancedScanEngine, FaultOutcome,
     Limits, NonScanEngine, Observer, StuckAtEngine,

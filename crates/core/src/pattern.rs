@@ -178,16 +178,25 @@ impl TestSequence {
     /// Replaces every `X` with values drawn from `fill` (deterministic
     /// X-fill; the paper sets leftover don't-cares randomly before fault
     /// simulation).
-    pub fn filled_with(&self, mut fill: impl FnMut() -> bool) -> Vec<Vec<bool>> {
-        self.vectors
-            .iter()
-            .map(|tv| {
-                tv.pi
-                    .iter()
-                    .map(|l| l.to_bool().unwrap_or_else(&mut fill))
-                    .collect()
-            })
-            .collect()
+    pub fn filled_with(&self, fill: impl FnMut() -> bool) -> Vec<Vec<bool>> {
+        let mut out = Vec::new();
+        self.fill_into(fill, &mut out);
+        out
+    }
+
+    /// Allocation-reusing variant of [`TestSequence::filled_with`]: writes
+    /// the filled frames into `dst`, keeping the inner frame buffers'
+    /// capacity. `fill` is consumed in the same order (frame by frame,
+    /// input by input), so RNG-driven X-fill draws identically.
+    pub fn fill_into(&self, mut fill: impl FnMut() -> bool, dst: &mut Vec<Vec<bool>>) {
+        dst.truncate(self.vectors.len());
+        while dst.len() < self.vectors.len() {
+            dst.push(Vec::new());
+        }
+        for (frame, tv) in dst.iter_mut().zip(&self.vectors) {
+            frame.clear();
+            frame.extend(tv.pi.iter().map(|l| l.to_bool().unwrap_or_else(&mut fill)));
+        }
     }
 }
 

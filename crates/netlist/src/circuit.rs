@@ -138,6 +138,23 @@ pub struct Circuit {
     /// Combinational gates in topological (level) order.
     topo: Vec<NodeId>,
     max_level: u32,
+    /// Pseudo primary outputs, cached in flip-flop declaration order.
+    ppos: Vec<NodeId>,
+    /// Flattened fanin arena: the fanins of `topo[k]` live at
+    /// `fanin_arena[fanin_offsets[k]..fanin_offsets[k + 1]]`. One
+    /// contiguous allocation replaces the per-gate `Vec` rebuild in every
+    /// simulator hot loop.
+    fanin_arena: Vec<NodeId>,
+    fanin_offsets: Vec<u32>,
+    /// Gate kind of `topo[k]`, colocated for cache-friendly sweeps.
+    topo_kinds: Vec<GateKind>,
+    /// Packed transitive-fanout cones: node `i`'s cone occupies
+    /// `cone_words[i * cone_stride..][..cone_stride]`, one bit per node.
+    /// Computed lazily on first cone query (the table is O(n²/8) bytes —
+    /// building it eagerly would tax every `Circuit` that never traces a
+    /// fault cone).
+    cone_words: std::sync::OnceLock<Vec<u64>>,
+    cone_stride: usize,
 }
 
 impl Circuit {
@@ -213,8 +230,11 @@ impl Circuit {
     }
 
     /// All pseudo primary outputs, in flip-flop declaration order.
-    pub fn ppos(&self) -> Vec<NodeId> {
-        self.dffs.iter().map(|&d| self.ppo_of_dff(d)).collect()
+    ///
+    /// Cached at build time: calling this in a per-sequence loop is free.
+    /// (Before 0.3 this allocated a fresh `Vec` per call.)
+    pub fn ppos(&self) -> &[NodeId] {
+        &self.ppos
     }
 
     /// Looks up a node by signal name.
@@ -236,6 +256,29 @@ impl Circuit {
     /// sweep in this order evaluates every gate after its fanins.
     pub fn topo_order(&self) -> &[NodeId] {
         &self.topo
+    }
+
+    /// The fanins of the `k`-th gate of [`Circuit::topo_order`], served
+    /// from the flattened levelized arena (no per-gate allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= num_gates()`.
+    pub fn topo_fanins(&self, k: usize) -> &[NodeId] {
+        let lo = self.fanin_offsets[k] as usize;
+        let hi = self.fanin_offsets[k + 1] as usize;
+        &self.fanin_arena[lo..hi]
+    }
+
+    /// Iterates the combinational block in topological order as
+    /// `(gate id, kind, fanins)` triples — the allocation-free shape every
+    /// simulator sweep consumes.
+    pub fn gates_levelized(&self) -> impl Iterator<Item = (NodeId, GateKind, &[NodeId])> + '_ {
+        self.topo
+            .iter()
+            .zip(&self.topo_kinds)
+            .enumerate()
+            .map(move |(k, (&id, &kind))| (id, kind, self.topo_fanins(k)))
     }
 
     /// Whether `id` is a source of the combinational block (PI or DFF
@@ -269,23 +312,78 @@ impl Circuit {
     /// The transitive fanout cone of `seed` (including `seed` itself),
     /// restricted to the combinational block (stops at DFFs and POs).
     ///
-    /// Used to restrict where fault-carrying values may appear.
+    /// Served from the cone bitsets computed once per circuit, on first
+    /// cone query (before 0.3 every call ran a DFS and allocated a fresh
+    /// `Vec<bool>`). For allocation-free queries use
+    /// [`Circuit::cone_contains`] or [`Circuit::cone_words`].
     pub fn output_cone(&self, seed: NodeId) -> Vec<bool> {
-        let mut in_cone = vec![false; self.nodes.len()];
-        let mut stack = vec![seed];
-        in_cone[seed.index()] = true;
-        while let Some(id) = stack.pop() {
-            for &(sink, _) in self.node(id).fanout() {
-                if self.node(sink).kind() == GateKind::Dff {
+        let words = self.cone_words(seed);
+        (0..self.nodes.len())
+            .map(|i| words[i / 64] >> (i % 64) & 1 == 1)
+            .collect()
+    }
+
+    /// Whether `node` lies in the transitive fanout cone of `seed`
+    /// (including `seed == node`).
+    pub fn cone_contains(&self, seed: NodeId, node: NodeId) -> bool {
+        let i = node.index();
+        self.cone_words(seed)[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// The packed cone bitset of `seed`: bit `i` of word `i / 64` is set
+    /// iff node `i` is in the cone. All cones share one word stride
+    /// ([`Circuit::cone_stride`]), so word-level unions across seeds are
+    /// plain slice zips. The whole-circuit cone table is built on the
+    /// first query and cached for the circuit's lifetime.
+    pub fn cone_words(&self, seed: NodeId) -> &[u64] {
+        let words = self.cone_words.get_or_init(|| self.compute_cone_words());
+        let s = seed.index() * self.cone_stride;
+        &words[s..s + self.cone_stride]
+    }
+
+    /// Builds the full cone table: one pass in reverse topological order —
+    /// a node's cone is itself plus the union of its combinational sinks'
+    /// cones (cones stop at DFFs).
+    fn compute_cone_words(&self) -> Vec<u64> {
+        let n = self.nodes.len();
+        let stride = self.cone_stride;
+        let mut cone_words = vec![0u64; n * stride];
+        // Reversed below: gates in reverse topo order first, sources
+        // (whose fanouts are gates) last.
+        let mut order: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| !node.kind.is_combinational())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        order.extend_from_slice(&self.topo);
+        for &id in order.iter().rev() {
+            let i = id.index();
+            cone_words[i * stride + i / 64] |= 1 << (i % 64);
+            for s in 0..self.nodes[i].fanout.len() {
+                let sink = self.nodes[i].fanout[s].0.index();
+                if self.nodes[sink].kind == GateKind::Dff {
                     continue;
                 }
-                if !in_cone[sink.index()] {
-                    in_cone[sink.index()] = true;
-                    stack.push(sink);
+                let (dst, src) = if i < sink {
+                    let (a, b) = cone_words.split_at_mut(sink * stride);
+                    (&mut a[i * stride..(i + 1) * stride], &b[..stride])
+                } else {
+                    let (a, b) = cone_words.split_at_mut(i * stride);
+                    (&mut b[..stride], &a[sink * stride..(sink + 1) * stride])
+                };
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d |= s;
                 }
             }
         }
-        in_cone
+        cone_words
+    }
+
+    /// Number of u64 words per cone bitset (`ceil(num_nodes / 64)`).
+    pub fn cone_stride(&self) -> usize {
+        self.cone_stride
     }
 }
 
@@ -571,12 +669,26 @@ impl CircuitBuilder {
             .filter(|(_, n)| n.kind == GateKind::Input)
             .map(|(i, _)| NodeId(i as u32))
             .collect();
-        let dffs = nodes
+        let dffs: Vec<NodeId> = nodes
             .iter()
             .enumerate()
             .filter(|(_, n)| n.kind == GateKind::Dff)
             .map(|(i, _)| NodeId(i as u32))
             .collect();
+        let ppos = dffs.iter().map(|&d| nodes[d.index()].fanin[0]).collect();
+
+        // Flattened levelized fanin arena: one contiguous run per topo
+        // gate, so simulator sweeps never rebuild per-gate input Vecs.
+        let mut fanin_offsets = Vec::with_capacity(topo.len() + 1);
+        let mut fanin_arena =
+            Vec::with_capacity(topo.iter().map(|g| nodes[g.index()].fanin.len()).sum());
+        fanin_offsets.push(0u32);
+        for &g in &topo {
+            fanin_arena.extend_from_slice(&nodes[g.index()].fanin);
+            fanin_offsets.push(fanin_arena.len() as u32);
+        }
+        let topo_kinds = topo.iter().map(|g| nodes[g.index()].kind).collect();
+        let cone_stride = n.div_ceil(64);
 
         Ok(Circuit {
             name: self.name.clone(),
@@ -588,6 +700,12 @@ impl CircuitBuilder {
             level,
             topo,
             max_level,
+            ppos,
+            fanin_arena,
+            fanin_offsets,
+            topo_kinds,
+            cone_words: std::sync::OnceLock::new(),
+            cone_stride,
         })
     }
 }

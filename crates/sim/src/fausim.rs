@@ -17,6 +17,7 @@
 //! differing* values there (the safe criterion under unknown state bits).
 
 use crate::goodsim::GoodSimulator;
+use crate::packed::{PackedGoodSim, PackedLogic, SimScratch};
 use gdf_algebra::logic3::{eval_gate3, Logic3};
 use gdf_netlist::{Circuit, NodeId, StuckFault};
 
@@ -95,6 +96,76 @@ impl<'c> Fausim<'c> {
             .map(|b| Logic3::from_bool(!b))
             .expect("state difference must be on a known bit");
         self.run_pair(good_state, &faulty_state, vectors, None)
+    }
+
+    /// Word-parallel variant of [`Fausim::propagate_state_diff`]: one
+    /// faulty machine per bit lane, all lanes sharing the fault-free
+    /// frames. Lane `k` starts in `good_state` with flip-flop
+    /// `diff_dffs[k]` inverted; the returned mask has bit `k` set iff that
+    /// lane's difference provably reaches a primary output — lane-wise
+    /// identical to `diff_dffs.len()` sequential scalar calls, at the
+    /// cost of roughly one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diff_dffs` has more than 64 entries, or any entry is out
+    /// of range or indexes an unknown (`X`) state bit.
+    pub fn propagate_state_diffs_packed(
+        &self,
+        good_state: &[Logic3],
+        diff_dffs: &[usize],
+        vectors: &[Vec<Logic3>],
+        scratch: &mut SimScratch,
+    ) -> u64 {
+        assert!(diff_dffs.len() <= 64, "at most 64 lanes per word");
+        let circuit = self.circuit;
+        let sim = GoodSimulator::new(circuit);
+        let packed = PackedGoodSim::new(circuit);
+
+        // Good machine state (shared) and per-lane faulty states.
+        scratch.state.clear();
+        scratch.state.extend_from_slice(good_state);
+        scratch.packed_state.clear();
+        scratch
+            .packed_state
+            .extend(good_state.iter().map(|&v| PackedLogic::splat(v)));
+        for (k, &d) in diff_dffs.iter().enumerate() {
+            assert!(d < circuit.num_dffs(), "diff_dff out of range");
+            let flipped = good_state[d]
+                .to_bool()
+                .map(|b| Logic3::from_bool(!b))
+                .expect("state difference must be on a known bit");
+            scratch.packed_state[d].set_lane(k, flipped);
+        }
+
+        let lanes_mask = if diff_dffs.len() == 64 {
+            !0u64
+        } else {
+            (1u64 << diff_dffs.len()) - 1
+        };
+        let mut observed = 0u64;
+        let mut pi = std::mem::take(&mut scratch.packed_ins);
+        for v in vectors {
+            sim.eval_comb_into(v, &scratch.state, &mut scratch.logic);
+            pi.clear();
+            pi.extend(v.iter().map(|&b| PackedLogic::splat(b)));
+            packed.eval_comb_into(&pi, &scratch.packed_state, &mut scratch.packed);
+            for &po in circuit.outputs() {
+                let f = scratch.packed[po.index()];
+                match scratch.logic[po.index()].to_bool() {
+                    Some(true) => observed |= f.zeros,
+                    Some(false) => observed |= f.ones,
+                    None => {}
+                }
+            }
+            // Step both machines.
+            sim.next_state_into(&scratch.logic, &mut scratch.state_next);
+            std::mem::swap(&mut scratch.state, &mut scratch.state_next);
+            packed.next_state_into(&scratch.packed, &mut scratch.packed_next);
+            std::mem::swap(&mut scratch.packed_state, &mut scratch.packed_next);
+        }
+        scratch.packed_ins = pi;
+        observed & lanes_mask
     }
 
     /// Runs good and faulty machines over `vectors` with an optional
@@ -240,22 +311,18 @@ impl<'c> Fausim<'c> {
                 values[stem.index()] = v;
             }
         }
-        for &gate in circuit.topo_order() {
-            let node = circuit.node(gate);
-            let ins: Vec<Logic3> = node
-                .fanin()
-                .iter()
-                .enumerate()
-                .map(|(pin, &f)| {
-                    if let Some((stem, sink, fpin, v)) = branch_override {
-                        if f == stem && sink == gate && fpin == pin as u8 {
-                            return v;
-                        }
+        let mut ins: Vec<Logic3> = Vec::with_capacity(8);
+        for (gate, kind, fanins) in circuit.gates_levelized() {
+            ins.clear();
+            ins.extend(fanins.iter().enumerate().map(|(pin, &f)| {
+                if let Some((stem, sink, fpin, v)) = branch_override {
+                    if f == stem && sink == gate && fpin == pin as u8 {
+                        return v;
                     }
-                    values[f.index()]
-                })
-                .collect();
-            let mut out = eval_gate3(node.kind(), &ins);
+                }
+                values[f.index()]
+            }));
+            let mut out = eval_gate3(kind, &ins);
             if let Some((stem, v)) = stem_override {
                 if stem == gate {
                     out = v;
@@ -394,6 +461,53 @@ mod tests {
         // Too short a sequence: not detected yet.
         let vectors = vec![vec![One, One]; 2];
         assert_eq!(fausim.stuck_at_detection_frame(fault, &vectors), None);
+    }
+
+    #[test]
+    fn packed_state_diffs_match_scalar_on_s27() {
+        let c = suite::s27();
+        let fausim = Fausim::new(&c);
+        let mut scratch = crate::SimScratch::default();
+        // All 8 known states × a few vector sequences, every dff diffed.
+        for state_bits in 0u32..8 {
+            let good: Vec<Logic3> = (0..3)
+                .map(|i| Logic3::from_bool(state_bits & (1 << i) != 0))
+                .collect();
+            for seed in 0u32..8 {
+                let vectors: Vec<Vec<Logic3>> = (0..2)
+                    .map(|f| {
+                        (0..4)
+                            .map(|i| Logic3::from_bool(seed & (1 << ((i + f) % 4)) != 0))
+                            .collect()
+                    })
+                    .collect();
+                let diffs: Vec<usize> = (0..3).collect();
+                let mask =
+                    fausim.propagate_state_diffs_packed(&good, &diffs, &vectors, &mut scratch);
+                for (k, &d) in diffs.iter().enumerate() {
+                    let scalar = fausim.propagate_state_diff(&good, d, &vectors);
+                    assert_eq!(
+                        mask >> k & 1 == 1,
+                        scalar.is_observed(),
+                        "state {state_bits:03b} seed {seed} dff {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_state_diffs_handle_shift_register_lanes() {
+        let c = gdf_netlist::generator::shift_register(3);
+        let fausim = Fausim::new(&c);
+        let mut scratch = crate::SimScratch::default();
+        let good = vec![Zero; 3];
+        let vectors = vec![vec![Zero, One]; 3];
+        let mask = fausim.propagate_state_diffs_packed(&good, &[0, 1, 2], &vectors, &mut scratch);
+        for d in 0..3 {
+            let scalar = fausim.propagate_state_diff(&good, d, &vectors);
+            assert_eq!(mask >> d & 1 == 1, scalar.is_observed(), "dff {d}");
+        }
     }
 
     #[test]

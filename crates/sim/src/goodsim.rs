@@ -8,8 +8,28 @@
 //! [`ParallelSimulator`] packs 64 two-valued patterns per machine word and
 //! is used for random-pattern fault grading and the Criterion benches.
 
-use gdf_algebra::logic3::{eval_gate3, Logic3};
-use gdf_netlist::{Circuit, NodeId};
+use gdf_algebra::logic3::Logic3;
+use gdf_netlist::{Circuit, GateKind, NodeId};
+
+/// Evaluates one gate over node values addressed through its fanin list —
+/// the fold-direct twin of [`gdf_algebra::logic3::eval_gate3`] (same fold
+/// order, so identical results), without gathering an input `Vec`.
+pub(crate) fn eval3_indexed(kind: GateKind, fanins: &[NodeId], values: &[Logic3]) -> Logic3 {
+    let v = |f: &NodeId| values[f.index()];
+    match kind {
+        GateKind::Buf => v(&fanins[0]),
+        GateKind::Not => v(&fanins[0]).not(),
+        GateKind::And => fanins.iter().fold(Logic3::One, |a, f| a.and(v(f))),
+        GateKind::Nand => fanins.iter().fold(Logic3::One, |a, f| a.and(v(f))).not(),
+        GateKind::Or => fanins.iter().fold(Logic3::Zero, |a, f| a.or(v(f))),
+        GateKind::Nor => fanins.iter().fold(Logic3::Zero, |a, f| a.or(v(f))).not(),
+        GateKind::Xor => fanins.iter().fold(Logic3::Zero, |a, f| a.xor(v(f))),
+        GateKind::Xnor => fanins.iter().fold(Logic3::Zero, |a, f| a.xor(v(f))).not(),
+        GateKind::Input | GateKind::Dff => {
+            panic!("eval3_indexed called on non-combinational kind {kind:?}")
+        }
+    }
+}
 
 /// Three-valued sequential simulator for a [`Circuit`].
 ///
@@ -56,30 +76,46 @@ impl<'c> GoodSimulator<'c> {
     ///
     /// Panics if `pi` or `state` have the wrong length.
     pub fn eval_comb(&self, pi: &[Logic3], state: &[Logic3]) -> Vec<Logic3> {
+        let mut values = Vec::new();
+        self.eval_comb_into(pi, state, &mut values);
+        values
+    }
+
+    /// Allocation-free variant of [`GoodSimulator::eval_comb`]: writes the
+    /// node values into `values`, reusing its capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` or `state` have the wrong length.
+    pub fn eval_comb_into(&self, pi: &[Logic3], state: &[Logic3], values: &mut Vec<Logic3>) {
         assert_eq!(pi.len(), self.circuit.num_inputs(), "PI vector length");
         assert_eq!(state.len(), self.circuit.num_dffs(), "state vector length");
-        let mut values = vec![Logic3::X; self.circuit.num_nodes()];
+        values.clear();
+        values.resize(self.circuit.num_nodes(), Logic3::X);
         for (i, &id) in self.circuit.inputs().iter().enumerate() {
             values[id.index()] = pi[i];
         }
         for (i, &ff) in self.circuit.dffs().iter().enumerate() {
             values[ff.index()] = state[i];
         }
-        for &gate in self.circuit.topo_order() {
-            let node = self.circuit.node(gate);
-            let ins: Vec<Logic3> = node.fanin().iter().map(|&f| values[f.index()]).collect();
-            values[gate.index()] = eval_gate3(node.kind(), &ins);
+        for (gate, kind, fanins) in self.circuit.gates_levelized() {
+            values[gate.index()] = eval3_indexed(kind, fanins, values);
         }
-        values
     }
 
     /// Extracts the next state (latched PPO values) from a node-value map.
     pub fn next_state(&self, values: &[Logic3]) -> Vec<Logic3> {
         self.circuit
-            .dffs()
+            .ppos()
             .iter()
-            .map(|&ff| values[self.circuit.ppo_of_dff(ff).index()])
+            .map(|&ppo| values[ppo.index()])
             .collect()
+    }
+
+    /// Allocation-free variant of [`GoodSimulator::next_state`].
+    pub fn next_state_into(&self, values: &[Logic3], next: &mut Vec<Logic3>) {
+        next.clear();
+        next.extend(self.circuit.ppos().iter().map(|&ppo| values[ppo.index()]));
     }
 
     /// Extracts the PO values from a node-value map.
@@ -161,11 +197,10 @@ impl<'c> ParallelSimulator<'c> {
             values[ff.index()] = state[i];
         }
         let mut ins: Vec<u64> = Vec::with_capacity(8);
-        for &gate in self.circuit.topo_order() {
-            let node = self.circuit.node(gate);
+        for (gate, kind, fanins) in self.circuit.gates_levelized() {
             ins.clear();
-            ins.extend(node.fanin().iter().map(|&f| values[f.index()]));
-            values[gate.index()] = node.kind().eval_word(&ins);
+            ins.extend(fanins.iter().map(|f| values[f.index()]));
+            values[gate.index()] = kind.eval_word(&ins);
         }
         values
     }
@@ -173,9 +208,9 @@ impl<'c> ParallelSimulator<'c> {
     /// Latches the next state from a node-value map.
     pub fn next_state(&self, values: &[u64]) -> Vec<u64> {
         self.circuit
-            .dffs()
+            .ppos()
             .iter()
-            .map(|&ff| values[self.circuit.ppo_of_dff(ff).index()])
+            .map(|&ppo| values[ppo.index()])
             .collect()
     }
 }

@@ -1,0 +1,389 @@
+//! Bit-parallel 3-valued simulation: 64 independent Kleene values per
+//! machine word, two bit-planes per net.
+//!
+//! [`PackedLogic`] uses the classic two-rail encoding — a `ones` plane for
+//! lanes known to be 1 and a `zeros` plane for lanes known to be 0; a lane
+//! set in neither plane is `X`. Gate evaluation is a handful of word ops
+//! and is lane-identical to [`gdf_algebra::logic3::eval_gate3`] (the Kleene
+//! operations are associative, so the pairwise fold enumerates exactly the
+//! n-ary results; proven by the exhaustive tests below).
+//!
+//! [`PackedGoodSim`] sweeps the combinational block once for 64 packed
+//! 3-valued patterns — the engine behind the 64-lane FAUSIM variant that
+//! propagates one PPO state difference per lane.
+//!
+//! [`SimScratch`] bundles the reusable node-value buffers of every packed
+//! sweep so per-sequence hot loops allocate nothing after warm-up.
+
+use gdf_algebra::delay::DelayValue;
+use gdf_algebra::logic3::Logic3;
+use gdf_algebra::packed::PackedWave;
+use gdf_netlist::{Circuit, GateKind};
+
+/// 64 Kleene logic values, one per bit lane, in two-rail encoding.
+///
+/// Invariant: `ones & zeros == 0` (a lane cannot be both known-1 and
+/// known-0). All constructors and operations maintain it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackedLogic {
+    /// Lanes known to be logic 1.
+    pub ones: u64,
+    /// Lanes known to be logic 0.
+    pub zeros: u64,
+}
+
+impl PackedLogic {
+    /// All 64 lanes unknown.
+    pub const ALL_X: PackedLogic = PackedLogic { ones: 0, zeros: 0 };
+
+    /// All 64 lanes holding the same value.
+    pub fn splat(v: Logic3) -> PackedLogic {
+        match v {
+            Logic3::One => PackedLogic { ones: !0, zeros: 0 },
+            Logic3::Zero => PackedLogic { ones: 0, zeros: !0 },
+            Logic3::X => PackedLogic::ALL_X,
+        }
+    }
+
+    /// The value in lane `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 64`.
+    pub fn lane(self, k: usize) -> Logic3 {
+        assert!(k < 64);
+        if self.ones >> k & 1 == 1 {
+            Logic3::One
+        } else if self.zeros >> k & 1 == 1 {
+            Logic3::Zero
+        } else {
+            Logic3::X
+        }
+    }
+
+    /// Overwrites lane `k` with `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 64`.
+    pub fn set_lane(&mut self, k: usize, v: Logic3) {
+        assert!(k < 64);
+        let mask = 1u64 << k;
+        self.ones &= !mask;
+        self.zeros &= !mask;
+        match v {
+            Logic3::One => self.ones |= mask,
+            Logic3::Zero => self.zeros |= mask,
+            Logic3::X => {}
+        }
+    }
+
+    /// Lanes with a known (non-`X`) value.
+    pub fn known(self) -> u64 {
+        self.ones | self.zeros
+    }
+
+    /// Kleene negation on all lanes.
+    #[allow(clippy::should_implement_trait)] // mirror Logic3::not's name
+    pub fn not(self) -> PackedLogic {
+        PackedLogic {
+            ones: self.zeros,
+            zeros: self.ones,
+        }
+    }
+
+    /// Kleene conjunction on all lanes.
+    pub fn and(self, other: PackedLogic) -> PackedLogic {
+        PackedLogic {
+            ones: self.ones & other.ones,
+            zeros: self.zeros | other.zeros,
+        }
+    }
+
+    /// Kleene disjunction on all lanes.
+    pub fn or(self, other: PackedLogic) -> PackedLogic {
+        PackedLogic {
+            ones: self.ones | other.ones,
+            zeros: self.zeros & other.zeros,
+        }
+    }
+
+    /// Kleene exclusive-or on all lanes.
+    pub fn xor(self, other: PackedLogic) -> PackedLogic {
+        let known = self.known() & other.known();
+        let v = self.ones ^ other.ones;
+        PackedLogic {
+            ones: known & v,
+            zeros: known & !v,
+        }
+    }
+}
+
+/// Evaluates a combinational gate over packed 3-valued inputs, lane-wise
+/// identical to [`gdf_algebra::logic3::eval_gate3`].
+///
+/// # Panics
+///
+/// Panics if `kind` is `Input`/`Dff` or `ins` is empty.
+pub fn eval_gate_packed3(kind: GateKind, ins: &[PackedLogic]) -> PackedLogic {
+    debug_assert!(!ins.is_empty());
+    match kind {
+        GateKind::Buf => ins[0],
+        GateKind::Not => ins[0].not(),
+        GateKind::And => ins[1..].iter().fold(ins[0], |a, &b| a.and(b)),
+        GateKind::Nand => ins[1..].iter().fold(ins[0], |a, &b| a.and(b)).not(),
+        GateKind::Or => ins[1..].iter().fold(ins[0], |a, &b| a.or(b)),
+        GateKind::Nor => ins[1..].iter().fold(ins[0], |a, &b| a.or(b)).not(),
+        GateKind::Xor => ins[1..].iter().fold(ins[0], |a, &b| a.xor(b)),
+        GateKind::Xnor => ins[1..].iter().fold(ins[0], |a, &b| a.xor(b)).not(),
+        GateKind::Input | GateKind::Dff => {
+            panic!("eval_gate_packed3 called on non-combinational kind {kind:?}")
+        }
+    }
+}
+
+/// Evaluates one gate over packed node values addressed through its fanin
+/// list — the fold-direct twin of [`eval_gate_packed3`] (same fold order,
+/// so identical results), without gathering an input slice. Mirrors
+/// `eval3_indexed` (scalar 3-valued) and `eval_packed_indexed` (packed
+/// waveform) at the other two sweep sites.
+fn eval_packed3_indexed(
+    kind: GateKind,
+    fanins: &[gdf_netlist::NodeId],
+    values: &[PackedLogic],
+) -> PackedLogic {
+    let v = |f: &gdf_netlist::NodeId| values[f.index()];
+    let first = v(&fanins[0]);
+    match kind {
+        GateKind::Buf => first,
+        GateKind::Not => first.not(),
+        GateKind::And => fanins[1..].iter().fold(first, |a, f| a.and(v(f))),
+        GateKind::Nand => fanins[1..].iter().fold(first, |a, f| a.and(v(f))).not(),
+        GateKind::Or => fanins[1..].iter().fold(first, |a, f| a.or(v(f))),
+        GateKind::Nor => fanins[1..].iter().fold(first, |a, f| a.or(v(f))).not(),
+        GateKind::Xor => fanins[1..].iter().fold(first, |a, f| a.xor(v(f))),
+        GateKind::Xnor => fanins[1..].iter().fold(first, |a, f| a.xor(v(f))).not(),
+        GateKind::Input | GateKind::Dff => unreachable!("sources are not levelized"),
+    }
+}
+
+/// Reusable buffers for the packed sweeps: create once per worker, hand to
+/// every packed call. Nothing is allocated in the hot loops after the
+/// first call sized them.
+#[derive(Debug, Default, Clone)]
+pub struct SimScratch {
+    /// Scalar 3-valued node values (good machine).
+    pub logic: Vec<Logic3>,
+    /// Packed 3-valued node values (64 faulty machines).
+    pub packed: Vec<PackedLogic>,
+    /// Packed current state, one entry per flip-flop.
+    pub packed_state: Vec<PackedLogic>,
+    /// Packed next state, one entry per flip-flop.
+    pub packed_next: Vec<PackedLogic>,
+    /// One broadcast PI frame for the packed sweeps.
+    pub packed_ins: Vec<PackedLogic>,
+    /// Packed waveform node values (64 marked machines).
+    pub packed_wave: Vec<PackedWave>,
+    /// Per-gate input gather for packed waveform evaluation.
+    pub wave_ins: Vec<PackedWave>,
+    /// Union-of-cones bitset for one fault batch.
+    pub cone_union: Vec<u64>,
+    /// Scalar good-machine state (phase-1/2 stepping).
+    pub state: Vec<Logic3>,
+    /// Scalar good-machine next state (swapped with `state` per frame).
+    pub state_next: Vec<Logic3>,
+    /// Per-batch stem-fault lane masks, indexed by node (sparse — reset
+    /// via `stem_nodes`).
+    pub stem_mask: Vec<u64>,
+    /// Marked value injected at each stem of `stem_nodes`.
+    pub stem_val: Vec<DelayValue>,
+    /// Nodes with a non-zero `stem_mask` this batch.
+    pub stem_nodes: Vec<u32>,
+    /// Per-batch branch-fault overrides: (sink node index, pin, lane
+    /// mask, marked value).
+    pub branch_list: Vec<(u32, u8, u64, DelayValue)>,
+    /// Whether a node has any branch override this batch (sparse — reset
+    /// via `branch_list`).
+    pub branch_flag: Vec<bool>,
+}
+
+/// 64-way parallel 3-valued simulator: one independent Kleene pattern per
+/// bit lane.
+///
+/// # Example
+///
+/// ```
+/// use gdf_algebra::Logic3;
+/// use gdf_netlist::suite;
+/// use gdf_sim::{PackedGoodSim, PackedLogic};
+///
+/// let c = suite::s27();
+/// let sim = PackedGoodSim::new(&c);
+/// let pi = vec![PackedLogic::splat(Logic3::Zero); 4];
+/// let st = vec![PackedLogic::ALL_X; 3];
+/// let mut values = Vec::new();
+/// sim.eval_comb_into(&pi, &st, &mut values);
+/// assert_eq!(values.len(), c.num_nodes());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedGoodSim<'c> {
+    circuit: &'c Circuit,
+}
+
+impl<'c> PackedGoodSim<'c> {
+    /// Creates a packed simulator for `circuit`.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        PackedGoodSim { circuit }
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Evaluates the combinational block for one time frame of 64 packed
+    /// 3-valued patterns, writing one value per node into `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` or `state` have the wrong length.
+    pub fn eval_comb_into(
+        &self,
+        pi: &[PackedLogic],
+        state: &[PackedLogic],
+        values: &mut Vec<PackedLogic>,
+    ) {
+        let circuit = self.circuit;
+        assert_eq!(pi.len(), circuit.num_inputs(), "PI vector length");
+        assert_eq!(state.len(), circuit.num_dffs(), "state vector length");
+        values.clear();
+        values.resize(circuit.num_nodes(), PackedLogic::ALL_X);
+        for (i, &id) in circuit.inputs().iter().enumerate() {
+            values[id.index()] = pi[i];
+        }
+        for (i, &ff) in circuit.dffs().iter().enumerate() {
+            values[ff.index()] = state[i];
+        }
+        for (gate, kind, fanins) in circuit.gates_levelized() {
+            values[gate.index()] = eval_packed3_indexed(kind, fanins, values);
+        }
+    }
+
+    /// Latches the next state from a node-value map into `next`.
+    pub fn next_state_into(&self, values: &[PackedLogic], next: &mut Vec<PackedLogic>) {
+        next.clear();
+        next.extend(
+            self.circuit
+                .dffs()
+                .iter()
+                .map(|&ff| values[self.circuit.ppo_of_dff(ff).index()]),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdf_algebra::logic3::eval_gate3;
+    use gdf_netlist::suite;
+    use Logic3::{One, Zero, X};
+
+    #[test]
+    fn splat_lane_round_trip() {
+        for v in Logic3::ALL {
+            let p = PackedLogic::splat(v);
+            assert_eq!(p.lane(0), v);
+            assert_eq!(p.lane(63), v);
+            assert_eq!(p.ones & p.zeros, 0);
+        }
+    }
+
+    #[test]
+    fn set_lane_is_local() {
+        let mut p = PackedLogic::splat(One);
+        p.set_lane(7, X);
+        p.set_lane(8, Zero);
+        assert_eq!(p.lane(6), One);
+        assert_eq!(p.lane(7), X);
+        assert_eq!(p.lane(8), Zero);
+        assert_eq!(p.ones & p.zeros, 0);
+    }
+
+    #[test]
+    fn ops_match_scalar_kleene_exhaustively() {
+        // All 9 value pairs in the first 9 lanes.
+        let pairs: Vec<(Logic3, Logic3)> = Logic3::ALL
+            .into_iter()
+            .flat_map(|a| Logic3::ALL.into_iter().map(move |b| (a, b)))
+            .collect();
+        let mut a = PackedLogic::ALL_X;
+        let mut b = PackedLogic::ALL_X;
+        for (k, &(va, vb)) in pairs.iter().enumerate() {
+            a.set_lane(k, va);
+            b.set_lane(k, vb);
+        }
+        for (k, &(va, vb)) in pairs.iter().enumerate() {
+            assert_eq!(a.and(b).lane(k), va.and(vb), "and({va}, {vb})");
+            assert_eq!(a.or(b).lane(k), va.or(vb), "or({va}, {vb})");
+            assert_eq!(a.xor(b).lane(k), va.xor(vb), "xor({va}, {vb})");
+            assert_eq!(a.not().lane(k), va.not(), "not({va})");
+        }
+    }
+
+    #[test]
+    fn gate_eval_matches_scalar_three_inputs() {
+        // Exhaustive 27 triples per kind, packed one per lane.
+        let triples: Vec<[Logic3; 3]> = Logic3::ALL
+            .into_iter()
+            .flat_map(|a| {
+                Logic3::ALL
+                    .into_iter()
+                    .flat_map(move |b| Logic3::ALL.into_iter().map(move |c| [a, b, c]))
+            })
+            .collect();
+        let mut ins = [PackedLogic::ALL_X; 3];
+        for (k, t) in triples.iter().enumerate() {
+            for (j, &v) in t.iter().enumerate() {
+                ins[j].set_lane(k, v);
+            }
+        }
+        for kind in GateKind::COMBINATIONAL {
+            if matches!(kind, GateKind::Buf | GateKind::Not) {
+                continue;
+            }
+            let packed = eval_gate_packed3(kind, &ins);
+            for (k, t) in triples.iter().enumerate() {
+                assert_eq!(packed.lane(k), eval_gate3(kind, t), "{kind:?} {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_goodsim_matches_scalar_on_s27() {
+        let c = suite::s27();
+        let scalar = crate::GoodSimulator::new(&c);
+        let packed = PackedGoodSim::new(&c);
+        // 3^4 PI patterns don't fit nicely; sample 64 mixed PI/state lanes.
+        let mut pi = vec![PackedLogic::ALL_X; 4];
+        let mut st = vec![PackedLogic::ALL_X; 3];
+        let val = |n: usize| Logic3::ALL[n % 3];
+        for k in 0..64usize {
+            for (i, p) in pi.iter_mut().enumerate() {
+                p.set_lane(k, val(k / 3usize.pow(i as u32)));
+            }
+            for (i, s) in st.iter_mut().enumerate() {
+                s.set_lane(k, val(k / 3usize.pow(4 + i as u32) + k));
+            }
+        }
+        let mut values = Vec::new();
+        packed.eval_comb_into(&pi, &st, &mut values);
+        for k in 0..64 {
+            let spi: Vec<Logic3> = pi.iter().map(|p| p.lane(k)).collect();
+            let sst: Vec<Logic3> = st.iter().map(|s| s.lane(k)).collect();
+            let svals = scalar.eval_comb(&spi, &sst);
+            for (idx, v) in svals.iter().enumerate() {
+                assert_eq!(values[idx].lane(k), *v, "node {idx} lane {k}");
+            }
+        }
+    }
+}

@@ -16,8 +16,10 @@
 //! propagation phase and (b) the fault effect cannot corrupt any state bit
 //! the propagation phase relies on.
 
+use crate::packed::SimScratch;
 use gdf_algebra::delay::{eval_gate, DelayValue};
-use gdf_netlist::{Circuit, DelayFault, DelayFaultKind, NodeId};
+use gdf_algebra::packed::{eval_gate_packed, PackedWave};
+use gdf_netlist::{Circuit, DelayFault, DelayFaultKind, GateKind, NodeId};
 
 /// Where a delay fault effect was observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +76,7 @@ pub fn detected_delay_faults(
             circuit,
             waveform,
             *fault,
-            &ppos,
+            ppos,
             observable_ppos,
             required_state_ppos,
         ) {
@@ -126,33 +128,28 @@ fn trace_one(
         None => fault.site.stem,
         Some((sink, _)) => sink,
     };
-    let in_cone = circuit.output_cone(seed);
     let mut marked = waveform.to_vec();
     if fault.site.branch.is_none() {
         marked[fault.site.stem.index()] = marked_stem;
     }
-    for &gate in circuit.topo_order() {
-        if !in_cone[gate.index()] {
+    let mut ins: Vec<DelayValue> = Vec::with_capacity(8);
+    for (gate, kind, fanins) in circuit.gates_levelized() {
+        if !circuit.cone_contains(seed, gate) {
             continue;
         }
         if gate == fault.site.stem && fault.site.branch.is_none() {
             continue; // keep the injected mark on the stem itself
         }
-        let node = circuit.node(gate);
-        let ins: Vec<DelayValue> = node
-            .fanin()
-            .iter()
-            .enumerate()
-            .map(|(pin, &f)| {
-                if let Some((sink, fpin)) = fault.site.branch {
-                    if f == fault.site.stem && sink == gate && fpin == pin as u8 {
-                        return marked_stem;
-                    }
+        ins.clear();
+        ins.extend(fanins.iter().enumerate().map(|(pin, &f)| {
+            if let Some((sink, fpin)) = fault.site.branch {
+                if f == fault.site.stem && sink == gate && fpin == pin as u8 {
+                    return marked_stem;
                 }
-                marked[f.index()]
-            })
-            .collect();
-        marked[gate.index()] = eval_gate(node.kind(), &ins);
+            }
+            marked[f.index()]
+        }));
+        marked[gate.index()] = eval_gate(kind, &ins);
     }
 
     // Direct observation at a PO wins.
@@ -184,6 +181,281 @@ fn trace_one(
         }
     }
     Some(DelayObservation::AtPpo(ppo))
+}
+
+/// Word-parallel variant of [`detected_delay_faults`]: classifies up to 64
+/// candidate faults per packed netlist sweep (one fault per bit lane)
+/// instead of one cone-limited re-evaluation per fault. Results are
+/// element-identical to the scalar function — same faults, same
+/// observations, same order — which the differential tests pin down.
+///
+/// # Panics
+///
+/// Panics if `waveform` does not have one value per node.
+pub fn detected_delay_faults_packed(
+    circuit: &Circuit,
+    waveform: &[DelayValue],
+    faults: &[DelayFault],
+    observable_ppos: &[NodeId],
+    required_state_ppos: &[NodeId],
+    scratch: &mut SimScratch,
+) -> Vec<(usize, DelayObservation)> {
+    assert_eq!(waveform.len(), circuit.num_nodes(), "waveform length");
+    // Broadcast the fault-free waveform once; every batch injects into it
+    // and restores exactly the nodes its union cone touched.
+    scratch.packed_wave.clear();
+    scratch
+        .packed_wave
+        .extend(waveform.iter().map(|&v| PackedWave::splat(v)));
+    let mut detected = Vec::new();
+    // Lanes are precious: unprovoked faults are screened out up front and
+    // the direct branch-to-DFF case needs no simulation, so only faults
+    // that actually need the sweep occupy lanes — a waveform that
+    // provokes half the universe still fills whole 64-lane batches.
+    let placeholder = DelayFault {
+        site: gdf_netlist::FaultSite::on_stem(NodeId(0)),
+        kind: DelayFaultKind::SlowToRise,
+    };
+    let mut batch: [(usize, DelayFault); 64] = [(0, placeholder); 64];
+    let mut filled = 0;
+    for (idx, fault) in faults.iter().enumerate() {
+        let needed = match fault.kind {
+            DelayFaultKind::SlowToRise => DelayValue::R,
+            DelayFaultKind::SlowToFall => DelayValue::F,
+        };
+        if waveform[fault.site.stem.index()] != needed {
+            continue; // fault not provoked by this vector pair
+        }
+        if let Some((sink, _)) = fault.site.branch {
+            if !circuit.node(sink).kind().is_combinational() {
+                // A branch fault on a flip-flop D input: the only
+                // observation point is that PPO (same rule as trace_one).
+                let ppo = fault.site.stem;
+                if observable_ppos.contains(&ppo)
+                    && required_state_ppos
+                        .iter()
+                        .all(|&req| req == ppo || waveform[req.index()].is_steady_clean())
+                {
+                    detected.push((idx, DelayObservation::AtPpo(ppo)));
+                }
+                continue;
+            }
+        }
+        batch[filled] = (idx, *fault);
+        filled += 1;
+        if filled == 64 {
+            classify_batch(
+                circuit,
+                waveform,
+                &batch[..filled],
+                observable_ppos,
+                required_state_ppos,
+                scratch,
+                &mut detected,
+            );
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        classify_batch(
+            circuit,
+            waveform,
+            &batch[..filled],
+            observable_ppos,
+            required_state_ppos,
+            scratch,
+            &mut detected,
+        );
+    }
+    // Direct hits and batch hits interleave; the scalar reference reports
+    // in fault-list order.
+    detected.sort_unstable_by_key(|&(idx, _)| idx);
+    detected
+}
+
+/// Evaluates one gate over packed node values addressed through its fanin
+/// list — the fold-direct twin of
+/// [`gdf_algebra::packed::eval_gate_packed`] (same fold order, so
+/// identical results), without gathering an input slice.
+fn eval_packed_indexed(kind: GateKind, fanins: &[NodeId], values: &[PackedWave]) -> PackedWave {
+    let v = |f: &NodeId| values[f.index()];
+    let first = v(&fanins[0]);
+    match kind {
+        GateKind::Buf => first,
+        GateKind::Not => first.not(),
+        GateKind::And => fanins[1..].iter().fold(first, |a, f| a.and2(v(f))),
+        GateKind::Nand => fanins[1..].iter().fold(first, |a, f| a.and2(v(f))).not(),
+        GateKind::Or => fanins[1..].iter().fold(first, |a, f| a.or2(v(f))),
+        GateKind::Nor => fanins[1..].iter().fold(first, |a, f| a.or2(v(f))).not(),
+        GateKind::Xor => fanins[1..].iter().fold(first, |a, f| a.xor2(v(f))),
+        GateKind::Xnor => fanins[1..].iter().fold(first, |a, f| a.xor2(v(f))).not(),
+        GateKind::Input | GateKind::Dff => {
+            panic!("eval_packed_indexed called on non-combinational kind {kind:?}")
+        }
+    }
+}
+
+/// Classifies one ≤64-fault batch — every entry provoked, with a
+/// combinational observation path — in a single packed sweep over the
+/// union of the faults' output cones.
+fn classify_batch(
+    circuit: &Circuit,
+    waveform: &[DelayValue],
+    batch: &[(usize, DelayFault)],
+    observable_ppos: &[NodeId],
+    required_state_ppos: &[NodeId],
+    scratch: &mut SimScratch,
+    detected: &mut Vec<(usize, DelayObservation)>,
+) {
+    let mut resolved: [Option<DelayObservation>; 64] = [None; 64];
+    let sim_lanes = if batch.len() == 64 {
+        !0u64
+    } else {
+        (1u64 << batch.len()) - 1
+    };
+    scratch.stem_mask.resize(circuit.num_nodes(), 0);
+    scratch.stem_val.resize(circuit.num_nodes(), DelayValue::S0);
+    scratch.branch_flag.resize(circuit.num_nodes(), false);
+    scratch.stem_nodes.clear();
+    scratch.branch_list.clear();
+    scratch.cone_union.clear();
+    scratch.cone_union.resize(circuit.cone_stride(), 0);
+
+    // Injection bookkeeping, one lane per fault.
+    for (k, &(_, fault)) in batch.iter().enumerate() {
+        let marked_stem = waveform[fault.site.stem.index()]
+            .with_fault_mark()
+            .expect("batched faults are provoked transitions");
+        let seed = match fault.site.branch {
+            None => {
+                let stem = fault.site.stem.index();
+                if scratch.stem_mask[stem] == 0 {
+                    scratch.stem_nodes.push(fault.site.stem.0);
+                    scratch.stem_val[stem] = marked_stem;
+                }
+                debug_assert_eq!(scratch.stem_val[stem], marked_stem);
+                scratch.stem_mask[stem] |= 1 << k;
+                fault.site.stem
+            }
+            Some((sink, pin)) => {
+                if let Some(entry) = scratch
+                    .branch_list
+                    .iter_mut()
+                    .find(|e| e.0 == sink.0 && e.1 == pin)
+                {
+                    debug_assert_eq!(entry.3, marked_stem);
+                    entry.2 |= 1 << k;
+                } else {
+                    scratch.branch_list.push((sink.0, pin, 1 << k, marked_stem));
+                    scratch.branch_flag[sink.index()] = true;
+                }
+                sink
+            }
+        };
+        for (u, &w) in scratch.cone_union.iter_mut().zip(circuit.cone_words(seed)) {
+            *u |= w;
+        }
+    }
+
+    {
+        // One packed sweep: all lanes start from the broadcast fault-free
+        // waveform (prepared by the caller); marks are injected per lane
+        // and propagated through the union of the cones (outside a lane's
+        // own cone its values equal the broadcast, exactly as the scalar
+        // cone-limited trace).
+        let values = &mut scratch.packed_wave;
+        for &node in &scratch.stem_nodes {
+            let i = node as usize;
+            values[i] =
+                values[i].select(scratch.stem_mask[i], PackedWave::splat(scratch.stem_val[i]));
+        }
+        let wave_ins = &mut scratch.wave_ins;
+        for (gate, kind, fanins) in circuit.gates_levelized() {
+            let gi = gate.index();
+            if scratch.cone_union[gi / 64] >> (gi % 64) & 1 == 0 {
+                continue;
+            }
+            let mut out = if scratch.branch_flag[gi] {
+                // Rare: gather the inputs with the per-lane branch
+                // overrides applied.
+                wave_ins.clear();
+                for (pin, &f) in fanins.iter().enumerate() {
+                    let mut v = values[f.index()];
+                    for &(sink, fpin, mask, marked) in &scratch.branch_list {
+                        if sink == gate.0 && fpin == pin as u8 {
+                            v = v.select(mask, PackedWave::splat(marked));
+                        }
+                    }
+                    wave_ins.push(v);
+                }
+                eval_gate_packed(kind, wave_ins)
+            } else {
+                eval_packed_indexed(kind, fanins, values)
+            };
+            let stem_lanes = scratch.stem_mask[gi];
+            if stem_lanes != 0 {
+                // Keep the injected mark on the stem itself.
+                out = out.select(stem_lanes, PackedWave::splat(scratch.stem_val[gi]));
+            }
+            values[gi] = out;
+        }
+
+        // Per-lane observation, mirroring trace_one's order: first PO in
+        // output order wins; otherwise the first observable PPO, subject
+        // to the invalidation rule.
+        let mut lanes = sim_lanes;
+        while lanes != 0 {
+            let k = lanes.trailing_zeros() as usize;
+            lanes &= lanes - 1;
+            let bit = |w: &PackedWave| w.car >> k & 1 == 1;
+            let po_hit = circuit
+                .outputs()
+                .iter()
+                .find(|&&po| bit(&values[po.index()]));
+            if let Some(&po) = po_hit {
+                resolved[k] = Some(DelayObservation::AtPo(po));
+                continue;
+            }
+            let ppo_hit = circuit
+                .ppos()
+                .iter()
+                .find(|&&ppo| bit(&values[ppo.index()]) && observable_ppos.contains(&ppo));
+            if let Some(&ppo) = ppo_hit {
+                let invalidated = required_state_ppos.iter().any(|&req| {
+                    req != ppo
+                        && (bit(&values[req.index()]) || !waveform[req.index()].is_steady_clean())
+                });
+                if !invalidated {
+                    resolved[k] = Some(DelayObservation::AtPpo(ppo));
+                }
+            }
+        }
+
+        // Restore the broadcast for the next chunk: every node this chunk
+        // could have dirtied has its union-cone bit set (each seed lies in
+        // its own cone, so injected sources are covered too). The sparse
+        // injection tables reset the same way.
+        for (w, &dirty) in scratch.cone_union.iter().enumerate() {
+            let mut bits = dirty;
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                scratch.packed_wave[i] = PackedWave::splat(waveform[i]);
+            }
+        }
+        for &node in &scratch.stem_nodes {
+            scratch.stem_mask[node as usize] = 0;
+        }
+        for &(sink, ..) in &scratch.branch_list {
+            scratch.branch_flag[sink as usize] = false;
+        }
+    }
+
+    for (k, obs) in resolved.iter().take(batch.len()).enumerate() {
+        if let Some(obs) = obs {
+            detected.push((batch[k].0, *obs));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +591,58 @@ mod tests {
         assert!(detected_delay_faults(&c, &w, &[f], &[d1], &[d2]).is_empty());
         // If the propagation doesn't rely on d2, detection stands.
         assert_eq!(detected_delay_faults(&c, &w, &[f], &[d1], &[]).len(), 1);
+    }
+
+    #[test]
+    fn packed_matches_scalar_exhaustively_on_s27() {
+        let c = gdf_netlist::suite::s27();
+        let faults = FaultUniverse::default().delay_faults(&c);
+        let all_ppos = c.ppos().to_vec();
+        let mut scratch = crate::SimScratch::default();
+        for seed in 0u32..64 {
+            let v1: Vec<bool> = (0..4).map(|i| seed & (1 << i) != 0).collect();
+            let v2: Vec<bool> = (0..4).map(|i| seed & (32 >> i) != 0).collect();
+            let st: Vec<bool> = (0..3).map(|i| seed & (1 << (i + 1)) != 0).collect();
+            let w = two_frame_values(&c, &v1, &v2, &st);
+            // Exercise the PPO-observation and invalidation paths too.
+            let cases: [(&[gdf_netlist::NodeId], &[gdf_netlist::NodeId]); 3] = [
+                (&[], &[]),
+                (&all_ppos, &[]),
+                (&all_ppos[..1], &all_ppos[1..]),
+            ];
+            for (obs, req) in cases {
+                let scalar = detected_delay_faults(&c, &w, &faults, obs, req);
+                let packed = detected_delay_faults_packed(&c, &w, &faults, obs, req, &mut scratch);
+                assert_eq!(scalar, packed, "seed {seed} obs {obs:?} req {req:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_handles_branch_and_dff_branch_faults() {
+        // latch: d = NOT(a) feeds a DFF; fan: s branches to y1, y2.
+        let mut bld = CircuitBuilder::new("mix");
+        bld.add_input("a");
+        bld.add_dff("q", "d");
+        bld.add_gate("s", GateKind::Not, &["a"]);
+        bld.add_gate("d", GateKind::Buf, &["s"]);
+        bld.add_gate("y", GateKind::Buf, &["s"]);
+        bld.mark_output("y");
+        let c = bld.build().unwrap();
+        let faults = FaultUniverse::default().delay_faults(&c);
+        let d = c.node_by_name("d").unwrap();
+        let mut scratch = crate::SimScratch::default();
+        for (v1, v2) in [(false, true), (true, false)] {
+            for st in [false, true] {
+                let w = two_frame_values(&c, &[v1], &[v2], &[st]);
+                for obs in [&[][..], &[d][..]] {
+                    let scalar = detected_delay_faults(&c, &w, &faults, obs, &[]);
+                    let packed =
+                        detected_delay_faults_packed(&c, &w, &faults, obs, &[], &mut scratch);
+                    assert_eq!(scalar, packed, "{v1}{v2} state {st} obs {obs:?}");
+                }
+            }
+        }
     }
 
     #[test]

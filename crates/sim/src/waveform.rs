@@ -47,26 +47,49 @@ pub fn two_frame_values(
     v2: &[bool],
     state1: &[bool],
 ) -> Vec<DelayValue> {
+    let mut f1 = Vec::new();
+    let mut w = Vec::new();
+    two_frame_values_into(circuit, v1, v2, state1, &mut f1, &mut w);
+    w
+}
+
+/// Allocation-free variant of [`two_frame_values`]: `f1` is the reusable
+/// frame-1 scratch, `w` receives the waveform (one value per node).
+///
+/// # Panics
+///
+/// Panics if the vector lengths do not match the circuit.
+pub fn two_frame_values_into(
+    circuit: &Circuit,
+    v1: &[bool],
+    v2: &[bool],
+    state1: &[bool],
+    f1: &mut Vec<bool>,
+    w: &mut Vec<DelayValue>,
+) {
     assert_eq!(v1.len(), circuit.num_inputs(), "V1 length");
     assert_eq!(v2.len(), circuit.num_inputs(), "V2 length");
     assert_eq!(state1.len(), circuit.num_dffs(), "state length");
 
     // Pass 1: frame-1 binary values, to latch the frame-2 state.
-    let mut f1 = vec![false; circuit.num_nodes()];
+    f1.clear();
+    f1.resize(circuit.num_nodes(), false);
     for (i, &pi) in circuit.inputs().iter().enumerate() {
         f1[pi.index()] = v1[i];
     }
     for (i, &ff) in circuit.dffs().iter().enumerate() {
         f1[ff.index()] = state1[i];
     }
-    for &gate in circuit.topo_order() {
-        let node = circuit.node(gate);
-        let ins: Vec<bool> = node.fanin().iter().map(|&f| f1[f.index()]).collect();
-        f1[gate.index()] = node.kind().eval_bool(&ins);
+    let mut ins_bool: Vec<bool> = Vec::with_capacity(8);
+    for (gate, kind, fanins) in circuit.gates_levelized() {
+        ins_bool.clear();
+        ins_bool.extend(fanins.iter().map(|f| f1[f.index()]));
+        f1[gate.index()] = kind.eval_bool(&ins_bool);
     }
 
     // Pass 2: delay-algebra evaluation with clean leaf values.
-    let mut w = vec![DelayValue::S0; circuit.num_nodes()];
+    w.clear();
+    w.resize(circuit.num_nodes(), DelayValue::S0);
     for (i, &pi) in circuit.inputs().iter().enumerate() {
         w[pi.index()] = DelayValue::from_frames(v1[i], v2[i]);
     }
@@ -74,12 +97,12 @@ pub fn two_frame_values(
         let latched = f1[circuit.ppo_of_dff(ff).index()];
         w[ff.index()] = DelayValue::from_frames(state1[i], latched);
     }
-    for &gate in circuit.topo_order() {
-        let node = circuit.node(gate);
-        let ins: Vec<DelayValue> = node.fanin().iter().map(|&f| w[f.index()]).collect();
-        w[gate.index()] = eval_gate(node.kind(), &ins);
+    let mut ins: Vec<DelayValue> = Vec::with_capacity(8);
+    for (gate, kind, fanins) in circuit.gates_levelized() {
+        ins.clear();
+        ins.extend(fanins.iter().map(|f| w[f.index()]));
+        w[gate.index()] = eval_gate(kind, &ins);
     }
-    w
 }
 
 #[cfg(test)]

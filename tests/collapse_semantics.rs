@@ -15,7 +15,7 @@ fn detection_signature(
 ) -> Vec<bool> {
     let n_pi = c.num_inputs();
     let n_ff = c.num_dffs();
-    let all_ppos: Vec<NodeId> = c.ppos();
+    let all_ppos: Vec<NodeId> = c.ppos().to_vec();
     let mut sig = Vec::new();
     for v1pat in 0u32..(1 << n_pi) {
         for v2pat in 0u32..(1 << n_pi) {

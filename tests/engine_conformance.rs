@@ -117,6 +117,29 @@ fn non_scan_engine_matches_direct_driver() {
     }
 }
 
+/// The packed (64-fault-per-word) fault-drop path yields byte-identical
+/// `AtpgRun`s to the scalar reference simulator on the conformance corpus
+/// — records, sequences, credit counts, everything but wall-clock.
+#[test]
+fn packed_fault_drop_is_byte_identical_to_scalar_reference() {
+    for (circuit, universe) in corpus() {
+        let packed =
+            DelayAtpg::with_config(&circuit, DelayAtpgConfig::new().with_universe(universe)).run();
+        let reference = DelayAtpg::with_config(
+            &circuit,
+            DelayAtpgConfig::new()
+                .with_universe(universe)
+                .with_reference_fsim(true),
+        )
+        .run();
+        assert_identical(
+            &packed,
+            &reference,
+            &format!("{} packed vs reference fsim", circuit.name()),
+        );
+    }
+}
+
 #[test]
 fn enhanced_scan_engine_matches_direct_calls() {
     for (circuit, universe) in corpus() {

@@ -31,7 +31,7 @@ fn verify_sequence(
         .map(|l| l.to_bool().unwrap_or_else(|| rng.gen()))
         .collect();
     let w = two_frame_values(circuit, &filled[fast - 1], &filled[fast], &state1);
-    let all_ppos: Vec<NodeId> = circuit.ppos();
+    let all_ppos: Vec<NodeId> = circuit.ppos().to_vec();
     let obs: &[NodeId] = if seq.propagation_len() > 0 {
         &all_ppos
     } else {

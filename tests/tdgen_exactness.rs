@@ -15,7 +15,7 @@ use gdf_tdgen::{TdGen, TdGenOutcome};
 fn tdgen_matches_brute_force_on_s27() {
     let c = suite::s27();
     let faults = FaultUniverse::default().delay_faults(&c);
-    let all_ppos: Vec<NodeId> = c.ppos();
+    let all_ppos: Vec<NodeId> = c.ppos().to_vec();
 
     // Brute force: which faults have *some* robust local test?
     let mut testable = vec![false; faults.len()];

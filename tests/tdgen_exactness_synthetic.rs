@@ -13,7 +13,7 @@ use gdf_tdgen::{TdGen, TdGenOutcome};
 
 fn brute_force_testable(c: &Circuit) -> Vec<bool> {
     let faults = FaultUniverse::default().delay_faults(c);
-    let all_ppos: Vec<NodeId> = c.ppos();
+    let all_ppos: Vec<NodeId> = c.ppos().to_vec();
     let n_pi = c.num_inputs();
     let n_ff = c.num_dffs();
     assert!(n_pi <= 4 && n_ff <= 3, "keep enumeration small");

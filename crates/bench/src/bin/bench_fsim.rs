@@ -150,9 +150,16 @@ fn main() {
         rows.push(row);
     }
 
+    // Timestamp each appended record so the accumulated trajectory in
+    // BENCH_fsim.json stays ordered and attributable across PRs.
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
     let mut record = String::new();
     let _ = writeln!(record, "  {{");
     let _ = writeln!(record, "    \"bench\": \"fsim\",");
+    let _ = writeln!(record, "    \"unix_time\": {unix_time},");
     let _ = writeln!(
         record,
         "    \"mode\": \"{}\",",

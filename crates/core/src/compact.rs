@@ -82,15 +82,17 @@ pub fn compact_sequences(atpg: &DelayAtpg<'_>, run: &AtpgRun) -> CompactionResul
         .collect();
     let patterns_before: u32 = run.sequences.iter().map(|s| s.len() as u32).sum();
 
-    // Per-sequence detection sets over the tested faults. The relied-PPO
-    // information is not retained in the run, so the conservative choice
-    // (no PPO invalidation credit) is applied uniformly; coverage is
-    // judged under the same rule for "before" and "after".
+    // Per-sequence detection sets over the tested faults, with each
+    // sequence's own relied-PPO list (retained in `AtpgRun::relied_ppos`
+    // since 0.3) so the §5 invalidation check matches the generating run
+    // and `session::grade_patterns` exactly. Coverage is judged under the
+    // same rule for "before" and "after".
     let mut scratch = FsimScratch::default();
-    let mut detect = |seq: &TestSequence| -> Vec<bool> {
+    let mut detect = |(i, seq): (usize, &TestSequence)| -> Vec<bool> {
+        let relied: &[gdf_netlist::NodeId] = run.relied_ppos.get(i).map_or(&[], |r| r);
         let mut rng = StdRng::seed_from_u64(atpg.config().xfill_seed);
         let hits = atpg
-            .fault_simulate_sequence(seq, &[], &tested, &mut rng, &mut scratch)
+            .fault_simulate_sequence(seq, relied, &tested, &mut rng, &mut scratch)
             .expect("compaction input is a non-scan run with at-speed sequences");
         let mut set = vec![false; tested.len()];
         for h in hits {
@@ -99,7 +101,7 @@ pub fn compact_sequences(atpg: &DelayAtpg<'_>, run: &AtpgRun) -> CompactionResul
         set
     };
     let detect = &mut detect;
-    let detection: Vec<Vec<bool>> = run.sequences.iter().map(detect).collect();
+    let detection: Vec<Vec<bool>> = run.sequences.iter().enumerate().map(detect).collect();
     let baseline: Vec<bool> = (0..tested.len())
         .map(|i| detection.iter().any(|d| d[i]))
         .collect();
@@ -161,7 +163,13 @@ mod tests {
         for &k in &compact.kept {
             let mut rng = StdRng::seed_from_u64(atpg.config().xfill_seed);
             let hits = atpg
-                .fault_simulate_sequence(&run.sequences[k], &[], &tested, &mut rng, &mut scratch)
+                .fault_simulate_sequence(
+                    &run.sequences[k],
+                    &run.relied_ppos[k],
+                    &tested,
+                    &mut rng,
+                    &mut scratch,
+                )
                 .expect("at-speed sequence");
             for h in hits {
                 covered[h] = true;

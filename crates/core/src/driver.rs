@@ -28,15 +28,14 @@
 use crate::engine::{AtpgError, Detection, FaultOutcome, Limits, NonScanEngine};
 use crate::pattern::TestSequence;
 use crate::report::CircuitReport;
-use gdf_algebra::delay::{DelaySet, DelayValue};
+use gdf_algebra::delay::DelaySet;
 use gdf_algebra::logic3::Logic3;
 use gdf_algebra::static5::{StaticSet, StaticValue};
 use gdf_netlist::{Circuit, DelayFault, Fault, FaultUniverse, NodeId};
 use gdf_semilet::justify::{synchronize, SyncLimits, SyncOutcome};
 use gdf_semilet::propagate::{propagate_to_po, PropagateLimits, PropagateOutcome};
 use gdf_sim::{
-    detected_delay_faults, detected_delay_faults_packed, two_frame_values, two_frame_values_into,
-    Fausim, SimScratch,
+    detected_delay_faults, grade_filled_sequence, two_frame_values, Fausim, GradeScratch,
 };
 use gdf_tdgen::{
     FaultModel, LocalObservation, LocalTest, PpoValue, TdGen, TdGenConfig, TdGenOutcome,
@@ -169,6 +168,18 @@ impl DelayAtpgConfig {
         self.max_observation_retries = limits.max_observation_retries;
         self
     }
+
+    /// The engine-level [`Limits`] view of these budgets (the inverse of
+    /// [`DelayAtpgConfig::with_limits`]; `max_stuckat_frames` keeps its
+    /// default, having no counterpart here).
+    pub fn limits(&self) -> Limits {
+        Limits::new()
+            .with_local_backtrack_limit(self.local_backtrack_limit)
+            .with_sequential_backtrack_limit(self.sequential_backtrack_limit)
+            .with_max_propagation_frames(self.max_propagation_frames)
+            .with_max_sync_frames(self.max_sync_frames)
+            .with_max_observation_retries(self.max_observation_retries)
+    }
 }
 
 /// Final classification of one fault.
@@ -205,6 +216,11 @@ pub struct AtpgRun {
     pub records: Vec<FaultRecord>,
     /// Every emitted test sequence.
     pub sequences: Vec<TestSequence>,
+    /// Per sequence (index-aligned with [`AtpgRun::sequences`]): the PPO
+    /// nets whose steady value the sequence's propagation phase relies on.
+    /// Saved into [`crate::artifact::PatternSet`] exports so re-grading
+    /// replays the §5 invalidation check exactly.
+    pub relied_ppos: Vec<Vec<NodeId>>,
     /// The aggregate report (one Table 3 row).
     pub report: CircuitReport,
     /// `None` for a completed run; `Some(reason)` when an observer
@@ -448,12 +464,12 @@ impl<'c> DelayAtpg<'c> {
     /// `faults`) of the robustly detected ones. Public so that test-set
     /// compaction and fault grading can reuse the exact §5 semantics.
     ///
-    /// All three phases run bit-parallel: phase 2 propagates one PPO state
-    /// difference per lane ([`Fausim::propagate_state_diffs_packed`]) and
-    /// phase 3 classifies 64 candidate faults per word
-    /// ([`detected_delay_faults_packed`]); `scratch` holds the reusable
-    /// buffers, so a warm call allocates nothing in the sweeps. The
-    /// classifications are identical to the scalar reference
+    /// All three phases run bit-parallel through the shared grading entry
+    /// point ([`gdf_sim::grading::grade_filled_sequence`]): phase 2
+    /// propagates one PPO state difference per lane and phase 3 classifies
+    /// 64 candidate faults per word; `scratch` holds the reusable buffers,
+    /// so a warm call allocates nothing in the sweeps. The classifications
+    /// are identical to the scalar reference
     /// ([`DelayAtpg::fault_simulate_sequence_scalar`]) for the same RNG
     /// state.
     ///
@@ -474,82 +490,22 @@ impl<'c> DelayAtpg<'c> {
         if self.config.reference_fsim {
             return self.fault_simulate_sequence_scalar(sequence, relied_ppos, faults, rng);
         }
-        let circuit = self.circuit;
         let Some(fast) = sequence.at_speed() else {
             return Err(AtpgError::StaticSequence);
         };
-        // Phase 1: good-machine simulation of the initialization frames
-        // with random X-fill, yielding the state when V1 is applied.
+        // X-fill first, then hand the frames to the shared §5 grading
+        // entry point (`rng` keeps drawing for unresolved state bits in
+        // the same order as before the refactor).
         sequence.fill_into(|| rng.gen(), &mut scratch.filled);
-        let sim = gdf_sim::GoodSimulator::new(circuit);
-        scratch.sim.state.clear();
-        scratch.sim.state.resize(circuit.num_dffs(), Logic3::X);
-        for v in &scratch.filled[..fast.saturating_sub(1)] {
-            scratch.pi.clear();
-            scratch.pi.extend(v.iter().map(|&b| Logic3::from_bool(b)));
-            sim.eval_comb_into(&scratch.pi, &scratch.sim.state, &mut scratch.sim.logic);
-            sim.next_state_into(&scratch.sim.logic, &mut scratch.sim.state_next);
-            std::mem::swap(&mut scratch.sim.state, &mut scratch.sim.state_next);
-        }
-        scratch.state1.clear();
-        for i in 0..circuit.num_dffs() {
-            let b = scratch.sim.state[i].to_bool().unwrap_or_else(|| rng.gen());
-            scratch.state1.push(b);
-        }
-        two_frame_values_into(
-            circuit,
-            &scratch.filled[fast - 1],
-            &scratch.filled[fast],
-            &scratch.state1,
-            &mut scratch.bits,
-            &mut scratch.wave,
-        );
-
-        // Phase 2: which PPOs with non-steady values are observable
-        // through the propagation frames? One lane per candidate PPO.
-        fill_logic_frames(&scratch.filled[fast + 1..], &mut scratch.prop);
-        scratch.state2.clear();
-        scratch.state2.extend(
-            circuit
-                .ppos()
-                .iter()
-                .map(|&ppo| Logic3::from_bool(scratch.wave[ppo.index()].final_value())),
-        );
-        scratch.observable.clear();
-        if !scratch.prop.is_empty() {
-            let fausim = Fausim::new(circuit);
-            scratch.diff_dffs.clear();
-            for (i, &ppo) in circuit.ppos().iter().enumerate() {
-                if !scratch.wave[ppo.index()].is_steady_clean() {
-                    scratch.diff_dffs.push(i);
-                }
-            }
-            for chunk in scratch.diff_dffs.chunks(64) {
-                let mask = fausim.propagate_state_diffs_packed(
-                    &scratch.state2,
-                    chunk,
-                    &scratch.prop,
-                    &mut scratch.sim,
-                );
-                for (k, &i) in chunk.iter().enumerate() {
-                    if mask >> k & 1 == 1 {
-                        scratch.observable.push(circuit.ppos()[i]);
-                    }
-                }
-            }
-        }
-
-        // Phase 3: robust delay fault simulation of the fast frame, 64
-        // candidate faults per word, with the invalidation check.
-        let hits = detected_delay_faults_packed(
-            circuit,
-            &scratch.wave,
-            faults,
-            &scratch.observable,
+        Ok(grade_filled_sequence(
+            self.circuit,
+            &scratch.filled,
+            fast,
             relied_ppos,
-            &mut scratch.sim,
-        );
-        Ok(hits.into_iter().map(|(k, _)| k).collect())
+            faults,
+            rng,
+            &mut scratch.grade,
+        ))
     }
 
     /// The scalar reference implementation of
@@ -626,19 +582,6 @@ impl<'c> DelayAtpg<'c> {
     }
 }
 
-/// Converts boolean frames into 3-valued frames, reusing `dst`'s outer and
-/// inner buffer capacity.
-fn fill_logic_frames(src: &[Vec<bool>], dst: &mut Vec<Vec<Logic3>>) {
-    dst.truncate(src.len());
-    while dst.len() < src.len() {
-        dst.push(Vec::new());
-    }
-    for (d, s) in dst.iter_mut().zip(src) {
-        d.clear();
-        d.extend(s.iter().map(|&b| Logic3::from_bool(b)));
-    }
-}
-
 /// Reusable buffers for the three-phase fault simulation: create one per
 /// worker (the engine keeps one per run) and hand it to every
 /// [`DelayAtpg::fault_simulate_sequence`] call. A warm scratch makes the
@@ -647,24 +590,8 @@ fn fill_logic_frames(src: &[Vec<bool>], dst: &mut Vec<Vec<Logic3>>) {
 pub struct FsimScratch {
     /// Filled (X-free) frames of the sequence under simulation.
     filled: Vec<Vec<bool>>,
-    /// 3-valued conversion of the propagation frames.
-    prop: Vec<Vec<Logic3>>,
-    /// One PI frame in 3-valued form (phase-1 stepping).
-    pi: Vec<Logic3>,
-    /// Flip-flop state in the initial (V1) frame after X-fill.
-    state1: Vec<bool>,
-    /// Flip-flop state in the fast (V2) frame.
-    state2: Vec<Logic3>,
-    /// Frame-1 binary node values of the waveform evaluation.
-    bits: Vec<bool>,
-    /// The fault-free two-frame waveform.
-    wave: Vec<DelayValue>,
-    /// PPOs proven observable by the propagation phase.
-    observable: Vec<NodeId>,
-    /// Flip-flop indexes whose state difference phase 2 must propagate.
-    diff_dffs: Vec<usize>,
-    /// The shared packed-simulator scratch.
-    sim: SimScratch,
+    /// The shared three-phase grading scratch ([`gdf_sim::grading`]).
+    grade: GradeScratch,
 }
 
 #[cfg(test)]

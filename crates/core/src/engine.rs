@@ -17,7 +17,13 @@
 //!   `StuckAtOutcome` at the public boundary;
 //! * [`Observer`] — streaming per-fault records, progress and
 //!   cooperative cancellation, so callers no longer wait for the whole
-//!   run to buffer;
+//!   run to buffer; observers *stack* (every attached one streams every
+//!   callback), and [`Observer::on_checkpoint`] hands consistent
+//!   [`RunSnapshot`]s to checkpointing observers
+//!   ([`crate::session::Checkpointer`], or `.checkpoint(path, every)` on
+//!   the builder) — an interrupted run restarted with
+//!   [`AtpgBuilder::resume_from`] finishes byte-identical to one that
+//!   never stopped;
 //! * fault-level parallel orchestration (`.parallelism(n)`) with a
 //!   deterministic merge: results are **identical to a serial run for
 //!   the same seed**, because workers only *speculate* on per-fault
@@ -224,6 +230,86 @@ impl FaultOutcome {
     }
 }
 
+/// The full configuration a run was launched with, carried alongside the
+/// run so checkpoints ([`RunSnapshot`]) are self-describing: a serialized
+/// snapshot holds everything [`AtpgBuilder::resume_from`] needs to
+/// reconstruct an identically-configured engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Which backend the run drives.
+    pub backend: Backend,
+    /// Robust or non-robust delay model (ignored by the stuck-at backend).
+    pub model: FaultModel,
+    /// The enumerated fault universe.
+    pub universe: FaultUniverse,
+    /// Search budgets.
+    pub limits: Limits,
+    /// X-fill seed of the fault-simulation credit pass.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The default configuration (robust model, full universe, paper
+    /// limits, default seed) for `backend`.
+    pub fn new(backend: Backend) -> Self {
+        RunConfig {
+            backend,
+            model: FaultModel::Robust,
+            universe: FaultUniverse::default(),
+            limits: Limits::default(),
+            seed: 0x1995_0308,
+        }
+    }
+
+    /// Replaces the X-fill seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A consistent mid-run state, handed to [`Observer::on_checkpoint`]
+/// after every explicitly targeted fault is merged (including its
+/// fault-simulation credit pass). Everything a resumable artifact needs:
+/// the decided records, the emitted sequences, and the exact credit-RNG
+/// state, so a run resumed from this point is byte-identical to one that
+/// never stopped.
+pub struct RunSnapshot<'a> {
+    /// Backend name (`"non-scan"`, `"enhanced-scan"`, `"stuck-at"`).
+    pub engine: &'static str,
+    /// The circuit under test.
+    pub circuit: &'a Circuit,
+    /// The configuration of the run.
+    pub config: &'a RunConfig,
+    /// The full fault list, in deterministic order.
+    pub faults: &'a [Fault],
+    /// Per fault (index-aligned with `faults`): the record if decided,
+    /// `None` while undecided.
+    pub records: &'a [Option<FaultRecord>],
+    /// Sequences emitted so far.
+    pub sequences: &'a [TestSequence],
+    /// Per sequence: relied PPO nets (see [`AtpgRun::relied_ppos`]).
+    pub relied_ppos: &'a [Vec<NodeId>],
+    /// Faults credited by fault simulation so far.
+    pub dropped: u32,
+    /// Number of decided faults.
+    pub decided: usize,
+    /// The credit-RNG state *after* the last merge.
+    pub rng_state: [u64; 4],
+}
+
+/// Decoded partial-run state the orchestrator restarts from; produced by
+/// [`crate::artifact::RunArtifact::resume_state`] and installed with
+/// [`AtpgBuilder::resume_from`].
+#[derive(Debug, Clone)]
+pub struct ResumeState {
+    pub(crate) records: Vec<Option<FaultRecord>>,
+    pub(crate) sequences: Vec<TestSequence>,
+    pub(crate) relied_ppos: Vec<Vec<NodeId>>,
+    pub(crate) dropped: u32,
+    pub(crate) rng_state: [u64; 4],
+}
+
 /// Streaming consumer of a run: per-fault records as they are decided,
 /// progress, and cooperative cancellation.
 ///
@@ -256,10 +342,42 @@ pub trait Observer {
         let _ = report;
     }
 
+    /// A consistent snapshot after one targeted fault was merged (its
+    /// credit pass included). Checkpointing observers
+    /// ([`crate::session::Checkpointer`]) serialize this to disk every N
+    /// outcomes; most observers ignore it.
+    fn on_checkpoint(&mut self, snapshot: &RunSnapshot<'_>) {
+        let _ = snapshot;
+    }
+
     /// Polled between faults; returning `true` stops the run, classifying
     /// every remaining fault as aborted.
     fn cancelled(&mut self) -> bool {
         false
+    }
+}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_run_start(&mut self, engine: &'static str, circuit: &Circuit, total_faults: usize) {
+        (**self).on_run_start(engine, circuit, total_faults);
+    }
+    fn on_fault(&mut self, record: &FaultRecord) {
+        (**self).on_fault(record);
+    }
+    fn on_sequence(&mut self, index: usize, sequence: &TestSequence) {
+        (**self).on_sequence(index, sequence);
+    }
+    fn on_progress(&mut self, decided: usize, total: usize) {
+        (**self).on_progress(decided, total);
+    }
+    fn on_run_end(&mut self, report: &CircuitReport) {
+        (**self).on_run_end(report);
+    }
+    fn on_checkpoint(&mut self, snapshot: &RunSnapshot<'_>) {
+        (**self).on_checkpoint(snapshot);
+    }
+    fn cancelled(&mut self) -> bool {
+        (**self).cancelled()
     }
 }
 
@@ -316,7 +434,8 @@ impl Atpg {
             seed: 0x1995_0308,
             parallelism: 1,
             time_budget: None,
-            observer: None,
+            observers: Vec::new(),
+            resume: None,
         }
     }
 }
@@ -332,6 +451,32 @@ pub enum Backend {
     StuckAt,
 }
 
+impl fmt::Display for Backend {
+    /// The stable backend name (`"non-scan"`, `"enhanced-scan"`,
+    /// `"stuck-at"`) — the single string table artifacts and the CLI
+    /// share; [`std::str::FromStr`] is its inverse.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::NonScan => NON_SCAN,
+            Backend::EnhancedScan => ENHANCED_SCAN,
+            Backend::StuckAt => STUCK_AT,
+        })
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            NON_SCAN => Ok(Backend::NonScan),
+            ENHANCED_SCAN => Ok(Backend::EnhancedScan),
+            STUCK_AT => Ok(Backend::StuckAt),
+            other => Err(format!("unknown backend `{other}`")),
+        }
+    }
+}
+
 /// Fluent builder for every backend; see [`Atpg::builder`].
 pub struct AtpgBuilder<'c> {
     circuit: &'c Circuit,
@@ -342,7 +487,8 @@ pub struct AtpgBuilder<'c> {
     seed: u64,
     parallelism: usize,
     time_budget: Option<Duration>,
-    observer: Option<Box<dyn Observer + 'c>>,
+    observers: Vec<Box<dyn Observer + 'c>>,
+    resume: Option<ResumeState>,
 }
 
 impl<'c> AtpgBuilder<'c> {
@@ -402,19 +548,95 @@ impl<'c> AtpgBuilder<'c> {
         self
     }
 
-    /// Attaches a streaming [`Observer`].
+    /// Attaches a streaming [`Observer`]. May be called repeatedly: every
+    /// attached observer receives every callback, in attachment order
+    /// (and any one of them can cancel the run).
     pub fn observer(mut self, observer: impl Observer + 'c) -> Self {
-        self.observer = Some(Box::new(observer));
+        self.observers.push(Box::new(observer));
         self
     }
 
+    /// Attaches a [`crate::session::Checkpointer`] that serializes a
+    /// resumable [`crate::artifact::RunArtifact`] to `path` every
+    /// `every` decided faults. Convenience for
+    /// `.observer(Checkpointer::new(path, every))`.
+    pub fn checkpoint(self, path: impl Into<std::path::PathBuf>, every: usize) -> Self {
+        self.observer(crate::session::Checkpointer::new(path, every))
+    }
+
+    /// Restarts an interrupted run from a checkpoint artifact: the
+    /// builder adopts the artifact's backend, model, universe, limits and
+    /// seed, pre-loads the already-decided fault records, sequences and
+    /// the exact credit-RNG state, and the subsequent [`AtpgEngine::run`]
+    /// continues with the still-undecided faults only. The completed run
+    /// is **byte-identical** (records, sequences, normalized report) to
+    /// one that was never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::artifact::ArtifactError`] when the artifact does
+    /// not belong to this circuit (name or fault-universe mismatch) or is
+    /// structurally invalid.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gdf_core::artifact::RunArtifact;
+    /// use gdf_core::engine::{Atpg, Backend};
+    /// use gdf_netlist::suite;
+    ///
+    /// let c = suite::s27();
+    /// // A "checkpoint" with nothing decided yet: resuming it is simply
+    /// // a full run with the artifact's recorded configuration.
+    /// let empty = RunArtifact::checkpoint_stub(&c, Backend::StuckAt, 42);
+    /// let run = Atpg::builder(&c).resume_from(&empty).unwrap().build().run();
+    /// assert!(run.report.row.tested > 0);
+    /// ```
+    pub fn resume_from(
+        mut self,
+        artifact: &crate::artifact::RunArtifact,
+    ) -> Result<Self, crate::artifact::ArtifactError> {
+        let config = artifact.config();
+        self.backend = config.backend;
+        self.model = config.model;
+        self.universe = config.universe;
+        self.limits = config.limits;
+        self.seed = config.seed;
+        let faults = faults_of(self.circuit, config.backend, &config.universe);
+        self.resume = Some(artifact.resume_state(self.circuit, &faults)?);
+        Ok(self)
+    }
+
     /// Builds the selected backend as a boxed [`AtpgEngine`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`AtpgBuilder::resume_from`] state is installed but a
+    /// later `.backend(…)` / `.universe(…)` call changed the fault list
+    /// it was validated against — override only runtime options
+    /// (`.parallelism`, `.time_budget`, `.observer`) after `resume_from`.
     pub fn build(self) -> Box<dyn AtpgEngine + 'c> {
+        if let Some(resume) = &self.resume {
+            let n = faults_of(self.circuit, self.backend, &self.universe).len();
+            assert_eq!(
+                resume.records.len(),
+                n,
+                "resume state no longer matches the configured fault universe; do not \
+                 change .backend()/.universe() after .resume_from()"
+            );
+        }
         let opts = RunOptions {
-            seed: self.seed,
+            config: RunConfig {
+                backend: self.backend,
+                model: self.model,
+                universe: self.universe,
+                limits: self.limits,
+                seed: self.seed,
+            },
             parallelism: self.parallelism,
             time_budget: self.time_budget,
-            observer: self.observer,
+            observers: self.observers,
+            resume: self.resume,
         };
         match self.backend {
             Backend::NonScan => {
@@ -449,20 +671,50 @@ impl<'c> AtpgBuilder<'c> {
 
 /// Runtime options shared by every engine.
 struct RunOptions<'c> {
-    seed: u64,
+    config: RunConfig,
     parallelism: usize,
     time_budget: Option<Duration>,
-    observer: Option<Box<dyn Observer + 'c>>,
+    observers: Vec<Box<dyn Observer + 'c>>,
+    resume: Option<ResumeState>,
 }
 
 impl Default for RunOptions<'_> {
     fn default() -> Self {
         RunOptions {
-            seed: 0x1995_0308,
+            config: RunConfig {
+                backend: Backend::NonScan,
+                model: FaultModel::Robust,
+                universe: FaultUniverse::default(),
+                limits: Limits::default(),
+                seed: 0x1995_0308,
+            },
             parallelism: 1,
             time_budget: None,
-            observer: None,
+            observers: Vec::new(),
+            resume: None,
         }
+    }
+}
+
+/// The deterministic fault list a backend enumerates for a universe —
+/// the single enumeration shared by the engine constructors and
+/// [`AtpgBuilder::resume_from`]'s alignment check.
+pub(crate) fn faults_of(
+    circuit: &Circuit,
+    backend: Backend,
+    universe: &FaultUniverse,
+) -> Vec<Fault> {
+    match backend {
+        Backend::NonScan | Backend::EnhancedScan => universe
+            .delay_faults(circuit)
+            .into_iter()
+            .map(Fault::Delay)
+            .collect(),
+        Backend::StuckAt => universe
+            .stuck_faults(circuit)
+            .into_iter()
+            .map(Fault::Stuck)
+            .collect(),
     }
 }
 
@@ -566,19 +818,20 @@ impl<'c> NonScanEngine<'c> {
     /// Explicit driver configuration.
     pub fn with_config(circuit: &'c Circuit, config: DelayAtpgConfig) -> Self {
         let opts = RunOptions {
-            seed: config.xfill_seed,
+            config: RunConfig {
+                backend: Backend::NonScan,
+                model: config.model,
+                universe: config.universe,
+                limits: config.limits(),
+                seed: config.xfill_seed,
+            },
             ..RunOptions::default()
         };
         Self::with_options(circuit, config, opts)
     }
 
     fn with_options(circuit: &'c Circuit, config: DelayAtpgConfig, opts: RunOptions<'c>) -> Self {
-        let faults = config
-            .universe
-            .delay_faults(circuit)
-            .into_iter()
-            .map(Fault::Delay)
-            .collect();
+        let faults = faults_of(circuit, Backend::NonScan, &config.universe);
         NonScanEngine {
             driver: DelayAtpg::with_config(circuit, config),
             faults,
@@ -638,13 +891,13 @@ impl<'c> EnhancedScanEngine<'c> {
         circuit: &'c Circuit,
         config: TdGenConfig,
         universe: FaultUniverse,
-        opts: RunOptions<'c>,
+        mut opts: RunOptions<'c>,
     ) -> Self {
-        let faults = universe
-            .delay_faults(circuit)
-            .into_iter()
-            .map(Fault::Delay)
-            .collect();
+        opts.config.backend = Backend::EnhancedScan;
+        opts.config.model = config.model;
+        opts.config.universe = universe;
+        opts.config.limits.local_backtrack_limit = config.backtrack_limit;
+        let faults = faults_of(circuit, Backend::EnhancedScan, &universe);
         EnhancedScanEngine {
             circuit,
             scan: ScanDelayAtpg::with_config(circuit, config),
@@ -704,13 +957,13 @@ impl<'c> StuckAtEngine<'c> {
         circuit: &'c Circuit,
         config: StuckAtConfig,
         universe: FaultUniverse,
-        opts: RunOptions<'c>,
+        mut opts: RunOptions<'c>,
     ) -> Self {
-        let faults = universe
-            .stuck_faults(circuit)
-            .into_iter()
-            .map(Fault::Stuck)
-            .collect();
+        opts.config.backend = Backend::StuckAt;
+        opts.config.universe = universe;
+        opts.config.limits.sequential_backtrack_limit = config.backtrack_limit;
+        opts.config.limits.max_stuckat_frames = config.max_frames;
+        let faults = faults_of(circuit, Backend::StuckAt, &universe);
         StuckAtEngine {
             atpg: StuckAtAtpg::with_config(circuit, config),
             faults,
@@ -770,17 +1023,39 @@ fn orchestrate(
 ) -> AtpgRun {
     let start = Instant::now();
     let total = faults.len();
-    let mut records: Vec<Option<FaultRecord>> = vec![None; total];
-    let mut sequences: Vec<TestSequence> = Vec::new();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    // A resumed run restarts from the checkpointed records, sequences and
+    // credit-RNG state; the loop below then only sees the undecided
+    // faults, so the completed run is byte-identical to an uninterrupted
+    // one (generation is pure per fault, and every stateful step replays
+    // from exactly where the checkpoint left it).
+    let (mut records, mut sequences, mut relied, mut rng, mut dropped) = match opts.resume.take() {
+        Some(res) => {
+            debug_assert_eq!(res.records.len(), total);
+            let rng = StdRng::from_state(res.rng_state);
+            (
+                res.records,
+                res.sequences,
+                res.relied_ppos,
+                rng,
+                res.dropped,
+            )
+        }
+        None => (
+            vec![None; total],
+            Vec::new(),
+            Vec::new(),
+            StdRng::seed_from_u64(opts.config.seed),
+            0u32,
+        ),
+    };
     let mut scratch = FsimScratch::default();
-    let mut dropped = 0u32;
-    let mut decided = 0usize;
+    let mut decided = records.iter().filter(|r| r.is_some()).count();
     let mut stopped: Option<AtpgError> = None;
     let parallelism = opts.parallelism.max(1);
-    let observer = &mut opts.observer;
+    let config = opts.config;
+    let observers = &mut opts.observers;
 
-    if let Some(o) = observer.as_deref_mut() {
+    for o in observers.iter_mut() {
         o.on_run_start(name, circuit, total);
     }
 
@@ -837,7 +1112,7 @@ fn orchestrate(
         // Deterministic merge, in fault-list order.
         for (slot, &idx) in wave.iter().enumerate() {
             if stopped.is_none() {
-                if observer.as_deref_mut().is_some_and(|o| o.cancelled()) {
+                if observers.iter_mut().any(|o| o.cancelled()) {
                     stopped = Some(AtpgError::Cancelled);
                 } else if opts
                     .time_budget
@@ -866,7 +1141,7 @@ fn orchestrate(
                         sequence_index: Some(seq_index),
                     });
                     decided += 1;
-                    if let Some(o) = observer.as_deref_mut() {
+                    for o in observers.iter_mut() {
                         o.on_fault(records[idx].as_ref().expect("just set"));
                     }
                     // Fault-simulation credit over the still-undecided
@@ -886,16 +1161,26 @@ fn orchestrate(
                                 by_simulation: true,
                                 sequence_index: Some(seq_index),
                             });
-                            if let Some(o) = observer.as_deref_mut() {
+                            for o in observers.iter_mut() {
                                 o.on_fault(records[i].as_ref().expect("just set"));
                             }
                         }
                     }
-                    sequences.push(detection.sequence);
-                    if let Some(o) = observer.as_deref_mut() {
+                    let Detection {
+                        sequence,
+                        relied_ppos,
+                        ..
+                    } = *detection;
+                    sequences.push(sequence);
+                    relied.push(relied_ppos);
+                    for o in observers.iter_mut() {
                         o.on_sequence(seq_index, &sequences[seq_index]);
                         o.on_progress(decided, total);
                     }
+                    emit_checkpoint(
+                        observers, name, circuit, &config, faults, &records, &sequences, &relied,
+                        dropped, decided, &rng,
+                    );
                     continue;
                 }
                 Ok(FaultOutcome::Untestable) => FaultClassification::Untestable,
@@ -908,10 +1193,14 @@ fn orchestrate(
                 sequence_index: None,
             });
             decided += 1;
-            if let Some(o) = observer.as_deref_mut() {
+            for o in observers.iter_mut() {
                 o.on_fault(records[idx].as_ref().expect("just set"));
                 o.on_progress(decided, total);
             }
+            emit_checkpoint(
+                observers, name, circuit, &config, faults, &records, &sequences, &relied, dropped,
+                decided, &rng,
+            );
         }
     }
 
@@ -926,12 +1215,12 @@ fn orchestrate(
                     sequence_index: None,
                 });
                 decided += 1;
-                if let Some(o) = observer.as_deref_mut() {
+                for o in observers.iter_mut() {
                     o.on_fault(rec.as_ref().expect("just set"));
                 }
             }
         }
-        if let Some(o) = observer.as_deref_mut() {
+        for o in observers.iter_mut() {
             o.on_progress(decided, total);
         }
     }
@@ -951,14 +1240,52 @@ fn orchestrate(
         dropped_by_simulation: dropped,
         sequences: sequences.len() as u32,
     };
-    if let Some(o) = observer.as_deref_mut() {
+    for o in observers.iter_mut() {
         o.on_run_end(&report);
     }
     AtpgRun {
         records,
         sequences,
+        relied_ppos: relied,
         report,
         stopped,
+    }
+}
+
+/// Builds a [`RunSnapshot`] view of the merge thread's state and hands it
+/// to every observer. Free function (rather than a closure) because the
+/// snapshot borrows half the orchestrator's locals.
+#[allow(clippy::too_many_arguments)]
+fn emit_checkpoint(
+    observers: &mut [Box<dyn Observer + '_>],
+    engine: &'static str,
+    circuit: &Circuit,
+    config: &RunConfig,
+    faults: &[Fault],
+    records: &[Option<FaultRecord>],
+    sequences: &[TestSequence],
+    relied_ppos: &[Vec<NodeId>],
+    dropped: u32,
+    decided: usize,
+    rng: &StdRng,
+) {
+    if observers.is_empty() {
+        return;
+    }
+    let snapshot = RunSnapshot {
+        engine,
+        circuit,
+        config,
+        faults,
+        records,
+        sequences,
+        relied_ppos,
+        dropped,
+        decided,
+        rng_state: rng.state(),
+    };
+    for o in observers.iter_mut() {
+        o.on_checkpoint(&snapshot);
     }
 }
 

@@ -30,22 +30,29 @@
 //! the Table 3 statistics; [`scan`] provides the enhanced-scan baseline
 //! used by the ablation benches.
 
+pub mod artifact;
 pub mod compact;
 pub mod driver;
 pub mod engine;
+pub mod json;
 pub mod pattern;
 pub mod report;
 pub mod scan;
+pub mod session;
 
+pub use artifact::{ArtifactError, CircuitSource, PatternEntry, PatternSet, RunArtifact};
 pub use compact::{compact_sequences, CompactionResult};
 pub use driver::{
     AtpgRun, DelayAtpg, DelayAtpgConfig, FaultClassification, FaultRecord, FsimScratch,
 };
 pub use engine::{
     Atpg, AtpgBuilder, AtpgEngine, AtpgError, Backend, Detection, EnhancedScanEngine, FaultOutcome,
-    Limits, NonScanEngine, Observer, StuckAtEngine,
+    Limits, NonScanEngine, Observer, RunConfig, RunSnapshot, StuckAtEngine,
 };
 pub use gdf_netlist::Fault;
 pub use pattern::{ClockSpeed, TestSequence, TimedVector};
 pub use report::{CircuitReport, Table3Row};
 pub use scan::ScanDelayAtpg;
+pub use session::{
+    grade_patterns, Campaign, CampaignBuilder, CampaignReport, Checkpointer, GradeReport,
+};

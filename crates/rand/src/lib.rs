@@ -119,6 +119,28 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The full internal state, for checkpointing: a generator rebuilt
+        /// with [`StdRng::from_state`] continues the exact same stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which is not a valid xoshiro256**
+        /// state (the stream would be constant zero).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "all-zero state is not a valid xoshiro256** state"
+            );
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             // SplitMix64 expansion, as recommended by the xoshiro authors.
@@ -198,6 +220,24 @@ mod tests {
         assert!(rng.gen_bool(1.0));
         let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
         assert!((800..1200).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn state_round_trip_continues_stream() {
+        let mut a = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero state")]
+    fn zero_state_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 
     #[test]

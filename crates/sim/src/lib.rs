@@ -35,6 +35,7 @@
 pub mod event;
 pub mod fausim;
 pub mod goodsim;
+pub mod grading;
 pub mod packed;
 pub mod tdsim;
 pub mod waveform;
@@ -42,6 +43,7 @@ pub mod waveform;
 pub use event::EventSimulator;
 pub use fausim::{Fausim, PropagationOutcome};
 pub use goodsim::{GoodSimulator, ParallelSimulator};
+pub use grading::{grade_filled_sequence, GradeScratch};
 pub use packed::{PackedGoodSim, PackedLogic, SimScratch};
 pub use tdsim::{detected_delay_faults, detected_delay_faults_packed, DelayObservation};
 pub use waveform::{two_frame_values, two_frame_values_into};

@@ -1,0 +1,82 @@
+//! A persistent, resumable multi-circuit campaign end to end:
+//!
+//! 1. run the stuck-at engine over a mix of suite and embedded circuits,
+//!    streaming campaign-cumulative progress;
+//! 2. persist one artifact per circuit, then re-run the campaign with
+//!    `resume(true)` and watch it satisfy every circuit from disk;
+//! 3. export a pattern set from one run artifact and re-grade it with
+//!    the packed fault simulator.
+//!
+//! ```text
+//! cargo run --release --example campaign
+//! ```
+
+use gdf::core::{grade_patterns, Atpg, Backend, Campaign, CircuitReport, Observer, PatternSet};
+use gdf::netlist::{suite, FaultUniverse};
+
+struct Progress;
+
+impl Observer for Progress {
+    fn on_run_start(
+        &mut self,
+        engine: &'static str,
+        circuit: &gdf::netlist::Circuit,
+        total: usize,
+    ) {
+        println!("  [{engine}] {} — {total} faults", circuit.name());
+    }
+    fn on_progress(&mut self, decided: usize, total: usize) {
+        if decided == total {
+            println!("  … campaign {decided}/{total} faults decided");
+        }
+    }
+    fn on_run_end(&mut self, report: &CircuitReport) {
+        println!("  done: {}", report.row);
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("gdf-campaign-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 1. A fresh campaign: one config, one worker pool, many circuits.
+    println!("first campaign (artifacts -> {}):", dir.display());
+    let report = Campaign::builder()
+        .backend(Backend::StuckAt)
+        .circuit(suite::s27())
+        .circuits(suite::extra_suite()) // the embedded .bench circuits
+        .parallelism(2)
+        .artifact_dir(&dir)
+        .observer(Progress)
+        .run();
+    println!("\n{}", report.render());
+
+    // 2. Same campaign again, resuming: everything loads from disk.
+    let rerun = Campaign::builder()
+        .backend(Backend::StuckAt)
+        .circuit(suite::s27())
+        .circuits(suite::extra_suite())
+        .artifact_dir(&dir)
+        .resume(true)
+        .run();
+    println!(
+        "re-run: {} of {} circuits satisfied from artifacts in {:?}",
+        rerun.resumed,
+        rerun.circuits.len(),
+        rerun.elapsed
+    );
+
+    // 3. Pattern export + independent re-grading (delay-fault flow).
+    let c = suite::s27();
+    let seed = 0x1995_0308;
+    let run = Atpg::builder(&c)
+        .backend(Backend::NonScan)
+        .seed(seed)
+        .build()
+        .run();
+    let patterns = PatternSet::from_run(&c, &run, "non-scan", seed, None);
+    let grade = grade_patterns(&c, &patterns, &FaultUniverse::default(), seed).unwrap();
+    println!("\nre-graded exported patterns: {grade}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

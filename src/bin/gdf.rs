@@ -1,0 +1,630 @@
+//! `gdf` — the command-line front door of the ATPG system.
+//!
+//! ```text
+//! gdf run <CIRCUIT> [-o run.json] [--patterns p.json] [options]
+//! gdf resume <RUN.json> [-o done.json] [--patterns p.json]
+//! gdf grade <PATTERNS.json> [--circuit CIRCUIT] [--seed N]
+//! gdf campaign [CIRCUIT...] [--suite] [--dir DIR] [--resume] [options]
+//! gdf report <RUN.json>... [--diff]
+//! ```
+//!
+//! `CIRCUIT` is a path to an ISCAS'89 `.bench` file or `suite:<name>`
+//! (e.g. `suite:s27`, `suite:s42`). Runs persist as self-contained JSON
+//! artifacts (`gdf_core::artifact::RunArtifact`): `gdf run` checkpoints
+//! while it works, an interrupted run resumes **byte-identically** with
+//! `gdf resume`, and `gdf report --diff` proves it. `--abort-after N`
+//! deliberately interrupts after N fault outcomes (exercised by CI to
+//! test the resume path end to end).
+
+use gdf::core::{
+    grade_patterns, Atpg, AtpgBuilder, AtpgRun, Backend, Campaign, Checkpointer, CircuitReport,
+    CircuitSource, FaultRecord, Observer, PatternSet, RunArtifact, RunConfig,
+};
+use gdf::netlist::{parse_bench, suite, Circuit, FaultUniverse};
+use gdf::tdgen::FaultModel;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+const USAGE: &str = "\
+gdf — gate delay fault ATPG for non-scan sequential circuits
+
+USAGE:
+    gdf run <CIRCUIT> [options]         generate tests for one circuit
+    gdf resume <RUN.json> [options]     resume an interrupted run
+    gdf grade <PATTERNS.json> [options] re-grade a saved pattern set
+    gdf campaign [CIRCUIT...] [options] run many circuits, aggregate report
+    gdf report <RUN.json>... [--diff]   render or compare saved runs
+
+CIRCUIT:
+    a path to an ISCAS'89 .bench file, or suite:<name> (suite:s27,
+    suite:s298, suite:s42, ...)
+
+OPTIONS:
+    --backend <non-scan|enhanced-scan|stuck-at>   engine (default non-scan)
+    --model <robust|non-robust>                   delay model
+    --universe <full|stems>                       fault universe
+    --seed <N>                                    X-fill seed (dec or 0x..)
+    --parallelism <N>                             generation workers
+    --time-budget <SECS>                          per-run wall-clock budget
+    -o, --out <PATH>                              artifact output path
+    --patterns <PATH>                             export a pattern set
+    --checkpoint-every <N>                        checkpoint cadence (default 16)
+    --abort-after <N>                             cancel after N outcomes
+    --circuit <CIRCUIT>                           (grade) grade on this circuit
+    --suite                                       (campaign) the full suite
+    --dir <DIR>                                   (campaign) artifact directory
+    --resume                                      (campaign) reuse artifacts
+    --diff                                        (report) compare two runs
+    -q, --quiet                                   no progress output
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(rest),
+        "resume" => cmd_resume(rest),
+        "grade" => cmd_grade(rest),
+        "campaign" => cmd_campaign(rest),
+        "report" => cmd_report(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`; try `gdf help`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("gdf {command}: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Argument scaffolding
+// ---------------------------------------------------------------------
+
+struct Opts {
+    positional: Vec<String>,
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Opts {
+    /// Splits `args` into positionals, `--key value` pairs and bare
+    /// switches. `takes_value` lists the options that consume a value.
+    fn parse(args: &[String], takes_value: &[&str], switches: &[&str]) -> Result<Self, String> {
+        let mut out = Opts {
+            positional: Vec::new(),
+            values: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let canonical = match arg.as_str() {
+                "-o" => "--out",
+                "-q" => "--quiet",
+                other => other,
+            };
+            if let Some(name) = canonical.strip_prefix("--") {
+                if takes_value.contains(&name) {
+                    let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                    out.values.push((name.to_string(), value.clone()));
+                } else if switches.contains(&name) {
+                    out.switches.push(name.to_string());
+                } else {
+                    return Err(format!("unknown option `{arg}`"));
+                }
+            } else {
+                out.positional.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn number(&self, name: &str) -> Result<Option<u64>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(text) => {
+                let parsed = match text.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => text.parse(),
+                };
+                parsed
+                    .map(Some)
+                    .map_err(|_| format!("--{name}: invalid number `{text}`"))
+            }
+        }
+    }
+}
+
+const RUN_VALUES: &[&str] = &[
+    "backend",
+    "model",
+    "universe",
+    "seed",
+    "parallelism",
+    "time-budget",
+    "out",
+    "patterns",
+    "checkpoint-every",
+    "abort-after",
+    "circuit",
+    "dir",
+];
+const RUN_SWITCHES: &[&str] = &["quiet", "suite", "resume", "diff"];
+
+/// Accepts the canonical names (`Backend`'s `FromStr`) plus the short
+/// aliases the CLI documents.
+fn parse_backend(s: &str) -> Result<Backend, String> {
+    match s {
+        "nonscan" => Ok(Backend::NonScan),
+        "scan" => Ok(Backend::EnhancedScan),
+        "stuckat" => Ok(Backend::StuckAt),
+        other => other.parse(),
+    }
+}
+
+fn parse_universe(s: &str) -> Result<FaultUniverse, String> {
+    match s {
+        "full" => Ok(FaultUniverse::default()),
+        "stems" => Ok(FaultUniverse::stems_only()),
+        other => Err(format!("unknown universe `{other}` (full|stems)")),
+    }
+}
+
+/// Resolves a circuit argument: `suite:<name>` or a `.bench` file path.
+/// Returns the circuit plus the provenance artifacts should record.
+fn load_circuit(spec: &str) -> Result<(Circuit, CircuitSource), String> {
+    if let Some(name) = spec.strip_prefix("suite:") {
+        let circuit =
+            suite::by_name(name).ok_or_else(|| format!("unknown suite circuit `{name}`"))?;
+        let source = CircuitSource::suite(&circuit, name);
+        return Ok((circuit, source));
+    }
+    let path = Path::new(spec);
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{spec}: {e}"))?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit")
+        .to_string();
+    let circuit = parse_bench(&name, &text).map_err(|e| format!("{spec}: {e}"))?;
+    let source = CircuitSource::bench(&circuit, text);
+    Ok((circuit, source))
+}
+
+// ---------------------------------------------------------------------
+// Observers
+// ---------------------------------------------------------------------
+
+/// Prints one progress line per ~10% to stderr.
+struct Progress {
+    label: String,
+    last_decile: usize,
+}
+
+impl Progress {
+    fn new(label: impl Into<String>) -> Self {
+        Progress {
+            label: label.into(),
+            last_decile: 0,
+        }
+    }
+}
+
+impl Observer for Progress {
+    fn on_run_start(&mut self, engine: &'static str, circuit: &Circuit, total: usize) {
+        eprintln!(
+            "[{}] {engine} on {}: {total} faults",
+            self.label,
+            circuit.name()
+        );
+    }
+    fn on_progress(&mut self, decided: usize, total: usize) {
+        let decile = 10 * decided / total.max(1);
+        if decile > self.last_decile {
+            self.last_decile = decile;
+            eprintln!("[{}] {decided}/{total} faults decided", self.label);
+        }
+    }
+}
+
+/// Cancels the run after N fault outcomes — the CLI's way to simulate an
+/// interruption (CI kills runs with this, then resumes them).
+struct AbortAfter {
+    remaining: usize,
+}
+
+impl Observer for AbortAfter {
+    fn on_fault(&mut self, _record: &FaultRecord) {
+        self.remaining = self.remaining.saturating_sub(1);
+    }
+    fn cancelled(&mut self) -> bool {
+        self.remaining == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------
+
+fn print_run(run: &AtpgRun) {
+    println!("{}", CircuitReport::header());
+    println!("{}", run.report.row);
+    println!(
+        "{} sequences, {} faults dropped by simulation{}",
+        run.report.sequences,
+        run.report.dropped_by_simulation,
+        match run.stopped {
+            None => String::new(),
+            Some(reason) => format!(" — stopped early: {reason}"),
+        }
+    );
+}
+
+fn parse_model(s: &str) -> Result<FaultModel, String> {
+    match s {
+        "robust" => Ok(FaultModel::Robust),
+        "non-robust" | "nonrobust" => Ok(FaultModel::NonRobust),
+        other => Err(format!("unknown model `{other}`")),
+    }
+}
+
+/// The single flag→config mapping: both the engine builder and the saved
+/// artifact are driven from this one value, so the recorded provenance
+/// can never diverge from the run that actually executed.
+fn config_from_opts(opts: &Opts) -> Result<RunConfig, String> {
+    let mut config = RunConfig::new(
+        opts.value("backend")
+            .map(parse_backend)
+            .transpose()?
+            .unwrap_or(Backend::NonScan),
+    );
+    if let Some(m) = opts.value("model") {
+        config.model = parse_model(m)?;
+    }
+    if let Some(u) = opts.value("universe") {
+        config.universe = parse_universe(u)?;
+    }
+    if let Some(seed) = opts.number("seed")? {
+        config.seed = seed;
+    }
+    Ok(config)
+}
+
+/// Applies a [`RunConfig`] plus the runtime-only options (workers, time
+/// budget) to a builder.
+fn configure<'c>(
+    mut builder: AtpgBuilder<'c>,
+    config: &RunConfig,
+    opts: &Opts,
+) -> Result<AtpgBuilder<'c>, String> {
+    builder = builder
+        .backend(config.backend)
+        .model(config.model)
+        .universe(config.universe)
+        .limits(config.limits)
+        .seed(config.seed);
+    if let Some(n) = opts.number("parallelism")? {
+        builder = builder.parallelism(n as usize);
+    }
+    if let Some(secs) = opts.number("time-budget")? {
+        builder = builder.time_budget(Duration::from_secs(secs));
+    }
+    Ok(builder)
+}
+
+fn export_patterns(
+    opts: &Opts,
+    circuit: &Circuit,
+    source: &CircuitSource,
+    run: &AtpgRun,
+    backend: Backend,
+    seed: u64,
+) -> Result<(), String> {
+    let Some(path) = opts.value("patterns") else {
+        return Ok(());
+    };
+    let set = PatternSet::from_run(
+        circuit,
+        run,
+        &backend.to_string(),
+        seed,
+        Some(source.clone()),
+    );
+    set.save(path).map_err(|e| e.to_string())?;
+    println!("patterns: {} sequences -> {path}", set.patterns.len());
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    let [spec] = opts.positional.as_slice() else {
+        return Err("expected exactly one CIRCUIT argument".into());
+    };
+    let (circuit, source) = load_circuit(spec)?;
+    let config = config_from_opts(&opts)?;
+    let (backend, seed) = (config.backend, config.seed);
+    let every = opts.number("checkpoint-every")?.unwrap_or(16) as usize;
+
+    let mut builder = configure(Atpg::builder(&circuit), &config, &opts)?;
+    if !opts.switch("quiet") {
+        builder = builder.observer(Progress::new("run"));
+    }
+    let mut checkpoints_written = None;
+    if let Some(out) = opts.value("out") {
+        let checkpointer = Checkpointer::new(PathBuf::from(out), every).with_source(source.clone());
+        checkpoints_written = Some(checkpointer.written_handle());
+        builder = builder.observer(checkpointer);
+    }
+    if let Some(n) = opts.number("abort-after")? {
+        builder = builder.observer(AbortAfter {
+            remaining: n as usize,
+        });
+    }
+
+    let run = builder.build().run();
+    print_run(&run);
+
+    if let Some(out) = opts.value("out") {
+        if run.stopped.is_some() {
+            // Keep the last checkpoint: that is the resumable state. The
+            // cancel-fill marked the undecided tail aborted, which a
+            // resume must not inherit.
+            export_patterns(&opts, &circuit, &source, &run, backend, seed)?;
+            let written = checkpoints_written.map_or(0, |w| w.load(Ordering::Relaxed));
+            return interrupted_outcome(out, written);
+        }
+        RunArtifact::from_run(&circuit, &run, config, Some(source.clone()))
+            .save(out)
+            .map_err(|e| e.to_string())?;
+        println!("run artifact -> {out}");
+    }
+    export_patterns(&opts, &circuit, &source, &run, backend, seed)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Reports where an interrupted run left its resumable state. If the run
+/// was cancelled before the Checkpointer's first write there is nothing
+/// (new) to resume — say so and fail, so scripts keying on the exit code
+/// notice (a stale file at `out` from an earlier run does not count).
+fn interrupted_outcome(out: &str, checkpoints_written: usize) -> Result<ExitCode, String> {
+    if checkpoints_written > 0 {
+        println!("interrupted — resumable checkpoint left at {out}");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("interrupted before the first checkpoint — no resumable artifact at {out}");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    let [input] = opts.positional.as_slice() else {
+        return Err("expected exactly one RUN.json argument".into());
+    };
+    let artifact = RunArtifact::load(input).map_err(|e| e.to_string())?;
+    if !artifact.partial {
+        println!("{input}: already complete ({} faults)", artifact.total());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let circuit = artifact.circuit.resolve().map_err(|e| e.to_string())?;
+    let source = artifact.circuit.clone();
+    let config = artifact.config();
+    let out = opts.value("out").unwrap_or(input).to_string();
+    let every = opts.number("checkpoint-every")?.unwrap_or(16) as usize;
+
+    eprintln!(
+        "resuming {} on {}: {}/{} faults already decided",
+        config.backend,
+        circuit.name(),
+        artifact.decided(),
+        artifact.total()
+    );
+    let mut builder = Atpg::builder(&circuit)
+        .resume_from(&artifact)
+        .map_err(|e| e.to_string())?;
+    if let Some(n) = opts.number("parallelism")? {
+        builder = builder.parallelism(n as usize);
+    }
+    if let Some(secs) = opts.number("time-budget")? {
+        builder = builder.time_budget(Duration::from_secs(secs));
+    }
+    if !opts.switch("quiet") {
+        builder = builder.observer(Progress::new("resume"));
+    }
+    let checkpointer = Checkpointer::new(PathBuf::from(&out), every).with_source(source.clone());
+    let checkpoints_written = checkpointer.written_handle();
+    builder = builder.observer(checkpointer);
+    if let Some(n) = opts.number("abort-after")? {
+        builder = builder.observer(AbortAfter {
+            remaining: n as usize,
+        });
+    }
+
+    let run = builder.build().run();
+    print_run(&run);
+    if run.stopped.is_some() {
+        export_patterns(&opts, &circuit, &source, &run, config.backend, config.seed)?;
+        return if checkpoints_written.load(Ordering::Relaxed) > 0 {
+            println!("interrupted again — resumable checkpoint left at {out}");
+            Ok(ExitCode::SUCCESS)
+        } else if out == *input {
+            // Nothing new was written, but the input checkpoint we
+            // resumed from is untouched and still valid.
+            println!("interrupted again before a new checkpoint — {input} is still resumable");
+            Ok(ExitCode::SUCCESS)
+        } else {
+            eprintln!(
+                "interrupted before the first checkpoint — no artifact at {out}; \
+                 resume again from {input}"
+            );
+            Ok(ExitCode::FAILURE)
+        };
+    }
+    RunArtifact::from_run(&circuit, &run, config, Some(source.clone()))
+        .save(&out)
+        .map_err(|e| e.to_string())?;
+    println!("run artifact -> {out}");
+    export_patterns(&opts, &circuit, &source, &run, config.backend, config.seed)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_grade(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    let [input] = opts.positional.as_slice() else {
+        return Err("expected exactly one PATTERNS.json argument".into());
+    };
+    let set = PatternSet::load(input).map_err(|e| e.to_string())?;
+    let circuit = match opts.value("circuit") {
+        Some(spec) => load_circuit(spec)?.0,
+        None => set.circuit.resolve().map_err(|e| e.to_string())?,
+    };
+    let universe = opts
+        .value("universe")
+        .map(parse_universe)
+        .transpose()?
+        .unwrap_or_default();
+    let seed = opts.number("seed")?.unwrap_or(set.seed);
+    let grade = grade_patterns(&circuit, &set, &universe, seed).map_err(|e| e.to_string())?;
+    println!("{grade}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    let mut builder = Campaign::builder();
+    if opts.switch("suite") {
+        builder = builder.suite();
+    }
+    for spec in &opts.positional {
+        let (circuit, source) = load_circuit(spec)?;
+        builder = builder.circuit_with_source(circuit, source);
+    }
+    if let Some(b) = opts.value("backend") {
+        builder = builder.backend(parse_backend(b)?);
+    }
+    if let Some(m) = opts.value("model") {
+        builder = builder.model(parse_model(m)?);
+    }
+    if let Some(u) = opts.value("universe") {
+        builder = builder.universe(parse_universe(u)?);
+    }
+    if let Some(seed) = opts.number("seed")? {
+        builder = builder.seed(seed);
+    }
+    if let Some(n) = opts.number("parallelism")? {
+        builder = builder.parallelism(n as usize);
+    }
+    if let Some(secs) = opts.number("time-budget")? {
+        builder = builder.time_budget(Duration::from_secs(secs));
+    }
+    if let Some(dir) = opts.value("dir") {
+        builder = builder.artifact_dir(dir);
+    }
+    if let Some(every) = opts.number("checkpoint-every")? {
+        builder = builder.checkpoint_every(every as usize);
+    }
+    builder = builder.resume(opts.switch("resume"));
+    if !opts.switch("quiet") {
+        builder = builder.observer(Progress::new("campaign"));
+    }
+    let report = builder.run();
+    print!("{}", report.render());
+    Ok(if report.stopped {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    if opts.positional.is_empty() {
+        return Err("expected at least one RUN.json argument".into());
+    }
+    if opts.switch("diff") {
+        let [a, b] = opts.positional.as_slice() else {
+            return Err("--diff expects exactly two RUN.json arguments".into());
+        };
+        return diff_runs(a, b);
+    }
+    println!("{}", CircuitReport::header());
+    for path in &opts.positional {
+        let artifact = RunArtifact::load(path).map_err(|e| e.to_string())?;
+        match artifact.report() {
+            Some(report) => println!("{}", report.row),
+            None => println!(
+                "{:<12} partial checkpoint: {}/{} faults decided, {} sequences",
+                artifact.circuit.name,
+                artifact.decided(),
+                artifact.total(),
+                artifact.sequences()
+            ),
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Compares two completed run artifacts modulo wall-clock; exit 0 iff
+/// records, sequences and normalized reports are identical.
+fn diff_runs(a: &str, b: &str) -> Result<ExitCode, String> {
+    let load = |path: &str| -> Result<(RunArtifact, AtpgRun), String> {
+        let artifact = RunArtifact::load(path).map_err(|e| e.to_string())?;
+        let circuit = artifact.circuit.resolve().map_err(|e| e.to_string())?;
+        let run = artifact
+            .to_run(&circuit)
+            .map_err(|e| format!("{path}: {e}"))?;
+        Ok((artifact, run))
+    };
+    let (_, run_a) = load(a)?;
+    let (_, run_b) = load(b)?;
+    let mut differences = Vec::new();
+    if run_a.records != run_b.records {
+        let first = run_a
+            .records
+            .iter()
+            .zip(&run_b.records)
+            .position(|(x, y)| x != y);
+        differences.push(format!("records differ (first at index {:?})", first));
+    }
+    if run_a.sequences != run_b.sequences {
+        differences.push("sequences differ".to_string());
+    }
+    if run_a.report.row.normalized() != run_b.report.row.normalized() {
+        differences.push(format!(
+            "reports differ: {} vs {}",
+            run_a.report.row.normalized(),
+            run_b.report.row.normalized()
+        ));
+    }
+    if differences.is_empty() {
+        println!("identical: {} == {} (modulo wall-clock)", a, b);
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for d in &differences {
+            eprintln!("diff: {d}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -15,7 +15,13 @@
 //! * [`core`] — the **unified engine API**: one builder over the
 //!   extended-FOGBUSTER driver, the enhanced-scan baseline and the
 //!   sequential stuck-at backend, with streaming observation and
-//!   deterministic fault-parallel orchestration.
+//!   deterministic fault-parallel orchestration — plus the **session
+//!   layer** (`core::session`, `core::artifact`): persistent run
+//!   artifacts, checkpoint/resume that is byte-identical to an
+//!   uninterrupted run, resumable multi-circuit campaigns, and
+//!   standalone re-grading of saved pattern sets. The `gdf` binary
+//!   (`gdf run` / `resume` / `grade` / `campaign` / `report`) drives all
+//!   of it from the command line over `.bench` files and JSON artifacts.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,124 @@
+//! Round-trip property: `to_bench` → `parse_bench` reproduces an
+//! equivalent circuit — same stats, same per-node structure and topo
+//! levels, same fault universe — for the whole benchmark suite and for
+//! random generator circuits.
+
+use gdf::netlist::generator::{generate, CircuitProfile};
+use gdf::netlist::{parse_bench, suite, to_bench, Circuit, FaultUniverse};
+
+/// Asserts `b` is structurally equivalent to `a`: identical interface
+/// order, per-node kind/fanin/output-marking/level (matched by name),
+/// and an identical enumerated fault universe.
+fn assert_equivalent(a: &Circuit, b: &Circuit) {
+    let name = a.name();
+    assert_eq!(
+        a.stats().to_string(),
+        b.stats().to_string(),
+        "{name}: stats"
+    );
+
+    // Interface order matters (test vectors index PIs positionally).
+    let names = |ids: &[gdf::netlist::NodeId], c: &Circuit| -> Vec<String> {
+        ids.iter().map(|&i| c.node(i).name().to_string()).collect()
+    };
+    assert_eq!(
+        names(a.inputs(), a),
+        names(b.inputs(), b),
+        "{name}: PI order"
+    );
+    assert_eq!(
+        names(a.outputs(), a),
+        names(b.outputs(), b),
+        "{name}: PO order"
+    );
+    assert_eq!(names(a.dffs(), a), names(b.dffs(), b), "{name}: DFF order");
+
+    // Per-node: kind, fanin (names, pin order), output marking, level.
+    assert_eq!(a.num_nodes(), b.num_nodes(), "{name}: node count");
+    assert_eq!(a.max_level(), b.max_level(), "{name}: depth");
+    for node_a in a.nodes() {
+        let id_b = b
+            .node_by_name(node_a.name())
+            .unwrap_or_else(|| panic!("{name}: `{}` lost in round trip", node_a.name()));
+        let node_b = b.node(id_b);
+        assert_eq!(
+            node_a.kind(),
+            node_b.kind(),
+            "{name}: kind of `{}`",
+            node_a.name()
+        );
+        assert_eq!(
+            node_a.is_output(),
+            node_b.is_output(),
+            "{name}: output mark of `{}`",
+            node_a.name()
+        );
+        let fanin_a: Vec<&str> = node_a.fanin().iter().map(|&f| a.node(f).name()).collect();
+        let fanin_b: Vec<&str> = node_b.fanin().iter().map(|&f| b.node(f).name()).collect();
+        assert_eq!(fanin_a, fanin_b, "{name}: fanin of `{}`", node_a.name());
+        let id_a = a.node_by_name(node_a.name()).expect("own node");
+        assert_eq!(
+            a.level(id_a),
+            b.level(id_b),
+            "{name}: topo level of `{}`",
+            node_a.name()
+        );
+    }
+
+    // The enumerated fault universe is identical (modulo node ids):
+    // compare by human-readable description, order-insensitively.
+    let universe = FaultUniverse::default();
+    let mut faults_a: Vec<String> = universe
+        .delay_faults(a)
+        .into_iter()
+        .map(|f| f.describe(a))
+        .collect();
+    let mut faults_b: Vec<String> = universe
+        .delay_faults(b)
+        .into_iter()
+        .map(|f| f.describe(b))
+        .collect();
+    faults_a.sort();
+    faults_b.sort();
+    assert_eq!(faults_a, faults_b, "{name}: fault universe");
+}
+
+fn round_trip(c: &Circuit) {
+    let text = to_bench(c);
+    let back = parse_bench(c.name(), &text)
+        .unwrap_or_else(|e| panic!("{}: to_bench output failed to re-parse: {e}", c.name()));
+    assert_equivalent(c, &back);
+    // A second round trip is a fixed point of the text form.
+    assert_eq!(text, to_bench(&back), "{}: writer is idempotent", c.name());
+}
+
+#[test]
+fn whole_suite_round_trips() {
+    for c in suite::full_suite() {
+        round_trip(&c);
+    }
+}
+
+#[test]
+fn random_generator_circuits_round_trip() {
+    for (i, (pi, po, dff, gates)) in [(6, 3, 4, 60), (10, 5, 8, 150), (16, 8, 12, 300)]
+        .into_iter()
+        .enumerate()
+    {
+        let profile = CircuitProfile::new(
+            format!("rt_gen{i}"),
+            pi,
+            po,
+            dff,
+            gates,
+            0xBEEF ^ (i as u64) << 8,
+        );
+        round_trip(&generate(&profile));
+    }
+}
+
+#[test]
+fn generator_shapes_round_trip() {
+    round_trip(&gdf::netlist::generator::shift_register(6));
+    round_trip(&gdf::netlist::generator::counter(5));
+}

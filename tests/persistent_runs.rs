@@ -1,0 +1,243 @@
+//! Acceptance tests for the persistent-run layer: artifact round trips
+//! through real files, interrupted-then-resumed runs byte-identical to
+//! uninterrupted ones, and campaign aggregation/resumption.
+
+use gdf::core::{
+    grade_patterns, Atpg, AtpgError, AtpgRun, Backend, Campaign, FaultRecord, Observer, PatternSet,
+    RunArtifact, RunConfig,
+};
+use gdf::netlist::{suite, FaultUniverse};
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gdf-it-{tag}-{}.json", std::process::id()))
+}
+
+/// Cancels a run after `n` fault outcomes have streamed.
+struct CancelAfter {
+    remaining: usize,
+}
+
+impl Observer for CancelAfter {
+    fn on_fault(&mut self, _record: &FaultRecord) {
+        self.remaining = self.remaining.saturating_sub(1);
+    }
+    fn cancelled(&mut self) -> bool {
+        self.remaining == 0
+    }
+}
+
+fn assert_same_run(a: &AtpgRun, b: &AtpgRun, what: &str) {
+    assert_eq!(a.records, b.records, "{what}: records");
+    assert_eq!(a.sequences, b.sequences, "{what}: sequences");
+    assert_eq!(a.relied_ppos, b.relied_ppos, "{what}: relied PPOs");
+    assert_eq!(
+        a.report.row.normalized(),
+        b.report.row.normalized(),
+        "{what}: report row"
+    );
+    assert_eq!(
+        a.report.dropped_by_simulation, b.report.dropped_by_simulation,
+        "{what}: dropped"
+    );
+    assert_eq!(
+        a.report.sequences, b.report.sequences,
+        "{what}: sequences count"
+    );
+}
+
+/// The headline guarantee: a run interrupted mid-flight and resumed from
+/// its checkpoint produces an `AtpgRun` byte-identical to one that was
+/// never interrupted, for every backend (same seed).
+#[test]
+fn interrupted_then_resumed_is_byte_identical() {
+    let c = suite::s27();
+    for (backend, cancel_after, tag) in [
+        (Backend::NonScan, 20, "nonscan"),
+        (Backend::EnhancedScan, 25, "scan"),
+        (Backend::StuckAt, 25, "stuckat"),
+    ] {
+        let clean = Atpg::builder(&c).backend(backend).seed(7).build().run();
+        assert!(clean.stopped.is_none());
+
+        let path = temp_path(&format!("resume-{tag}"));
+        let _ = std::fs::remove_file(&path);
+        let interrupted = Atpg::builder(&c)
+            .backend(backend)
+            .seed(7)
+            .checkpoint(&path, 5)
+            .observer(CancelAfter {
+                remaining: cancel_after,
+            })
+            .build()
+            .run();
+        assert_eq!(interrupted.stopped, Some(AtpgError::Cancelled), "{tag}");
+        assert!(path.exists(), "{tag}: checkpoint written before the cancel");
+
+        let artifact = RunArtifact::load(&path).unwrap();
+        assert!(artifact.partial, "{tag}");
+        let decided_at_checkpoint = artifact.decided();
+        assert!(
+            decided_at_checkpoint > 0 && decided_at_checkpoint < clean.records.len(),
+            "{tag}: checkpoint is genuinely mid-run ({decided_at_checkpoint})"
+        );
+
+        let resumed = Atpg::builder(&c)
+            .resume_from(&artifact)
+            .unwrap()
+            .build()
+            .run();
+        assert!(resumed.stopped.is_none(), "{tag}");
+        assert_same_run(&clean, &resumed, tag);
+
+        // Resume composes with parallel generation, still byte-identical.
+        let resumed_par = Atpg::builder(&c)
+            .resume_from(&artifact)
+            .unwrap()
+            .parallelism(4)
+            .build()
+            .run();
+        assert_same_run(&clean, &resumed_par, &format!("{tag} (parallel)"));
+
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Artifacts survive a real disk round trip losslessly, and completed
+/// artifacts reconstruct the exact run.
+#[test]
+fn artifact_file_round_trip() {
+    let c = suite::s27();
+    let run = Atpg::builder(&c)
+        .backend(Backend::NonScan)
+        .seed(3)
+        .build()
+        .run();
+    let path = temp_path("roundtrip");
+    let artifact = RunArtifact::from_run(
+        &c,
+        &run,
+        RunConfig::new(Backend::NonScan).with_seed(3),
+        None,
+    );
+    artifact.save(&path).unwrap();
+    let loaded = RunArtifact::load(&path).unwrap();
+    let restored = loaded.to_run(&c).unwrap();
+    assert_same_run(&run, &restored, "file round trip");
+    assert_eq!(restored.report.row.elapsed, run.report.row.elapsed);
+    // The embedded bench source reconstructs an equivalent circuit.
+    let c2 = loaded.circuit.resolve().unwrap();
+    assert_eq!(c2.stats().to_string(), c.stats().to_string());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Pattern sets exported from a run re-grade on a freshly re-parsed
+/// circuit (artifacts are self-contained).
+#[test]
+fn pattern_sets_grade_standalone() {
+    let c = suite::s27();
+    let seed = 0x1995_0308;
+    let run = Atpg::builder(&c).seed(seed).build().run();
+    let set = PatternSet::from_run(&c, &run, "non-scan", seed, None);
+    let path = temp_path("patterns");
+    set.save(&path).unwrap();
+    let loaded = PatternSet::load(&path).unwrap();
+    assert_eq!(loaded, set);
+    // Grade on the circuit reconstructed from the artifact alone.
+    let c2 = loaded.circuit.resolve().unwrap();
+    let grade = grade_patterns(&c2, &loaded, &FaultUniverse::default(), seed).unwrap();
+    assert!(grade.detected() > 0);
+    assert!(grade.coverage() <= 1.0);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A campaign over suite + embedded circuits aggregates per-circuit
+/// reports, and a second campaign over the same artifact directory
+/// reloads every circuit instead of re-running.
+#[test]
+fn campaign_persists_and_resumes() {
+    let dir = std::env::temp_dir().join(format!("gdf-it-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let circuits = || {
+        vec![
+            suite::s27(),
+            suite::extra_circuit("s42").unwrap(),
+            suite::extra_circuit("s77").unwrap(),
+        ]
+    };
+    let first = Campaign::builder()
+        .backend(Backend::StuckAt)
+        .circuits(circuits())
+        .artifact_dir(&dir)
+        .run();
+    assert_eq!(first.circuits.len(), 3);
+    assert_eq!(first.resumed, 0);
+    assert!(first.warnings.is_empty(), "{:?}", first.warnings);
+    let totals = first.totals();
+    assert_eq!(
+        totals.total_faults(),
+        first
+            .circuits
+            .iter()
+            .map(|r| r.row.total_faults())
+            .sum::<u32>()
+    );
+    let rendered = first.render();
+    assert!(rendered.contains("s27") && rendered.contains("s42") && rendered.contains("TOTAL"));
+
+    let second = Campaign::builder()
+        .backend(Backend::StuckAt)
+        .circuits(circuits())
+        .artifact_dir(&dir)
+        .resume(true)
+        .run();
+    assert_eq!(second.resumed, 3, "all circuits loaded from artifacts");
+    for (a, b) in first.circuits.iter().zip(&second.circuits) {
+        assert_eq!(a.row.normalized(), b.row.normalized());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A campaign interrupted mid-circuit leaves a partial checkpoint that a
+/// resumed campaign finishes — with per-circuit results identical to a
+/// campaign that was never interrupted.
+#[test]
+fn campaign_resumes_partial_circuits() {
+    let dir = std::env::temp_dir().join(format!("gdf-it-campresume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let circuits = || vec![suite::s27(), suite::extra_circuit("s42").unwrap()];
+
+    let clean = Campaign::builder()
+        .backend(Backend::StuckAt)
+        .circuits(circuits())
+        .run();
+
+    // Interrupt during the first circuit; checkpoints go to the dir.
+    let interrupted = Campaign::builder()
+        .backend(Backend::StuckAt)
+        .circuits(circuits())
+        .artifact_dir(&dir)
+        .checkpoint_every(5)
+        .observer(CancelAfter { remaining: 20 })
+        .run();
+    assert!(interrupted.stopped, "observer cancelled the campaign");
+    assert!(interrupted.circuits.len() < 2 || interrupted.circuits[1].row.aborted > 0);
+
+    let finished = Campaign::builder()
+        .backend(Backend::StuckAt)
+        .circuits(circuits())
+        .artifact_dir(&dir)
+        .resume(true)
+        .run();
+    assert!(!finished.stopped);
+    assert!(finished.resumed > 0);
+    assert_eq!(finished.circuits.len(), 2);
+    for (a, b) in clean.circuits.iter().zip(&finished.circuits) {
+        assert_eq!(
+            a.row.normalized(),
+            b.row.normalized(),
+            "resumed campaign matches the uninterrupted one"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -4,8 +4,11 @@
 //! universe against random two-pattern tests — with the scalar reference
 //! simulator and the packed (64-fault-per-word) one, plus the raw
 //! good-machine gate-evaluation rate, on three circuits: `s27`, `s208` and
-//! a generated 1000-gate netlist. Appends one JSON record per invocation
-//! so the perf curve is tracked PR over PR.
+//! a generated 1000-gate netlist. Since the serve subsystem landed, each
+//! record also carries an **end-to-end jobs/sec** figure: N stuck-at s27
+//! jobs submitted over real HTTP to an in-process `gdf_serve::JobServer`
+//! and driven to completion by its worker pool. Appends one JSON record
+//! per invocation so the perf curve is tracked PR over PR.
 //!
 //! ```text
 //! cargo run --release -p gdf-bench --bin bench_fsim            # full run
@@ -100,6 +103,44 @@ fn bench_circuit(circuit: &Circuit, patterns: usize, eval_frames: usize) -> Row 
     }
 }
 
+/// End-to-end serving throughput: `jobs` identical stuck-at `s27`
+/// submissions pushed over HTTP into a fresh in-process server with
+/// `workers` workers, timed from first submit to last completion.
+fn serve_jobs_per_sec(jobs: usize, workers: usize) -> f64 {
+    use gdf_serve::server::submission_for_suite;
+    use gdf_serve::{Client, JobServer, ServeConfig};
+
+    let dir = std::env::temp_dir().join(format!("gdf-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = JobServer::start(
+        ServeConfig::new("127.0.0.1:0", &dir)
+            .with_workers(workers)
+            .with_queue_capacity(jobs.max(1)),
+    )
+    .expect("bench server starts");
+    let client = Client::new(server.local_addr().to_string());
+    let config = gdf_core::engine::RunConfig::new(gdf_core::engine::Backend::StuckAt);
+    let submission = submission_for_suite("suite:s27", &config);
+
+    let start = Instant::now();
+    let ids: Vec<_> = (0..jobs)
+        .map(|_| client.submit(&submission).expect("submit"))
+        .collect();
+    for id in ids {
+        client
+            .wait(
+                id,
+                std::time::Duration::from_millis(5),
+                Some(std::time::Duration::from_secs(300)),
+            )
+            .expect("job completes");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    jobs as f64 / elapsed
+}
+
 /// Appends `record` to the JSON array in `path` (creating `[...]` if the
 /// file is missing or empty).
 fn append_record(path: &str, record: &str) -> std::io::Result<()> {
@@ -150,6 +191,12 @@ fn main() {
         rows.push(row);
     }
 
+    let (serve_jobs, serve_workers) = if smoke { (8, 4) } else { (32, 4) };
+    let jobs_per_sec = serve_jobs_per_sec(serve_jobs, serve_workers);
+    println!(
+        "serve    {serve_jobs} jobs / {serve_workers} workers  {jobs_per_sec:>8.1} jobs/s end-to-end"
+    );
+
     // Timestamp each appended record so the accumulated trajectory in
     // BENCH_fsim.json stays ordered and attributable across PRs.
     let unix_time = std::time::SystemTime::now()
@@ -184,7 +231,12 @@ fn main() {
             comma
         );
     }
-    let _ = writeln!(record, "    ]");
+    let _ = writeln!(record, "    ],");
+    let _ = writeln!(
+        record,
+        "    \"serve\": {{\"circuit\": \"s27\", \"backend\": \"stuck-at\", \"jobs\": {serve_jobs}, \
+         \"workers\": {serve_workers}, \"jobs_per_sec\": {jobs_per_sec:.1}}}"
+    );
     let _ = write!(record, "  }}");
     append_record(&out_path, &record).expect("write bench record");
     println!("appended record to {out_path}");

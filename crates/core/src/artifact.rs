@@ -159,7 +159,8 @@ impl CircuitSource {
             .map_err(|e| schema(format!("embedded bench source: {e}")))
     }
 
-    fn encode(&self) -> Json {
+    /// Encodes to the artifact/wire object (`name` + `ref` + `bench`).
+    pub fn encode(&self) -> Json {
         Json::Obj(vec![
             ("name".into(), Json::Str(self.name.clone())),
             (
@@ -173,7 +174,8 @@ impl CircuitSource {
         ])
     }
 
-    fn decode(j: &Json) -> Result<Self, ArtifactError> {
+    /// Decodes the object produced by [`CircuitSource::encode`].
+    pub fn decode(j: &Json) -> Result<Self, ArtifactError> {
         Ok(CircuitSource {
             name: str_field(j, "name")?.to_string(),
             reference: match j.get("ref") {
@@ -451,7 +453,11 @@ fn decode_node_list(j: Option<&Json>, circuit: &Circuit) -> Result<Vec<NodeId>, 
 // Config codec
 // ---------------------------------------------------------------------
 
-fn encode_config(c: &RunConfig) -> Vec<(String, Json)> {
+/// Encodes a [`RunConfig`] as the flat field list artifacts embed at
+/// their top level (`backend`, `model`, `universe`, `limits`, `seed`);
+/// [`decode_config`] is the inverse. Public because the wire formats of
+/// `gdf serve` (job records, submissions) reuse the exact same fields.
+pub fn encode_config(c: &RunConfig) -> Vec<(String, Json)> {
     vec![
         ("backend".into(), Json::Str(c.backend.to_string())),
         (
@@ -505,7 +511,8 @@ fn encode_config(c: &RunConfig) -> Vec<(String, Json)> {
     ]
 }
 
-fn decode_config(j: &Json) -> Result<RunConfig, ArtifactError> {
+/// Decodes the [`encode_config`] fields from an object that embeds them.
+pub fn decode_config(j: &Json) -> Result<RunConfig, ArtifactError> {
     let backend: Backend = str_field(j, "backend")?.parse().map_err(schema)?;
     let model = match str_field(j, "model")? {
         "robust" => FaultModel::Robust,
@@ -887,6 +894,21 @@ impl RunArtifact {
             },
         ));
         Json::Obj(fields).pretty()
+    }
+
+    /// Serializes like [`RunArtifact::encode`] but with the report's
+    /// wall-clock zeroed — the **byte-comparable** form. Two runs of the
+    /// same deterministic configuration produce equal `canonical_encode`
+    /// strings even though their `elapsed` times differ; the serve layer
+    /// uses this as the wire form of fetched artifacts so concurrent
+    /// same-seed submissions are byte-identical to each other and to a
+    /// local run.
+    pub fn canonical_encode(&self) -> String {
+        let mut normalized = self.clone();
+        if let Some(report) = &mut normalized.report {
+            report.row.elapsed = Duration::ZERO;
+        }
+        normalized.encode()
     }
 
     /// Parses an artifact from JSON text.

@@ -467,11 +467,14 @@ impl fmt::Display for Backend {
 impl std::str::FromStr for Backend {
     type Err = String;
 
+    /// Accepts the canonical names plus the short aliases (`nonscan`,
+    /// `scan`, `stuckat`) that the CLI and the serve submissions both
+    /// document — one parser, so the two surfaces can never drift.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
-            NON_SCAN => Ok(Backend::NonScan),
-            ENHANCED_SCAN => Ok(Backend::EnhancedScan),
-            STUCK_AT => Ok(Backend::StuckAt),
+            NON_SCAN | "nonscan" => Ok(Backend::NonScan),
+            ENHANCED_SCAN | "scan" => Ok(Backend::EnhancedScan),
+            STUCK_AT | "stuckat" => Ok(Backend::StuckAt),
             other => Err(format!("unknown backend `{other}`")),
         }
     }

@@ -26,6 +26,44 @@
 
 use std::fmt;
 
+/// Parse-time resource bounds. The parser is recursive-descent, so
+/// unbounded nesting would overflow the stack, and the tree it builds is
+/// a few times larger than the input text — both must be capped before
+/// untrusted (network-facing) input is accepted.
+///
+/// [`Json::parse`] uses [`ParseLimits::default`], generous enough for any
+/// artifact this workspace writes; `gdf serve` parses request bodies with
+/// the tighter [`ParseLimits::network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input length in bytes.
+    pub max_bytes: usize,
+    /// Maximum nesting depth of arrays/objects (a scalar document has
+    /// depth 0, `[{"a": 1}]` has depth 2).
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    /// 64 MiB, 128 levels.
+    fn default() -> Self {
+        ParseLimits {
+            max_bytes: 64 << 20,
+            max_depth: 128,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// The bounds for adversarial input: 8 MiB, 64 levels. Every document
+    /// the `gdf serve` wire protocol defines fits with a wide margin.
+    pub fn network() -> Self {
+        ParseLimits {
+            max_bytes: 8 << 20,
+            max_depth: 64,
+        }
+    }
+}
+
 /// One JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -62,11 +100,29 @@ impl std::error::Error for JsonError {}
 
 impl Json {
     /// Parses a complete JSON document (trailing whitespace allowed,
-    /// trailing garbage rejected).
+    /// trailing garbage rejected) under [`ParseLimits::default`].
     pub fn parse(text: &str) -> Result<Json, JsonError> {
+        Self::parse_with_limits(text, ParseLimits::default())
+    }
+
+    /// Parses under explicit [`ParseLimits`]; over-deep or over-long
+    /// input returns an error instead of recursing without bound.
+    pub fn parse_with_limits(text: &str, limits: ParseLimits) -> Result<Json, JsonError> {
+        if text.len() > limits.max_bytes {
+            return Err(JsonError {
+                offset: 0,
+                message: format!(
+                    "input is {} bytes, limit is {}",
+                    text.len(),
+                    limits.max_bytes
+                ),
+            });
+        }
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
+            max_depth: limits.max_depth,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -243,6 +299,8 @@ fn write_escaped(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -294,13 +352,29 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bumps the nesting depth on entry to an array/object; the matching
+    /// decrement happens in `close_nested`.
+    fn enter_nested(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(self.err(format!("nesting deeper than {} levels", self.max_depth)));
+        }
+        Ok(())
+    }
+
+    fn close_nested<T>(&mut self, value: T) -> Result<T, JsonError> {
+        self.depth -= 1;
+        Ok(value)
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter_nested()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Json::Arr(items));
+            return self.close_nested(Json::Arr(items));
         }
         loop {
             self.skip_ws();
@@ -310,7 +384,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(Json::Arr(items));
+                    return self.close_nested(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
             }
@@ -319,11 +393,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter_nested()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Json::Obj(fields));
+            return self.close_nested(Json::Obj(fields));
         }
         loop {
             self.skip_ws();
@@ -338,7 +413,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Json::Obj(fields));
+                    return self.close_nested(Json::Obj(fields));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
             }
@@ -482,5 +557,65 @@ mod tests {
     fn object_key_order_is_preserved() {
         let v = Json::parse(r#"{"z": 1, "a": 2}"#).unwrap();
         assert_eq!(v.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn deeply_nested_input_errors_instead_of_recursing() {
+        // A parser without a depth bound would blow the stack on this
+        // long before finding the missing closers.
+        for open in ["[", "{\"k\":"] {
+            let bomb = open.repeat(100_000);
+            let err = Json::parse(&bomb).unwrap_err();
+            assert!(err.message.contains("nesting"), "{err}");
+        }
+        // Mixed nesting right at the boundary: depth max_depth parses,
+        // depth max_depth + 1 does not.
+        let limits = ParseLimits {
+            max_bytes: 1 << 20,
+            max_depth: 10,
+        };
+        let ok = format!("{}0{}", "[".repeat(10), "]".repeat(10));
+        assert!(Json::parse_with_limits(&ok, limits).is_ok());
+        let too_deep = format!("{}0{}", "[".repeat(11), "]".repeat(11));
+        assert!(Json::parse_with_limits(&too_deep, limits).is_err());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_up_front() {
+        let limits = ParseLimits {
+            max_bytes: 64,
+            max_depth: 16,
+        };
+        let big = format!("\"{}\"", "x".repeat(1000));
+        let err = Json::parse_with_limits(&big, limits).unwrap_err();
+        assert!(err.message.contains("limit"), "{err}");
+        assert!(Json::parse_with_limits("\"small\"", limits).is_ok());
+    }
+
+    #[test]
+    fn truncated_documents_error_cleanly() {
+        // Every prefix of a valid document must parse or error — never
+        // panic, never loop.
+        let full = r#"{"a": [1, {"b": "x\u0041"}, -2.5e3], "c": null}"#;
+        for cut in 0..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = Json::parse(&full[..cut]);
+        }
+        assert!(Json::parse(r#"{"a": [1,"#).is_err());
+        assert!(Json::parse(r#""ends with backslash \"#).is_err());
+        assert!(Json::parse(r#""\u00"#).is_err());
+        assert!(Json::parse("-").is_err());
+        assert!(Json::parse("{\"k\"").is_err());
+    }
+
+    #[test]
+    fn malformed_network_payloads_error() {
+        for bad in [
+            "\u{0}", "[1 2]", "{\"a\":}", "{1: 2}", "tru", "+1", "01x", "\"\\q\"", "[,]", "{,}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -54,5 +54,6 @@ pub use pattern::{ClockSpeed, TestSequence, TimedVector};
 pub use report::{CircuitReport, Table3Row};
 pub use scan::ScanDelayAtpg;
 pub use session::{
-    grade_patterns, Campaign, CampaignBuilder, CampaignReport, Checkpointer, GradeReport,
+    grade_patterns, Campaign, CampaignBuilder, CampaignReport, Checkpointer, EventObserver,
+    GradeReport, ProgressEvent,
 };

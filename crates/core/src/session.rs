@@ -38,8 +38,9 @@
 //! ```
 
 use crate::artifact::{ArtifactError, CircuitSource, PatternSet, RunArtifact};
-use crate::driver::{DelayAtpg, DelayAtpgConfig, FsimScratch};
+use crate::driver::{DelayAtpg, DelayAtpgConfig, FaultClassification, FsimScratch};
 use crate::engine::{faults_of, Atpg, AtpgError, Backend, Limits, Observer, RunSnapshot};
+use crate::json::Json;
 use crate::report::{CircuitReport, Table3Row};
 use gdf_netlist::{Circuit, FaultUniverse};
 use gdf_tdgen::FaultModel;
@@ -116,6 +117,282 @@ impl Observer for Checkpointer {
             }
             Err(e) => eprintln!("checkpoint write failed: {e}"),
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Progress events
+// ---------------------------------------------------------------------
+
+/// The serializable wire form of the [`Observer`] callbacks.
+///
+/// Every callback the engine streams ([`Observer::on_run_start`],
+/// [`Observer::on_fault`], …) has a corresponding variant with a lossless
+/// JSON codec ([`ProgressEvent::encode`] / [`ProgressEvent::decode`]), so
+/// progress can cross a process or network boundary — `gdf serve` streams
+/// these over `GET /jobs/<id>/events`, one compact JSON object per line.
+///
+/// Events intentionally carry aggregate counts and indices, not netlist
+/// references: a consumer can follow a run without holding the circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// The run started (`on_run_start`).
+    Started {
+        /// Backend name (`"non-scan"`, `"enhanced-scan"`, `"stuck-at"`).
+        engine: String,
+        /// Circuit name.
+        circuit: String,
+        /// Faults the run will decide.
+        total_faults: usize,
+    },
+    /// One fault was classified (`on_fault`), in deterministic stream
+    /// order.
+    Fault {
+        /// Running count of decided faults, starting at 1.
+        index: usize,
+        /// The classification.
+        classification: FaultClassification,
+        /// `true` when credited by fault simulation.
+        by_simulation: bool,
+        /// Index of the detecting sequence, if any.
+        sequence: Option<usize>,
+    },
+    /// A new test sequence was emitted (`on_sequence`).
+    Sequence {
+        /// Sequence index within the run.
+        index: usize,
+        /// Vectors in the sequence.
+        vectors: usize,
+    },
+    /// Progress counters (`on_progress`).
+    Progress {
+        /// Decided faults so far.
+        decided: usize,
+        /// Total faults.
+        total: usize,
+    },
+    /// The run finished (`on_run_end`), with the aggregate row.
+    Finished {
+        /// Faults with a complete test.
+        tested: u32,
+        /// Faults proven untestable.
+        untestable: u32,
+        /// Faults abandoned at a limit.
+        aborted: u32,
+        /// Total applied vectors.
+        patterns: u32,
+        /// Emitted sequences.
+        sequences: u32,
+    },
+}
+
+fn classification_name(c: FaultClassification) -> &'static str {
+    match c {
+        FaultClassification::Tested => "tested",
+        FaultClassification::Untestable => "untestable",
+        FaultClassification::Aborted => "aborted",
+    }
+}
+
+impl ProgressEvent {
+    /// Encodes to a JSON object with a `type` tag.
+    pub fn encode(&self) -> Json {
+        let num = |n: usize| Json::Num(n as f64);
+        match self {
+            ProgressEvent::Started {
+                engine,
+                circuit,
+                total_faults,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("started".into())),
+                ("engine".into(), Json::Str(engine.clone())),
+                ("circuit".into(), Json::Str(circuit.clone())),
+                ("total_faults".into(), num(*total_faults)),
+            ]),
+            ProgressEvent::Fault {
+                index,
+                classification,
+                by_simulation,
+                sequence,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("fault".into())),
+                ("index".into(), num(*index)),
+                (
+                    "class".into(),
+                    Json::Str(classification_name(*classification).into()),
+                ),
+                ("by_sim".into(), Json::Bool(*by_simulation)),
+                (
+                    "seq".into(),
+                    sequence.map_or(Json::Null, |s| Json::Num(s as f64)),
+                ),
+            ]),
+            ProgressEvent::Sequence { index, vectors } => Json::Obj(vec![
+                ("type".into(), Json::Str("sequence".into())),
+                ("index".into(), num(*index)),
+                ("vectors".into(), num(*vectors)),
+            ]),
+            ProgressEvent::Progress { decided, total } => Json::Obj(vec![
+                ("type".into(), Json::Str("progress".into())),
+                ("decided".into(), num(*decided)),
+                ("total".into(), num(*total)),
+            ]),
+            ProgressEvent::Finished {
+                tested,
+                untestable,
+                aborted,
+                patterns,
+                sequences,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("finished".into())),
+                ("tested".into(), num(*tested as usize)),
+                ("untestable".into(), num(*untestable as usize)),
+                ("aborted".into(), num(*aborted as usize)),
+                ("patterns".into(), num(*patterns as usize)),
+                ("sequences".into(), num(*sequences as usize)),
+            ]),
+        }
+    }
+
+    /// Decodes the wire form produced by [`ProgressEvent::encode`].
+    pub fn decode(j: &Json) -> Result<ProgressEvent, ArtifactError> {
+        let field = |name: &str| {
+            j.get(name)
+                .ok_or_else(|| ArtifactError::Schema(format!("event missing `{name}`")))
+        };
+        let count = |name: &str| {
+            field(name)?
+                .as_usize()
+                .ok_or_else(|| ArtifactError::Schema(format!("event field `{name}` not a count")))
+        };
+        let text = |name: &str| {
+            Ok::<String, ArtifactError>(
+                field(name)?
+                    .as_str()
+                    .ok_or_else(|| {
+                        ArtifactError::Schema(format!("event field `{name}` not a string"))
+                    })?
+                    .to_string(),
+            )
+        };
+        match text("type")?.as_str() {
+            "started" => Ok(ProgressEvent::Started {
+                engine: text("engine")?,
+                circuit: text("circuit")?,
+                total_faults: count("total_faults")?,
+            }),
+            "fault" => Ok(ProgressEvent::Fault {
+                index: count("index")?,
+                classification: match text("class")?.as_str() {
+                    "tested" => FaultClassification::Tested,
+                    "untestable" => FaultClassification::Untestable,
+                    "aborted" => FaultClassification::Aborted,
+                    other => {
+                        return Err(ArtifactError::Schema(format!(
+                            "unknown classification `{other}`"
+                        )))
+                    }
+                },
+                by_simulation: field("by_sim")?
+                    .as_bool()
+                    .ok_or_else(|| ArtifactError::Schema("`by_sim` not a bool".into()))?,
+                sequence: j.get("seq").and_then(Json::as_usize),
+            }),
+            "sequence" => Ok(ProgressEvent::Sequence {
+                index: count("index")?,
+                vectors: count("vectors")?,
+            }),
+            "progress" => Ok(ProgressEvent::Progress {
+                decided: count("decided")?,
+                total: count("total")?,
+            }),
+            "finished" => Ok(ProgressEvent::Finished {
+                tested: count("tested")? as u32,
+                untestable: count("untestable")? as u32,
+                aborted: count("aborted")? as u32,
+                patterns: count("patterns")? as u32,
+                sequences: count("sequences")? as u32,
+            }),
+            other => Err(ArtifactError::Schema(format!(
+                "unknown event type `{other}`"
+            ))),
+        }
+    }
+}
+
+/// An [`Observer`] that forwards every callback as a [`ProgressEvent`] to
+/// a sink closure — the bridge between the engine's borrowed, in-process
+/// callbacks and anything that needs an owned, serializable stream (a
+/// channel, a network fan-out buffer, a log file).
+///
+/// ```
+/// use gdf_core::engine::{Atpg, Backend};
+/// use gdf_core::session::{EventObserver, ProgressEvent};
+/// use gdf_netlist::suite;
+/// use std::sync::mpsc;
+///
+/// let (tx, rx) = mpsc::channel();
+/// let c = suite::s27();
+/// Atpg::builder(&c)
+///     .backend(Backend::StuckAt)
+///     .observer(EventObserver::new(move |ev| {
+///         let _ = tx.send(ev);
+///     }))
+///     .build()
+///     .run();
+/// let events: Vec<ProgressEvent> = rx.try_iter().collect();
+/// assert!(matches!(events.first(), Some(ProgressEvent::Started { .. })));
+/// assert!(matches!(events.last(), Some(ProgressEvent::Finished { .. })));
+/// ```
+pub struct EventObserver {
+    sink: Box<dyn FnMut(ProgressEvent) + Send>,
+    decided: usize,
+}
+
+impl EventObserver {
+    /// Wraps a sink; the closure receives every event in stream order.
+    pub fn new(sink: impl FnMut(ProgressEvent) + Send + 'static) -> Self {
+        EventObserver {
+            sink: Box::new(sink),
+            decided: 0,
+        }
+    }
+}
+
+impl Observer for EventObserver {
+    fn on_run_start(&mut self, engine: &'static str, circuit: &Circuit, total_faults: usize) {
+        (self.sink)(ProgressEvent::Started {
+            engine: engine.to_string(),
+            circuit: circuit.name().to_string(),
+            total_faults,
+        });
+    }
+    fn on_fault(&mut self, record: &crate::driver::FaultRecord) {
+        self.decided += 1;
+        (self.sink)(ProgressEvent::Fault {
+            index: self.decided,
+            classification: record.classification,
+            by_simulation: record.by_simulation,
+            sequence: record.sequence_index,
+        });
+    }
+    fn on_sequence(&mut self, index: usize, sequence: &crate::pattern::TestSequence) {
+        (self.sink)(ProgressEvent::Sequence {
+            index,
+            vectors: sequence.len(),
+        });
+    }
+    fn on_progress(&mut self, decided: usize, total: usize) {
+        (self.sink)(ProgressEvent::Progress { decided, total });
+    }
+    fn on_run_end(&mut self, report: &CircuitReport) {
+        (self.sink)(ProgressEvent::Finished {
+            tested: report.row.tested,
+            untestable: report.row.untestable,
+            aborted: report.row.aborted,
+            patterns: report.row.patterns,
+            sequences: report.sequences,
+        });
     }
 }
 

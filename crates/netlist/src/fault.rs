@@ -245,6 +245,17 @@ impl FaultUniverse {
         }
     }
 
+    /// The named universes every user-facing surface shares
+    /// (`gdf --universe`, `gdf serve` submissions): `full` (the default
+    /// enumeration) or `stems` ([`FaultUniverse::stems_only`]).
+    pub fn parse_name(name: &str) -> Result<Self, String> {
+        match name {
+            "full" => Ok(FaultUniverse::default()),
+            "stems" => Ok(FaultUniverse::stems_only()),
+            other => Err(format!("unknown universe `{other}` (full|stems)")),
+        }
+    }
+
     /// Enumerates fault sites for `circuit` under these options.
     pub fn sites(&self, circuit: &Circuit) -> Vec<FaultSite> {
         let mut sites = Vec::new();

@@ -1,0 +1,200 @@
+//! The HTTP client of the job API — what `gdf submit`/`status`/`fetch`
+//! speak, and what the determinism tests drive the server with.
+//!
+//! Thin by design: every call is one connection, one request, one parsed
+//! response (see `crate::http`). Errors split into transport
+//! ([`ServeError::Http`]) and API ([`ServeError::Api`], carrying the
+//! server's status code and `{"error": …}` message).
+
+use crate::http::{client_request, client_stream};
+use crate::job::JobId;
+use crate::ServeError;
+use gdf_core::json::{Json, ParseLimits};
+use gdf_core::session::ProgressEvent;
+use std::time::{Duration, Instant};
+
+/// A handle on one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`) with a 30 s per-request timeout.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Replaces the per-request timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, Vec<u8>), ServeError> {
+        let response = client_request(&self.addr, method, path, body, self.timeout)
+            .map_err(ServeError::Http)?;
+        Ok((response.status, response.body))
+    }
+
+    /// Parses a response body as JSON, mapping non-2xx to
+    /// [`ServeError::Api`] with the server's error message.
+    fn json(&self, method: &str, path: &str, body: Option<&str>) -> Result<Json, ServeError> {
+        let (status, bytes) = self.exchange(method, path, body)?;
+        let text = String::from_utf8_lossy(&bytes);
+        let parsed = Json::parse_with_limits(&text, ParseLimits::default()).ok();
+        if !(200..300).contains(&status) {
+            let message = parsed
+                .as_ref()
+                .and_then(|j| j.get("error"))
+                .and_then(Json::as_str)
+                .unwrap_or(text.trim())
+                .to_string();
+            return Err(ServeError::Api { status, message });
+        }
+        parsed.ok_or_else(|| ServeError::Protocol(format!("non-JSON response to {method} {path}")))
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&self) -> Result<Json, ServeError> {
+        self.json("GET", "/healthz", None)
+    }
+
+    /// `POST /jobs` with a body built by
+    /// [`crate::server::submission_for_suite`] /
+    /// [`crate::server::submission_for_bench`]; returns the new job id.
+    pub fn submit(&self, submission: &Json) -> Result<JobId, ServeError> {
+        let body = submission.to_string();
+        let response = self.json("POST", "/jobs", Some(&body))?;
+        response
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServeError::Protocol("submit response without an id".into()))
+    }
+
+    /// `GET /jobs/<id>`.
+    pub fn status(&self, id: JobId) -> Result<Json, ServeError> {
+        self.json("GET", &format!("/jobs/{id}"), None)
+    }
+
+    /// `GET /jobs` — all job summaries.
+    pub fn list(&self) -> Result<Json, ServeError> {
+        self.json("GET", "/jobs", None)
+    }
+
+    /// `DELETE /jobs/<id>` — cancel an active job / remove a finished
+    /// one; returns the action taken.
+    pub fn delete(&self, id: JobId) -> Result<Json, ServeError> {
+        self.json("DELETE", &format!("/jobs/{id}"), None)
+    }
+
+    /// `GET /jobs/<id>/artifact` — the canonical artifact bytes,
+    /// verbatim (byte-identical across same-spec submissions).
+    pub fn artifact(&self, id: JobId) -> Result<String, ServeError> {
+        self.fetch_document(&format!("/jobs/{id}/artifact"))
+    }
+
+    /// `GET /jobs/<id>/patterns` — the exported pattern set, verbatim.
+    pub fn patterns(&self, id: JobId) -> Result<String, ServeError> {
+        self.fetch_document(&format!("/jobs/{id}/patterns"))
+    }
+
+    fn fetch_document(&self, path: &str) -> Result<String, ServeError> {
+        let (status, bytes) = self.exchange("GET", path, None)?;
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if !(200..300).contains(&status) {
+            let message = Json::parse(&text)
+                .ok()
+                .and_then(|j| j.get("error").and_then(Json::as_str).map(str::to_string))
+                .unwrap_or(text);
+            return Err(ServeError::Api { status, message });
+        }
+        Ok(text)
+    }
+
+    /// `GET /jobs/<id>/events` — streams decoded progress events to
+    /// `on_event` (return `false` to stop following). Lines that fail to
+    /// decode (a future server speaking a newer dialect) are skipped.
+    pub fn events(
+        &self,
+        id: JobId,
+        mut on_event: impl FnMut(ProgressEvent) -> bool,
+    ) -> Result<(), ServeError> {
+        let mut pending = String::new();
+        let (status, error_body) = client_stream(
+            &self.addr,
+            &format!("/jobs/{id}/events"),
+            self.timeout,
+            |chunk| {
+                pending.push_str(&String::from_utf8_lossy(chunk));
+                while let Some(newline) = pending.find('\n') {
+                    let line: String = pending.drain(..=newline).collect();
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if let Ok(event) = Json::parse_with_limits(line, ParseLimits::network())
+                        .map_err(|_| ())
+                        .and_then(|j| ProgressEvent::decode(&j).map_err(|_| ()))
+                    {
+                        if !on_event(event) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            },
+        )
+        .map_err(ServeError::Http)?;
+        if !(200..300).contains(&status) {
+            let text = String::from_utf8_lossy(&error_body);
+            let message = Json::parse(text.trim())
+                .ok()
+                .and_then(|j| j.get("error").and_then(Json::as_str).map(str::to_string))
+                .unwrap_or_else(|| text.trim().to_string());
+            return Err(ServeError::Api { status, message });
+        }
+        Ok(())
+    }
+
+    /// Polls `GET /jobs/<id>` until the job reaches a terminal state (or
+    /// `deadline` passes — [`ServeError::Protocol`] then). Returns the
+    /// final status document.
+    pub fn wait(
+        &self,
+        id: JobId,
+        poll: Duration,
+        deadline: Option<Duration>,
+    ) -> Result<Json, ServeError> {
+        let started = Instant::now();
+        loop {
+            let status = self.status(id)?;
+            let state = status.get("state").and_then(Json::as_str).unwrap_or("");
+            if matches!(state, "done" | "failed" | "cancelled") {
+                return Ok(status);
+            }
+            if let Some(deadline) = deadline {
+                if started.elapsed() > deadline {
+                    return Err(ServeError::Protocol(format!(
+                        "job {id} still `{state}` after {deadline:?}"
+                    )));
+                }
+            }
+            std::thread::sleep(poll);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-job progress fan-out: an append-only event log with blocking
+//! subscribers.
+//!
+//! The worker running a job appends [`ProgressEvent`]s as the engine
+//! streams them; any number of `/events` subscribers replay the log from
+//! the beginning and then block for more, so a subscriber that connects
+//! mid-run still sees the full history of the current server process.
+//! Closing the log (job reached a terminal state, or the server is
+//! stopping) wakes every subscriber so streams terminate cleanly.
+
+use gdf_core::session::ProgressEvent;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct LogState {
+    events: Vec<ProgressEvent>,
+    /// Absolute position of `events[0]` — nonzero once the head of a
+    /// finished job's log has been compacted away.
+    base: usize,
+    closed: bool,
+}
+
+/// See the [module docs](self).
+pub struct EventLog {
+    state: Mutex<LogState>,
+    grew: Condvar,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventLog {
+    /// An empty, open log.
+    pub fn new() -> Self {
+        EventLog {
+            state: Mutex::new(LogState {
+                events: Vec::new(),
+                base: 0,
+                closed: false,
+            }),
+            grew: Condvar::new(),
+        }
+    }
+
+    /// Appends one event and wakes subscribers. Ignored after close.
+    pub fn push(&self, event: ProgressEvent) {
+        let mut state = self.state.lock().expect("event log poisoned");
+        if state.closed {
+            return;
+        }
+        state.events.push(event);
+        drop(state);
+        self.grew.notify_all();
+    }
+
+    /// Marks the log complete and wakes subscribers.
+    pub fn close(&self) {
+        self.state.lock().expect("event log poisoned").closed = true;
+        self.grew.notify_all();
+    }
+
+    /// `true` once closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("event log poisoned").closed
+    }
+
+    /// Number of events logged so far (compacted ones included).
+    pub fn len(&self) -> usize {
+        let state = self.state.lock().expect("event log poisoned");
+        state.base + state.events.len()
+    }
+
+    /// `true` while nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all but the last `keep_last` events (the head of the
+    /// replay), so finished jobs do not pin their whole per-fault
+    /// history in memory for the server's lifetime. Subscribers whose
+    /// cursor points into the dropped head skip forward to the retained
+    /// tail (see [`EventLog::wait_from`]).
+    pub fn compact(&self, keep_last: usize) {
+        let mut state = self.state.lock().expect("event log poisoned");
+        if state.events.len() > keep_last {
+            let dropped = state.events.len() - keep_last;
+            state.events.drain(..dropped);
+            state.base += dropped;
+        }
+    }
+
+    /// Returns the events past the absolute position `from` (clone), the
+    /// caller's next cursor, and the closed flag — blocking up to
+    /// `timeout` when the log has no news yet. An empty batch with
+    /// `closed == true` means the stream is over; an empty batch with
+    /// `closed == false` means the wait timed out. A `from` inside a
+    /// compacted head resumes at the oldest retained event.
+    pub fn wait_from(&self, from: usize, timeout: Duration) -> (Vec<ProgressEvent>, usize, bool) {
+        let mut state = self.state.lock().expect("event log poisoned");
+        if state.base + state.events.len() <= from && !state.closed {
+            let (next, _timeout) = self
+                .grew
+                .wait_timeout(state, timeout)
+                .expect("event log poisoned");
+            state = next;
+        }
+        let start = from.max(state.base) - state.base;
+        let batch = state.events.get(start..).unwrap_or_default().to_vec();
+        (batch, state.base + state.events.len(), state.closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn progress(decided: usize) -> ProgressEvent {
+        ProgressEvent::Progress { decided, total: 10 }
+    }
+
+    #[test]
+    fn replays_then_blocks_then_closes() {
+        let log = Arc::new(EventLog::new());
+        log.push(progress(1));
+        log.push(progress(2));
+        let (batch, next, closed) = log.wait_from(0, Duration::from_millis(1));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(next, 2);
+        assert!(!closed);
+
+        // A subscriber waiting past the end is woken by a push...
+        let log2 = Arc::clone(&log);
+        let waiter = std::thread::spawn(move || log2.wait_from(2, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        log.push(progress(3));
+        let (batch, next, closed) = waiter.join().unwrap();
+        assert_eq!(batch, vec![progress(3)]);
+        assert_eq!(next, 3);
+        assert!(!closed);
+
+        // ...and by a close.
+        let log3 = Arc::clone(&log);
+        let waiter = std::thread::spawn(move || log3.wait_from(3, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        log.close();
+        let (batch, _next, closed) = waiter.join().unwrap();
+        assert!(batch.is_empty());
+        assert!(closed);
+        // Pushes after close are dropped.
+        log.push(progress(9));
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn compaction_keeps_the_tail_and_skips_stale_cursors() {
+        let log = EventLog::new();
+        for i in 0..10 {
+            log.push(progress(i));
+        }
+        log.close();
+        log.compact(3);
+        assert_eq!(log.len(), 10, "absolute length is preserved");
+        // A fresh subscriber (cursor 0) lands on the retained tail.
+        let (batch, next, closed) = log.wait_from(0, Duration::from_millis(1));
+        assert_eq!(batch, vec![progress(7), progress(8), progress(9)]);
+        assert_eq!(next, 10);
+        assert!(closed);
+        // A cursor already past the tail sees a clean end of stream.
+        let (batch, next, closed) = log.wait_from(10, Duration::from_millis(1));
+        assert!(batch.is_empty());
+        assert_eq!(next, 10);
+        assert!(closed);
+        // Compacting to a larger size is a no-op.
+        log.compact(100);
+        assert_eq!(log.len(), 10);
+    }
+}

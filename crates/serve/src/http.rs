@@ -1,0 +1,584 @@
+//! Hand-rolled HTTP/1.1: request parsing, response writing, chunked
+//! transfer encoding, and the client-side request/stream helpers.
+//!
+//! The build environment has no crates.io access, so — exactly like
+//! `gdf_core::json` replaces serde — this module replaces hyper with the
+//! small, strictly-bounded subset of HTTP/1.1 the job API needs:
+//!
+//! * requests with an optional `Content-Length` body (chunked *request*
+//!   bodies are rejected as malformed — `400` from the server);
+//! * responses with a `Content-Length` body, or `Transfer-Encoding:
+//!   chunked` for the streaming `/events` endpoint;
+//! * `Connection: close` on every exchange — one request per connection
+//!   keeps the server loop trivial and is plenty for a job API whose
+//!   requests are rare and heavy, not chatty.
+//!
+//! All parsing is bounded (line length, header count, body size) so a
+//! hostile peer can neither balloon memory nor wedge a handler thread —
+//! the request body is additionally parsed with
+//! [`gdf_core::json::ParseLimits::network`] by the router.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Longest accepted request/status/header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 16 << 10;
+/// Most headers accepted per message.
+pub const MAX_HEADERS: usize = 64;
+/// Default request-body cap (the router's JSON limits are tighter still).
+pub const DEFAULT_BODY_LIMIT: usize = 8 << 20;
+
+/// Transport / syntax errors of the HTTP layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Socket trouble.
+    Io(String),
+    /// The peer sent something that is not bounded, well-formed HTTP.
+    Malformed(String),
+    /// A line, header block or body exceeded its bound.
+    TooLarge(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(m) => write!(f, "http i/o: {m}"),
+            HttpError::Malformed(m) => write!(f, "malformed http: {m}"),
+            HttpError::TooLarge(m) => write!(f, "http message too large: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn io_err(e: std::io::Error) -> HttpError {
+    HttpError::Io(e.to_string())
+}
+
+/// One parsed request: method, path, lower-cased headers, raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The request target, query string included, e.g. `/jobs/7/events`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased at parse time.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one `\n`-terminated line without the terminator (CR stripped),
+/// erroring past `max` bytes instead of buffering without bound.
+fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf().map_err(io_err)?;
+        if buf.is_empty() {
+            // EOF: a partial line is malformed, a clean EOF is None.
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(HttpError::Malformed("EOF inside a line".into()))
+            };
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            break;
+        }
+        line.extend_from_slice(buf);
+        let n = buf.len();
+        reader.consume(n);
+        if line.len() > max {
+            return Err(HttpError::TooLarge(format!("line exceeds {max} bytes")));
+        }
+    }
+    if line.len() > max {
+        return Err(HttpError::TooLarge(format!("line exceeds {max} bytes")));
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 bytes in a header line".into()))
+}
+
+/// Parses the header block (after the start line) into lower-cased pairs.
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_bounded(reader, MAX_LINE_BYTES)?
+            .ok_or_else(|| HttpError::Malformed("EOF before the end of headers".into()))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!(
+                "header without `:`: `{line}`"
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+/// Reads one request from the connection. `Ok(None)` means the peer
+/// closed without sending anything (a clean keep-alive close).
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    body_limit: usize,
+) -> Result<Option<Request>, HttpError> {
+    let Some(start) = read_line_bounded(reader, MAX_LINE_BYTES)? else {
+        return Ok(None);
+    };
+    let mut parts = start.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(format!("bad request line `{start}`")));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad request line `{start}`")));
+    }
+    let headers = read_headers(reader)?;
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(te) = request.header("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::Malformed(
+                "chunked request bodies are not accepted".into(),
+            ));
+        }
+    }
+    if let Some(length) = request.header("content-length") {
+        let length: usize = length
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length `{length}`")))?;
+        if length > body_limit {
+            return Err(HttpError::TooLarge(format!(
+                "body of {length} bytes exceeds the {body_limit}-byte limit"
+            )));
+        }
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body).map_err(io_err)?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// The reason phrase for the status codes this API uses.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A complete (non-streaming) response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response (compact encoding plus a trailing newline).
+    pub fn json(status: u16, value: &gdf_core::json::Json) -> Self {
+        let mut body = value.to_string().into_bytes();
+        body.push(b'\n');
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A pre-encoded JSON document (used for artifacts, which are
+    /// encoded once and served verbatim so bytes stay comparable).
+    pub fn json_bytes(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, message: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: message.into().into_bytes(),
+        }
+    }
+
+    /// An error response in the API's standard `{"error": …}` shape.
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        Self::json(
+            status,
+            &gdf_core::json::Json::Obj(vec![(
+                "error".into(),
+                gdf_core::json::Json::Str(message.into()),
+            )]),
+        )
+    }
+
+    /// Writes the full response with `Content-Length` and
+    /// `Connection: close`.
+    pub fn write(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Writer half of a `Transfer-Encoding: chunked` response — the
+/// transport of `GET /jobs/<id>/events`. Every [`ChunkedWriter::chunk`]
+/// is flushed immediately so subscribers see events as they happen.
+pub struct ChunkedWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the status line and headers, switching the connection to
+    /// chunked streaming.
+    pub fn start(mut inner: W, status: u16, content_type: &str) -> std::io::Result<Self> {
+        write!(
+            inner,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            status_reason(status),
+            content_type
+        )?;
+        inner.flush()?;
+        Ok(ChunkedWriter { inner })
+    }
+
+    /// Sends one chunk (empty data is skipped — an empty chunk would
+    /// terminate the stream).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.inner, "{:x}\r\n", data.len())?;
+        self.inner.write_all(data)?;
+        self.inner.write_all(b"\r\n")?;
+        self.inner.flush()
+    }
+
+    /// Terminates the stream with the zero-length chunk.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+/// A parsed response status + headers + complete body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Lower-cased header pairs.
+    pub headers: Vec<(String, String)>,
+    /// The complete (de-chunked if necessary) body.
+    pub body: Vec<u8>,
+}
+
+fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, HttpError> {
+    let mut last = HttpError::Io(format!("`{addr}` did not resolve"));
+    for resolved in addr
+        .to_socket_addrs()
+        .map_err(|e| HttpError::Io(format!("resolve `{addr}`: {e}")))?
+    {
+        match TcpStream::connect_timeout(&resolved, timeout) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(timeout)).map_err(io_err)?;
+                stream.set_write_timeout(Some(timeout)).map_err(io_err)?;
+                return Ok(stream);
+            }
+            Err(e) => last = HttpError::Io(format!("connect {resolved}: {e}")),
+        }
+    }
+    Err(last)
+}
+
+fn write_request_head(
+    stream: &mut impl Write,
+    method: &str,
+    path: &str,
+    addr: &str,
+    body_len: usize,
+) -> Result<(), HttpError> {
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nAccept: application/json\r\n\
+         Content-Length: {body_len}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(io_err)
+}
+
+fn read_status_line<R: BufRead>(reader: &mut R) -> Result<u16, HttpError> {
+    let line = read_line_bounded(reader, MAX_LINE_BYTES)?
+        .ok_or_else(|| HttpError::Malformed("empty response".into()))?;
+    let mut parts = line.split(' ');
+    match (parts.next(), parts.next()) {
+        (Some(version), Some(code)) if version.starts_with("HTTP/1.") => code
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad status line `{line}`"))),
+        _ => Err(HttpError::Malformed(format!("bad status line `{line}`"))),
+    }
+}
+
+/// Reads one chunk-size line + payload; `Ok(None)` on the final chunk.
+fn read_chunk<R: BufRead>(reader: &mut R, limit: usize) -> Result<Option<Vec<u8>>, HttpError> {
+    let line = read_line_bounded(reader, MAX_LINE_BYTES)?
+        .ok_or_else(|| HttpError::Malformed("EOF inside chunked body".into()))?;
+    let size_text = line.split(';').next().unwrap_or("").trim();
+    let size = usize::from_str_radix(size_text, 16)
+        .map_err(|_| HttpError::Malformed(format!("bad chunk size `{line}`")))?;
+    if size > limit {
+        return Err(HttpError::TooLarge(format!("chunk of {size} bytes")));
+    }
+    let mut data = vec![0u8; size + 2]; // payload + CRLF
+    reader
+        .read_exact(&mut data)
+        .map_err(|e| HttpError::Io(format!("chunk body: {e}")))?;
+    if &data[size..] != b"\r\n" {
+        return Err(HttpError::Malformed("chunk not CRLF-terminated".into()));
+    }
+    data.truncate(size);
+    if size == 0 {
+        return Ok(None);
+    }
+    Ok(Some(data))
+}
+
+/// One complete client exchange: connect, send, read the whole response
+/// (following chunked encoding if the server used it).
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<ClientResponse, HttpError> {
+    let stream = connect(addr, timeout)?;
+    let mut writer = stream.try_clone().map_err(io_err)?;
+    let body_bytes = body.map(str::as_bytes).unwrap_or_default();
+    write_request_head(&mut writer, method, path, addr, body_bytes.len())?;
+    writer.write_all(body_bytes).map_err(io_err)?;
+    writer.flush().map_err(io_err)?;
+
+    let mut reader = BufReader::new(stream);
+    let status = read_status_line(&mut reader)?;
+    let headers = read_headers(&mut reader)?;
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let mut body = Vec::new();
+    if chunked {
+        while let Some(chunk) = read_chunk(&mut reader, DEFAULT_BODY_LIMIT)? {
+            if body.len() + chunk.len() > DEFAULT_BODY_LIMIT {
+                return Err(HttpError::TooLarge("chunked response too large".into()));
+            }
+            body.extend_from_slice(&chunk);
+        }
+    } else if let Some((_, length)) = headers.iter().find(|(k, _)| k == "content-length") {
+        let length: usize = length
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length `{length}`")))?;
+        if length > DEFAULT_BODY_LIMIT {
+            return Err(HttpError::TooLarge(format!("response of {length} bytes")));
+        }
+        body = vec![0u8; length];
+        reader.read_exact(&mut body).map_err(io_err)?;
+    } else {
+        reader
+            .take(DEFAULT_BODY_LIMIT as u64 + 1)
+            .read_to_end(&mut body)
+            .map_err(io_err)?;
+        if body.len() > DEFAULT_BODY_LIMIT {
+            return Err(HttpError::TooLarge("response too large".into()));
+        }
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// A streaming GET: each decoded chunk is handed to `on_chunk` as it
+/// arrives; returning `false` stops reading early.
+///
+/// Returns the status plus, for a *non-chunked* response (the server's
+/// error replies come with `Content-Length`), the complete body — which
+/// is then **not** passed through `on_chunk`, so stream consumers never
+/// mistake an error document for stream data.
+///
+/// `idle_timeout` bounds how long a *silent* stream is awaited — each
+/// received chunk resets the clock.
+pub fn client_stream(
+    addr: &str,
+    path: &str,
+    idle_timeout: Duration,
+    mut on_chunk: impl FnMut(&[u8]) -> bool,
+) -> Result<(u16, Vec<u8>), HttpError> {
+    let stream = connect(addr, idle_timeout)?;
+    let mut writer = stream.try_clone().map_err(io_err)?;
+    write_request_head(&mut writer, "GET", path, addr, 0)?;
+    writer.flush().map_err(io_err)?;
+
+    let mut reader = BufReader::new(stream);
+    let status = read_status_line(&mut reader)?;
+    let headers = read_headers(&mut reader)?;
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    if !chunked {
+        let mut body = Vec::new();
+        reader
+            .take(DEFAULT_BODY_LIMIT as u64)
+            .read_to_end(&mut body)
+            .map_err(io_err)?;
+        return Ok((status, body));
+    }
+    while let Some(chunk) = read_chunk(&mut reader, DEFAULT_BODY_LIMIT)? {
+        if !on_chunk(&chunk) {
+            break;
+        }
+    }
+    Ok((status, Vec::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(text.as_bytes()), DEFAULT_BODY_LIMIT)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r = parse("POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/jobs");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn clean_close_is_none_and_garbage_errors() {
+        assert!(parse("").unwrap().is_none());
+        assert!(parse("GETOUT\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nbad header\r\n\r\n").is_err());
+        assert!(parse("GET /x SPDY/9\r\n\r\n").is_err());
+        // Truncated body: Content-Length promises more than arrives.
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nab").is_err());
+    }
+
+    #[test]
+    fn oversized_inputs_are_bounded() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 10));
+        assert!(matches!(parse(&long_line), Err(HttpError::TooLarge(_))));
+
+        let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 2) {
+            many_headers.push_str(&format!("h{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        assert!(matches!(parse(&many_headers), Err(HttpError::TooLarge(_))));
+
+        let big_body = "POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(big_body.as_bytes()), 1024),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_request_bodies_are_refused() {
+        assert!(parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_and_chunk_writers_emit_valid_http() {
+        let mut out = Vec::new();
+        Response::text(200, "hello").write(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5"));
+        assert!(text.ends_with("hello"));
+
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::start(&mut out, 200, "application/json").unwrap();
+        w.chunk(b"{\"a\":1}\n").unwrap();
+        w.chunk(b"").unwrap(); // skipped, must not terminate the stream
+        w.chunk(b"xy").unwrap();
+        w.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
+        assert!(text.ends_with("2\r\nxy\r\n0\r\n\r\n"));
+    }
+
+    #[test]
+    fn chunk_reader_round_trips() {
+        let wire = b"3\r\nabc\r\n1\r\nz\r\n0\r\n\r\n";
+        let mut reader = Cursor::new(&wire[..]);
+        assert_eq!(read_chunk(&mut reader, 1024).unwrap().unwrap(), b"abc");
+        assert_eq!(read_chunk(&mut reader, 1024).unwrap().unwrap(), b"z");
+        assert!(read_chunk(&mut reader, 1024).unwrap().is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! The bounded, sharded job queue feeding the worker pool.
+//!
+//! One shard per worker: a job's home shard is `id % shards`, so a
+//! stream of submissions spreads across the pool without a single hot
+//! mutex, and each worker waits on *its own* shard's condvar. Capacity
+//! is bounded per shard; a full home shard spills to the next one, and
+//! only when every shard is full does [`ShardedQueue::push`] refuse —
+//! the server surfaces that as `503 Service Unavailable` instead of
+//! buffering without bound.
+//!
+//! Workers [`ShardedQueue::pop`] their own shard first and *steal* from
+//! the others when idle, so one deep shard cannot strand work while
+//! other workers sit idle. Waits are short-timeout so shutdown flags are
+//! observed promptly.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Returned by [`ShardedQueue::push`] when every shard is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+struct Shard {
+    jobs: Mutex<VecDeque<u64>>,
+    available: Condvar,
+}
+
+/// See the [module docs](self).
+pub struct ShardedQueue {
+    shards: Vec<Shard>,
+    capacity_per_shard: usize,
+    closed: AtomicBool,
+}
+
+impl ShardedQueue {
+    /// `shards` parallel lanes (clamped to ≥ 1) of `capacity_per_shard`
+    /// slots each (clamped to ≥ 1).
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        ShardedQueue {
+            shards: (0..shards.max(1))
+                .map(|_| Shard {
+                    jobs: Mutex::new(VecDeque::new()),
+                    available: Condvar::new(),
+                })
+                .collect(),
+            capacity_per_shard: capacity_per_shard.max(1),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of shards (== worker-pool size).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Jobs currently queued across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.jobs.lock().expect("queue poisoned").len())
+            .sum()
+    }
+
+    /// `true` when no job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues on the job's home shard, spilling forward to the first
+    /// shard with room; [`QueueFull`] when every shard is at capacity.
+    pub fn push(&self, id: u64) -> Result<(), QueueFull> {
+        let n = self.shards.len();
+        let home = (id % n as u64) as usize;
+        for probe in 0..n {
+            let shard = &self.shards[(home + probe) % n];
+            let mut jobs = shard.jobs.lock().expect("queue poisoned");
+            if jobs.len() < self.capacity_per_shard {
+                jobs.push_back(id);
+                drop(jobs);
+                shard.available.notify_one();
+                return Ok(());
+            }
+        }
+        Err(QueueFull)
+    }
+
+    fn try_pop(&self, worker: usize) -> Option<u64> {
+        let n = self.shards.len();
+        for probe in 0..n {
+            let shard = &self.shards[(worker + probe) % n];
+            if let Some(id) = shard.jobs.lock().expect("queue poisoned").pop_front() {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Dequeues for `worker`: its own shard first, then work-stealing
+    /// from the others; blocks on the worker's shard for at most
+    /// `timeout` when everything is empty. `None` on timeout or when the
+    /// queue is closed and drained.
+    pub fn pop(&self, worker: usize, timeout: Duration) -> Option<u64> {
+        if let Some(id) = self.try_pop(worker) {
+            return Some(id);
+        }
+        if self.closed.load(Ordering::Acquire) {
+            return None;
+        }
+        let shard = &self.shards[worker % self.shards.len()];
+        let mut jobs = shard.jobs.lock().expect("queue poisoned");
+        // Re-check under the lock: a push (and its notify) may have
+        // landed between the lockless scan above and here; waiting first
+        // would consume that wakeup and sleep the full timeout.
+        if let Some(id) = jobs.pop_front() {
+            return Some(id);
+        }
+        let (mut jobs, _timeout) = shard
+            .available
+            .wait_timeout(jobs, timeout)
+            .expect("queue poisoned");
+        jobs.pop_front().or_else(|| {
+            drop(jobs);
+            self.try_pop(worker)
+        })
+    }
+
+    /// Removes a queued job (used when a queued job is cancelled before
+    /// a worker picks it up). `true` if it was found and removed.
+    pub fn remove(&self, id: u64) -> bool {
+        for shard in &self.shards {
+            let mut jobs = shard.jobs.lock().expect("queue poisoned");
+            if let Some(pos) = jobs.iter().position(|&j| j == id) {
+                jobs.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Marks the queue closed and wakes every waiting worker.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        for shard in &self.shards {
+            shard.available.notify_all();
+        }
+    }
+
+    /// `true` once [`ShardedQueue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_and_fifo_pop() {
+        let q = ShardedQueue::new(2, 2);
+        for id in 0..4 {
+            q.push(id).unwrap();
+        }
+        assert_eq!(q.push(99), Err(QueueFull));
+        assert_eq!(q.len(), 4);
+        // Worker 0 drains its own shard (even ids) before stealing.
+        assert_eq!(q.pop(0, Duration::from_millis(1)), Some(0));
+        assert_eq!(q.pop(0, Duration::from_millis(1)), Some(2));
+        let stolen: Vec<_> = (0..2)
+            .map(|_| q.pop(0, Duration::from_millis(1)).unwrap())
+            .collect();
+        assert_eq!(stolen, vec![1, 3]);
+        assert_eq!(q.pop(0, Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn full_home_shard_spills_to_a_free_one() {
+        let q = ShardedQueue::new(2, 1);
+        q.push(0).unwrap(); // home shard 0
+        q.push(2).unwrap(); // home shard 0 full -> spills to shard 1
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(1, Duration::from_millis(1)), Some(2));
+    }
+
+    #[test]
+    fn remove_and_close() {
+        let q = ShardedQueue::new(3, 4);
+        q.push(7).unwrap();
+        assert!(q.remove(7));
+        assert!(!q.remove(7));
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.pop(0, Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn wakes_a_waiting_worker() {
+        let q = Arc::new(ShardedQueue::new(1, 8));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.pop(0, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(42).unwrap();
+        assert_eq!(handle.join().unwrap(), Some(42));
+    }
+}

@@ -1,0 +1,1112 @@
+//! The job server: TCP acceptor, router, worker pool, crash recovery.
+//!
+//! # API
+//!
+//! | Method & path            | Meaning                                              |
+//! |--------------------------|------------------------------------------------------|
+//! | `GET /healthz`           | liveness + pool counters                             |
+//! | `POST /jobs`             | submit (suite ref or `.bench` text + config) → `201` |
+//! | `GET /jobs`              | list job summaries                                   |
+//! | `GET /jobs/<id>`         | status + progress + final report summary             |
+//! | `GET /jobs/<id>/events`  | chunked NDJSON stream of progress events (full replay while the job runs; finished jobs retain the last [`TERMINAL_EVENT_TAIL`] events) |
+//! | `GET /jobs/<id>/artifact`| the completed run artifact (canonical bytes)         |
+//! | `GET /jobs/<id>/patterns`| the completed run's pattern set                      |
+//! | `DELETE /jobs/<id>`      | cancel an active job / remove a terminal one         |
+//!
+//! A full queue answers `503`; malformed input `400`; over-limit input
+//! `413`; a missing job `404`; an artifact requested before completion
+//! `409`.
+//!
+//! # Determinism over the wire
+//!
+//! Jobs run through the same deterministic engine the CLI drives, so two
+//! submissions with equal specs produce byte-identical artifacts no
+//! matter how many clients, workers, or server restarts happen in
+//! between. `GET /jobs/<id>/artifact` serves
+//! [`RunArtifact::canonical_encode`] (wall-clock zeroed), the byte
+//! -comparable form.
+//!
+//! # Crash recovery
+//!
+//! Every state transition persists `job.json`; the
+//! [`Checkpointer`] persists `run.json` while a job runs. On start the
+//! server replays the directory: terminal jobs are listed again,
+//! queued/running jobs re-enter the queue and
+//! [`gdf_core::engine::AtpgBuilder::resume_from`] continues them from
+//! the checkpoint — byte-identical to never having been interrupted.
+//! [`JobServer::kill`] stops the process's threads at the next fault
+//! boundary *without* updating any disk state, simulating `kill -9` for
+//! the restart tests.
+
+use crate::http::{read_request, ChunkedWriter, HttpError, Request, Response};
+use crate::job::{
+    decode_record, encode_record, write_atomic, Job, JobId, JobSpec, JobState, ReportSummary,
+};
+use crate::queue::ShardedQueue;
+use crate::ServeError;
+use gdf_core::artifact::{encode_config, CircuitSource, PatternSet, RunArtifact};
+use gdf_core::engine::{Atpg, AtpgBuilder, AtpgError, Backend, Limits, Observer, RunConfig};
+use gdf_core::json::{Json, ParseLimits};
+use gdf_core::session::{Checkpointer, EventObserver, ProgressEvent};
+use gdf_netlist::FaultUniverse;
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long an idle worker blocks on its shard before re-checking
+/// shutdown and the other shards.
+const WORKER_POLL: Duration = Duration::from_millis(50);
+/// How long an `/events` subscriber blocks per wait round.
+const EVENT_POLL: Duration = Duration::from_secs(2);
+/// Concurrent connection-handler threads accepted before new peers get
+/// an immediate `503` — the transport-level counterpart of the parser's
+/// line/header/body bounds (one OS thread per connection must not be an
+/// unbounded resource a hostile peer controls).
+const MAX_CONNECTIONS: usize = 256;
+/// Events a *finished* job keeps in memory for `/events` replay; the
+/// full history lives only while the job runs (a long-lived server must
+/// not pin every completed job's per-fault log forever — the artifact
+/// is the durable record).
+const TERMINAL_EVENT_TAIL: usize = 256;
+
+/// Server construction parameters; see [`JobServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:4817` (port `0` picks a free one).
+    pub addr: String,
+    /// The persistent job directory.
+    pub dir: PathBuf,
+    /// Worker threads (= queue shards), clamped to ≥ 1.
+    pub workers: usize,
+    /// Queued jobs accepted per shard before `503`, clamped to ≥ 1.
+    pub queue_capacity: usize,
+    /// Default checkpoint cadence for jobs that do not specify one.
+    pub checkpoint_every: usize,
+    /// Request-body byte limit.
+    pub body_limit: usize,
+}
+
+impl ServeConfig {
+    /// Defaults: 4 workers, 64 queued jobs per shard, checkpoint every
+    /// 16 outcomes, 8 MiB bodies.
+    pub fn new(addr: impl Into<String>, dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            addr: addr.into(),
+            dir: dir.into(),
+            workers: 4,
+            queue_capacity: 64,
+            checkpoint_every: 16,
+            body_limit: crate::http::DEFAULT_BODY_LIMIT,
+        }
+    }
+
+    /// Replaces the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Replaces the per-shard queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Replaces the default checkpoint cadence.
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every.max(1);
+        self
+    }
+}
+
+struct ServerState {
+    dir: PathBuf,
+    jobs: Mutex<BTreeMap<JobId, Arc<Job>>>,
+    next_id: AtomicU64,
+    queue: ShardedQueue,
+    /// Recovered in-flight jobs that did not fit the bounded queue at
+    /// startup; idle workers drain this into the queue as slots free up
+    /// (submissions never land here — a full queue answers `503`).
+    backlog: Mutex<std::collections::VecDeque<JobId>>,
+    default_checkpoint_every: usize,
+    body_limit: usize,
+    stopping: AtomicBool,
+    connections: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl ServerState {
+    fn job(&self, id: JobId) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("job store poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    fn watermark_path(dir: &std::path::Path) -> PathBuf {
+        dir.join("next-id")
+    }
+
+    /// Persists the id high-water mark so job ids are never reused, even
+    /// after the highest-id job's directory is deleted and the server
+    /// restarts (a stale client id must 404, not resolve to a stranger's
+    /// job). Called with the job-store lock held, so writes are ordered.
+    fn persist_watermark(&self) {
+        let value = self.next_id.load(Ordering::Acquire);
+        if let Err(e) = write_atomic(&Self::watermark_path(&self.dir), &format!("{value}\n")) {
+            eprintln!("gdf-serve: id watermark write failed: {e}");
+        }
+    }
+
+    /// Moves backlogged recovery jobs into the queue while it has room.
+    fn drain_backlog(&self) {
+        let mut backlog = self.backlog.lock().expect("backlog poisoned");
+        while let Some(&id) = backlog.front() {
+            if self.queue.push(id).is_err() {
+                return;
+            }
+            backlog.pop_front();
+        }
+    }
+
+    /// Persists the job record; I/O failure is reported, not fatal (the
+    /// in-memory state stays authoritative for this process).
+    fn persist(&self, job: &Job) {
+        let status = job.status();
+        let text = encode_record(job.id, &job.spec, &status);
+        let path = Job::record_path(&self.dir, job.id);
+        if let Err(e) = write_atomic(&path, &text) {
+            eprintln!("gdf-serve: job {} record write failed: {e}", job.id);
+        }
+    }
+
+    /// Moves a job to a terminal state, persists it, closes its stream.
+    fn finalize(
+        &self,
+        job: &Job,
+        state: JobState,
+        error: Option<String>,
+        report: Option<ReportSummary>,
+    ) {
+        {
+            let mut status = job.status.lock().expect("job status poisoned");
+            status.state = state;
+            status.error = error;
+            if report.is_some() {
+                status.report = report;
+            }
+        }
+        self.persist(job);
+        job.events.close();
+        job.events.compact(TERMINAL_EVENT_TAIL);
+    }
+}
+
+/// The running server; see [`JobServer::start`].
+pub struct JobServer {
+    state: Arc<ServerState>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl JobServer {
+    /// Binds, recovers persisted jobs from the directory, and spawns the
+    /// acceptor plus the worker pool.
+    pub fn start(config: ServeConfig) -> Result<JobServer, ServeError> {
+        std::fs::create_dir_all(&config.dir)
+            .map_err(|e| ServeError::Io(format!("{}: {e}", config.dir.display())))?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let workers = config.workers.max(1);
+        let state = Arc::new(ServerState {
+            dir: config.dir.clone(),
+            jobs: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            queue: ShardedQueue::new(workers, config.queue_capacity.max(1)),
+            backlog: Mutex::new(std::collections::VecDeque::new()),
+            default_checkpoint_every: config.checkpoint_every.max(1),
+            body_limit: config.body_limit,
+            stopping: AtomicBool::new(false),
+            connections: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+        });
+        recover_jobs(&state)?;
+
+        let mut worker_handles = Vec::new();
+        for index in 0..workers {
+            let state = Arc::clone(&state);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gdf-serve-worker-{index}"))
+                    .spawn(move || worker_loop(state, index))
+                    .map_err(|e| ServeError::Io(format!("spawn worker: {e}")))?,
+            );
+        }
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("gdf-serve-acceptor".into())
+            .spawn(move || accept_loop(acceptor_state, listener))
+            .map_err(|e| ServeError::Io(format!("spawn acceptor: {e}")))?;
+
+        Ok(JobServer {
+            state,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until the server is stopped (never, unless another thread
+    /// holds a handle that calls [`JobServer::shutdown`] — the CLI just
+    /// parks here until the process is killed).
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Stops accepting, stops every worker at its next fault boundary,
+    /// and joins the threads. **No disk state is updated** — in-flight
+    /// jobs keep their last checkpoint and their `running` record, so a
+    /// restarted server resumes them exactly as it would after a crash.
+    /// (Stopping *is* the crash path; there is nothing graceful a
+    /// shutdown could add without weakening the recovery guarantee.)
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// [`JobServer::shutdown`] under its test-facing name: simulates
+    /// `kill -9` at a fault boundary.
+    pub fn kill(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.state.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.state.queue.close();
+        for job in self.state.jobs.lock().expect("job store poisoned").values() {
+            job.cancel.store(true, Ordering::Release);
+        }
+        // Unblock accept() so the acceptor observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        for job in self.state.jobs.lock().expect("job store poisoned").values() {
+            job.events.close();
+        }
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------
+
+/// Replays `job-<n>/job.json` records: terminal jobs re-listed,
+/// queued/running jobs re-queued (their artifact checkpoint, if any,
+/// makes the re-run a resume).
+fn recover_jobs(state: &Arc<ServerState>) -> Result<(), ServeError> {
+    let mut recovered: Vec<(JobId, Arc<Job>)> = Vec::new();
+    let mut max_id = 0u64;
+    let entries = std::fs::read_dir(&state.dir)
+        .map_err(|e| ServeError::Io(format!("{}: {e}", state.dir.display())))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(id) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("job-"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let record_path = Job::record_path(&state.dir, id);
+        let text = match std::fs::read_to_string(&record_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("gdf-serve: skipping job {id}: {e}");
+                continue;
+            }
+        };
+        match decode_record(&text) {
+            Ok((record_id, spec, status)) if record_id == id => {
+                max_id = max_id.max(id);
+                let job = Arc::new(Job::new(id, spec));
+                *job.status.lock().expect("job status poisoned") = status;
+                recovered.push((id, job));
+            }
+            Ok((record_id, _, _)) => {
+                eprintln!("gdf-serve: skipping job {id}: record claims id {record_id}")
+            }
+            Err(e) => eprintln!("gdf-serve: skipping job {id}: {e}"),
+        }
+    }
+    let watermark = std::fs::read_to_string(ServerState::watermark_path(&state.dir))
+        .ok()
+        .and_then(|text| text.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    state
+        .next_id
+        .store((max_id + 1).max(watermark), Ordering::Release);
+    recovered.sort_by_key(|(id, _)| *id);
+    let mut jobs = state.jobs.lock().expect("job store poisoned");
+    for (id, job) in recovered {
+        let status = job.status();
+        if status.state.is_terminal() {
+            job.events.close();
+        } else {
+            // Interrupted mid-flight: back to the queue, in id order so
+            // recovery is deterministic. Overflow beyond the queue bound
+            // goes to the backlog, which idle workers drain.
+            job.status.lock().expect("job status poisoned").state = JobState::Queued;
+            if state.queue.push(id).is_err() {
+                state
+                    .backlog
+                    .lock()
+                    .expect("backlog poisoned")
+                    .push_back(id);
+            }
+        }
+        jobs.insert(id, job);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+/// Observer polling the job's cancel flag (set by `DELETE` and by
+/// server stop) between faults.
+struct CancelWatch {
+    job: Arc<Job>,
+}
+
+impl Observer for CancelWatch {
+    fn cancelled(&mut self) -> bool {
+        self.job.cancel.load(Ordering::Acquire)
+    }
+}
+
+fn worker_loop(state: Arc<ServerState>, index: usize) {
+    loop {
+        if state.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        state.drain_backlog();
+        let Some(id) = state.queue.pop(index, WORKER_POLL) else {
+            if state.queue.is_closed() {
+                return;
+            }
+            continue;
+        };
+        let Some(job) = state.job(id) else { continue };
+        run_job(&state, &job);
+    }
+}
+
+fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
+    if state.stopping.load(Ordering::Acquire) {
+        return;
+    }
+    if job.cancel.load(Ordering::Acquire) {
+        state.finalize(job, JobState::Cancelled, None, None);
+        return;
+    }
+    job.status.lock().expect("job status poisoned").state = JobState::Running;
+    state.persist(job);
+
+    let spec = &job.spec;
+    let circuit = match spec.source.resolve() {
+        Ok(circuit) => circuit,
+        Err(e) => {
+            state.finalize(job, JobState::Failed, Some(e.to_string()), None);
+            return;
+        }
+    };
+    let config = spec.config;
+    let artifact_path = Job::artifact_path(&state.dir, job.id);
+
+    let make_builder = || -> AtpgBuilder<'_> {
+        Atpg::builder(&circuit)
+            .backend(config.backend)
+            .model(config.model)
+            .universe(config.universe)
+            .limits(config.limits)
+            .seed(config.seed)
+            .parallelism(spec.parallelism)
+    };
+    let mut builder = make_builder();
+
+    // A pre-existing artifact under the same config is either a complete
+    // run (crash after the final save — adopt it) or a resumable
+    // checkpoint. Foreign-config leftovers are ignored and overwritten.
+    if artifact_path.exists() {
+        match RunArtifact::load(&artifact_path) {
+            Ok(artifact) if artifact.config() == config && !artifact.partial => {
+                let report = artifact.report().map(ReportSummary::from);
+                state.finalize(job, JobState::Done, None, report);
+                return;
+            }
+            Ok(artifact) if artifact.config() == config => {
+                match make_builder().resume_from(&artifact) {
+                    Ok(resumed) => builder = resumed,
+                    Err(e) => {
+                        eprintln!(
+                            "gdf-serve: job {} checkpoint unusable ({e}); restarting",
+                            job.id
+                        )
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let sink_job = Arc::clone(job);
+    builder = builder
+        .observer(EventObserver::new(move |event| {
+            {
+                let mut status = sink_job.status.lock().expect("job status poisoned");
+                match &event {
+                    ProgressEvent::Started { total_faults, .. } => status.total = *total_faults,
+                    ProgressEvent::Progress { decided, total } => {
+                        status.decided = *decided;
+                        status.total = *total;
+                    }
+                    _ => {}
+                }
+            }
+            sink_job.events.push(event);
+        }))
+        .observer(
+            Checkpointer::new(&artifact_path, spec.checkpoint_every)
+                .with_source(spec.source.clone()),
+        )
+        .observer(CancelWatch {
+            job: Arc::clone(job),
+        });
+
+    let run = builder.build().run();
+
+    if state.stopping.load(Ordering::Acquire) {
+        // Crash-style stop: the last checkpoint and the `running` record
+        // stay exactly as they are; the next server resumes from them.
+        return;
+    }
+    match run.stopped {
+        None => {
+            let artifact = RunArtifact::from_run(&circuit, &run, config, Some(spec.source.clone()));
+            match artifact.save(&artifact_path) {
+                Ok(()) => {
+                    let report = ReportSummary::from(&run.report);
+                    state.finalize(job, JobState::Done, None, Some(report));
+                }
+                Err(e) => {
+                    state.finalize(job, JobState::Failed, Some(e.to_string()), None);
+                }
+            }
+        }
+        Some(AtpgError::Cancelled) => state.finalize(job, JobState::Cancelled, None, None),
+        Some(e) => state.finalize(job, JobState::Failed, Some(e.to_string()), None),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Acceptor + router
+// ---------------------------------------------------------------------
+
+/// Decrements the live-connection count when a handler thread exits,
+/// however it exits.
+struct ConnectionGuard(Arc<std::sync::atomic::AtomicUsize>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn accept_loop(state: Arc<ServerState>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if state.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        if state.connections.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS {
+            state.connections.fetch_sub(1, Ordering::AcqRel);
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            let _ = Response::error(503, "too many connections").write(&mut stream);
+            continue;
+        }
+        let guard = ConnectionGuard(Arc::clone(&state.connections));
+        let state = Arc::clone(&state);
+        let spawned = std::thread::Builder::new()
+            .name("gdf-serve-conn".into())
+            .spawn(move || {
+                let _guard = guard;
+                handle_connection(state, stream);
+            });
+        // On spawn failure the guard moved into the closure is gone with
+        // it, and `spawn` dropping the closure runs the decrement.
+        let _ = spawned;
+    }
+}
+
+fn handle_connection(state: Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    match read_request(&mut reader, state.body_limit) {
+        Ok(Some(request)) => route(&state, request, &mut stream),
+        Ok(None) => {}
+        Err(e) => {
+            let status = match e {
+                HttpError::TooLarge(_) => 413,
+                HttpError::Malformed(_) => 400,
+                HttpError::Io(_) => return,
+            };
+            let _ = Response::error(status, e.to_string()).write(&mut stream);
+        }
+    }
+}
+
+fn route(state: &Arc<ServerState>, request: Request, stream: &mut TcpStream) {
+    let path = request.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let response = match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => handle_health(state),
+        ("POST", ["jobs"]) => handle_submit(state, &request),
+        ("GET", ["jobs"]) => handle_list(state),
+        ("GET", ["jobs", id]) => with_job(state, id, |job| {
+            Response::json(200, &status_json(job, true))
+        }),
+        ("DELETE", ["jobs", id]) => with_job(state, id, |job| handle_delete(state, job)),
+        ("GET", ["jobs", id, "artifact"]) => with_job(state, id, |job| handle_artifact(state, job)),
+        ("GET", ["jobs", id, "patterns"]) => with_job(state, id, |job| handle_patterns(state, job)),
+        ("GET", ["jobs", id, "events"]) => {
+            // Streaming: takes over the connection, no Response to write.
+            match lookup(state, id) {
+                Ok(job) => {
+                    stream_events(&job, stream);
+                    return;
+                }
+                Err(response) => response,
+            }
+        }
+        // Known paths with the wrong method are 405; everything else —
+        // including unknown sub-resources like /jobs/7/artifacts — 404.
+        (
+            _,
+            ["healthz"] | ["jobs"] | ["jobs", _] | ["jobs", _, "events" | "artifact" | "patterns"],
+        ) => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such endpoint"),
+    };
+    let _ = response.write(stream);
+}
+
+fn lookup(state: &Arc<ServerState>, id: &str) -> Result<Arc<Job>, Response> {
+    let id: JobId = id
+        .parse()
+        .map_err(|_| Response::error(400, format!("bad job id `{id}`")))?;
+    state
+        .job(id)
+        .ok_or_else(|| Response::error(404, format!("no job {id}")))
+}
+
+fn with_job(state: &Arc<ServerState>, id: &str, f: impl FnOnce(&Arc<Job>) -> Response) -> Response {
+    match lookup(state, id) {
+        Ok(job) => f(&job),
+        Err(response) => response,
+    }
+}
+
+fn handle_health(state: &Arc<ServerState>) -> Response {
+    let jobs = state.jobs.lock().expect("job store poisoned");
+    let mut active = 0usize;
+    for job in jobs.values() {
+        if job.status().state == JobState::Running {
+            active += 1;
+        }
+    }
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("status".into(), Json::Str("ok".into())),
+            ("jobs".into(), Json::Num(jobs.len() as f64)),
+            ("running".into(), Json::Num(active as f64)),
+            ("queued".into(), Json::Num(state.queue.len() as f64)),
+            ("workers".into(), Json::Num(state.queue.shards() as f64)),
+        ]),
+    )
+}
+
+fn handle_list(state: &Arc<ServerState>) -> Response {
+    let jobs = state.jobs.lock().expect("job store poisoned");
+    let list: Vec<Json> = jobs.values().map(|job| status_json(job, false)).collect();
+    Response::json(200, &Json::Obj(vec![("jobs".into(), Json::Arr(list))]))
+}
+
+fn status_json(job: &Arc<Job>, verbose: bool) -> Json {
+    let status = job.status();
+    let mut fields = vec![
+        ("id".into(), Json::Num(job.id as f64)),
+        ("state".into(), Json::Str(status.state.name().into())),
+        ("circuit".into(), Json::Str(job.spec.source.name.clone())),
+        (
+            "backend".into(),
+            Json::Str(job.spec.config.backend.to_string()),
+        ),
+        ("decided".into(), Json::Num(status.decided as f64)),
+        ("total".into(), Json::Num(status.total as f64)),
+        (
+            "error".into(),
+            match &status.error {
+                Some(e) => Json::Str(e.clone()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "report".into(),
+            match &status.report {
+                None => Json::Null,
+                Some(r) => r.encode(),
+            },
+        ),
+    ];
+    if verbose {
+        fields.extend(encode_config(&job.spec.config));
+        fields.push(("parallelism".into(), Json::Num(job.spec.parallelism as f64)));
+    }
+    Json::Obj(fields)
+}
+
+fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let parsed = match Json::parse_with_limits(body, ParseLimits::network()) {
+        Ok(parsed) => parsed,
+        Err(e) => return Response::error(400, format!("bad JSON: {e}")),
+    };
+    let spec = match decode_submission(&parsed, state.default_checkpoint_every) {
+        Ok(spec) => spec,
+        Err(message) => return Response::error(400, message),
+    };
+    if state.stopping.load(Ordering::Acquire) {
+        return Response::error(503, "server is stopping");
+    }
+
+    let id = state.next_id.fetch_add(1, Ordering::AcqRel);
+    let job = Arc::new(Job::new(id, spec));
+    let dir = Job::dir(&state.dir, id);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return Response::error(500, format!("create {}: {e}", dir.display()));
+    }
+    state.persist(&job);
+    {
+        let mut jobs = state.jobs.lock().expect("job store poisoned");
+        jobs.insert(id, Arc::clone(&job));
+        state.persist_watermark();
+    }
+    if state.queue.push(id).is_err() {
+        state.jobs.lock().expect("job store poisoned").remove(&id);
+        // A subscriber that raced onto /jobs/<id>/events in the insert
+        // window must see the stream end, not keepalives forever.
+        job.events.close();
+        let _ = std::fs::remove_dir_all(&dir);
+        return Response::error(503, "job queue is full; retry later");
+    }
+    Response::json(
+        201,
+        &Json::Obj(vec![
+            ("id".into(), Json::Num(id as f64)),
+            ("url".into(), Json::Str(format!("/jobs/{id}"))),
+        ]),
+    )
+}
+
+fn handle_delete(state: &Arc<ServerState>, job: &Arc<Job>) -> Response {
+    let current = job.status().state;
+    let action = match current {
+        JobState::Queued => {
+            if state.queue.remove(job.id) {
+                state.finalize(job, JobState::Cancelled, None, None);
+                "cancelled"
+            } else {
+                // Already popped by a worker: cancel cooperatively.
+                job.cancel.store(true, Ordering::Release);
+                "cancelling"
+            }
+        }
+        JobState::Running => {
+            job.cancel.store(true, Ordering::Release);
+            "cancelling"
+        }
+        JobState::Done | JobState::Failed | JobState::Cancelled => {
+            state
+                .jobs
+                .lock()
+                .expect("job store poisoned")
+                .remove(&job.id);
+            let _ = std::fs::remove_dir_all(Job::dir(&state.dir, job.id));
+            "removed"
+        }
+    };
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("id".into(), Json::Num(job.id as f64)),
+            ("action".into(), Json::Str(action.into())),
+        ]),
+    )
+}
+
+fn handle_artifact(state: &Arc<ServerState>, job: &Arc<Job>) -> Response {
+    let status = job.status();
+    if status.state != JobState::Done {
+        return Response::error(
+            409,
+            format!("job {} is {}, artifact not available", job.id, status.state),
+        );
+    }
+    match RunArtifact::load(Job::artifact_path(&state.dir, job.id)) {
+        Ok(artifact) => Response::json_bytes(200, artifact.canonical_encode()),
+        Err(e) => Response::error(500, e.to_string()),
+    }
+}
+
+fn handle_patterns(state: &Arc<ServerState>, job: &Arc<Job>) -> Response {
+    let status = job.status();
+    if status.state != JobState::Done {
+        return Response::error(
+            409,
+            format!("job {} is {}, patterns not available", job.id, status.state),
+        );
+    }
+    let result = RunArtifact::load(Job::artifact_path(&state.dir, job.id)).and_then(|artifact| {
+        let circuit = artifact.circuit.resolve()?;
+        let run = artifact.to_run(&circuit)?;
+        Ok(PatternSet::from_run(
+            &circuit,
+            &run,
+            &job.spec.config.backend.to_string(),
+            job.spec.config.seed,
+            Some(job.spec.source.clone()),
+        )
+        .encode())
+    });
+    match result {
+        Ok(encoded) => Response::json_bytes(200, encoded),
+        Err(e) => Response::error(500, e.to_string()),
+    }
+}
+
+/// Streams the job's event log as NDJSON chunks: full replay from the
+/// start of this server process, then live until the job closes it.
+/// Once a job is terminal its log is compacted to the last
+/// [`TERMINAL_EVENT_TAIL`] events, so a late subscriber to a large
+/// finished job replays the tail (the `finished` event included), not
+/// the whole per-fault history — the artifact is the durable record.
+fn stream_events(job: &Arc<Job>, stream: &mut TcpStream) {
+    // Streams outlive ordinary requests; only cap per-write time.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(mut writer) = ChunkedWriter::start(&mut *stream, 200, "application/x-ndjson") else {
+        return;
+    };
+    let mut position = 0usize;
+    loop {
+        let (batch, next, closed) = job.events.wait_from(position, EVENT_POLL);
+        if batch.is_empty() && !closed {
+            // Keepalive on a silent stream: keeps the subscriber's read
+            // timeout from firing while the job sits in the queue, and
+            // detects a vanished subscriber. Consumers skip blank lines.
+            if writer.chunk(b"\n").is_err() {
+                return;
+            }
+            continue;
+        }
+        for event in &batch {
+            let mut line = event.encode().to_string();
+            line.push('\n');
+            if writer.chunk(line.as_bytes()).is_err() {
+                return; // subscriber went away
+            }
+        }
+        position = next;
+        if closed && batch.is_empty() {
+            break;
+        }
+    }
+    let _ = writer.finish();
+}
+
+// ---------------------------------------------------------------------
+// Submission codec
+// ---------------------------------------------------------------------
+
+/// Builds the `POST /jobs` body for a suite reference (`suite:s27`).
+pub fn submission_for_suite(reference: &str, config: &RunConfig) -> Json {
+    Json::Obj(vec![
+        ("circuit".into(), Json::Str(reference.into())),
+        ("config".into(), Json::Obj(encode_config(config))),
+    ])
+}
+
+/// Builds the `POST /jobs` body for inline `.bench` text.
+pub fn submission_for_bench(name: &str, bench: &str, config: &RunConfig) -> Json {
+    Json::Obj(vec![
+        (
+            "circuit".into(),
+            Json::Obj(vec![
+                ("name".into(), Json::Str(name.into())),
+                ("bench".into(), Json::Str(bench.into())),
+            ]),
+        ),
+        ("config".into(), Json::Obj(encode_config(config))),
+    ])
+}
+
+/// Adds runtime options to a submission body built by the helpers
+/// above. Pass `checkpoint_every: None` to leave the cadence to the
+/// server's configured default.
+pub fn submission_with_runtime(
+    mut body: Json,
+    parallelism: usize,
+    checkpoint_every: Option<usize>,
+) -> Json {
+    if let Json::Obj(fields) = &mut body {
+        fields.push(("parallelism".into(), Json::Num(parallelism as f64)));
+        if let Some(every) = checkpoint_every {
+            fields.push(("checkpoint_every".into(), Json::Num(every as f64)));
+        }
+    }
+    body
+}
+
+/// Decodes a submission: `circuit` (suite ref string or `{name, bench}`
+/// object) plus an optional, *partial* `config` object — absent fields
+/// take the [`RunConfig::new`] defaults, and both the CLI-style short
+/// forms (`"universe": "stems"`, decimal seeds) and the artifact-style
+/// full forms (universe objects, hex seeds) are accepted.
+pub fn decode_submission(j: &Json, default_checkpoint: usize) -> Result<JobSpec, String> {
+    let source = match j.get("circuit") {
+        Some(Json::Str(reference)) => {
+            let Some(name) = reference.strip_prefix("suite:") else {
+                return Err(format!(
+                    "circuit string must be `suite:<name>`, got `{reference}`"
+                ));
+            };
+            let circuit = gdf_netlist::suite::by_name(name)
+                .ok_or_else(|| format!("unknown suite circuit `{name}`"))?;
+            CircuitSource::suite(&circuit, name)
+        }
+        Some(obj @ Json::Obj(_)) => {
+            if let Some(Json::Str(reference)) = obj.get("ref") {
+                let Some(name) = reference.strip_prefix("suite:") else {
+                    return Err(format!("unknown circuit reference `{reference}`"));
+                };
+                let circuit = gdf_netlist::suite::by_name(name)
+                    .ok_or_else(|| format!("unknown suite circuit `{name}`"))?;
+                CircuitSource::suite(&circuit, name)
+            } else {
+                let bench = obj
+                    .get("bench")
+                    .and_then(Json::as_str)
+                    .ok_or("circuit object needs a `bench` field with .bench text")?;
+                let name = obj
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or("circuit")
+                    .to_string();
+                let circuit = gdf_netlist::parse_bench(&name, bench)
+                    .map_err(|e| format!("bad .bench source: {e}"))?;
+                CircuitSource::bench(&circuit, bench)
+            }
+        }
+        _ => return Err("submission needs a `circuit` (suite ref or {name, bench})".into()),
+    };
+    // Both arms above already proved the source resolves (suite lookup /
+    // parse_bench), so a bad submission fails here at POST time and the
+    // worker's later resolve() cannot surprise.
+    let config = decode_submission_config(j.get("config"))?;
+    Ok(JobSpec {
+        source,
+        config,
+        parallelism: j
+            .get("parallelism")
+            .and_then(Json::as_usize)
+            .unwrap_or(1)
+            .clamp(1, 64),
+        checkpoint_every: j
+            .get("checkpoint_every")
+            .and_then(Json::as_usize)
+            .unwrap_or(default_checkpoint)
+            .max(1),
+    })
+}
+
+fn decode_submission_config(j: Option<&Json>) -> Result<RunConfig, String> {
+    // Backend/model/universe names go through the same parsers the CLI
+    // uses (`Backend::from_str`, `FaultModel::from_str`,
+    // `FaultUniverse::parse_name`), so a spelling `gdf run` accepts can
+    // never be a 400 here.
+    let backend = match j.and_then(|c| c.get("backend")).and_then(Json::as_str) {
+        None => Backend::NonScan,
+        Some(name) => name.parse()?,
+    };
+    let mut config = RunConfig::new(backend);
+    let Some(j) = j else { return Ok(config) };
+    if let Some(name) = j.get("model").and_then(Json::as_str) {
+        config.model = name.parse()?;
+    }
+    match j.get("universe") {
+        None => {}
+        Some(Json::Str(name)) => config.universe = FaultUniverse::parse_name(name)?,
+        Some(u @ Json::Obj(_)) => {
+            let flag =
+                |name: &str, default: bool| u.get(name).and_then(Json::as_bool).unwrap_or(default);
+            let defaults = FaultUniverse::default();
+            config.universe = FaultUniverse {
+                include_pi_stems: flag("pi_stems", defaults.include_pi_stems),
+                include_ppi_stems: flag("ppi_stems", defaults.include_ppi_stems),
+                include_branches: flag("branches", defaults.include_branches),
+            };
+        }
+        Some(_) => return Err("universe must be a string or an object".into()),
+    }
+    match j.get("seed") {
+        None => {}
+        Some(Json::Num(_)) => {
+            config.seed = j
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("seed must be a non-negative integer")?;
+        }
+        // String seeds follow the CLI's `--seed` grammar: decimal, or
+        // hex with an explicit `0x` prefix — "123" must mean 123.
+        Some(Json::Str(s)) => {
+            config.seed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            }
+            .map_err(|_| format!("bad seed `{s}`"))?;
+        }
+        Some(_) => return Err("seed must be a number or hex string".into()),
+    }
+    if let Some(l) = j.get("limits") {
+        let field = |name: &str| l.get(name).and_then(Json::as_usize);
+        let field_u32 = |name: &str| -> Result<Option<u32>, String> {
+            field(name)
+                .map(|v| u32::try_from(v).map_err(|_| format!("limit `{name}` out of range")))
+                .transpose()
+        };
+        let mut limits = Limits::new();
+        if let Some(v) = field_u32("local_backtrack_limit")? {
+            limits = limits.with_local_backtrack_limit(v);
+        }
+        if let Some(v) = field_u32("sequential_backtrack_limit")? {
+            limits = limits.with_sequential_backtrack_limit(v);
+        }
+        if let Some(v) = field("max_propagation_frames") {
+            limits = limits.with_max_propagation_frames(v);
+        }
+        if let Some(v) = field("max_sync_frames") {
+            limits = limits.with_max_sync_frames(v);
+        }
+        if let Some(v) = field("max_observation_retries") {
+            limits = limits.with_max_observation_retries(v);
+        }
+        if let Some(v) = field("max_stuckat_frames") {
+            limits = limits.with_max_stuckat_frames(v);
+        }
+        config.limits = limits;
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submission_round_trip_suite() {
+        let config = RunConfig::new(Backend::StuckAt).with_seed(0xBEEF);
+        let body = submission_with_runtime(submission_for_suite("suite:s27", &config), 2, Some(8));
+        let spec = decode_submission(&body, 16).unwrap();
+        assert_eq!(spec.config, config);
+        assert_eq!(spec.source.reference.as_deref(), Some("suite:s27"));
+        assert_eq!(spec.parallelism, 2);
+        assert_eq!(spec.checkpoint_every, 8);
+        // Without an explicit cadence, the server's default applies.
+        let body = submission_with_runtime(submission_for_suite("suite:s27", &config), 2, None);
+        let spec = decode_submission(&body, 16).unwrap();
+        assert_eq!(spec.checkpoint_every, 16);
+    }
+
+    #[test]
+    fn submission_partial_config_takes_defaults() {
+        let body = Json::parse(
+            r#"{"circuit": "suite:s27", "config": {"backend": "stuck-at", "seed": 7}}"#,
+        )
+        .unwrap();
+        let spec = decode_submission(&body, 16).unwrap();
+        assert_eq!(spec.config.backend, Backend::StuckAt);
+        assert_eq!(spec.config.seed, 7);
+        assert_eq!(spec.config.limits, Limits::default());
+        assert_eq!(spec.checkpoint_every, 16);
+    }
+
+    #[test]
+    fn submission_inline_bench() {
+        let bench = gdf_netlist::to_bench(&gdf_netlist::suite::s27());
+        let body = submission_for_bench("mine", &bench, &RunConfig::new(Backend::NonScan));
+        let spec = decode_submission(&body, 16).unwrap();
+        assert_eq!(spec.source.name, "mine");
+        assert!(spec.source.reference.is_none());
+        assert!(spec.source.resolve().is_ok());
+    }
+
+    #[test]
+    fn submission_rejects_garbage() {
+        for bad in [
+            r#"{}"#,
+            r#"{"circuit": "s27"}"#,
+            r#"{"circuit": "suite:nope"}"#,
+            r#"{"circuit": {"bench": "INPUT("}}"#,
+            r#"{"circuit": "suite:s27", "config": {"backend": "quantum"}}"#,
+            r#"{"circuit": "suite:s27", "config": {"universe": "everything"}}"#,
+            r#"{"circuit": "suite:s27", "config": {"seed": "0xZZ"}}"#,
+        ] {
+            let parsed = Json::parse(bad).unwrap();
+            assert!(decode_submission(&parsed, 16).is_err(), "accepted {bad}");
+        }
+    }
+}

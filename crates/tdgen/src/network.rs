@@ -31,6 +31,21 @@ pub enum FaultModel {
     NonRobust,
 }
 
+impl std::str::FromStr for FaultModel {
+    type Err = String;
+
+    /// The model names every user-facing surface shares (`gdf --model`,
+    /// artifact configs, `gdf serve` submissions): `robust`,
+    /// `non-robust` (alias `nonrobust`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "robust" => Ok(FaultModel::Robust),
+            "non-robust" | "nonrobust" => Ok(FaultModel::NonRobust),
+            other => Err(format!("unknown model `{other}` (robust|non-robust)")),
+        }
+    }
+}
+
 /// Result of an implication pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Implied {

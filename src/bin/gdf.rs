@@ -6,6 +6,11 @@
 //! gdf grade <PATTERNS.json> [--circuit CIRCUIT] [--seed N]
 //! gdf campaign [CIRCUIT...] [--suite] [--dir DIR] [--resume] [options]
 //! gdf report <RUN.json>... [--diff]
+//! gdf serve --addr HOST:PORT --dir DIR [--workers N]
+//! gdf submit <CIRCUIT> --addr HOST:PORT [--wait|--follow] [options]
+//! gdf status [<JOB>] --addr HOST:PORT [--follow]
+//! gdf fetch <JOB> --addr HOST:PORT [-o run.json] [--patterns p.json]
+//! gdf cancel <JOB> --addr HOST:PORT
 //! ```
 //!
 //! `CIRCUIT` is a path to an ISCAS'89 `.bench` file or `suite:<name>`
@@ -15,13 +20,21 @@
 //! `gdf resume`, and `gdf report --diff` proves it. `--abort-after N`
 //! deliberately interrupts after N fault outcomes (exercised by CI to
 //! test the resume path end to end).
+//!
+//! The `serve`/`submit`/`status`/`fetch`/`cancel` commands speak the
+//! `gdf_serve` HTTP job API: `serve` hosts the engine behind
+//! `POST /jobs`, the others are remote controls for it. A fetched
+//! artifact is the server's canonical (wall-clock-zeroed) encoding and
+//! is byte-identical to what any same-spec submission returns.
 
+use gdf::core::json::Json;
 use gdf::core::{
     grade_patterns, Atpg, AtpgBuilder, AtpgRun, Backend, Campaign, Checkpointer, CircuitReport,
-    CircuitSource, FaultRecord, Observer, PatternSet, RunArtifact, RunConfig,
+    CircuitSource, FaultRecord, Observer, PatternSet, ProgressEvent, RunArtifact, RunConfig,
 };
 use gdf::netlist::{parse_bench, suite, Circuit, FaultUniverse};
-use gdf::tdgen::FaultModel;
+use gdf::serve::server::{submission_for_bench, submission_for_suite, submission_with_runtime};
+use gdf::serve::{Client, JobServer, ServeConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
@@ -36,6 +49,12 @@ USAGE:
     gdf grade <PATTERNS.json> [options] re-grade a saved pattern set
     gdf campaign [CIRCUIT...] [options] run many circuits, aggregate report
     gdf report <RUN.json>... [--diff]   render or compare saved runs
+    gdf serve [options]                 host the engine as an HTTP job server
+    gdf submit <CIRCUIT> [options]      submit a job to a server
+    gdf status [<JOB>] [options]        job status (or list all jobs)
+    gdf fetch <JOB> [options]           download a finished job's artifact
+    gdf cancel <JOB> [options]          cancel / remove a job
+    gdf --version                       print the version
 
 CIRCUIT:
     a path to an ISCAS'89 .bench file, or suite:<name> (suite:s27,
@@ -54,13 +73,32 @@ OPTIONS:
     --abort-after <N>                             cancel after N outcomes
     --circuit <CIRCUIT>                           (grade) grade on this circuit
     --suite                                       (campaign) the full suite
-    --dir <DIR>                                   (campaign) artifact directory
+    --dir <DIR>                                   (campaign/serve) artifact dir
     --resume                                      (campaign) reuse artifacts
     --diff                                        (report) compare two runs
+    --addr <HOST:PORT>                            (serve/remote) server address
+    --workers <N>                                 (serve) worker pool size
+    --queue-capacity <N>                          (serve) queued jobs per shard
+    --wait                                        (submit) block until terminal
+    --follow                                      (submit/status) stream events
     -q, --quiet                                   no progress output
 ";
 
 fn main() -> ExitCode {
+    // A reader that stops consuming our stdout (`gdf … | head`) must end
+    // the process quietly with the conventional SIGPIPE code, not with a
+    // panic trace.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("failed printing to stdout"));
+        if broken_pipe {
+            std::process::exit(141); // 128 + SIGPIPE
+        }
+        default_hook(info);
+    }));
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprint!("{USAGE}");
@@ -72,6 +110,15 @@ fn main() -> ExitCode {
         "grade" => cmd_grade(rest),
         "campaign" => cmd_campaign(rest),
         "report" => cmd_report(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
+        "fetch" => cmd_fetch(rest),
+        "cancel" => cmd_cancel(rest),
+        "version" | "--version" | "-V" => {
+            println!("gdf {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -170,27 +217,11 @@ const RUN_VALUES: &[&str] = &[
     "abort-after",
     "circuit",
     "dir",
+    "addr",
+    "workers",
+    "queue-capacity",
 ];
-const RUN_SWITCHES: &[&str] = &["quiet", "suite", "resume", "diff"];
-
-/// Accepts the canonical names (`Backend`'s `FromStr`) plus the short
-/// aliases the CLI documents.
-fn parse_backend(s: &str) -> Result<Backend, String> {
-    match s {
-        "nonscan" => Ok(Backend::NonScan),
-        "scan" => Ok(Backend::EnhancedScan),
-        "stuckat" => Ok(Backend::StuckAt),
-        other => other.parse(),
-    }
-}
-
-fn parse_universe(s: &str) -> Result<FaultUniverse, String> {
-    match s {
-        "full" => Ok(FaultUniverse::default()),
-        "stems" => Ok(FaultUniverse::stems_only()),
-        other => Err(format!("unknown universe `{other}` (full|stems)")),
-    }
-}
+const RUN_SWITCHES: &[&str] = &["quiet", "suite", "resume", "diff", "wait", "follow"];
 
 /// Resolves a circuit argument: `suite:<name>` or a `.bench` file path.
 /// Returns the circuit plus the provenance artifacts should record.
@@ -282,29 +313,24 @@ fn print_run(run: &AtpgRun) {
     );
 }
 
-fn parse_model(s: &str) -> Result<FaultModel, String> {
-    match s {
-        "robust" => Ok(FaultModel::Robust),
-        "non-robust" | "nonrobust" => Ok(FaultModel::NonRobust),
-        other => Err(format!("unknown model `{other}`")),
-    }
-}
-
 /// The single flag→config mapping: both the engine builder and the saved
 /// artifact are driven from this one value, so the recorded provenance
-/// can never diverge from the run that actually executed.
+/// can never diverge from the run that actually executed. Backend,
+/// model and universe names go through the shared parsers
+/// (`Backend::from_str`, `FaultModel::from_str`,
+/// `FaultUniverse::parse_name`) that the serve submissions use too.
 fn config_from_opts(opts: &Opts) -> Result<RunConfig, String> {
     let mut config = RunConfig::new(
         opts.value("backend")
-            .map(parse_backend)
+            .map(str::parse)
             .transpose()?
             .unwrap_or(Backend::NonScan),
     );
     if let Some(m) = opts.value("model") {
-        config.model = parse_model(m)?;
+        config.model = m.parse()?;
     }
     if let Some(u) = opts.value("universe") {
-        config.universe = parse_universe(u)?;
+        config.universe = FaultUniverse::parse_name(u)?;
     }
     if let Some(seed) = opts.number("seed")? {
         config.seed = seed;
@@ -502,7 +528,7 @@ fn cmd_grade(args: &[String]) -> Result<ExitCode, String> {
     };
     let universe = opts
         .value("universe")
-        .map(parse_universe)
+        .map(FaultUniverse::parse_name)
         .transpose()?
         .unwrap_or_default();
     let seed = opts.number("seed")?.unwrap_or(set.seed);
@@ -522,13 +548,13 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         builder = builder.circuit_with_source(circuit, source);
     }
     if let Some(b) = opts.value("backend") {
-        builder = builder.backend(parse_backend(b)?);
+        builder = builder.backend(b.parse()?);
     }
     if let Some(m) = opts.value("model") {
-        builder = builder.model(parse_model(m)?);
+        builder = builder.model(m.parse()?);
     }
     if let Some(u) = opts.value("universe") {
-        builder = builder.universe(parse_universe(u)?);
+        builder = builder.universe(FaultUniverse::parse_name(u)?);
     }
     if let Some(seed) = opts.number("seed")? {
         builder = builder.seed(seed);
@@ -627,4 +653,256 @@ fn diff_runs(a: &str, b: &str) -> Result<ExitCode, String> {
         }
         Ok(ExitCode::FAILURE)
     }
+}
+
+// ---------------------------------------------------------------------
+// The job server and its remote controls
+// ---------------------------------------------------------------------
+
+fn client_from(opts: &Opts) -> Result<Client, String> {
+    let addr = opts
+        .value("addr")
+        .ok_or("--addr <HOST:PORT> is required for remote commands")?;
+    Ok(Client::new(addr))
+}
+
+fn job_id_arg(opts: &Opts, what: &str) -> Result<u64, String> {
+    let [arg] = opts.positional.as_slice() else {
+        return Err(format!("expected exactly one {what} argument"));
+    };
+    arg.parse().map_err(|_| format!("bad job id `{arg}`"))
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    if !opts.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let addr = opts.value("addr").unwrap_or("127.0.0.1:4817");
+    let dir = opts.value("dir").unwrap_or("gdf-jobs");
+    let mut config = ServeConfig::new(addr, dir);
+    if let Some(workers) = opts.number("workers")? {
+        config = config.with_workers(workers as usize);
+    }
+    if let Some(capacity) = opts.number("queue-capacity")? {
+        config = config.with_queue_capacity(capacity as usize);
+    }
+    if let Some(every) = opts.number("checkpoint-every")? {
+        config = config.with_checkpoint_every(every as usize);
+    }
+    let workers = config.workers;
+    let server = JobServer::start(config).map_err(|e| e.to_string())?;
+    println!(
+        "gdf serve: listening on {} ({} workers, jobs in {dir})",
+        server.local_addr(),
+        workers
+    );
+    server.wait();
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    let [spec] = opts.positional.as_slice() else {
+        return Err("expected exactly one CIRCUIT argument".into());
+    };
+    // Options other subcommands own must fail loudly here, not be
+    // silently dropped from the submission.
+    for (name, hint) in [
+        ("time-budget", "jobs run unbudgeted server-side"),
+        ("abort-after", "use `gdf cancel` to stop a remote job"),
+        ("out", "use `gdf fetch <JOB> -o …` once the job is done"),
+        (
+            "patterns",
+            "use `gdf fetch <JOB> --patterns …` once the job is done",
+        ),
+    ] {
+        if opts.value(name).is_some() {
+            return Err(format!("--{name} is not supported by `gdf submit`; {hint}"));
+        }
+    }
+    let client = client_from(&opts)?;
+    let config = config_from_opts(&opts)?;
+    let body = if let Some(name) = spec.strip_prefix("suite:") {
+        suite::by_name(name).ok_or_else(|| format!("unknown suite circuit `{name}`"))?;
+        submission_for_suite(&format!("suite:{name}"), &config)
+    } else {
+        let path = Path::new(spec);
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{spec}: {e}"))?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("circuit");
+        submission_for_bench(name, &text, &config)
+    };
+    let parallelism = opts.number("parallelism")?.unwrap_or(1) as usize;
+    // No explicit cadence flag -> omit the field, so the server's
+    // configured --checkpoint-every default applies.
+    let every = opts.number("checkpoint-every")?.map(|n| n as usize);
+    let body = submission_with_runtime(body, parallelism, every);
+    let id = client.submit(&body).map_err(|e| e.to_string())?;
+    // The bare id on stdout so scripts can capture it.
+    println!("{id}");
+    if opts.switch("follow") {
+        follow_events(&client, id, opts.switch("quiet"))?;
+    }
+    if opts.switch("wait") || opts.switch("follow") {
+        let status = client
+            .wait(id, Duration::from_millis(100), None)
+            .map_err(|e| e.to_string())?;
+        return finish_remote_job(&status);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Streams `/events`, printing one line per decile of progress (and the
+/// terminal events), until the server closes the stream.
+fn follow_events(client: &Client, id: u64, quiet: bool) -> Result<(), String> {
+    let mut last_decile = 0usize;
+    client
+        .events(id, |event| {
+            if quiet {
+                return true;
+            }
+            match event {
+                ProgressEvent::Started {
+                    engine,
+                    circuit,
+                    total_faults,
+                } => eprintln!("[job {id}] {engine} on {circuit}: {total_faults} faults"),
+                ProgressEvent::Progress { decided, total } => {
+                    let decile = 10 * decided / total.max(1);
+                    if decile > last_decile {
+                        last_decile = decile;
+                        eprintln!("[job {id}] {decided}/{total} faults decided");
+                    }
+                }
+                ProgressEvent::Finished {
+                    tested,
+                    untestable,
+                    aborted,
+                    ..
+                } => eprintln!(
+                    "[job {id}] finished: {tested} tested, {untestable} untestable, \
+                     {aborted} aborted"
+                ),
+                _ => {}
+            }
+            true
+        })
+        .map_err(|e| e.to_string())
+}
+
+/// Renders a terminal status document; exit code reflects the outcome.
+fn finish_remote_job(status: &Json) -> Result<ExitCode, String> {
+    print_remote_status(status);
+    match status.get("state").and_then(Json::as_str) {
+        Some("done") => Ok(ExitCode::SUCCESS),
+        _ => Ok(ExitCode::FAILURE),
+    }
+}
+
+fn print_remote_status(status: &Json) {
+    let text = |key: &str| {
+        status
+            .get(key)
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let count = |key: &str| status.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let mut line = format!(
+        "job {}: {} ({}, {}) {}/{} faults",
+        count("id"),
+        text("state"),
+        text("circuit"),
+        text("backend"),
+        count("decided"),
+        count("total"),
+    );
+    if let Some(report) = status.get("report").filter(|r| !r.is_null()) {
+        let r = |key: &str| report.get(key).and_then(Json::as_u64).unwrap_or(0);
+        line.push_str(&format!(
+            " — tested {} untestable {} aborted {} patterns {} sequences {}",
+            r("tested"),
+            r("untestable"),
+            r("aborted"),
+            r("patterns"),
+            r("sequences"),
+        ));
+    }
+    if let Some(error) = status.get("error").and_then(Json::as_str) {
+        line.push_str(&format!(" — error: {error}"));
+    }
+    println!("{line}");
+}
+
+fn cmd_status(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    let client = client_from(&opts)?;
+    match opts.positional.as_slice() {
+        [] => {
+            let health = client.healthz().map_err(|e| e.to_string())?;
+            let count = |key: &str| health.get(key).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "server {}: {} jobs ({} running, {} queued), {} workers",
+                client.addr(),
+                count("jobs"),
+                count("running"),
+                count("queued"),
+                count("workers"),
+            );
+            let list = client.list().map_err(|e| e.to_string())?;
+            for job in list
+                .get("jobs")
+                .and_then(Json::as_array)
+                .unwrap_or_default()
+            {
+                print_remote_status(job);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        [_] => {
+            let id = job_id_arg(&opts, "JOB")?;
+            if opts.switch("follow") {
+                follow_events(&client, id, opts.switch("quiet"))?;
+            }
+            let status = client.status(id).map_err(|e| e.to_string())?;
+            print_remote_status(&status);
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err("expected at most one JOB argument".into()),
+    }
+}
+
+fn cmd_fetch(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    let id = job_id_arg(&opts, "JOB")?;
+    let client = client_from(&opts)?;
+    let artifact = client.artifact(id).map_err(|e| e.to_string())?;
+    match opts.value("out") {
+        Some(path) => {
+            std::fs::write(path, &artifact).map_err(|e| format!("{path}: {e}"))?;
+            println!("job {id} artifact -> {path}");
+        }
+        None => print!("{artifact}"),
+    }
+    if let Some(path) = opts.value("patterns") {
+        let patterns = client.patterns(id).map_err(|e| e.to_string())?;
+        std::fs::write(path, &patterns).map_err(|e| format!("{path}: {e}"))?;
+        println!("job {id} patterns -> {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_cancel(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    let id = job_id_arg(&opts, "JOB")?;
+    let client = client_from(&opts)?;
+    let outcome = client.delete(id).map_err(|e| e.to_string())?;
+    println!(
+        "job {id}: {}",
+        outcome.get("action").and_then(Json::as_str).unwrap_or("?")
+    );
+    Ok(ExitCode::SUCCESS)
 }

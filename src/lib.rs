@@ -21,7 +21,12 @@
 //!   uninterrupted run, resumable multi-circuit campaigns, and
 //!   standalone re-grading of saved pattern sets. The `gdf` binary
 //!   (`gdf run` / `resume` / `grade` / `campaign` / `report`) drives all
-//!   of it from the command line over `.bench` files and JSON artifacts.
+//!   of it from the command line over `.bench` files and JSON artifacts;
+//! * [`serve`] — the **job server**: a hand-rolled HTTP/1.1 service on
+//!   `std::net` with a bounded sharded queue, a fixed worker pool,
+//!   streaming progress events and checkpoint-backed crash recovery
+//!   (`gdf serve`, with `gdf submit` / `status` / `fetch` / `cancel` as
+//!   its remote controls).
 //!
 //! ## Quickstart
 //!
@@ -69,5 +74,6 @@ pub use gdf_algebra as algebra;
 pub use gdf_core as core;
 pub use gdf_netlist as netlist;
 pub use gdf_semilet as semilet;
+pub use gdf_serve as serve;
 pub use gdf_sim as sim;
 pub use gdf_tdgen as tdgen;

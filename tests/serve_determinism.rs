@@ -1,0 +1,288 @@
+//! The serve layer's two headline guarantees, proven over real sockets:
+//!
+//! 1. **Concurrent-client determinism** — N parallel submissions of the
+//!    same circuit/config/seed yield byte-identical canonical artifacts,
+//!    identical to a local in-process run of the same spec.
+//! 2. **Crash recovery** — a server killed mid-job and restarted on the
+//!    same directory resumes the job from its checkpoint to a result
+//!    byte-identical to an uninterrupted run.
+//!
+//! Plus the API's error contract (404/400/409) over the same wire.
+
+use gdf::core::{
+    Atpg, Backend, CircuitSource, Limits, PatternSet, ProgressEvent, RunArtifact, RunConfig,
+};
+use gdf::netlist::suite;
+use gdf::serve::server::{submission_for_suite, submission_with_runtime};
+use gdf::serve::{Client, JobServer, ServeConfig, ServeError};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gdf-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_server(dir: &PathBuf, workers: usize) -> (JobServer, Client) {
+    let server = JobServer::start(
+        ServeConfig::new("127.0.0.1:0", dir)
+            .with_workers(workers)
+            .with_queue_capacity(16),
+    )
+    .expect("server starts");
+    let client = Client::new(server.local_addr().to_string());
+    (server, client)
+}
+
+/// What a local, in-process run of the same spec would persist — the
+/// reference every remote result must match byte for byte. Parallelism
+/// is a runtime knob, byte-identical to serial by the engine invariant.
+fn local_canonical(suite_name: &str, config: RunConfig, parallelism: usize) -> String {
+    let circuit = suite::by_name(suite_name).expect("suite circuit");
+    let run = Atpg::builder(&circuit)
+        .backend(config.backend)
+        .model(config.model)
+        .universe(config.universe)
+        .limits(config.limits)
+        .seed(config.seed)
+        .parallelism(parallelism)
+        .build()
+        .run();
+    RunArtifact::from_run(
+        &circuit,
+        &run,
+        config,
+        Some(CircuitSource::suite(&circuit, suite_name)),
+    )
+    .canonical_encode()
+}
+
+#[test]
+fn eight_concurrent_clients_get_byte_identical_artifacts() {
+    let dir = temp_dir("concurrent");
+    let (server, client) = start_server(&dir, 4);
+    let config = RunConfig::new(Backend::NonScan);
+    let submission = submission_for_suite("suite:s27", &config);
+
+    // 8 clients submit the same spec at once, each over its own
+    // connections, racing 4 workers.
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let client = client.clone();
+            let submission = submission.clone();
+            std::thread::spawn(move || {
+                let id = client.submit(&submission)?;
+                client.wait(
+                    id,
+                    Duration::from_millis(25),
+                    Some(Duration::from_secs(120)),
+                )?;
+                Ok::<_, ServeError>((client.artifact(id)?, client.patterns(id)?))
+            })
+        })
+        .collect();
+    let results: Vec<(String, String)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread").expect("client calls"))
+        .collect();
+
+    let reference = local_canonical("s27", config, 1);
+    for (i, (artifact, patterns)) in results.iter().enumerate() {
+        assert_eq!(
+            artifact, &reference,
+            "client {i}: remote artifact differs from the local run"
+        );
+        assert_eq!(
+            patterns, &results[0].1,
+            "client {i}: pattern export differs between identical submissions"
+        );
+    }
+    // The pattern wire form matches a local export as well.
+    let circuit = suite::s27();
+    let run = Atpg::builder(&circuit).build().run();
+    let local_patterns = PatternSet::from_run(
+        &circuit,
+        &run,
+        &config.backend.to_string(),
+        config.seed,
+        Some(CircuitSource::suite(&circuit, "s27")),
+    )
+    .encode();
+    assert_eq!(results[0].1, local_patterns);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_and_restarted_server_resumes_to_an_uninterrupted_result() {
+    let dir = temp_dir("killrestart");
+    // The unoptimized (dev-profile) engine is ~20× slower on s208; trim
+    // the search budgets and fault universe there so the test stays a
+    // test, not a coffee break. The guarantee under test is
+    // profile-independent.
+    let mut config = RunConfig::new(Backend::NonScan);
+    if cfg!(debug_assertions) {
+        config.universe = gdf::netlist::FaultUniverse::stems_only();
+        config.limits = Limits::new()
+            .with_local_backtrack_limit(20)
+            .with_sequential_backtrack_limit(10)
+            .with_max_propagation_frames(8)
+            .with_max_sync_frames(8)
+            .with_max_observation_retries(1);
+    }
+    let workers = 4;
+
+    // Submit the long-running s208 with a tight checkpoint cadence.
+    let (server, client) = start_server(&dir, 1);
+    let submission = submission_with_runtime(
+        submission_for_suite("suite:s208", &config),
+        workers,
+        Some(4),
+    );
+    let id = client.submit(&submission).expect("submit");
+
+    // Let it decide a meaningful prefix (checkpoints every 4 outcomes),
+    // then kill the server at a fault boundary — disk state untouched.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = client.status(id).expect("status");
+        let decided = status
+            .get("decided")
+            .and_then(gdf::core::json::Json::as_u64)
+            .unwrap_or(0);
+        let state = status
+            .get("state")
+            .and_then(gdf::core::json::Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        assert_ne!(state, "failed", "job failed before the kill: {status}");
+        if decided >= 16 || state == "done" {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job never progressed: {status}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    server.kill();
+
+    // The persistent record still says the job is in flight.
+    let record = std::fs::read_to_string(dir.join(format!("job-{id}/job.json"))).unwrap();
+    assert!(
+        record.contains("\"running\"") || record.contains("\"done\""),
+        "unexpected on-disk state after kill: {record}"
+    );
+
+    // A fresh server on the same directory recovers and finishes it.
+    let (server, client) = start_server(&dir, 2);
+    let finished = client
+        .wait(
+            id,
+            Duration::from_millis(50),
+            Some(Duration::from_secs(300)),
+        )
+        .expect("resumed job finishes");
+    assert_eq!(
+        finished
+            .get("state")
+            .and_then(gdf::core::json::Json::as_str),
+        Some("done"),
+        "resumed job did not complete: {finished}"
+    );
+    let resumed = client.artifact(id).expect("artifact");
+    assert_eq!(
+        resumed,
+        local_canonical("s208", config, workers),
+        "kill + restart + resume diverged from an uninterrupted run"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn api_error_contract_and_event_stream() {
+    let dir = temp_dir("api");
+    let (server, client) = start_server(&dir, 2);
+    let addr = server.local_addr().to_string();
+
+    // Unknown job -> 404; malformed submissions -> 400; bad id -> 400.
+    assert!(matches!(
+        client.status(999),
+        Err(ServeError::Api { status: 404, .. })
+    ));
+    for bad_body in ["{ not json", "{}", r#"{"circuit": "suite:missing"}"#] {
+        let response = gdf::serve::http::client_request(
+            &addr,
+            "POST",
+            "/jobs",
+            Some(bad_body),
+            Duration::from_secs(5),
+        )
+        .expect("http exchange");
+        assert_eq!(response.status, 400, "body {bad_body:?}");
+    }
+    let response =
+        gdf::serve::http::client_request(&addr, "GET", "/jobs/zzz", None, Duration::from_secs(5))
+            .expect("http exchange");
+    assert_eq!(response.status, 400);
+    let response =
+        gdf::serve::http::client_request(&addr, "PUT", "/jobs", None, Duration::from_secs(5))
+            .expect("http exchange");
+    assert_eq!(response.status, 405);
+
+    // A healthy submission streams Started ... Finished and then serves
+    // its artifact; asking for the artifact of an unfinished job is 409.
+    let config = RunConfig::new(Backend::StuckAt);
+    let id = client
+        .submit(&submission_for_suite("suite:s27", &config))
+        .expect("submit");
+    let mut events = Vec::new();
+    client
+        .events(id, |event| {
+            events.push(event);
+            true
+        })
+        .expect("event stream");
+    assert!(
+        matches!(events.first(), Some(ProgressEvent::Started { engine, .. }) if engine == "stuck-at"),
+        "unexpected first event: {:?}",
+        events.first()
+    );
+    assert!(matches!(
+        events.last(),
+        Some(ProgressEvent::Finished { .. })
+    ));
+    let faults = events
+        .iter()
+        .filter(|e| matches!(e, ProgressEvent::Fault { .. }))
+        .count();
+    assert!(faults > 0, "no per-fault events streamed");
+
+    client
+        .wait(id, Duration::from_millis(25), Some(Duration::from_secs(60)))
+        .expect("job finishes");
+    assert!(client.artifact(id).is_ok());
+
+    // Health and listing see the job; delete removes it.
+    let health = client.healthz().expect("healthz");
+    assert_eq!(
+        health.get("status").and_then(gdf::core::json::Json::as_str),
+        Some("ok")
+    );
+    let action = client.delete(id).expect("delete");
+    assert_eq!(
+        action.get("action").and_then(gdf::core::json::Json::as_str),
+        Some("removed")
+    );
+    assert!(matches!(
+        client.artifact(id),
+        Err(ServeError::Api { status: 404, .. })
+    ));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

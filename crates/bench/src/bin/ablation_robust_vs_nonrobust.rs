@@ -11,7 +11,7 @@
 
 use gdf_bench::{run_circuit, selected_circuits};
 use gdf_core::DelayAtpgConfig;
-use gdf_tdgen::FaultModel;
+use gdf_tdgen::Sensitization;
 
 fn main() {
     let circuits: Vec<String> = if std::env::var("GDF_CIRCUITS").is_ok() {
@@ -39,7 +39,7 @@ fn main() {
         let robust = run_circuit(name, DelayAtpgConfig::default());
         let nonrobust = run_circuit(
             name,
-            DelayAtpgConfig::new().with_model(FaultModel::NonRobust),
+            DelayAtpgConfig::new().with_sensitization(Sensitization::NonRobust),
         );
         let r = &robust.report.row;
         let n = &nonrobust.report.row;

@@ -48,13 +48,13 @@ use crate::engine::{
 };
 use crate::json::{Json, JsonError};
 use crate::pattern::TestSequence;
-use crate::report::{CircuitReport, Table3Row};
+use crate::report::{CircuitReport, ClassCounts, Coverage, Table3Row};
 use gdf_algebra::logic3::Logic3;
 use gdf_netlist::{
-    to_bench, Circuit, DelayFault, DelayFaultKind, Fault, FaultSite, FaultUniverse, NodeId,
-    StuckAtKind, StuckFault,
+    to_bench, Circuit, DelayFault, DelayFaultKind, Fault, FaultSite, FaultUniverse, ModelKind,
+    NodeId, StuckAtKind, StuckFault, TransitionFault,
 };
-use gdf_tdgen::FaultModel;
+use gdf_tdgen::Sensitization;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -62,7 +62,20 @@ use std::path::Path;
 use std::time::Duration;
 
 /// Current artifact schema version.
-pub const ARTIFACT_VERSION: u64 = 1;
+///
+/// * **v2** (PR 5): the config carries a `model` (fault model:
+///   `delay`/`stuck`/`transition`) *and* a `sensitization`
+///   (`robust`/`non-robust`); reports embed a `coverage` object;
+///   transition faults encode with model tag `"transition"`.
+/// * **v1** (PR 3/4): `model` held the sensitization name and the fault
+///   model was implied by the backend. v1 documents still load —
+///   [`RunArtifact::decode`] maps the old fields and reconstructs the
+///   coverage tally from the records (without collapsed denominators,
+///   which v1 never recorded).
+pub const ARTIFACT_VERSION: u64 = 2;
+
+/// Oldest artifact version [`RunArtifact::decode`] still reads.
+pub const ARTIFACT_VERSION_MIN: u64 = 1;
 
 /// Errors of the artifact layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -240,6 +253,7 @@ pub fn encode_fault(fault: Fault, circuit: &Circuit) -> Json {
     let (model, kind, site) = match fault {
         Fault::Delay(f) => ("delay", f.kind.short_name().to_string(), f.site),
         Fault::Stuck(f) => ("stuck", f.kind.to_string(), f.site),
+        Fault::Transition(f) => ("transition", f.short_name().to_string(), f.site),
     };
     let mut fields = vec![
         ("model".into(), Json::Str(model.into())),
@@ -287,6 +301,14 @@ pub fn decode_fault(j: &Json, circuit: &Circuit) -> Result<Fault, ArtifactError>
                 other => return Err(schema(format!("unknown stuck-at kind `{other}`"))),
             };
             Ok(Fault::Stuck(StuckFault { site, kind }))
+        }
+        "transition" => {
+            let kind = match kind {
+                "str" => DelayFaultKind::SlowToRise,
+                "stf" => DelayFaultKind::SlowToFall,
+                other => return Err(schema(format!("unknown transition fault kind `{other}`"))),
+            };
+            Ok(Fault::Transition(TransitionFault { site, kind }))
         }
         other => Err(schema(format!("unknown fault model `{other}`"))),
     }
@@ -453,22 +475,31 @@ fn decode_node_list(j: Option<&Json>, circuit: &Circuit) -> Result<Vec<NodeId>, 
 // Config codec
 // ---------------------------------------------------------------------
 
+/// The wire name of a sensitization criterion ([`decode_sensitization`]
+/// is the inverse).
+fn encode_sensitization(s: Sensitization) -> &'static str {
+    match s {
+        Sensitization::Robust => "robust",
+        Sensitization::NonRobust => "non-robust",
+    }
+}
+
+fn decode_sensitization(name: &str) -> Result<Sensitization, ArtifactError> {
+    name.parse().map_err(schema)
+}
+
 /// Encodes a [`RunConfig`] as the flat field list artifacts embed at
-/// their top level (`backend`, `model`, `universe`, `limits`, `seed`);
-/// [`decode_config`] is the inverse. Public because the wire formats of
-/// `gdf serve` (job records, submissions) reuse the exact same fields.
+/// their top level (`backend`, `model`, `sensitization`, `universe`,
+/// `limits`, `seed`); [`decode_config`] is the inverse. Public because
+/// the wire formats of `gdf serve` (job records, submissions) reuse the
+/// exact same fields.
 pub fn encode_config(c: &RunConfig) -> Vec<(String, Json)> {
     vec![
         ("backend".into(), Json::Str(c.backend.to_string())),
+        ("model".into(), Json::Str(c.model.name().into())),
         (
-            "model".into(),
-            Json::Str(
-                match c.model {
-                    FaultModel::Robust => "robust",
-                    FaultModel::NonRobust => "non-robust",
-                }
-                .into(),
-            ),
+            "sensitization".into(),
+            Json::Str(encode_sensitization(c.sensitization).into()),
         ),
         (
             "universe".into(),
@@ -511,14 +542,30 @@ pub fn encode_config(c: &RunConfig) -> Vec<(String, Json)> {
     ]
 }
 
-/// Decodes the [`encode_config`] fields from an object that embeds them.
+/// Decodes the [`encode_config`] fields (current layout) from an object
+/// that embeds them. For version-1 documents use [`decode_config_v1`].
 pub fn decode_config(j: &Json) -> Result<RunConfig, ArtifactError> {
     let backend: Backend = str_field(j, "backend")?.parse().map_err(schema)?;
-    let model = match str_field(j, "model")? {
-        "robust" => FaultModel::Robust,
-        "non-robust" => FaultModel::NonRobust,
-        other => return Err(schema(format!("unknown fault model `{other}`"))),
-    };
+    let model: ModelKind = str_field(j, "model")?.parse().map_err(schema)?;
+    let sensitization = decode_sensitization(str_field(j, "sensitization")?)?;
+    decode_config_rest(j, backend, model, sensitization)
+}
+
+/// Decodes the **version-1** config layout (PR 3/4 artifacts and job
+/// records): `model` held the sensitization name (`robust`/`non-robust`)
+/// and the fault model was implied by the backend.
+pub fn decode_config_v1(j: &Json) -> Result<RunConfig, ArtifactError> {
+    let backend: Backend = str_field(j, "backend")?.parse().map_err(schema)?;
+    let sensitization = decode_sensitization(str_field(j, "model")?)?;
+    decode_config_rest(j, backend, backend.default_model(), sensitization)
+}
+
+fn decode_config_rest(
+    j: &Json,
+    backend: Backend,
+    model: ModelKind,
+    sensitization: Sensitization,
+) -> Result<RunConfig, ArtifactError> {
     let u = j
         .get("universe")
         .ok_or_else(|| schema("missing `universe`"))?;
@@ -542,6 +589,7 @@ pub fn decode_config(j: &Json) -> Result<RunConfig, ArtifactError> {
     Ok(RunConfig {
         backend,
         model,
+        sensitization,
         universe,
         limits,
         seed,
@@ -684,7 +732,7 @@ impl RunArtifact {
     /// Mostly useful in tests and examples.
     pub fn checkpoint_stub(circuit: &Circuit, backend: Backend, seed: u64) -> Self {
         let config = RunConfig::new(backend).with_seed(seed);
-        let total = crate::engine::faults_of(circuit, backend, &config.universe).len();
+        let total = crate::engine::faults_of(circuit, config.model, &config.universe).len();
         RunArtifact {
             config,
             circuit: CircuitSource::of(circuit),
@@ -918,10 +966,17 @@ impl RunArtifact {
             return Err(schema("not a gdf-run artifact"));
         }
         let version = usize_field(&j, "version")? as u64;
-        if version != ARTIFACT_VERSION {
-            return Err(schema(format!("unsupported artifact version {version}")));
+        if !(ARTIFACT_VERSION_MIN..=ARTIFACT_VERSION).contains(&version) {
+            return Err(schema(format!(
+                "unsupported artifact version {version} (this build reads \
+                 v{ARTIFACT_VERSION_MIN} through v{ARTIFACT_VERSION})"
+            )));
         }
-        let config = decode_config(&j)?;
+        let config = if version == 1 {
+            decode_config_v1(&j)?
+        } else {
+            decode_config(&j)?
+        };
         let circuit = CircuitSource::decode(
             j.get("circuit")
                 .ok_or_else(|| schema("missing `circuit`"))?,
@@ -999,7 +1054,12 @@ impl RunArtifact {
         };
         let report = match j.get("report") {
             None | Some(Json::Null) => None,
-            Some(r) => Some(decode_report(r, &circuit.name)?),
+            // A v1 report has no coverage object; the tally is
+            // reconstructed from the decoded records (collapsed
+            // denominators stay unknown — v1 never recorded them).
+            Some(r) => Some(decode_report(r, &circuit.name, || {
+                coverage_from_entries(&records)
+            })?),
         };
         Ok(RunArtifact {
             config,
@@ -1054,10 +1114,76 @@ fn encode_report(r: &CircuitReport) -> Json {
             Json::Num(r.dropped_by_simulation as f64),
         ),
         ("sequences".into(), Json::Num(r.sequences as f64)),
+        ("coverage".into(), encode_coverage(&r.coverage)),
     ])
 }
 
-fn decode_report(j: &Json, default_circuit: &str) -> Result<CircuitReport, ArtifactError> {
+/// Encodes a [`Coverage`] tally as the nested object reports embed —
+/// shared with the `gdf serve` job summaries.
+pub fn encode_coverage(c: &Coverage) -> Json {
+    let mut fields = vec![
+        ("detected".into(), Json::Num(c.detected as f64)),
+        (
+            "possibly_detected".into(),
+            Json::Num(c.possibly_detected as f64),
+        ),
+        ("untestable".into(), Json::Num(c.untestable as f64)),
+        ("aborted".into(), Json::Num(c.aborted as f64)),
+        ("total".into(), Json::Num(c.total as f64)),
+    ];
+    if let Some(classes) = c.collapsed {
+        fields.push(("classes".into(), Json::Num(classes.classes as f64)));
+        fields.push((
+            "classes_detected".into(),
+            Json::Num(classes.detected as f64),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// Decodes the object produced by [`encode_coverage`].
+pub fn decode_coverage(j: &Json) -> Result<Coverage, ArtifactError> {
+    let count = |name: &str| -> Result<u32, ArtifactError> { Ok(usize_field(j, name)? as u32) };
+    let collapsed = match (
+        j.get("classes").and_then(Json::as_usize),
+        j.get("classes_detected").and_then(Json::as_usize),
+    ) {
+        (Some(classes), Some(detected)) => Some(ClassCounts {
+            classes: classes as u32,
+            detected: detected as u32,
+        }),
+        _ => None,
+    };
+    Ok(Coverage {
+        detected: count("detected")?,
+        possibly_detected: count("possibly_detected")?,
+        untestable: count("untestable")?,
+        aborted: count("aborted")?,
+        total: count("total")?,
+        collapsed,
+    })
+}
+
+/// Reconstructs the (uncollapsed) coverage tally from decided record
+/// entries — the fallback for version-1 reports, which predate the
+/// embedded coverage object.
+fn coverage_from_entries(records: &[Option<RecordEntry>]) -> Coverage {
+    let mut coverage = Coverage::zero(records.len() as u32);
+    for entry in records.iter().flatten() {
+        coverage.count(entry.classification, entry.by_simulation);
+    }
+    coverage
+}
+
+fn decode_report(
+    j: &Json,
+    default_circuit: &str,
+    fallback_coverage: impl FnOnce() -> Coverage,
+) -> Result<CircuitReport, ArtifactError> {
+    let coverage = match j.get("coverage") {
+        None | Some(Json::Null) => fallback_coverage(),
+        Some(c) => decode_coverage(c)?,
+    };
     Ok(CircuitReport {
         row: Table3Row {
             circuit: j
@@ -1077,6 +1203,7 @@ fn decode_report(j: &Json, default_circuit: &str) -> Result<CircuitReport, Artif
         },
         dropped_by_simulation: usize_field(j, "dropped_by_simulation")? as u32,
         sequences: usize_field(j, "sequences")? as u32,
+        coverage,
     })
 }
 
@@ -1273,11 +1400,16 @@ mod tests {
     #[test]
     fn fault_round_trip_by_name() {
         let c = suite::s27();
-        for fault in crate::engine::faults_of(&c, Backend::NonScan, &FaultUniverse::default())
+        for fault in crate::engine::faults_of(&c, ModelKind::Delay, &FaultUniverse::default())
             .into_iter()
             .chain(crate::engine::faults_of(
                 &c,
-                Backend::StuckAt,
+                ModelKind::Stuck,
+                &FaultUniverse::default(),
+            ))
+            .chain(crate::engine::faults_of(
+                &c,
+                ModelKind::Transition,
                 &FaultUniverse::default(),
             ))
         {
@@ -1390,7 +1522,7 @@ mod tests {
         let c = suite::s27();
         let other = suite::table3_circuit("s208").unwrap();
         let artifact = RunArtifact::checkpoint_stub(&c, Backend::StuckAt, 1);
-        let faults = crate::engine::faults_of(&other, Backend::StuckAt, &FaultUniverse::default());
+        let faults = crate::engine::faults_of(&other, ModelKind::Stuck, &FaultUniverse::default());
         assert!(matches!(
             artifact.resume_state(&other, &faults),
             Err(ArtifactError::Mismatch(_))

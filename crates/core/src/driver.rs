@@ -31,14 +31,15 @@ use crate::report::CircuitReport;
 use gdf_algebra::delay::DelaySet;
 use gdf_algebra::logic3::Logic3;
 use gdf_algebra::static5::{StaticSet, StaticValue};
-use gdf_netlist::{Circuit, DelayFault, Fault, FaultUniverse, NodeId};
+use gdf_netlist::{Circuit, DelayFault, Fault, FaultUniverse, ModelKind, NodeId, TransitionFault};
 use gdf_semilet::justify::{synchronize, SyncLimits, SyncOutcome};
 use gdf_semilet::propagate::{propagate_to_po, PropagateLimits, PropagateOutcome};
 use gdf_sim::{
-    detected_delay_faults, grade_filled_sequence, two_frame_values, Fausim, GradeScratch,
+    detected_delay_faults, grade_filled_sequence, grade_filled_sequence_transition,
+    two_frame_values, Fausim, GradeScratch,
 };
 use gdf_tdgen::{
-    FaultModel, LocalObservation, LocalTest, PpoValue, TdGen, TdGenConfig, TdGenOutcome,
+    LocalObservation, LocalTest, PpoValue, Sensitization, TdGen, TdGenConfig, TdGenOutcome,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -60,8 +61,16 @@ pub struct DelayAtpgConfig {
     pub max_propagation_frames: usize,
     /// Maximum synchronizing-sequence length.
     pub max_sync_frames: usize,
-    /// Robust (paper default) or non-robust fault model.
-    pub model: FaultModel,
+    /// Which fault model the driver targets: [`ModelKind::Delay`] (the
+    /// paper's robust gate delay faults, the default) or
+    /// [`ModelKind::Transition`] (gross-delay faults, forced non-robust).
+    /// The stuck-at model belongs to the SEMILET backend, not this
+    /// driver.
+    pub model: ModelKind,
+    /// Robust (paper default) or non-robust sensitization. Overridden to
+    /// non-robust when `model` is [`ModelKind::Transition`]
+    /// ([`DelayAtpgConfig::effective_sensitization`]).
+    pub sensitization: Sensitization,
     /// Which fault universe to target.
     pub universe: FaultUniverse,
     /// Seed for the random X-fill before fault simulation (paper §5:
@@ -87,7 +96,8 @@ impl Default for DelayAtpgConfig {
             sequential_backtrack_limit: limits.sequential_backtrack_limit,
             max_propagation_frames: limits.max_propagation_frames,
             max_sync_frames: limits.max_sync_frames,
-            model: FaultModel::Robust,
+            model: ModelKind::Delay,
+            sensitization: Sensitization::Robust,
             universe: FaultUniverse::default(),
             xfill_seed: 0x1995_0308,
             max_observation_retries: limits.max_observation_retries,
@@ -126,10 +136,29 @@ impl DelayAtpgConfig {
         self
     }
 
-    /// Selects the robust (default) or non-robust fault model.
-    pub fn with_model(mut self, model: FaultModel) -> Self {
+    /// Selects the fault model (delay, the default, or transition).
+    ///
+    /// Until PR 5 this setter took the robust/non-robust criterion; that
+    /// moved to [`DelayAtpgConfig::with_sensitization`].
+    pub fn with_model(mut self, model: ModelKind) -> Self {
         self.model = model;
         self
+    }
+
+    /// Selects the robust (default) or non-robust sensitization.
+    pub fn with_sensitization(mut self, sensitization: Sensitization) -> Self {
+        self.sensitization = sensitization;
+        self
+    }
+
+    /// The sensitization the TDgen search actually runs with: the
+    /// transition model is defined by final-value (non-robust)
+    /// sensitization, so it overrides the configured criterion.
+    pub fn effective_sensitization(&self) -> Sensitization {
+        match self.model {
+            ModelKind::Transition => Sensitization::NonRobust,
+            _ => self.sensitization,
+        }
     }
 
     /// Selects the fault universe to target.
@@ -291,7 +320,7 @@ impl<'c> DelayAtpg<'c> {
             self.circuit,
             TdGenConfig {
                 backtrack_limit: self.config.local_backtrack_limit,
-                model: self.config.model,
+                sensitization: self.config.effective_sensitization(),
             },
         );
         let mut banned: Vec<usize> = Vec::new();
@@ -508,6 +537,42 @@ impl<'c> DelayAtpg<'c> {
         ))
     }
 
+    /// The transition-model twin of
+    /// [`DelayAtpg::fault_simulate_sequence`]: the same three-phase
+    /// pipeline (same X-fill RNG discipline), with phase 3 swapped for
+    /// the packed non-robust final-value classification
+    /// ([`gdf_sim::grading::grade_filled_sequence_transition`]). The
+    /// [`DelayAtpgConfig::reference_fsim`] switch has no effect here —
+    /// the packed transition path is differential-tested against its
+    /// scalar reference inside `gdf_sim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtpgError::StaticSequence`] for all-slow static
+    /// sequences, like the delay variant.
+    pub fn fault_simulate_sequence_transition(
+        &self,
+        sequence: &TestSequence,
+        relied_ppos: &[NodeId],
+        faults: &[TransitionFault],
+        rng: &mut StdRng,
+        scratch: &mut FsimScratch,
+    ) -> Result<Vec<usize>, AtpgError> {
+        let Some(fast) = sequence.at_speed() else {
+            return Err(AtpgError::StaticSequence);
+        };
+        sequence.fill_into(|| rng.gen(), &mut scratch.filled);
+        Ok(grade_filled_sequence_transition(
+            self.circuit,
+            &scratch.filled,
+            fast,
+            relied_ppos,
+            faults,
+            rng,
+            &mut scratch.grade,
+        ))
+    }
+
     /// The scalar reference implementation of
     /// [`DelayAtpg::fault_simulate_sequence`]: one cone trace per fault,
     /// one sequential walk per PPO. Kept as the §5 correctness oracle the
@@ -712,7 +777,7 @@ mod tests {
         let nonrobust = DelayAtpg::with_config(
             &c,
             DelayAtpgConfig {
-                model: FaultModel::NonRobust,
+                sensitization: Sensitization::NonRobust,
                 ..DelayAtpgConfig::default()
             },
         )

@@ -47,11 +47,11 @@ use crate::driver::{
     AtpgRun, DelayAtpg, DelayAtpgConfig, FaultClassification, FaultRecord, FsimScratch,
 };
 use crate::pattern::TestSequence;
-use crate::report::{CircuitReport, Table3Row};
+use crate::report::{CircuitReport, Coverage, Table3Row};
 use crate::scan::ScanDelayAtpg;
-use gdf_netlist::{Circuit, Fault, FaultUniverse, NodeId};
+use gdf_netlist::{Circuit, DelayFault, Fault, FaultUniverse, ModelKind, NodeId};
 use gdf_semilet::stuckat::{StuckAtAtpg, StuckAtConfig, StuckAtOutcome};
-use gdf_tdgen::{FaultModel, TdGenConfig};
+use gdf_tdgen::{Sensitization, TdGenConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -151,6 +151,14 @@ pub enum AtpgError {
         /// The offending fault.
         fault: Fault,
     },
+    /// The configured fault model is not supported by the configured
+    /// backend (e.g. transition faults on the stuck-at engine).
+    UnsupportedModel {
+        /// The configured backend.
+        backend: Backend,
+        /// The unsupported model.
+        model: ModelKind,
+    },
     /// An [`Observer`] requested cancellation; the run classified every
     /// remaining fault as aborted and returned early.
     Cancelled,
@@ -168,6 +176,12 @@ impl fmt::Display for AtpgError {
         match self {
             AtpgError::UnsupportedFault { engine, .. } => {
                 write!(f, "fault model not supported by the {engine} engine")
+            }
+            AtpgError::UnsupportedModel { backend, model } => {
+                write!(
+                    f,
+                    "the {backend} backend does not support the {model} fault model"
+                )
             }
             AtpgError::Cancelled => f.write_str("run cancelled by observer"),
             AtpgError::TimeBudgetExceeded => f.write_str("time budget exceeded"),
@@ -238,8 +252,13 @@ impl FaultOutcome {
 pub struct RunConfig {
     /// Which backend the run drives.
     pub backend: Backend,
-    /// Robust or non-robust delay model (ignored by the stuck-at backend).
-    pub model: FaultModel,
+    /// Which fault model the run targets (must be supported by the
+    /// backend, see [`Backend::supports`]).
+    pub model: ModelKind,
+    /// Robust or non-robust sensitization of delay tests (ignored by the
+    /// stuck-at backend; the transition model always grades
+    /// non-robustly).
+    pub sensitization: Sensitization,
     /// The enumerated fault universe.
     pub universe: FaultUniverse,
     /// Search budgets.
@@ -249,22 +268,70 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
-    /// The default configuration (robust model, full universe, paper
-    /// limits, default seed) for `backend`.
+    /// The default configuration for `backend`: its default fault model
+    /// ([`Backend::default_model`]), robust sensitization, full universe,
+    /// paper limits, default seed.
     pub fn new(backend: Backend) -> Self {
         RunConfig {
             backend,
-            model: FaultModel::Robust,
+            model: backend.default_model(),
+            sensitization: Sensitization::Robust,
             universe: FaultUniverse::default(),
             limits: Limits::default(),
             seed: 0x1995_0308,
         }
     }
 
+    /// Replaces the fault model.
+    pub fn with_model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
     /// Replaces the X-fill seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// The sensitization the delay machinery actually runs with: the
+    /// transition model is defined by non-robust (final-value)
+    /// sensitization, so it overrides the configured criterion.
+    pub fn effective_sensitization(&self) -> Sensitization {
+        match self.model {
+            ModelKind::Transition => Sensitization::NonRobust,
+            _ => self.sensitization,
+        }
+    }
+
+    /// Applies a user-supplied `--model`-style name: the fault-model
+    /// names set [`RunConfig::model`]; the pre-PR-5 sensitization
+    /// spellings (`robust`/`non-robust`), which used to live under the
+    /// same flag, set [`RunConfig::sensitization`] instead. The one
+    /// compat shim shared by the CLI and the serve submissions.
+    pub fn apply_model_name(&mut self, name: &str) -> Result<(), String> {
+        match name.parse::<ModelKind>() {
+            Ok(model) => self.model = model,
+            Err(model_err) => match name.parse::<Sensitization>() {
+                Ok(s) => self.sensitization = s,
+                Err(_) => return Err(model_err),
+            },
+        }
+        Ok(())
+    }
+
+    /// Rejects backend/model pairings the backend cannot drive — the
+    /// same check [`AtpgBuilder::try_build`] performs, available before
+    /// a circuit is at hand (CLI flag validation, `POST /jobs`).
+    pub fn validate(&self) -> Result<(), AtpgError> {
+        if self.backend.supports(self.model) {
+            Ok(())
+        } else {
+            Err(AtpgError::UnsupportedModel {
+                backend: self.backend,
+                model: self.model,
+            })
+        }
     }
 }
 
@@ -428,7 +495,8 @@ impl Atpg {
         AtpgBuilder {
             circuit,
             backend: Backend::NonScan,
-            model: FaultModel::Robust,
+            model: None,
+            sensitization: Sensitization::Robust,
             universe: FaultUniverse::default(),
             limits: Limits::default(),
             seed: 0x1995_0308,
@@ -449,6 +517,29 @@ pub enum Backend {
     EnhancedScan,
     /// SEMILET's standalone sequential stuck-at ATPG.
     StuckAt,
+}
+
+impl Backend {
+    /// The fault model a bare `backend` selection runs: delay faults for
+    /// the two delay generators, stuck-at for the stuck-at engine.
+    pub fn default_model(self) -> ModelKind {
+        match self {
+            Backend::NonScan | Backend::EnhancedScan => ModelKind::Delay,
+            Backend::StuckAt => ModelKind::Stuck,
+        }
+    }
+
+    /// Whether this backend can drive `model`. The delay generators run
+    /// the delay and transition models (the latter by forcing non-robust
+    /// sensitization); the stuck-at engine runs stuck-at faults only.
+    pub fn supports(self, model: ModelKind) -> bool {
+        match self {
+            Backend::NonScan | Backend::EnhancedScan => {
+                matches!(model, ModelKind::Delay | ModelKind::Transition)
+            }
+            Backend::StuckAt => model == ModelKind::Stuck,
+        }
+    }
 }
 
 impl fmt::Display for Backend {
@@ -484,7 +575,8 @@ impl std::str::FromStr for Backend {
 pub struct AtpgBuilder<'c> {
     circuit: &'c Circuit,
     backend: Backend,
-    model: FaultModel,
+    model: Option<ModelKind>,
+    sensitization: Sensitization,
     universe: FaultUniverse,
     limits: Limits,
     seed: u64,
@@ -501,10 +593,23 @@ impl<'c> AtpgBuilder<'c> {
         self
     }
 
-    /// Robust (default) or non-robust delay fault model. Ignored by the
-    /// stuck-at backend.
-    pub fn model(mut self, model: FaultModel) -> Self {
-        self.model = model;
+    /// Selects the fault model (default: the backend's
+    /// [`Backend::default_model`]). The backend must support it —
+    /// [`AtpgBuilder::try_build`] rejects unsupported pairings with
+    /// [`AtpgError::UnsupportedModel`].
+    ///
+    /// Until PR 5 this setter took the robust/non-robust criterion; that
+    /// moved to [`AtpgBuilder::sensitization`].
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Robust (default) or non-robust sensitization of delay tests.
+    /// Ignored by the stuck-at backend; the transition model always
+    /// runs non-robustly.
+    pub fn sensitization(mut self, sensitization: Sensitization) -> Self {
+        self.sensitization = sensitization;
         self
     }
 
@@ -601,61 +706,93 @@ impl<'c> AtpgBuilder<'c> {
     ) -> Result<Self, crate::artifact::ArtifactError> {
         let config = artifact.config();
         self.backend = config.backend;
-        self.model = config.model;
+        self.model = Some(config.model);
+        self.sensitization = config.sensitization;
         self.universe = config.universe;
         self.limits = config.limits;
         self.seed = config.seed;
-        let faults = faults_of(self.circuit, config.backend, &config.universe);
+        let faults = faults_of(self.circuit, config.model, &config.universe);
         self.resume = Some(artifact.resume_state(self.circuit, &faults)?);
         Ok(self)
+    }
+
+    /// The full [`RunConfig`] this builder resolves to, with the model
+    /// defaulted from the backend when unset.
+    fn resolved_config(&self) -> RunConfig {
+        RunConfig {
+            backend: self.backend,
+            model: self.model.unwrap_or_else(|| self.backend.default_model()),
+            sensitization: self.sensitization,
+            universe: self.universe,
+            limits: self.limits,
+            seed: self.seed,
+        }
     }
 
     /// Builds the selected backend as a boxed [`AtpgEngine`].
     ///
     /// # Panics
     ///
-    /// Panics if a [`AtpgBuilder::resume_from`] state is installed but a
-    /// later `.backend(…)` / `.universe(…)` call changed the fault list
-    /// it was validated against — override only runtime options
-    /// (`.parallelism`, `.time_budget`, `.observer`) after `resume_from`.
+    /// Panics when [`AtpgBuilder::try_build`] would error: the backend
+    /// does not support the configured fault model, or a
+    /// [`AtpgBuilder::resume_from`] state is installed but a later
+    /// `.backend(…)` / `.model(…)` / `.universe(…)` call changed the
+    /// fault list it was validated against — override only runtime
+    /// options (`.parallelism`, `.time_budget`, `.observer`) after
+    /// `resume_from`.
     pub fn build(self) -> Box<dyn AtpgEngine + 'c> {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the selected backend, rejecting unsupported backend/model
+    /// pairings with [`AtpgError::UnsupportedModel`] instead of
+    /// panicking — the entry point for surfaces driven by user input
+    /// (the CLI, `gdf serve` submissions).
+    pub fn try_build(self) -> Result<Box<dyn AtpgEngine + 'c>, AtpgError> {
+        let config = self.resolved_config();
+        if !self.backend.supports(config.model) {
+            return Err(AtpgError::UnsupportedModel {
+                backend: self.backend,
+                model: config.model,
+            });
+        }
         if let Some(resume) = &self.resume {
-            let n = faults_of(self.circuit, self.backend, &self.universe).len();
+            let n = faults_of(self.circuit, config.model, &self.universe).len();
             assert_eq!(
                 resume.records.len(),
                 n,
                 "resume state no longer matches the configured fault universe; do not \
-                 change .backend()/.universe() after .resume_from()"
+                 change .backend()/.model()/.universe() after .resume_from()"
             );
         }
         let opts = RunOptions {
-            config: RunConfig {
-                backend: self.backend,
-                model: self.model,
-                universe: self.universe,
-                limits: self.limits,
-                seed: self.seed,
-            },
+            config,
             parallelism: self.parallelism,
             time_budget: self.time_budget,
             observers: self.observers,
             resume: self.resume,
         };
-        match self.backend {
+        Ok(match self.backend {
             Backend::NonScan => {
-                let config = DelayAtpgConfig::new()
-                    .with_model(self.model)
+                let driver_config = DelayAtpgConfig::new()
+                    .with_model(config.model)
+                    .with_sensitization(config.sensitization)
                     .with_universe(self.universe)
                     .with_xfill_seed(self.seed)
                     .with_limits(self.limits);
-                Box::new(NonScanEngine::with_options(self.circuit, config, opts))
+                Box::new(NonScanEngine::with_options(
+                    self.circuit,
+                    driver_config,
+                    opts,
+                ))
             }
             Backend::EnhancedScan => Box::new(EnhancedScanEngine::with_options(
                 self.circuit,
                 TdGenConfig {
                     backtrack_limit: self.limits.local_backtrack_limit,
-                    model: self.model,
+                    sensitization: config.effective_sensitization(),
                 },
+                config.model,
                 self.universe,
                 opts,
             )),
@@ -668,7 +805,7 @@ impl<'c> AtpgBuilder<'c> {
                 self.universe,
                 opts,
             )),
-        }
+        })
     }
 }
 
@@ -684,13 +821,7 @@ struct RunOptions<'c> {
 impl Default for RunOptions<'_> {
     fn default() -> Self {
         RunOptions {
-            config: RunConfig {
-                backend: Backend::NonScan,
-                model: FaultModel::Robust,
-                universe: FaultUniverse::default(),
-                limits: Limits::default(),
-                seed: 0x1995_0308,
-            },
+            config: RunConfig::new(Backend::NonScan),
             parallelism: 1,
             time_budget: None,
             observers: Vec::new(),
@@ -699,26 +830,17 @@ impl Default for RunOptions<'_> {
     }
 }
 
-/// The deterministic fault list a backend enumerates for a universe —
-/// the single enumeration shared by the engine constructors and
-/// [`AtpgBuilder::resume_from`]'s alignment check.
+/// The deterministic fault list an engine enumerates for a model and
+/// universe — the [`gdf_netlist::model::FaultModel`] trait's lazy
+/// [`gdf_netlist::FaultSet`], collected once per run (the orchestrator
+/// needs index-aligned per-fault records). Shared by the engine
+/// constructors and [`AtpgBuilder::resume_from`]'s alignment check.
 pub(crate) fn faults_of(
     circuit: &Circuit,
-    backend: Backend,
+    model: ModelKind,
     universe: &FaultUniverse,
 ) -> Vec<Fault> {
-    match backend {
-        Backend::NonScan | Backend::EnhancedScan => universe
-            .delay_faults(circuit)
-            .into_iter()
-            .map(Fault::Delay)
-            .collect(),
-        Backend::StuckAt => universe
-            .stuck_faults(circuit)
-            .into_iter()
-            .map(Fault::Stuck)
-            .collect(),
-    }
+    model.model().enumerate(circuit, universe).collect()
 }
 
 /// Internal per-backend generation/credit hooks. `Sync` so speculative
@@ -742,9 +864,24 @@ trait Worker: Sync {
     }
 }
 
+/// The delay-machinery view of a fault under `model`: delay faults pass
+/// through; transition faults map to the same-site/same-direction delay
+/// fault the TDgen/SEMILET pipeline drives (with non-robust
+/// sensitization forced by the caller); anything else is foreign.
+fn delay_view(model: ModelKind, fault: Fault) -> Option<DelayFault> {
+    match model {
+        ModelKind::Delay => fault.as_delay(),
+        ModelKind::Transition => fault.as_transition().map(|t| DelayFault {
+            site: t.site,
+            kind: t.kind,
+        }),
+        ModelKind::Stuck => None,
+    }
+}
+
 impl Worker for DelayAtpg<'_> {
     fn generate(&self, fault: Fault) -> Result<FaultOutcome, AtpgError> {
-        let f = fault.as_delay().ok_or(AtpgError::UnsupportedFault {
+        let f = delay_view(self.config().model, fault).ok_or(AtpgError::UnsupportedFault {
             engine: NON_SCAN,
             fault,
         })?;
@@ -758,28 +895,56 @@ impl Worker for DelayAtpg<'_> {
         rng: &mut StdRng,
         scratch: &mut FsimScratch,
     ) -> Vec<usize> {
-        let delay: Vec<_> = candidates
-            .iter()
-            .map(|f| f.as_delay().expect("non-scan universe is delay faults"))
-            .collect();
-        self.fault_simulate_sequence(
-            &detection.sequence,
-            &detection.relied_ppos,
-            &delay,
-            rng,
-            scratch,
-        )
+        match self.config().model {
+            ModelKind::Transition => {
+                let transition: Vec<_> = candidates
+                    .iter()
+                    .map(|f| {
+                        f.as_transition()
+                            .expect("transition universe is transition faults")
+                    })
+                    .collect();
+                self.fault_simulate_sequence_transition(
+                    &detection.sequence,
+                    &detection.relied_ppos,
+                    &transition,
+                    rng,
+                    scratch,
+                )
+            }
+            _ => {
+                let delay: Vec<_> = candidates
+                    .iter()
+                    .map(|f| f.as_delay().expect("non-scan universe is delay faults"))
+                    .collect();
+                self.fault_simulate_sequence(
+                    &detection.sequence,
+                    &detection.relied_ppos,
+                    &delay,
+                    rng,
+                    scratch,
+                )
+            }
+        }
         .expect("non-scan detections always carry an at-speed sequence")
     }
 }
 
-impl Worker for ScanDelayAtpg {
+/// The enhanced-scan generator plus the model it runs — transition
+/// faults map through [`delay_view`] onto the combinational TDgen (whose
+/// sensitization the engine constructor already forced non-robust).
+struct ScanWorker {
+    scan: ScanDelayAtpg,
+    model: ModelKind,
+}
+
+impl Worker for ScanWorker {
     fn generate(&self, fault: Fault) -> Result<FaultOutcome, AtpgError> {
-        let f = fault.as_delay().ok_or(AtpgError::UnsupportedFault {
+        let f = delay_view(self.model, fault).ok_or(AtpgError::UnsupportedFault {
             engine: ENHANCED_SCAN,
             fault,
         })?;
-        Ok(self.generate(f))
+        Ok(self.scan.generate(f))
     }
 }
 
@@ -813,7 +978,7 @@ pub struct NonScanEngine<'c> {
 }
 
 impl<'c> NonScanEngine<'c> {
-    /// Default configuration (paper limits, robust model).
+    /// Default configuration (paper limits, robust delay model).
     pub fn new(circuit: &'c Circuit) -> Self {
         Self::with_config(circuit, DelayAtpgConfig::default())
     }
@@ -824,6 +989,7 @@ impl<'c> NonScanEngine<'c> {
             config: RunConfig {
                 backend: Backend::NonScan,
                 model: config.model,
+                sensitization: config.sensitization,
                 universe: config.universe,
                 limits: config.limits(),
                 seed: config.xfill_seed,
@@ -834,7 +1000,7 @@ impl<'c> NonScanEngine<'c> {
     }
 
     fn with_options(circuit: &'c Circuit, config: DelayAtpgConfig, opts: RunOptions<'c>) -> Self {
-        let faults = faults_of(circuit, Backend::NonScan, &config.universe);
+        let faults = faults_of(circuit, config.model, &config.universe);
         NonScanEngine {
             driver: DelayAtpg::with_config(circuit, config),
             faults,
@@ -874,7 +1040,7 @@ impl AtpgEngine for NonScanEngine<'_> {
 /// The enhanced-scan combinational baseline behind the unified API.
 pub struct EnhancedScanEngine<'c> {
     circuit: &'c Circuit,
-    scan: ScanDelayAtpg,
+    worker: ScanWorker,
     faults: Vec<Fault>,
     opts: RunOptions<'c>,
 }
@@ -885,6 +1051,7 @@ impl<'c> EnhancedScanEngine<'c> {
         Self::with_options(
             circuit,
             TdGenConfig::default(),
+            ModelKind::Delay,
             FaultUniverse::default(),
             RunOptions::default(),
         )
@@ -893,17 +1060,21 @@ impl<'c> EnhancedScanEngine<'c> {
     fn with_options(
         circuit: &'c Circuit,
         config: TdGenConfig,
+        model: ModelKind,
         universe: FaultUniverse,
         mut opts: RunOptions<'c>,
     ) -> Self {
         opts.config.backend = Backend::EnhancedScan;
-        opts.config.model = config.model;
+        opts.config.model = model;
         opts.config.universe = universe;
         opts.config.limits.local_backtrack_limit = config.backtrack_limit;
-        let faults = faults_of(circuit, Backend::EnhancedScan, &universe);
+        let faults = faults_of(circuit, model, &universe);
         EnhancedScanEngine {
             circuit,
-            scan: ScanDelayAtpg::with_config(circuit, config),
+            worker: ScanWorker {
+                scan: ScanDelayAtpg::with_config(circuit, config),
+                model,
+            },
             faults,
             opts,
         }
@@ -924,14 +1095,14 @@ impl AtpgEngine for EnhancedScanEngine<'_> {
     }
 
     fn target(&mut self, fault: Fault) -> Result<FaultOutcome, AtpgError> {
-        Worker::generate(&self.scan, fault)
+        Worker::generate(&self.worker, fault)
     }
 
     fn run(&mut self) -> AtpgRun {
         orchestrate(
             ENHANCED_SCAN,
             self.circuit,
-            &self.scan,
+            &self.worker,
             &self.faults,
             &mut self.opts,
         )
@@ -963,10 +1134,11 @@ impl<'c> StuckAtEngine<'c> {
         mut opts: RunOptions<'c>,
     ) -> Self {
         opts.config.backend = Backend::StuckAt;
+        opts.config.model = ModelKind::Stuck;
         opts.config.universe = universe;
         opts.config.limits.sequential_backtrack_limit = config.backtrack_limit;
         opts.config.limits.max_stuckat_frames = config.max_frames;
-        let faults = faults_of(circuit, Backend::StuckAt, &universe);
+        let faults = faults_of(circuit, ModelKind::Stuck, &universe);
         StuckAtEngine {
             atpg: StuckAtAtpg::with_config(circuit, config),
             faults,
@@ -1231,6 +1403,10 @@ fn orchestrate(
     let records: Vec<FaultRecord> = records.into_iter().map(|r| r.expect("decided")).collect();
     let count =
         |c: FaultClassification| records.iter().filter(|r| r.classification == c).count() as u32;
+    // First-class coverage: the model's collapse classes give the
+    // collapsed denominator; the record stream gives the rest.
+    let classes = config.model.model().collapse(circuit, faults);
+    let coverage = Coverage::from_records(&records, Some(&classes.class_of));
     let report = CircuitReport {
         row: Table3Row {
             circuit: circuit.name().to_string(),
@@ -1242,6 +1418,7 @@ fn orchestrate(
         },
         dropped_by_simulation: dropped,
         sequences: sequences.len() as u32,
+        coverage,
     };
     for o in observers.iter_mut() {
         o.on_run_end(&report);

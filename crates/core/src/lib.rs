@@ -49,9 +49,10 @@ pub use engine::{
     Atpg, AtpgBuilder, AtpgEngine, AtpgError, Backend, Detection, EnhancedScanEngine, FaultOutcome,
     Limits, NonScanEngine, Observer, RunConfig, RunSnapshot, StuckAtEngine,
 };
-pub use gdf_netlist::Fault;
+pub use gdf_netlist::{Fault, FaultModel, FaultSet, ModelKind};
+pub use gdf_tdgen::Sensitization;
 pub use pattern::{ClockSpeed, TestSequence, TimedVector};
-pub use report::{CircuitReport, Table3Row};
+pub use report::{CircuitReport, ClassCounts, Coverage, Table3Row};
 pub use scan::ScanDelayAtpg;
 pub use session::{
     grade_patterns, Campaign, CampaignBuilder, CampaignReport, Checkpointer, EventObserver,

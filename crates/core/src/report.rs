@@ -1,5 +1,6 @@
-//! Statistics accumulation and Table 3 rendering.
+//! Statistics accumulation, first-class coverage, and Table 3 rendering.
 
+use crate::driver::{FaultClassification, FaultRecord};
 use std::fmt;
 use std::time::Duration;
 
@@ -67,6 +68,175 @@ impl fmt::Display for Table3Row {
     }
 }
 
+/// Collapsed-universe accounting: how many equivalence classes the
+/// fault list collapses into, and how many of them are detected (a class
+/// counts as detected when *any* member is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Number of equivalence classes (the collapsed denominator).
+    pub classes: u32,
+    /// Classes with at least one detected member.
+    pub detected: u32,
+}
+
+/// Standard ATPG coverage accounting, computed uniformly from the
+/// per-fault outcome stream of any backend and any fault model.
+///
+/// Two denominators are carried: the **uncollapsed** universe
+/// ([`Coverage::total`], every enumerated fault) and, when the producer
+/// had collapse information, the **collapsed** one
+/// ([`Coverage::collapsed`], one count per structural equivalence
+/// class). Detections split into *hard* detections (explicitly
+/// generated tests, [`Coverage::detected`]) and *possible* detections
+/// ([`Coverage::possibly_detected`]: faults credited by the
+/// random-X-fill fault-simulation pass, whose detection depends on the
+/// recorded fill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Faults with an explicitly generated test.
+    pub detected: u32,
+    /// Faults credited by the (random-fill) fault-simulation pass.
+    pub possibly_detected: u32,
+    /// Faults proven untestable within the search bounds.
+    pub untestable: u32,
+    /// Faults abandoned at a limit.
+    pub aborted: u32,
+    /// Uncollapsed universe size.
+    pub total: u32,
+    /// Collapsed accounting; `None` when the producer had no collapse
+    /// information (e.g. a version-1 artifact).
+    pub collapsed: Option<ClassCounts>,
+}
+
+impl Coverage {
+    /// An empty tally over a known universe size.
+    pub fn zero(total: u32) -> Self {
+        Coverage {
+            detected: 0,
+            possibly_detected: 0,
+            untestable: 0,
+            aborted: 0,
+            total,
+            collapsed: None,
+        }
+    }
+
+    /// Tallies a decided record stream. `class_of` (index-aligned with
+    /// `records`, values as produced by
+    /// [`gdf_netlist::model::FaultModel::collapse`]) enables the
+    /// collapsed denominators.
+    pub fn from_records(records: &[FaultRecord], class_of: Option<&[usize]>) -> Self {
+        let mut coverage = Coverage::zero(records.len() as u32);
+        for r in records {
+            coverage.count(r.classification, r.by_simulation);
+        }
+        if let Some(class_of) = class_of {
+            let classes = class_of.iter().copied().max().map_or(0, |m| m + 1);
+            let mut class_detected = vec![false; classes];
+            for (r, &class) in records.iter().zip(class_of) {
+                if r.classification == FaultClassification::Tested {
+                    class_detected[class] = true;
+                }
+            }
+            coverage.collapsed = Some(ClassCounts {
+                classes: classes as u32,
+                detected: class_detected.iter().filter(|&&d| d).count() as u32,
+            });
+        }
+        coverage
+    }
+
+    /// Adds one classified fault to the (uncollapsed) tally — the
+    /// streaming entry point for [`crate::engine::FaultOutcome`]
+    /// consumers that never hold the whole record list.
+    pub fn count(&mut self, classification: FaultClassification, by_simulation: bool) {
+        match classification {
+            FaultClassification::Tested if by_simulation => self.possibly_detected += 1,
+            FaultClassification::Tested => self.detected += 1,
+            FaultClassification::Untestable => self.untestable += 1,
+            FaultClassification::Aborted => self.aborted += 1,
+        }
+    }
+
+    /// All detections, hard and possible.
+    pub fn detected_total(&self) -> u32 {
+        self.detected + self.possibly_detected
+    }
+
+    /// Fault coverage: detections over the uncollapsed universe.
+    pub fn fault_coverage(&self) -> f64 {
+        ratio(self.detected_total(), self.total)
+    }
+
+    /// Test coverage: detections over the testable universe
+    /// (total − untestable) — the number a tester cares about.
+    pub fn test_coverage(&self) -> f64 {
+        ratio(
+            self.detected_total(),
+            self.total - self.untestable.min(self.total),
+        )
+    }
+
+    /// Fault efficiency: decided-with-certainty faults (detections plus
+    /// proven untestables) over the universe.
+    pub fn fault_efficiency(&self) -> f64 {
+        ratio(self.detected_total() + self.untestable, self.total)
+    }
+
+    /// Collapsed fault coverage (detected classes / classes), when
+    /// collapse information exists.
+    pub fn collapsed_coverage(&self) -> Option<f64> {
+        self.collapsed.map(|c| ratio(c.detected, c.classes))
+    }
+
+    /// Merges another tally into this one (campaign aggregation). The
+    /// collapsed counts survive only when both sides carry them.
+    pub fn merge(&mut self, other: &Coverage) {
+        self.detected += other.detected;
+        self.possibly_detected += other.possibly_detected;
+        self.untestable += other.untestable;
+        self.aborted += other.aborted;
+        self.total += other.total;
+        self.collapsed = match (self.collapsed, other.collapsed) {
+            (Some(a), Some(b)) => Some(ClassCounts {
+                classes: a.classes + b.classes,
+                detected: a.detected + b.detected,
+            }),
+            _ => None,
+        };
+    }
+}
+
+fn ratio(num: u32, den: u32) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for Coverage {
+    /// E.g. `"cov 84.4% eff 96.9% (49+5/64, 8 untestable, 2 aborted)"`,
+    /// with a `collapsed 86.2%` suffix when class counts exist.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cov {:.1}% eff {:.1}% ({}+{}/{}, {} untestable, {} aborted",
+            100.0 * self.fault_coverage(),
+            100.0 * self.fault_efficiency(),
+            self.detected,
+            self.possibly_detected,
+            self.total,
+            self.untestable,
+            self.aborted,
+        )?;
+        if let Some(c) = self.collapsed_coverage() {
+            write!(f, ", collapsed {:.1}%", 100.0 * c)?;
+        }
+        f.write_str(")")
+    }
+}
+
 /// Full report for one circuit, with the per-fault detail retained.
 #[derive(Debug, Clone)]
 pub struct CircuitReport {
@@ -79,12 +249,25 @@ pub struct CircuitReport {
     pub dropped_by_simulation: u32,
     /// Number of emitted test sequences.
     pub sequences: u32,
+    /// First-class coverage accounting over the run's fault universe.
+    pub coverage: Coverage,
 }
 
 impl CircuitReport {
-    /// Header matching [`Table3Row`]'s `Display` alignment.
+    /// Header matching [`CircuitReport::line`]'s alignment.
     pub fn header() -> &'static str {
-        "circuit       tested untstbl  aborted    #pat   time[s]"
+        "circuit       tested untstbl  aborted    #pat   time[s]   cov%   eff%"
+    }
+
+    /// The [`Table3Row`] columns plus the coverage columns — what
+    /// `gdf report` and `gdf campaign` print per circuit.
+    pub fn line(&self) -> String {
+        format!(
+            "{} {:>6.1} {:>6.1}",
+            self.row,
+            100.0 * self.coverage.fault_coverage(),
+            100.0 * self.coverage.fault_efficiency()
+        )
     }
 }
 

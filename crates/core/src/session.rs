@@ -41,9 +41,9 @@ use crate::artifact::{ArtifactError, CircuitSource, PatternSet, RunArtifact};
 use crate::driver::{DelayAtpg, DelayAtpgConfig, FaultClassification, FsimScratch};
 use crate::engine::{faults_of, Atpg, AtpgError, Backend, Limits, Observer, RunSnapshot};
 use crate::json::Json;
-use crate::report::{CircuitReport, Table3Row};
-use gdf_netlist::{Circuit, FaultUniverse};
-use gdf_tdgen::FaultModel;
+use crate::report::{CircuitReport, Coverage, Table3Row};
+use gdf_netlist::{Circuit, Fault, FaultUniverse, ModelKind};
+use gdf_tdgen::Sensitization;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -404,7 +404,8 @@ impl Observer for EventObserver {
 pub struct Campaign {
     circuits: Vec<(Circuit, Option<CircuitSource>)>,
     backend: Backend,
-    model: FaultModel,
+    model: Option<ModelKind>,
+    sensitization: Sensitization,
     universe: FaultUniverse,
     limits: Limits,
     seed: u64,
@@ -428,7 +429,8 @@ impl Campaign {
             inner: Campaign {
                 circuits: Vec::new(),
                 backend: Backend::NonScan,
-                model: FaultModel::Robust,
+                model: None,
+                sensitization: Sensitization::Robust,
                 universe: FaultUniverse::default(),
                 limits: Limits::default(),
                 seed: 0x1995_0308,
@@ -483,9 +485,18 @@ impl CampaignBuilder {
         self
     }
 
-    /// Robust (default) or non-robust delay model.
-    pub fn model(mut self, model: FaultModel) -> Self {
-        self.inner.model = model;
+    /// The fault model every circuit runs (default: the backend's
+    /// [`Backend::default_model`]). Until PR 5 this setter took the
+    /// robust/non-robust criterion; that moved to
+    /// [`CampaignBuilder::sensitization`].
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.inner.model = Some(model);
+        self
+    }
+
+    /// Robust (default) or non-robust sensitization of delay tests.
+    pub fn sensitization(mut self, sensitization: Sensitization) -> Self {
+        self.inner.sensitization = sensitization;
         self
     }
 
@@ -632,13 +643,29 @@ impl CampaignReport {
         total
     }
 
-    /// Renders the Table-3-style report: header, one row per circuit, a
-    /// separator and the totals row.
+    /// Sums the per-circuit coverage tallies into one campaign-wide
+    /// [`Coverage`] (collapsed denominators survive only when every
+    /// circuit carried them).
+    pub fn coverage(&self) -> Coverage {
+        let mut total = Coverage::zero(0);
+        let mut it = self.circuits.iter();
+        if let Some(first) = it.next() {
+            total = first.coverage;
+        }
+        for r in it {
+            total.merge(&r.coverage);
+        }
+        total
+    }
+
+    /// Renders the Table-3-style report: header, one row per circuit
+    /// (with coverage columns), a separator, the totals row and a
+    /// campaign-wide coverage summary.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{}", CircuitReport::header());
         for r in &self.circuits {
-            let _ = writeln!(out, "{}", r.row);
+            let _ = writeln!(out, "{}", r.line());
         }
         let _ = writeln!(out, "{}", "-".repeat(CircuitReport::header().len()));
         let total = self.totals();
@@ -657,6 +684,7 @@ impl CampaignReport {
                 String::new()
             }
         );
+        let _ = writeln!(out, "coverage: {}", self.coverage());
         for w in &self.warnings {
             let _ = writeln!(out, "warning: {w}");
         }
@@ -674,9 +702,11 @@ impl Campaign {
     /// artifacts when an artifact directory is configured.
     pub fn run(&mut self) -> CampaignReport {
         let start = Instant::now();
+        let model = self.model.unwrap_or_else(|| self.backend.default_model());
         let config = crate::engine::RunConfig {
             backend: self.backend,
-            model: self.model,
+            model,
+            sensitization: self.sensitization,
             universe: self.universe,
             limits: self.limits,
             seed: self.seed,
@@ -684,7 +714,7 @@ impl Campaign {
         let totals: Vec<usize> = self
             .circuits
             .iter()
-            .map(|(c, _)| faults_of(c, self.backend, &self.universe).len())
+            .map(|(c, _)| faults_of(c, model, &self.universe).len())
             .collect();
         let grand_total: usize = totals.iter().sum();
         let mut report = CampaignReport {
@@ -743,7 +773,8 @@ impl Campaign {
             let make_builder = || {
                 let mut b = Atpg::builder(circuit)
                     .backend(self.backend)
-                    .model(self.model)
+                    .model(model)
+                    .sensitization(self.sensitization)
                     .universe(self.universe)
                     .limits(self.limits)
                     .seed(self.seed)
@@ -826,7 +857,9 @@ impl Campaign {
 pub struct GradeReport {
     /// Circuit name.
     pub circuit: String,
-    /// Size of the graded delay-fault universe.
+    /// The fault model the patterns were graded against.
+    pub model: ModelKind,
+    /// Size of the graded fault universe.
     pub total_faults: usize,
     /// Per fault (universe enumeration order): the index of the first
     /// pattern that detects it, or `None` if no pattern does.
@@ -858,10 +891,11 @@ impl std::fmt::Display for GradeReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {}/{} delay faults detected ({:.1}%) by {} patterns",
+            "{}: {}/{} {} faults detected ({:.1}%) by {} patterns",
             self.circuit,
             self.detected(),
             self.total_faults,
+            self.model,
             100.0 * self.coverage(),
             self.patterns_graded,
         )?;
@@ -872,12 +906,19 @@ impl std::fmt::Display for GradeReport {
     }
 }
 
-/// Re-grades a saved [`PatternSet`] against `universe`'s delay faults on
-/// `circuit`, using the packed three-phase fault simulator with the §5
-/// semantics of the generating run (including each pattern's recorded
-/// relied-PPO invalidation check). Faults already detected by an earlier
-/// pattern are dropped from later sweeps, mirroring the ATPG's own
-/// fault-dropping order.
+/// Re-grades a saved [`PatternSet`] against `model`'s faults over
+/// `universe` on `circuit`, using the packed three-phase fault simulator
+/// with the §5 semantics of the generating run (including each pattern's
+/// recorded relied-PPO invalidation check). Faults already detected by
+/// an earlier pattern are dropped from later sweeps, mirroring the
+/// ATPG's own fault-dropping order.
+///
+/// `model` may be [`ModelKind::Delay`] (robust classification) or
+/// [`ModelKind::Transition`] (non-robust final-value classification) —
+/// the same at-speed pattern set can be graded under both, which is how
+/// a robust test set's transition coverage is measured. Stuck-at
+/// patterns carry no launch/capture pair, so [`ModelKind::Stuck`] is
+/// rejected.
 ///
 /// `seed` drives the random fill of X values and uninitialized state
 /// bits, exactly as in generation.
@@ -885,7 +926,8 @@ impl std::fmt::Display for GradeReport {
 /// # Errors
 ///
 /// [`ArtifactError::Mismatch`] when the pattern set names a different
-/// circuit or references signals the circuit does not have.
+/// circuit, references signals the circuit does not have, or asks for
+/// the stuck-at model.
 ///
 /// # Example
 ///
@@ -893,18 +935,25 @@ impl std::fmt::Display for GradeReport {
 /// use gdf_core::artifact::PatternSet;
 /// use gdf_core::engine::Atpg;
 /// use gdf_core::session::grade_patterns;
-/// use gdf_netlist::{suite, FaultUniverse};
+/// use gdf_netlist::{suite, FaultUniverse, ModelKind};
 ///
 /// let c = suite::s27();
 /// let run = Atpg::builder(&c).build().run();
 /// let set = PatternSet::from_run(&c, &run, "non-scan", 0x1995_0308, None);
-/// let grade = grade_patterns(&c, &set, &FaultUniverse::default(), 0x1995_0308).unwrap();
+/// let universe = FaultUniverse::default();
+/// let grade =
+///     grade_patterns(&c, &set, ModelKind::Delay, &universe, 0x1995_0308).unwrap();
 /// // The saved patterns re-detect faults on their own.
 /// assert!(grade.detected() > 0);
+/// // The same patterns detect at least as many transition faults.
+/// let tf = grade_patterns(&c, &set, ModelKind::Transition, &universe, 0x1995_0308)
+///     .unwrap();
+/// assert!(tf.detected() >= grade.detected());
 /// ```
 pub fn grade_patterns(
     circuit: &Circuit,
     set: &PatternSet,
+    model: ModelKind,
     universe: &FaultUniverse,
     seed: u64,
 ) -> Result<GradeReport, ArtifactError> {
@@ -915,8 +964,20 @@ pub fn grade_patterns(
             circuit.name()
         )));
     }
-    let faults = universe.delay_faults(circuit);
-    let driver = DelayAtpg::with_config(circuit, DelayAtpgConfig::new().with_universe(*universe));
+    if model == ModelKind::Stuck {
+        return Err(ArtifactError::Mismatch(
+            "stuck-at faults have no launch/capture semantics to grade patterns against \
+             (grade delay or transition)"
+                .into(),
+        ));
+    }
+    let faults: Vec<Fault> = model.model().enumerate(circuit, universe).collect();
+    let driver = DelayAtpg::with_config(
+        circuit,
+        DelayAtpgConfig::new()
+            .with_model(model)
+            .with_universe(*universe),
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut scratch = FsimScratch::default();
     let mut first_detector: Vec<Option<usize>> = vec![None; faults.len()];
@@ -934,16 +995,35 @@ pub fn grade_patterns(
             continue;
         }
         let relied = set.relied_nodes(circuit, pi)?;
-        let candidates: Vec<_> = remaining.iter().map(|&k| faults[k]).collect();
-        let hits = driver
-            .fault_simulate_sequence(
-                &pattern.sequence,
-                &relied,
-                &candidates,
-                &mut rng,
-                &mut scratch,
-            )
-            .expect("at_speed checked above");
+        let hits = match model {
+            ModelKind::Transition => {
+                let candidates: Vec<_> = remaining
+                    .iter()
+                    .map(|&k| faults[k].as_transition().expect("transition universe"))
+                    .collect();
+                driver.fault_simulate_sequence_transition(
+                    &pattern.sequence,
+                    &relied,
+                    &candidates,
+                    &mut rng,
+                    &mut scratch,
+                )
+            }
+            _ => {
+                let candidates: Vec<_> = remaining
+                    .iter()
+                    .map(|&k| faults[k].as_delay().expect("delay universe"))
+                    .collect();
+                driver.fault_simulate_sequence(
+                    &pattern.sequence,
+                    &relied,
+                    &candidates,
+                    &mut rng,
+                    &mut scratch,
+                )
+            }
+        }
+        .expect("at_speed checked above");
         patterns_graded += 1;
         // Strike detected faults from the remaining list (descending
         // positions so removal indexes stay valid).
@@ -957,6 +1037,7 @@ pub fn grade_patterns(
 
     Ok(GradeReport {
         circuit: circuit.name().to_string(),
+        model,
         total_faults: faults.len(),
         first_detector,
         patterns_graded,
@@ -1097,7 +1178,8 @@ mod tests {
         let seed = 0x1995_0308;
         let run = Atpg::builder(&c).seed(seed).build().run();
         let set = PatternSet::from_run(&c, &run, "non-scan", seed, None);
-        let grade = grade_patterns(&c, &set, &FaultUniverse::default(), seed).unwrap();
+        let grade =
+            grade_patterns(&c, &set, ModelKind::Delay, &FaultUniverse::default(), seed).unwrap();
         assert_eq!(grade.total_faults, run.records.len());
         let tested = run
             .records
@@ -1110,7 +1192,8 @@ mod tests {
             grade.detected(),
             tested
         );
-        let again = grade_patterns(&c, &set, &FaultUniverse::default(), seed).unwrap();
+        let again =
+            grade_patterns(&c, &set, ModelKind::Delay, &FaultUniverse::default(), seed).unwrap();
         assert_eq!(again, grade, "grading is deterministic per seed");
     }
 
@@ -1121,7 +1204,7 @@ mod tests {
         let run = Atpg::builder(&c).build().run();
         let set = PatternSet::from_run(&c, &run, "non-scan", 1, None);
         assert!(matches!(
-            grade_patterns(&other, &set, &FaultUniverse::default(), 1),
+            grade_patterns(&other, &set, ModelKind::Delay, &FaultUniverse::default(), 1),
             Err(ArtifactError::Mismatch(_))
         ));
     }

@@ -18,21 +18,23 @@
 //! generator must target; classifications transfer to all class members.
 
 use crate::circuit::{Circuit, NodeId};
-use crate::fault::{DelayFault, DelayFaultKind, FaultSite};
+use crate::fault::{DelayFault, Fault, FaultSite};
 use crate::gate::GateKind;
 use std::collections::HashMap;
 
-/// The result of collapsing a fault list.
+/// Equivalence classes over a fault list: the shared shape behind
+/// [`CollapsedFaults`] (delay-typed representatives) and
+/// [`FaultClasses`] (model-tagged [`Fault`] representatives).
 #[derive(Debug, Clone)]
-pub struct CollapsedFaults {
+pub struct Classes<F> {
     /// One representative per equivalence class, in first-occurrence order.
-    pub representatives: Vec<DelayFault>,
+    pub representatives: Vec<F>,
     /// For every input fault (by index into the original list), the index
-    /// of its representative in [`CollapsedFaults::representatives`].
+    /// of its representative in [`Classes::representatives`].
     pub class_of: Vec<usize>,
 }
 
-impl CollapsedFaults {
+impl<F> Classes<F> {
     /// All members (original-list indexes) of the class with the given
     /// representative index.
     pub fn members(&self, class: usize) -> Vec<usize> {
@@ -52,6 +54,96 @@ impl CollapsedFaults {
         } else {
             self.representatives.len() as f64 / self.class_of.len() as f64
         }
+    }
+}
+
+/// The result of collapsing a [`DelayFault`] list.
+pub type CollapsedFaults = Classes<DelayFault>;
+
+/// Model-generic equivalence classes over a [`Fault`] list — what the
+/// [`crate::model::FaultModel::collapse`] trait method returns.
+pub type FaultClasses = Classes<Fault>;
+
+/// Collapses a fault list of **any one model** under the chain
+/// equivalences — the generic engine behind [`collapse_delay_faults`]
+/// and the [`crate::model::FaultModel`] trait. The rules are the safe
+/// structural ones that hold for all three built-in models:
+///
+/// * `b = BUF(a)`, `a` single-fanout: the fault on `a` is equivalent to
+///   the same-polarity fault on `b`;
+/// * `b = NOT(a)`, `a` single-fanout: polarities swap (a rising input is
+///   a falling output; an input stuck at 0 is an output stuck at 1);
+/// * a fanout *branch* feeding a BUF/NOT collapses onto the gate's
+///   output stem the same way.
+///
+/// Mixed-model lists are legal; equivalences only ever link faults of
+/// the same model (the union lookup is by exact fault value).
+pub fn collapse_faults(circuit: &Circuit, faults: &[Fault]) -> FaultClasses {
+    let mut parent: Vec<usize> = (0..faults.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    fn unite(parent: &mut [usize], a: usize, b: usize) {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra != rb {
+            let lo = ra.min(rb);
+            let hi = ra.max(rb);
+            parent[hi] = lo;
+        }
+    }
+
+    let index: HashMap<Fault, usize> = faults.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+
+    for &gate in circuit.topo_order() {
+        let node = circuit.node(gate);
+        let inverts = match node.kind() {
+            GateKind::Buf => false,
+            GateKind::Not => true,
+            _ => continue,
+        };
+        let src: NodeId = node.fanin()[0];
+        let single_fanout = circuit.node(src).fanout().len() == 1;
+        for model in crate::model::ModelKind::ALL {
+            for p in 0..2 {
+                let out_p = if inverts { 1 - p } else { p };
+                let out = index
+                    .get(&model.fault_at(FaultSite::on_stem(gate), out_p))
+                    .copied();
+                let src_site = if single_fanout {
+                    // Whole stem flows through this gate.
+                    FaultSite::on_stem(src)
+                } else {
+                    // Only the branch into this gate is equivalent.
+                    FaultSite::on_branch(src, gate, 0)
+                };
+                let input = index.get(&model.fault_at(src_site, p)).copied();
+                if let (Some(a), Some(b)) = (input, out) {
+                    unite(&mut parent, a, b);
+                }
+            }
+        }
+    }
+
+    // Build representative list in first-occurrence order.
+    let mut rep_index: HashMap<usize, usize> = HashMap::new();
+    let mut representatives = Vec::new();
+    let mut class_of = Vec::with_capacity(faults.len());
+    for i in 0..faults.len() {
+        let root = find(&mut parent, i);
+        let class = *rep_index.entry(root).or_insert_with(|| {
+            representatives.push(faults[root]);
+            representatives.len() - 1
+        });
+        class_of.push(class);
+    }
+    FaultClasses {
+        representatives,
+        class_of,
     }
 }
 
@@ -75,82 +167,15 @@ impl CollapsedFaults {
 /// assert_eq!(collapsed.representatives.len(), 2);
 /// ```
 pub fn collapse_delay_faults(circuit: &Circuit, faults: &[DelayFault]) -> CollapsedFaults {
-    let mut parent: Vec<usize> = (0..faults.len()).collect();
-    fn find(parent: &mut [usize], mut x: usize) -> usize {
-        while parent[x] != x {
-            parent[x] = parent[parent[x]];
-            x = parent[x];
-        }
-        x
-    }
-    fn unite(parent: &mut [usize], a: usize, b: usize) {
-        let ra = find(parent, a);
-        let rb = find(parent, b);
-        if ra != rb {
-            let lo = ra.min(rb);
-            let hi = ra.max(rb);
-            parent[hi] = lo;
-        }
-    }
-
-    let index: HashMap<DelayFault, usize> =
-        faults.iter().enumerate().map(|(i, &f)| (f, i)).collect();
-    let lookup = |site: FaultSite, kind: DelayFaultKind| -> Option<usize> {
-        index.get(&DelayFault { site, kind }).copied()
-    };
-
-    for &gate in circuit.topo_order() {
-        let node = circuit.node(gate);
-        let inverts = match node.kind() {
-            GateKind::Buf => false,
-            GateKind::Not => true,
-            _ => continue,
-        };
-        let src: NodeId = node.fanin()[0];
-        let map_kind = |k: DelayFaultKind| -> DelayFaultKind {
-            if inverts {
-                match k {
-                    DelayFaultKind::SlowToRise => DelayFaultKind::SlowToFall,
-                    DelayFaultKind::SlowToFall => DelayFaultKind::SlowToRise,
-                }
-            } else {
-                k
-            }
-        };
-        let single_fanout = circuit.node(src).fanout().len() == 1;
-        for kind in DelayFaultKind::ALL {
-            let out_kind = map_kind(kind);
-            let out = lookup(FaultSite::on_stem(gate), out_kind);
-            if single_fanout {
-                // Whole stem flows through this gate.
-                if let (Some(a), Some(b)) = (lookup(FaultSite::on_stem(src), kind), out) {
-                    unite(&mut parent, a, b);
-                }
-            } else {
-                // Only the branch into this gate is equivalent.
-                if let (Some(a), Some(b)) = (lookup(FaultSite::on_branch(src, gate, 0), kind), out)
-                {
-                    unite(&mut parent, a, b);
-                }
-            }
-        }
-    }
-
-    // Build representative list in first-occurrence order.
-    let mut rep_index: HashMap<usize, usize> = HashMap::new();
-    let mut representatives = Vec::new();
-    let mut class_of = Vec::with_capacity(faults.len());
-    for i in 0..faults.len() {
-        let root = find(&mut parent, i);
-        let class = *rep_index.entry(root).or_insert_with(|| {
-            representatives.push(faults[root]);
-            representatives.len() - 1
-        });
-        class_of.push(class);
-    }
+    let wrapped: Vec<Fault> = faults.iter().map(|&f| Fault::Delay(f)).collect();
+    let classes = collapse_faults(circuit, &wrapped);
     CollapsedFaults {
-        representatives,
-        class_of,
+        representatives: classes
+            .representatives
+            .into_iter()
+            .map(|f| f.as_delay().expect("delay input, delay representatives"))
+            .collect(),
+        class_of: classes.class_of,
     }
 }
 
@@ -158,7 +183,7 @@ pub fn collapse_delay_faults(circuit: &Circuit, faults: &[DelayFault]) -> Collap
 mod tests {
     use super::*;
     use crate::circuit::CircuitBuilder;
-    use crate::fault::FaultUniverse;
+    use crate::fault::{DelayFaultKind, FaultUniverse};
 
     #[test]
     fn buffer_chain_collapses_without_polarity_flip() {

@@ -144,18 +144,55 @@ impl StuckFault {
     }
 }
 
-/// A fault of either model, as targeted through the unified engine API.
+/// A transition (gross-delay) fault: the line is slow enough that the
+/// launched transition has not completed by the capture edge, so the
+/// line's *final* value is wrong in the test frame.
+///
+/// The site/direction shape is the same as [`DelayFault`]'s, but the
+/// detection condition is weaker: a transition fault needs only
+/// *non-robust* sensitization (the final-value difference must reach an
+/// observation point; off-path inputs may glitch). Described with
+/// lowercase short names (`"str"`/`"stf"`) to keep transition faults
+/// visually distinct from robust gate delay faults (`"StR"`/`"StF"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionFault {
+    /// Where the slow transition sits.
+    pub site: FaultSite,
+    /// Which transition is slow.
+    pub kind: DelayFaultKind,
+}
+
+impl TransitionFault {
+    /// Short name of the direction (`"str"`/`"stf"`).
+    pub fn short_name(self) -> &'static str {
+        match self.kind {
+            DelayFaultKind::SlowToRise => "str",
+            DelayFaultKind::SlowToFall => "stf",
+        }
+    }
+
+    /// Human-readable description, e.g. `"G11 str"` or `"G8->G15[1] stf"`.
+    pub fn describe(self, circuit: &Circuit) -> String {
+        format!("{} {}", self.site.describe(circuit), self.short_name())
+    }
+}
+
+/// A fault of any model, as targeted through the unified engine API.
 ///
 /// The delay-fault engines (non-scan and enhanced-scan) target
-/// [`DelayFault`]s; the sequential stuck-at engine targets
-/// [`StuckFault`]s. `Fault` lets one fault list, one record type and one
-/// `AtpgEngine::target` signature cover all of them.
+/// [`DelayFault`]s or [`TransitionFault`]s; the sequential stuck-at
+/// engine targets [`StuckFault`]s. `Fault` lets one fault list, one
+/// record type and one `AtpgEngine::target` signature cover all of them;
+/// the model-generic operations (enumeration, collapsing, coverage
+/// denominators) go through the [`crate::model::FaultModel`] trait.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Fault {
-    /// A gate delay fault (slow-to-rise / slow-to-fall).
+    /// A gate delay fault (slow-to-rise / slow-to-fall, robust model).
     Delay(DelayFault),
     /// A single stuck-at fault.
     Stuck(StuckFault),
+    /// A transition (gross-delay) fault.
+    Transition(TransitionFault),
 }
 
 impl Fault {
@@ -164,6 +201,7 @@ impl Fault {
         match self {
             Fault::Delay(f) => f.site,
             Fault::Stuck(f) => f.site,
+            Fault::Transition(f) => f.site,
         }
     }
 
@@ -171,7 +209,7 @@ impl Fault {
     pub fn as_delay(self) -> Option<DelayFault> {
         match self {
             Fault::Delay(f) => Some(f),
-            Fault::Stuck(_) => None,
+            _ => None,
         }
     }
 
@@ -179,15 +217,34 @@ impl Fault {
     pub fn as_stuck(self) -> Option<StuckFault> {
         match self {
             Fault::Stuck(f) => Some(f),
-            Fault::Delay(_) => None,
+            _ => None,
         }
     }
 
-    /// Human-readable description, e.g. `"G11 StR"` or `"G11 sa0"`.
+    /// The transition fault inside, if this is one.
+    pub fn as_transition(self) -> Option<TransitionFault> {
+        match self {
+            Fault::Transition(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Which fault model this fault belongs to.
+    pub fn model(self) -> crate::model::ModelKind {
+        match self {
+            Fault::Delay(_) => crate::model::ModelKind::Delay,
+            Fault::Stuck(_) => crate::model::ModelKind::Stuck,
+            Fault::Transition(_) => crate::model::ModelKind::Transition,
+        }
+    }
+
+    /// Human-readable description, e.g. `"G11 StR"`, `"G11 sa0"` or
+    /// `"G11 str"`.
     pub fn describe(self, circuit: &Circuit) -> String {
         match self {
             Fault::Delay(f) => f.describe(circuit),
             Fault::Stuck(f) => f.describe(circuit),
+            Fault::Transition(f) => f.describe(circuit),
         }
     }
 }
@@ -201,6 +258,12 @@ impl From<DelayFault> for Fault {
 impl From<StuckFault> for Fault {
     fn from(f: StuckFault) -> Self {
         Fault::Stuck(f)
+    }
+}
+
+impl From<TransitionFault> for Fault {
+    fn from(f: TransitionFault) -> Self {
+        Fault::Transition(f)
     }
 }
 
@@ -256,27 +319,57 @@ impl FaultUniverse {
         }
     }
 
+    /// Number of fault sites one node hosts under these options: the
+    /// stem plus (when branch faults are enabled and the stem actually
+    /// fans out) one per fanout branch; `None` when the node kind is
+    /// excluded. The **single** inclusion rule behind the eager
+    /// [`FaultUniverse::sites`] list, [`FaultUniverse::site_count`], and
+    /// the lazy [`crate::model::FaultSet`] cursor — which must agree
+    /// exactly, because artifact fault indexes and resume alignment
+    /// depend on the lazy and eager orders being identical.
+    pub(crate) fn node_sites(&self, node: &crate::circuit::Node) -> Option<usize> {
+        let included = match node.kind() {
+            GateKind::Input => self.include_pi_stems,
+            GateKind::Dff => self.include_ppi_stems,
+            _ => true,
+        };
+        if !included {
+            return None;
+        }
+        let branches = if self.include_branches && node.fanout().len() > 1 {
+            node.fanout().len()
+        } else {
+            0
+        };
+        Some(1 + branches)
+    }
+
     /// Enumerates fault sites for `circuit` under these options.
     pub fn sites(&self, circuit: &Circuit) -> Vec<FaultSite> {
         let mut sites = Vec::new();
         for (idx, node) in circuit.nodes().iter().enumerate() {
             let id = NodeId(idx as u32);
-            let included = match node.kind() {
-                GateKind::Input => self.include_pi_stems,
-                GateKind::Dff => self.include_ppi_stems,
-                _ => true,
-            };
-            if !included {
+            let Some(count) = self.node_sites(node) else {
                 continue;
-            }
+            };
             sites.push(FaultSite::on_stem(id));
-            if self.include_branches && node.fanout().len() > 1 {
+            if count > 1 {
                 for &(sink, pin) in node.fanout() {
                     sites.push(FaultSite::on_branch(id, sink, pin));
                 }
             }
         }
         sites
+    }
+
+    /// Number of fault sites [`FaultUniverse::sites`] would enumerate,
+    /// without materializing them.
+    pub fn site_count(&self, circuit: &Circuit) -> usize {
+        circuit
+            .nodes()
+            .iter()
+            .filter_map(|n| self.node_sites(n))
+            .sum()
     }
 
     /// Enumerates the delay-fault list: one StR and one StF per site.
@@ -287,6 +380,19 @@ impl FaultUniverse {
                 DelayFaultKind::ALL
                     .into_iter()
                     .map(move |kind| DelayFault { site, kind })
+            })
+            .collect()
+    }
+
+    /// Enumerates the transition-fault list: one slow-to-rise and one
+    /// slow-to-fall per site.
+    pub fn transition_faults(&self, circuit: &Circuit) -> Vec<TransitionFault> {
+        self.sites(circuit)
+            .into_iter()
+            .flat_map(|site| {
+                DelayFaultKind::ALL
+                    .into_iter()
+                    .map(move |kind| TransitionFault { site, kind })
             })
             .collect()
     }

@@ -11,10 +11,14 @@
 //! * [`parser`] / [`writer`] — a reader and writer for the ISCAS'89
 //!   `.bench` netlist format (no mature netlist-parsing crates exist, so this
 //!   is written from scratch).
-//! * [`fault`] — enumeration of the fault universe: a slow-to-rise and a
-//!   slow-to-fall delay fault on *every gate output and every fanout branch*
-//!   (Section 3 of the paper), plus classic single stuck-at faults for the
-//!   SEMILET substrate.
+//! * [`fault`] — the fault universe: a slow-to-rise and a slow-to-fall
+//!   delay fault on *every gate output and every fanout branch* (Section 3
+//!   of the paper), classic single stuck-at faults for the SEMILET
+//!   substrate, and transition (gross-delay) faults.
+//! * [`model`] — the pluggable [`model::FaultModel`] trait behind those
+//!   universes: lazy deterministic enumeration ([`model::FaultSet`]),
+//!   equivalence collapsing and signal-name description, one
+//!   implementation per model.
 //! * [`scoap`] — SCOAP-style controllability/observability measures used to
 //!   guide backtracing in both test generators.
 //! * [`generator`] and [`suite`] — the benchmark suite: the exact `s27`
@@ -37,16 +41,21 @@ pub mod collapse;
 pub mod fault;
 pub mod gate;
 pub mod generator;
+pub mod model;
 pub mod parser;
 pub mod scoap;
 pub mod suite;
 pub mod writer;
 
 pub use circuit::{BuildError, Circuit, CircuitBuilder, CircuitStats, Node, NodeId};
-pub use collapse::{collapse_delay_faults, CollapsedFaults};
+pub use collapse::{
+    collapse_delay_faults, collapse_faults, Classes, CollapsedFaults, FaultClasses,
+};
 pub use fault::{
     DelayFault, DelayFaultKind, Fault, FaultSite, FaultUniverse, StuckAtKind, StuckFault,
+    TransitionFault,
 };
 pub use gate::GateKind;
+pub use model::{DelayModel, FaultModel, FaultSet, ModelKind, StuckModel, TransitionModel};
 pub use parser::{parse_bench, ParseBenchError};
 pub use writer::to_bench;

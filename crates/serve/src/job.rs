@@ -18,9 +18,13 @@
 //! artifact layer, extended over the server's lifetime.
 
 use crate::events::EventLog;
-use gdf_core::artifact::{decode_config, encode_config, ArtifactError, CircuitSource};
+use gdf_core::artifact::{
+    decode_config, decode_config_v1, decode_coverage, encode_config, encode_coverage,
+    ArtifactError, CircuitSource,
+};
 use gdf_core::engine::RunConfig;
 use gdf_core::json::Json;
+use gdf_core::Coverage;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicBool;
@@ -115,6 +119,9 @@ pub struct ReportSummary {
     pub patterns: u32,
     /// Emitted sequences.
     pub sequences: u32,
+    /// First-class coverage accounting (version-1 records, which predate
+    /// it, reconstruct the uncollapsed part from the counters above).
+    pub coverage: Coverage,
 }
 
 impl From<&gdf_core::CircuitReport> for ReportSummary {
@@ -125,6 +132,7 @@ impl From<&gdf_core::CircuitReport> for ReportSummary {
             aborted: report.row.aborted,
             patterns: report.row.patterns,
             sequences: report.sequences,
+            coverage: report.coverage,
         }
     }
 }
@@ -138,6 +146,7 @@ impl ReportSummary {
             ("aborted".into(), Json::Num(self.aborted as f64)),
             ("patterns".into(), Json::Num(self.patterns as f64)),
             ("sequences".into(), Json::Num(self.sequences as f64)),
+            ("coverage".into(), encode_coverage(&self.coverage)),
         ])
     }
 }
@@ -218,7 +227,12 @@ impl Job {
 // ---------------------------------------------------------------------
 
 const JOB_FORMAT: &str = "gdf-job";
-const JOB_VERSION: u64 = 1;
+/// v2 (PR 5): config carries `model` + `sensitization`, report summaries
+/// carry `coverage`. v1 records (PR 4 servers) still decode — the old
+/// `model` field maps to the sensitization and the fault model defaults
+/// from the backend, exactly like the artifact layer's v1 loader.
+const JOB_VERSION: u64 = 2;
+const JOB_VERSION_MIN: u64 = 1;
 
 fn schema(m: impl Into<String>) -> ArtifactError {
     ArtifactError::Schema(m.into())
@@ -267,8 +281,11 @@ pub fn decode_record(text: &str) -> Result<(JobId, JobSpec, JobStatus), Artifact
         .get("version")
         .and_then(Json::as_u64)
         .ok_or_else(|| schema("missing `version`"))?;
-    if version != JOB_VERSION {
-        return Err(schema(format!("unsupported job record version {version}")));
+    if !(JOB_VERSION_MIN..=JOB_VERSION).contains(&version) {
+        return Err(schema(format!(
+            "unsupported job record version {version} (this build reads \
+             v{JOB_VERSION_MIN} through v{JOB_VERSION})"
+        )));
     }
     let id = j
         .get("id")
@@ -285,7 +302,11 @@ pub fn decode_record(text: &str) -> Result<(JobId, JobSpec, JobStatus), Artifact
             j.get("circuit")
                 .ok_or_else(|| schema("missing `circuit`"))?,
         )?,
-        config: decode_config(&j)?,
+        config: if version == 1 {
+            decode_config_v1(&j)?
+        } else {
+            decode_config(&j)?
+        },
         parallelism: j
             .get("parallelism")
             .and_then(Json::as_usize)
@@ -306,12 +327,30 @@ pub fn decode_record(text: &str) -> Result<(JobId, JobSpec, JobStatus), Artifact
                     .map(|v| v as u32)
                     .ok_or_else(|| schema(format!("report missing `{name}`")))
             };
+            let tested = count("tested")?;
+            let untestable = count("untestable")?;
+            let aborted = count("aborted")?;
+            let coverage = match r.get("coverage") {
+                // v1 summary: reconstruct the uncollapsed tally (the
+                // hard/possible split and class counts were not
+                // recorded).
+                None | Some(Json::Null) => Coverage {
+                    detected: tested,
+                    possibly_detected: 0,
+                    untestable,
+                    aborted,
+                    total: tested + untestable + aborted,
+                    collapsed: None,
+                },
+                Some(c) => decode_coverage(c)?,
+            };
             Some(ReportSummary {
-                tested: count("tested")?,
-                untestable: count("untestable")?,
-                aborted: count("aborted")?,
+                tested,
+                untestable,
+                aborted,
                 patterns: count("patterns")?,
                 sequences: count("sequences")?,
+                coverage,
             })
         }
     };
@@ -358,6 +397,14 @@ mod tests {
                 aborted: 3,
                 patterns: 4,
                 sequences: 5,
+                coverage: Coverage {
+                    detected: 1,
+                    possibly_detected: 0,
+                    untestable: 2,
+                    aborted: 3,
+                    total: 6,
+                    collapsed: None,
+                },
             }),
         };
         let text = encode_record(42, &spec, &status);

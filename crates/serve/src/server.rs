@@ -8,7 +8,7 @@
 //! | `POST /jobs`             | submit (suite ref or `.bench` text + config) → `201` |
 //! | `GET /jobs`              | list job summaries                                   |
 //! | `GET /jobs/<id>`         | status + progress + final report summary             |
-//! | `GET /jobs/<id>/events`  | chunked NDJSON stream of progress events (full replay while the job runs; finished jobs retain the last [`TERMINAL_EVENT_TAIL`] events) |
+//! | `GET /jobs/<id>/events`  | chunked NDJSON stream of progress events (full replay while the job runs; finished jobs retain the last `TERMINAL_EVENT_TAIL` events) |
 //! | `GET /jobs/<id>/artifact`| the completed run artifact (canonical bytes)         |
 //! | `GET /jobs/<id>/patterns`| the completed run's pattern set                      |
 //! | `DELETE /jobs/<id>`      | cancel an active job / remove a terminal one         |
@@ -454,6 +454,7 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
         Atpg::builder(&circuit)
             .backend(config.backend)
             .model(config.model)
+            .sensitization(config.sensitization)
             .universe(config.universe)
             .limits(config.limits)
             .seed(config.seed)
@@ -510,7 +511,17 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
             job: Arc::clone(job),
         });
 
-    let run = builder.build().run();
+    // Submissions are validated at POST time, but v1 job records replayed
+    // from disk skip that path — reject unsupported pairings as a failed
+    // job rather than a worker panic.
+    let mut engine = match builder.try_build() {
+        Ok(engine) => engine,
+        Err(e) => {
+            state.finalize(job, JobState::Failed, Some(e.to_string()), None);
+            return;
+        }
+    };
+    let run = engine.run();
 
     if state.stopping.load(Ordering::Acquire) {
         // Crash-style stop: the last checkpoint and the `running` record
@@ -975,9 +986,9 @@ pub fn decode_submission(j: &Json, default_checkpoint: usize) -> Result<JobSpec,
 
 fn decode_submission_config(j: Option<&Json>) -> Result<RunConfig, String> {
     // Backend/model/universe names go through the same parsers the CLI
-    // uses (`Backend::from_str`, `FaultModel::from_str`,
-    // `FaultUniverse::parse_name`), so a spelling `gdf run` accepts can
-    // never be a 400 here.
+    // uses (`Backend::from_str`, `ModelKind::from_str`,
+    // `Sensitization::from_str`, `FaultUniverse::parse_name`), so a
+    // spelling `gdf run` accepts can never be a 400 here.
     let backend = match j.and_then(|c| c.get("backend")).and_then(Json::as_str) {
         None => Backend::NonScan,
         Some(name) => name.parse()?,
@@ -985,8 +996,15 @@ fn decode_submission_config(j: Option<&Json>) -> Result<RunConfig, String> {
     let mut config = RunConfig::new(backend);
     let Some(j) = j else { return Ok(config) };
     if let Some(name) = j.get("model").and_then(Json::as_str) {
-        config.model = name.parse()?;
+        // `RunConfig::apply_model_name` carries the compat shim: PR 4
+        // clients sent the sensitization under `model`
+        // (robust/non-robust), and those submissions keep working.
+        config.apply_model_name(name)?;
     }
+    if let Some(name) = j.get("sensitization").and_then(Json::as_str) {
+        config.sensitization = name.parse()?;
+    }
+    config.validate().map_err(|e| e.to_string())?;
     match j.get("universe") {
         None => {}
         Some(Json::Str(name)) => config.universe = FaultUniverse::parse_name(name)?,

@@ -18,7 +18,7 @@
 //! The ATPG driver (`gdf_core::DelayAtpg::fault_simulate_sequence`)
 //! X-fills a `TestSequence` and calls straight into this function; the
 //! pattern re-grading API (`gdf_core::session::grade_patterns`) does the
-//! same for saved [`PatternSet`] artifacts — both therefore share one
+//! same for saved `PatternSet` artifacts — both therefore share one
 //! implementation of the §5 semantics.
 //!
 //! # Example
@@ -45,7 +45,7 @@ use crate::tdsim::detected_delay_faults_packed;
 use crate::waveform::two_frame_values_into;
 use gdf_algebra::delay::DelayValue;
 use gdf_algebra::logic3::Logic3;
-use gdf_netlist::{Circuit, DelayFault, NodeId};
+use gdf_netlist::{Circuit, DelayFault, NodeId, TransitionFault};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -100,6 +100,66 @@ pub fn grade_filled_sequence(
     rng: &mut StdRng,
     scratch: &mut GradeScratch,
 ) -> Vec<usize> {
+    run_phases_one_two(circuit, filled, fast, rng, scratch);
+
+    // Phase 3: robust delay fault simulation of the fast frame, 64
+    // candidate faults per word, with the invalidation check.
+    let hits = detected_delay_faults_packed(
+        circuit,
+        &scratch.wave,
+        faults,
+        &scratch.observable,
+        relied_ppos,
+        &mut scratch.sim,
+    );
+    hits.into_iter().map(|(k, _)| k).collect()
+}
+
+/// The transition-fault twin of [`grade_filled_sequence`]: identical
+/// phases 1 and 2, with phase 3 swapped for the packed *non-robust*
+/// final-value classification
+/// ([`crate::tfsim::detected_transition_faults_packed`]). The two share
+/// one RNG discipline — the same sequence draws the same X-fill — so a
+/// transition grading is comparable, fault for fault, with a robust one.
+///
+/// # Panics
+///
+/// Panics if `fast` is 0 or out of bounds of `filled`.
+pub fn grade_filled_sequence_transition(
+    circuit: &Circuit,
+    filled: &[Vec<bool>],
+    fast: usize,
+    relied_ppos: &[NodeId],
+    faults: &[TransitionFault],
+    rng: &mut StdRng,
+    scratch: &mut GradeScratch,
+) -> Vec<usize> {
+    run_phases_one_two(circuit, filled, fast, rng, scratch);
+
+    // Phase 3: non-robust final-value classification of the fast frame,
+    // 64 candidate faults per word, same invalidation rule.
+    let hits = crate::tfsim::detected_transition_faults_packed(
+        circuit,
+        &scratch.wave,
+        faults,
+        &scratch.observable,
+        relied_ppos,
+        &mut scratch.sim,
+    );
+    hits.into_iter().map(|(k, _)| k).collect()
+}
+
+/// Phases 1 and 2 of the §5 pipeline, shared by every fault model:
+/// good-machine initialization (with random fill of unresolved state
+/// bits), two-frame waveform construction into `scratch.wave`, and
+/// packed PPO state-difference propagation into `scratch.observable`.
+fn run_phases_one_two(
+    circuit: &Circuit,
+    filled: &[Vec<bool>],
+    fast: usize,
+    rng: &mut StdRng,
+    scratch: &mut GradeScratch,
+) {
     assert!(
         fast > 0 && fast < filled.len(),
         "fast frame index {fast} out of range for {} frames",
@@ -164,18 +224,6 @@ pub fn grade_filled_sequence(
             }
         }
     }
-
-    // Phase 3: robust delay fault simulation of the fast frame, 64
-    // candidate faults per word, with the invalidation check.
-    let hits = detected_delay_faults_packed(
-        circuit,
-        &scratch.wave,
-        faults,
-        &scratch.observable,
-        relied_ppos,
-        &mut scratch.sim,
-    );
-    hits.into_iter().map(|(k, _)| k).collect()
 }
 
 /// Converts boolean frames into 3-valued frames, reusing `dst`'s outer and

@@ -38,14 +38,16 @@ pub mod goodsim;
 pub mod grading;
 pub mod packed;
 pub mod tdsim;
+pub mod tfsim;
 pub mod waveform;
 
 pub use event::EventSimulator;
 pub use fausim::{Fausim, PropagationOutcome};
 pub use goodsim::{GoodSimulator, ParallelSimulator};
-pub use grading::{grade_filled_sequence, GradeScratch};
+pub use grading::{grade_filled_sequence, grade_filled_sequence_transition, GradeScratch};
 pub use packed::{PackedGoodSim, PackedLogic, SimScratch};
 pub use tdsim::{detected_delay_faults, detected_delay_faults_packed, DelayObservation};
+pub use tfsim::{detected_transition_faults, detected_transition_faults_packed};
 pub use waveform::{two_frame_values, two_frame_values_into};
 
 /// The unified engine's fault-parallel orchestration shares simulator

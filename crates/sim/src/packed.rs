@@ -205,6 +205,12 @@ pub struct SimScratch {
     /// Whether a node has any branch override this batch (sparse — reset
     /// via `branch_list`).
     pub branch_flag: Vec<bool>,
+    /// Per-node faulty final values for the transition-fault sweep
+    /// ([`crate::tfsim`]), one fault per bit lane.
+    pub tf_vals: Vec<u64>,
+    /// Per-batch transition branch-fault overrides: (sink node index,
+    /// pin, lane mask).
+    pub tf_branch_list: Vec<(u32, u8, u64)>,
 }
 
 /// 64-way parallel 3-valued simulator: one independent Kleene pattern per

@@ -1,0 +1,512 @@
+//! Transition-fault simulation of the fast time frame — the phase-3
+//! twin of [`crate::tdsim`] for the gross-delay (transition) model.
+//!
+//! A transition fault is detected when the launched transition arrives
+//! at the fault site (`R` for slow-to-rise, `F` for slow-to-fall in the
+//! fault-free waveform) and the *final-value* difference it leaves
+//! behind — the site still holds its frame-1 value at capture — reaches
+//! an observation point. That is the classic non-robust condition:
+//! off-path inputs only need non-controlling final values; hazards may
+//! invalidate the test on silicon but do not block detection here.
+//!
+//! The observation and invalidation frame is shared with the robust
+//! simulator: a fault observed only at a PPO counts when (a) the
+//! propagation phase proved that PPO observable and (b) the final-value
+//! difference cannot corrupt any state bit the propagation relies on.
+//!
+//! [`detected_transition_faults_packed`] classifies 64 candidate faults
+//! per sweep: one `u64` word per node, one fault per bit lane, plain
+//! boolean gate evaluation over the union of the faults' output cones.
+//! The scalar [`detected_transition_faults`] is the reference the packed
+//! path is differential-tested against.
+
+use crate::packed::SimScratch;
+use crate::tdsim::DelayObservation;
+use gdf_algebra::delay::DelayValue;
+use gdf_netlist::{Circuit, DelayFaultKind, GateKind, NodeId, TransitionFault};
+
+/// The provoking fault-free value at the site, or `None` when the test
+/// does not launch the needed transition.
+fn provoked(waveform: &[DelayValue], fault: TransitionFault) -> bool {
+    let needed = match fault.kind {
+        DelayFaultKind::SlowToRise => DelayValue::R,
+        DelayFaultKind::SlowToFall => DelayValue::F,
+    };
+    waveform[fault.site.stem.index()] == needed
+}
+
+/// The direct branch-into-flip-flop case shared by the scalar and packed
+/// paths: the faulty value latches straight into that PPO, so detection
+/// is purely a question of phase-2 observability plus invalidation.
+fn dff_branch_observation(
+    waveform: &[DelayValue],
+    fault: TransitionFault,
+    observable_ppos: &[NodeId],
+    required_state_ppos: &[NodeId],
+) -> Option<DelayObservation> {
+    let ppo = fault.site.stem;
+    if !observable_ppos.contains(&ppo) {
+        return None;
+    }
+    for &req in required_state_ppos {
+        if req != ppo && !waveform[req.index()].is_steady_clean() {
+            return None;
+        }
+    }
+    Some(DelayObservation::AtPpo(ppo))
+}
+
+/// Simulates all candidate transition `faults` against one two-pattern
+/// test, with the same observation inputs as
+/// [`crate::tdsim::detected_delay_faults`]:
+///
+/// * `waveform` — fault-free two-frame values from
+///   [`crate::waveform::two_frame_values`];
+/// * `observable_ppos` — PPO nets the propagation phase proved
+///   observable;
+/// * `required_state_ppos` — PPO nets whose steady values the
+///   propagation phase relies on (the invalidation rule).
+///
+/// Returns `(fault index, observation)` pairs for every detected fault,
+/// in fault-list order.
+pub fn detected_transition_faults(
+    circuit: &Circuit,
+    waveform: &[DelayValue],
+    faults: &[TransitionFault],
+    observable_ppos: &[NodeId],
+    required_state_ppos: &[NodeId],
+) -> Vec<(usize, DelayObservation)> {
+    assert_eq!(waveform.len(), circuit.num_nodes(), "waveform length");
+    let mut detected = Vec::new();
+    let mut faulty: Vec<bool> = Vec::new();
+    for (idx, &fault) in faults.iter().enumerate() {
+        if !provoked(waveform, fault) {
+            continue;
+        }
+        if let Some((sink, _)) = fault.site.branch {
+            if !circuit.node(sink).kind().is_combinational() {
+                if let Some(obs) =
+                    dff_branch_observation(waveform, fault, observable_ppos, required_state_ppos)
+                {
+                    detected.push((idx, obs));
+                }
+                continue;
+            }
+        }
+
+        // Faulty frame-2 values: start from the good final values, flip
+        // the site, re-evaluate the fault's output cone.
+        faulty.clear();
+        faulty.extend(waveform.iter().map(|v| v.final_value()));
+        let seed = match fault.site.branch {
+            None => {
+                faulty[fault.site.stem.index()] = !faulty[fault.site.stem.index()];
+                fault.site.stem
+            }
+            Some((sink, _)) => sink,
+        };
+        let faulty_stem = !waveform[fault.site.stem.index()].final_value();
+        let mut ins: Vec<bool> = Vec::with_capacity(8);
+        for (gate, kind, fanins) in circuit.gates_levelized() {
+            if !circuit.cone_contains(seed, gate) {
+                continue;
+            }
+            if gate == fault.site.stem && fault.site.branch.is_none() {
+                continue; // the slow site holds its stale value
+            }
+            ins.clear();
+            ins.extend(fanins.iter().enumerate().map(|(pin, &f)| {
+                if let Some((sink, fpin)) = fault.site.branch {
+                    if f == fault.site.stem && sink == gate && fpin == pin as u8 {
+                        return faulty_stem;
+                    }
+                }
+                faulty[f.index()]
+            }));
+            faulty[gate.index()] = kind.eval_bool(&ins);
+        }
+
+        let differs = |n: NodeId| faulty[n.index()] != waveform[n.index()].final_value();
+        if let Some(&po) = circuit.outputs().iter().find(|&&po| differs(po)) {
+            detected.push((idx, DelayObservation::AtPo(po)));
+            continue;
+        }
+        let Some(&ppo) = circuit
+            .ppos()
+            .iter()
+            .find(|&&ppo| differs(ppo) && observable_ppos.contains(&ppo))
+        else {
+            continue;
+        };
+        let invalidated = required_state_ppos
+            .iter()
+            .any(|&req| req != ppo && (differs(req) || !waveform[req.index()].is_steady_clean()));
+        if !invalidated {
+            detected.push((idx, DelayObservation::AtPpo(ppo)));
+        }
+    }
+    detected
+}
+
+/// Word-parallel variant of [`detected_transition_faults`]: classifies up
+/// to 64 candidate faults per sweep, one fault per bit lane, with plain
+/// boolean `u64` gate evaluation over the union of the faults' output
+/// cones. Results are element-identical to the scalar function.
+///
+/// # Panics
+///
+/// Panics if `waveform` does not have one value per node.
+pub fn detected_transition_faults_packed(
+    circuit: &Circuit,
+    waveform: &[DelayValue],
+    faults: &[TransitionFault],
+    observable_ppos: &[NodeId],
+    required_state_ppos: &[NodeId],
+    scratch: &mut SimScratch,
+) -> Vec<(usize, DelayObservation)> {
+    assert_eq!(waveform.len(), circuit.num_nodes(), "waveform length");
+    let mut detected = Vec::new();
+    let placeholder = TransitionFault {
+        site: gdf_netlist::FaultSite::on_stem(NodeId(0)),
+        kind: DelayFaultKind::SlowToRise,
+    };
+    let mut batch: [(usize, TransitionFault); 64] = [(0, placeholder); 64];
+    let mut filled = 0;
+    for (idx, &fault) in faults.iter().enumerate() {
+        if !provoked(waveform, fault) {
+            continue;
+        }
+        if let Some((sink, _)) = fault.site.branch {
+            if !circuit.node(sink).kind().is_combinational() {
+                if let Some(obs) =
+                    dff_branch_observation(waveform, fault, observable_ppos, required_state_ppos)
+                {
+                    detected.push((idx, obs));
+                }
+                continue;
+            }
+        }
+        batch[filled] = (idx, fault);
+        filled += 1;
+        if filled == 64 {
+            classify_batch(
+                circuit,
+                waveform,
+                &batch[..filled],
+                observable_ppos,
+                required_state_ppos,
+                scratch,
+                &mut detected,
+            );
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        classify_batch(
+            circuit,
+            waveform,
+            &batch[..filled],
+            observable_ppos,
+            required_state_ppos,
+            scratch,
+            &mut detected,
+        );
+    }
+    detected.sort_unstable_by_key(|&(idx, _)| idx);
+    detected
+}
+
+/// Boolean gate evaluation over 64 lanes at once.
+fn eval_bool_packed(kind: GateKind, first: u64, rest: impl Iterator<Item = u64>) -> u64 {
+    match kind {
+        GateKind::Buf => first,
+        GateKind::Not => !first,
+        GateKind::And => rest.fold(first, |a, v| a & v),
+        GateKind::Nand => !rest.fold(first, |a, v| a & v),
+        GateKind::Or => rest.fold(first, |a, v| a | v),
+        GateKind::Nor => !rest.fold(first, |a, v| a | v),
+        GateKind::Xor => rest.fold(first, |a, v| a ^ v),
+        GateKind::Xnor => !rest.fold(first, |a, v| a ^ v),
+        GateKind::Input | GateKind::Dff => {
+            panic!("eval_bool_packed called on non-combinational kind {kind:?}")
+        }
+    }
+}
+
+/// Classifies one ≤64-fault batch — every entry provoked, with a
+/// combinational observation path — in one boolean sweep over the union
+/// of the faults' output cones.
+fn classify_batch(
+    circuit: &Circuit,
+    waveform: &[DelayValue],
+    batch: &[(usize, TransitionFault)],
+    observable_ppos: &[NodeId],
+    required_state_ppos: &[NodeId],
+    scratch: &mut SimScratch,
+    detected: &mut Vec<(usize, DelayObservation)>,
+) {
+    let lanes_in_use = if batch.len() == 64 {
+        !0u64
+    } else {
+        (1u64 << batch.len()) - 1
+    };
+    let broadcast = |v: bool| if v { !0u64 } else { 0u64 };
+
+    // Per-lane faulty final values: start from the broadcast good final
+    // values over the union cone only (nodes outside any cone are never
+    // read with a stale value because lanes outside a node's own cone
+    // equal the broadcast by construction).
+    scratch.tf_vals.clear();
+    scratch
+        .tf_vals
+        .extend(waveform.iter().map(|&v| broadcast(v.final_value())));
+    scratch.stem_mask.resize(circuit.num_nodes(), 0);
+    scratch.branch_flag.resize(circuit.num_nodes(), false);
+    scratch.stem_nodes.clear();
+    scratch.tf_branch_list.clear();
+    scratch.cone_union.clear();
+    scratch.cone_union.resize(circuit.cone_stride(), 0);
+
+    for (k, &(_, fault)) in batch.iter().enumerate() {
+        let seed = match fault.site.branch {
+            None => {
+                let stem = fault.site.stem.index();
+                if scratch.stem_mask[stem] == 0 {
+                    scratch.stem_nodes.push(fault.site.stem.0);
+                }
+                scratch.stem_mask[stem] |= 1 << k;
+                fault.site.stem
+            }
+            Some((sink, pin)) => {
+                if let Some(entry) = scratch
+                    .tf_branch_list
+                    .iter_mut()
+                    .find(|e| e.0 == sink.0 && e.1 == pin)
+                {
+                    entry.2 |= 1 << k;
+                } else {
+                    scratch.tf_branch_list.push((sink.0, pin, 1 << k));
+                    scratch.branch_flag[sink.index()] = true;
+                }
+                sink
+            }
+        };
+        for (u, &w) in scratch.cone_union.iter_mut().zip(circuit.cone_words(seed)) {
+            *u |= w;
+        }
+    }
+
+    // Inject: flip the stem's final value in its fault lanes.
+    for &node in &scratch.stem_nodes {
+        let i = node as usize;
+        scratch.tf_vals[i] ^= scratch.stem_mask[i];
+    }
+
+    for (gate, kind, fanins) in circuit.gates_levelized() {
+        let gi = gate.index();
+        if scratch.cone_union[gi / 64] >> (gi % 64) & 1 == 0 {
+            continue;
+        }
+        let input = |pin: usize, f: NodeId| -> u64 {
+            let mut v = scratch.tf_vals[f.index()];
+            if scratch.branch_flag[gi] {
+                for &(sink, fpin, mask) in &scratch.tf_branch_list {
+                    if sink == gate.0 && fpin == pin as u8 {
+                        // The branch carries the stale frame-1 value of
+                        // its stem in the fault's lanes.
+                        let stale = broadcast(!waveform[f.index()].final_value());
+                        v = (v & !mask) | (stale & mask);
+                    }
+                }
+            }
+            v
+        };
+        let first = input(0, fanins[0]);
+        let mut out = eval_bool_packed(
+            kind,
+            first,
+            fanins[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| input(i + 1, f)),
+        );
+        let stem_lanes = scratch.stem_mask[gi];
+        if stem_lanes != 0 {
+            // The slow site holds its stale value in its own lanes.
+            let good = broadcast(waveform[gi].final_value());
+            out = (out & !stem_lanes) | (!good & stem_lanes);
+        }
+        scratch.tf_vals[gi] = out;
+    }
+
+    // Per-lane observation, mirroring the scalar order.
+    let diff =
+        |n: NodeId| scratch.tf_vals[n.index()] ^ broadcast(waveform[n.index()].final_value());
+    let mut lanes = lanes_in_use;
+    while lanes != 0 {
+        let k = lanes.trailing_zeros() as usize;
+        lanes &= lanes - 1;
+        let bit = |n: NodeId| diff(n) >> k & 1 == 1;
+        if let Some(&po) = circuit.outputs().iter().find(|&&po| bit(po)) {
+            detected.push((batch[k].0, DelayObservation::AtPo(po)));
+            continue;
+        }
+        let Some(&ppo) = circuit
+            .ppos()
+            .iter()
+            .find(|&&ppo| bit(ppo) && observable_ppos.contains(&ppo))
+        else {
+            continue;
+        };
+        let invalidated = required_state_ppos
+            .iter()
+            .any(|&req| req != ppo && (bit(req) || !waveform[req.index()].is_steady_clean()));
+        if !invalidated {
+            detected.push((batch[k].0, DelayObservation::AtPpo(ppo)));
+        }
+    }
+
+    // Reset the sparse injection tables for the next batch.
+    for &node in &scratch.stem_nodes {
+        scratch.stem_mask[node as usize] = 0;
+    }
+    for &(sink, ..) in &scratch.tf_branch_list {
+        scratch.branch_flag[sink as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::two_frame_values;
+    use gdf_netlist::{CircuitBuilder, FaultSite, FaultUniverse};
+
+    fn fault(site: FaultSite, kind: DelayFaultKind) -> TransitionFault {
+        TransitionFault { site, kind }
+    }
+
+    #[test]
+    fn transition_detection_is_nonrobust() {
+        // y = AND(a, b): a falls while b rises. The robust simulator
+        // rejects this test (off-path input not steady); the transition
+        // model accepts it: the final values alone expose the slow fall.
+        let mut bld = CircuitBuilder::new("nonrobust");
+        bld.add_input("a");
+        bld.add_input("b");
+        bld.add_gate("y", GateKind::And, &["a", "b"]);
+        bld.mark_output("y");
+        let c = bld.build().unwrap();
+        let a = c.node_by_name("a").unwrap();
+        let tf = fault(FaultSite::on_stem(a), DelayFaultKind::SlowToFall);
+        let w = two_frame_values(&c, &[true, false], &[false, true], &[]);
+        let robust_twin = gdf_netlist::DelayFault {
+            site: tf.site,
+            kind: tf.kind,
+        };
+        assert!(
+            crate::tdsim::detected_delay_faults(&c, &w, &[robust_twin], &[], &[]).is_empty(),
+            "robust model must reject the glitchy side input"
+        );
+        assert_eq!(
+            detected_transition_faults(&c, &w, &[tf], &[], &[]).len(),
+            1,
+            "transition model needs only the final-value difference"
+        );
+    }
+
+    #[test]
+    fn unprovoked_faults_are_screened() {
+        let mut bld = CircuitBuilder::new("screen");
+        bld.add_input("a");
+        bld.add_gate("y", GateKind::Buf, &["a"]);
+        bld.mark_output("y");
+        let c = bld.build().unwrap();
+        let a = c.node_by_name("a").unwrap();
+        let w = two_frame_values(&c, &[false], &[true], &[]);
+        // a rises: only the slow-to-rise fault is provoked.
+        let faults = [
+            fault(FaultSite::on_stem(a), DelayFaultKind::SlowToRise),
+            fault(FaultSite::on_stem(a), DelayFaultKind::SlowToFall),
+        ];
+        let hits = detected_transition_faults(&c, &w, &faults, &[], &[]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 0);
+    }
+
+    #[test]
+    fn packed_matches_scalar_exhaustively_on_s27() {
+        let c = gdf_netlist::suite::s27();
+        let faults = FaultUniverse::default().transition_faults(&c);
+        let all_ppos = c.ppos().to_vec();
+        let mut scratch = SimScratch::default();
+        for seed in 0u32..64 {
+            let v1: Vec<bool> = (0..4).map(|i| seed & (1 << i) != 0).collect();
+            let v2: Vec<bool> = (0..4).map(|i| seed & (32 >> i) != 0).collect();
+            let st: Vec<bool> = (0..3).map(|i| seed & (1 << (i + 1)) != 0).collect();
+            let w = two_frame_values(&c, &v1, &v2, &st);
+            let cases: [(&[NodeId], &[NodeId]); 3] = [
+                (&[], &[]),
+                (&all_ppos, &[]),
+                (&all_ppos[..1], &all_ppos[1..]),
+            ];
+            for (obs, req) in cases {
+                let scalar = detected_transition_faults(&c, &w, &faults, obs, req);
+                let packed =
+                    detected_transition_faults_packed(&c, &w, &faults, obs, req, &mut scratch);
+                assert_eq!(scalar, packed, "seed {seed} obs {obs:?} req {req:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn transition_detects_superset_of_robust_on_s27() {
+        // Every robustly detected delay fault's transition twin is also
+        // detected (non-robust is strictly weaker), for every pattern
+        // pair of the sweep.
+        let c = gdf_netlist::suite::s27();
+        let delay = FaultUniverse::default().delay_faults(&c);
+        let transition = FaultUniverse::default().transition_faults(&c);
+        for seed in 0u32..64 {
+            let v1: Vec<bool> = (0..4).map(|i| seed & (1 << i) != 0).collect();
+            let v2: Vec<bool> = (0..4).map(|i| seed & (32 >> i) != 0).collect();
+            let w = two_frame_values(&c, &v1, &v2, &[false, true, false]);
+            let robust: Vec<usize> = crate::tdsim::detected_delay_faults(&c, &w, &delay, &[], &[])
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            let tf: Vec<usize> = detected_transition_faults(&c, &w, &transition, &[], &[])
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            for k in &robust {
+                assert!(tf.contains(k), "seed {seed}: robust hit {k} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn branch_and_dff_branch_faults() {
+        let mut bld = CircuitBuilder::new("mix");
+        bld.add_input("a");
+        bld.add_dff("q", "d");
+        bld.add_gate("s", GateKind::Not, &["a"]);
+        bld.add_gate("d", GateKind::Buf, &["s"]);
+        bld.add_gate("y", GateKind::Buf, &["s"]);
+        bld.mark_output("y");
+        let c = bld.build().unwrap();
+        let faults = FaultUniverse::default().transition_faults(&c);
+        let d = c.node_by_name("d").unwrap();
+        let mut scratch = SimScratch::default();
+        for (v1, v2) in [(false, true), (true, false)] {
+            for st in [false, true] {
+                let w = two_frame_values(&c, &[v1], &[v2], &[st]);
+                for obs in [&[][..], &[d][..]] {
+                    let scalar = detected_transition_faults(&c, &w, &faults, obs, &[]);
+                    let packed =
+                        detected_transition_faults_packed(&c, &w, &faults, obs, &[], &mut scratch);
+                    assert_eq!(scalar, packed, "{v1}{v2} state {st} obs {obs:?}");
+                }
+            }
+        }
+    }
+}

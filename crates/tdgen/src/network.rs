@@ -14,9 +14,14 @@ use gdf_algebra::delay::{eval_gate, eval_gate_sets, narrow_inputs, DelaySet, Del
 use gdf_netlist::{Circuit, DelayFault, DelayFaultKind, GateKind, NodeId};
 use std::collections::VecDeque;
 
-/// Which gate-delay-fault model the implication tables follow.
+/// Which sensitization criterion the implication tables follow.
+///
+/// Before PR 5 this type was named `FaultModel`; the name now belongs to
+/// `gdf_netlist::model::FaultModel` (the pluggable fault-*model* trait:
+/// delay / stuck / transition), while this enum picks how strictly a
+/// delay test must sensitize its path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum FaultModel {
+pub enum Sensitization {
     /// The paper's strict robust model: off-path inputs of a falling
     /// on-path transition must be steady and hazard-free; parity-gate
     /// off-path inputs must be steady and hazard-free.
@@ -31,17 +36,19 @@ pub enum FaultModel {
     NonRobust,
 }
 
-impl std::str::FromStr for FaultModel {
+impl std::str::FromStr for Sensitization {
     type Err = String;
 
-    /// The model names every user-facing surface shares (`gdf --model`,
-    /// artifact configs, `gdf serve` submissions): `robust`,
-    /// `non-robust` (alias `nonrobust`).
+    /// The names every user-facing surface shares (`gdf
+    /// --sensitization`, artifact configs, `gdf serve` submissions):
+    /// `robust`, `non-robust` (alias `nonrobust`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
-            "robust" => Ok(FaultModel::Robust),
-            "non-robust" | "nonrobust" => Ok(FaultModel::NonRobust),
-            other => Err(format!("unknown model `{other}` (robust|non-robust)")),
+            "robust" => Ok(Sensitization::Robust),
+            "non-robust" | "nonrobust" => Ok(Sensitization::NonRobust),
+            other => Err(format!(
+                "unknown sensitization `{other}` (robust|non-robust)"
+            )),
         }
     }
 }
@@ -55,7 +62,7 @@ pub enum Implied {
     Conflict,
 }
 
-/// Non-robust value-level gate evaluation (see [`FaultModel::NonRobust`]).
+/// Non-robust value-level gate evaluation (see [`Sensitization::NonRobust`]).
 pub fn eval_gate_nonrobust(kind: GateKind, vals: &[DelayValue]) -> DelayValue {
     let robust = eval_gate(kind, vals);
     if !robust.is_transition() {
@@ -169,7 +176,7 @@ fn narrow_nonrobust(kind: GateKind, out_allowed: &mut DelaySet, ins: &mut [Delay
 pub struct ImplicationNet<'c> {
     circuit: &'c Circuit,
     fault: DelayFault,
-    model: FaultModel,
+    model: Sensitization,
     sets: Vec<DelaySet>,
     trail: Vec<(NodeId, DelaySet)>,
     queue: VecDeque<Constraint>,
@@ -200,7 +207,7 @@ impl<'c> ImplicationNet<'c> {
     /// * primary inputs and flip-flop outputs: `{0,1,R,F}` (hazard-free);
     /// * nets in the fault's output cone: all 8 values;
     /// * everything else: the 6 clean values.
-    pub fn new(circuit: &'c Circuit, fault: DelayFault, model: FaultModel) -> Self {
+    pub fn new(circuit: &'c Circuit, fault: DelayFault, model: Sensitization) -> Self {
         let n = circuit.num_nodes();
         let seed = match fault.site.branch {
             None => fault.site.stem,
@@ -250,7 +257,7 @@ impl<'c> ImplicationNet<'c> {
     }
 
     /// The fault model in force.
-    pub fn model(&self) -> FaultModel {
+    pub fn model(&self) -> Sensitization {
         self.model
     }
 
@@ -429,15 +436,15 @@ impl<'c> ImplicationNet<'c> {
 
     fn eval_sets_m(&self, kind: GateKind, ins: &[DelaySet]) -> DelaySet {
         match self.model {
-            FaultModel::Robust => eval_gate_sets(kind, ins),
-            FaultModel::NonRobust => eval_sets_nonrobust(kind, ins),
+            Sensitization::Robust => eval_gate_sets(kind, ins),
+            Sensitization::NonRobust => eval_sets_nonrobust(kind, ins),
         }
     }
 
     fn narrow_m(&self, kind: GateKind, out: &mut DelaySet, ins: &mut [DelaySet]) -> bool {
         match self.model {
-            FaultModel::Robust => narrow_inputs(kind, out, ins),
-            FaultModel::NonRobust => narrow_nonrobust(kind, out, ins),
+            Sensitization::Robust => narrow_inputs(kind, out, ins),
+            Sensitization::NonRobust => narrow_nonrobust(kind, out, ins),
         }
     }
 
@@ -537,7 +544,7 @@ mod tests {
     #[test]
     fn initial_domains() {
         let c = suite::s27();
-        let net = ImplicationNet::new(&c, str_fault(&c, "G14"), FaultModel::Robust);
+        let net = ImplicationNet::new(&c, str_fault(&c, "G14"), Sensitization::Robust);
         let g0 = c.node_by_name("G0").unwrap();
         assert_eq!(net.set(g0), DelaySet::HAZARD_FREE);
         let g14 = c.node_by_name("G14").unwrap();
@@ -551,7 +558,7 @@ mod tests {
     #[test]
     fn conversion_round_trip() {
         let c = suite::s27();
-        let net = ImplicationNet::new(&c, str_fault(&c, "G14"), FaultModel::Robust);
+        let net = ImplicationNet::new(&c, str_fault(&c, "G14"), Sensitization::Robust);
         let s = DelaySet::from_values([DelayValue::R, DelayValue::S0]);
         let conv = net.convert(s);
         assert!(conv.contains(DelayValue::Rc));
@@ -572,7 +579,7 @@ mod tests {
         b.mark_output("y");
         let c = b.build().unwrap();
         let fault = str_fault(&c, "s");
-        let mut net = ImplicationNet::new(&c, fault, FaultModel::Robust);
+        let mut net = ImplicationNet::new(&c, fault, Sensitization::Robust);
         assert_eq!(net.propagate(), Implied::Consistent);
         let s = c.node_by_name("s").unwrap();
         assert!(net.assign(s, DelaySet::singleton(DelayValue::R)));
@@ -586,7 +593,7 @@ mod tests {
     #[test]
     fn rollback_restores_state() {
         let c = suite::s27();
-        let mut net = ImplicationNet::new(&c, str_fault(&c, "G14"), FaultModel::Robust);
+        let mut net = ImplicationNet::new(&c, str_fault(&c, "G14"), Sensitization::Robust);
         net.propagate();
         let g0 = c.node_by_name("G0").unwrap();
         let before = net.set(g0);
@@ -606,7 +613,7 @@ mod tests {
         b.mark_output("y");
         let c = b.build().unwrap();
         let fault = str_fault(&c, "y");
-        let mut net = ImplicationNet::new(&c, fault, FaultModel::Robust);
+        let mut net = ImplicationNet::new(&c, fault, Sensitization::Robust);
         net.propagate();
         let a = c.node_by_name("a").unwrap();
         let y = c.node_by_name("y").unwrap();
@@ -634,7 +641,7 @@ mod tests {
         b.mark_output("y");
         let c = b.build().unwrap();
         let fault = str_fault(&c, "y");
-        let mut net = ImplicationNet::new(&c, fault, FaultModel::Robust);
+        let mut net = ImplicationNet::new(&c, fault, Sensitization::Robust);
         net.propagate();
         let q = c.node_by_name("q").unwrap();
         let d = c.node_by_name("d").unwrap();
@@ -659,7 +666,7 @@ mod tests {
         b.mark_output("y");
         let c = b.build().unwrap();
         let fault = str_fault(&c, "y");
-        let mut net = ImplicationNet::new(&c, fault, FaultModel::Robust);
+        let mut net = ImplicationNet::new(&c, fault, Sensitization::Robust);
         net.propagate();
         let q = c.node_by_name("q").unwrap();
         assert!(net.assign(q, DelaySet::singleton(DelayValue::R)));
@@ -709,7 +716,7 @@ mod tests {
             site: FaultSite::on_branch(s, y1, 0),
             kind: DelayFaultKind::SlowToRise,
         };
-        let mut net = ImplicationNet::new(&c, fault, FaultModel::Robust);
+        let mut net = ImplicationNet::new(&c, fault, Sensitization::Robust);
         net.propagate();
         assert!(net.assign(s, DelaySet::singleton(DelayValue::R)));
         assert_eq!(net.propagate(), Implied::Consistent);

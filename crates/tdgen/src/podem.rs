@@ -23,7 +23,7 @@
 //! space; objectives are heuristics only. The paper's backtrack-limit
 //! abort (default 100) sits on top.
 
-use crate::network::{FaultModel, ImplicationNet, Implied};
+use crate::network::{ImplicationNet, Implied, Sensitization};
 use crate::result::{LocalObservation, LocalTest, PpoValue};
 use gdf_algebra::delay::{DelaySet, DelayValue};
 use gdf_algebra::logic3::{eval_gate3, Logic3};
@@ -36,14 +36,14 @@ pub struct TdGenConfig {
     /// Abort the fault after this many backtracks (paper: 100).
     pub backtrack_limit: u32,
     /// Robust (paper default) or non-robust fault model.
-    pub model: FaultModel,
+    pub sensitization: Sensitization,
 }
 
 impl Default for TdGenConfig {
     fn default() -> Self {
         TdGenConfig {
             backtrack_limit: 100,
-            model: FaultModel::Robust,
+            sensitization: Sensitization::Robust,
         }
     }
 }
@@ -142,7 +142,7 @@ impl<'c> TdGen<'c> {
         fault: DelayFault,
         constraints: &[(NodeId, DelaySet)],
     ) -> TdGenOutcome {
-        let mut net = ImplicationNet::new(self.circuit, fault, self.config.model);
+        let mut net = ImplicationNet::new(self.circuit, fault, self.config.sensitization);
         for &(node, set) in constraints {
             if !net.assign(node, set) {
                 return TdGenOutcome::Untestable;
@@ -979,7 +979,7 @@ mod tests {
         let nonrobust = TdGen::with_config(
             &c,
             TdGenConfig {
-                model: FaultModel::NonRobust,
+                sensitization: Sensitization::NonRobust,
                 ..TdGenConfig::default()
             },
         );

@@ -11,7 +11,9 @@
 //! cargo run --release --example campaign
 //! ```
 
-use gdf::core::{grade_patterns, Atpg, Backend, Campaign, CircuitReport, Observer, PatternSet};
+use gdf::core::{
+    grade_patterns, Atpg, Backend, Campaign, CircuitReport, ModelKind, Observer, PatternSet,
+};
 use gdf::netlist::{suite, FaultUniverse};
 
 struct Progress;
@@ -75,7 +77,14 @@ fn main() {
         .build()
         .run();
     let patterns = PatternSet::from_run(&c, &run, "non-scan", seed, None);
-    let grade = grade_patterns(&c, &patterns, &FaultUniverse::default(), seed).unwrap();
+    let grade = grade_patterns(
+        &c,
+        &patterns,
+        ModelKind::Delay,
+        &FaultUniverse::default(),
+        seed,
+    )
+    .unwrap();
     println!("\nre-graded exported patterns: {grade}");
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -56,7 +56,7 @@ fn main() {
     for backend in [Backend::NonScan, Backend::EnhancedScan, Backend::StuckAt] {
         let mut engine: Box<dyn AtpgEngine> = Atpg::builder(&circuit).backend(backend).build();
         let run = engine.run();
-        println!("{}  [{}]", run.report.row, engine.name());
+        println!("{}  [{}]", run.report.line(), engine.name());
     }
 
     // Streaming observation: records arrive while the run executes.

@@ -6,6 +6,7 @@
 //! gdf grade <PATTERNS.json> [--circuit CIRCUIT] [--seed N]
 //! gdf campaign [CIRCUIT...] [--suite] [--dir DIR] [--resume] [options]
 //! gdf report <RUN.json>... [--diff]
+//! gdf suite [--universe <full|stems>]
 //! gdf serve --addr HOST:PORT --dir DIR [--workers N]
 //! gdf submit <CIRCUIT> --addr HOST:PORT [--wait|--follow] [options]
 //! gdf status [<JOB>] --addr HOST:PORT [--follow]
@@ -30,7 +31,8 @@
 use gdf::core::json::Json;
 use gdf::core::{
     grade_patterns, Atpg, AtpgBuilder, AtpgRun, Backend, Campaign, Checkpointer, CircuitReport,
-    CircuitSource, FaultRecord, Observer, PatternSet, ProgressEvent, RunArtifact, RunConfig,
+    CircuitSource, FaultRecord, ModelKind, Observer, PatternSet, ProgressEvent, RunArtifact,
+    RunConfig,
 };
 use gdf::netlist::{parse_bench, suite, Circuit, FaultUniverse};
 use gdf::serve::server::{submission_for_bench, submission_for_suite, submission_with_runtime};
@@ -49,6 +51,7 @@ USAGE:
     gdf grade <PATTERNS.json> [options] re-grade a saved pattern set
     gdf campaign [CIRCUIT...] [options] run many circuits, aggregate report
     gdf report <RUN.json>... [--diff]   render or compare saved runs
+    gdf suite [--universe <full|stems>] list embedded suite circuits
     gdf serve [options]                 host the engine as an HTTP job server
     gdf submit <CIRCUIT> [options]      submit a job to a server
     gdf status [<JOB>] [options]        job status (or list all jobs)
@@ -62,7 +65,8 @@ CIRCUIT:
 
 OPTIONS:
     --backend <non-scan|enhanced-scan|stuck-at>   engine (default non-scan)
-    --model <robust|non-robust>                   delay model
+    --model <delay|transition|stuck>              fault model (default: backend's)
+    --sensitization <robust|non-robust>           delay-test sensitization
     --universe <full|stems>                       fault universe
     --seed <N>                                    X-fill seed (dec or 0x..)
     --parallelism <N>                             generation workers
@@ -110,6 +114,7 @@ fn main() -> ExitCode {
         "grade" => cmd_grade(rest),
         "campaign" => cmd_campaign(rest),
         "report" => cmd_report(rest),
+        "suite" => cmd_suite(rest),
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
         "status" => cmd_status(rest),
@@ -207,6 +212,7 @@ impl Opts {
 const RUN_VALUES: &[&str] = &[
     "backend",
     "model",
+    "sensitization",
     "universe",
     "seed",
     "parallelism",
@@ -301,11 +307,12 @@ impl Observer for AbortAfter {
 
 fn print_run(run: &AtpgRun) {
     println!("{}", CircuitReport::header());
-    println!("{}", run.report.row);
+    println!("{}", run.report.line());
     println!(
-        "{} sequences, {} faults dropped by simulation{}",
+        "{} sequences, {} faults dropped by simulation — {}{}",
         run.report.sequences,
         run.report.dropped_by_simulation,
+        run.report.coverage,
         match run.stopped {
             None => String::new(),
             Some(reason) => format!(" — stopped early: {reason}"),
@@ -316,9 +323,10 @@ fn print_run(run: &AtpgRun) {
 /// The single flag→config mapping: both the engine builder and the saved
 /// artifact are driven from this one value, so the recorded provenance
 /// can never diverge from the run that actually executed. Backend,
-/// model and universe names go through the shared parsers
-/// (`Backend::from_str`, `FaultModel::from_str`,
-/// `FaultUniverse::parse_name`) that the serve submissions use too.
+/// model, sensitization and universe names go through the shared parsers
+/// and the `RunConfig::apply_model_name`/`validate` helpers that the
+/// serve submissions use too (including the pre-PR-5 `--model
+/// robust|non-robust` compat mapping).
 fn config_from_opts(opts: &Opts) -> Result<RunConfig, String> {
     let mut config = RunConfig::new(
         opts.value("backend")
@@ -327,8 +335,12 @@ fn config_from_opts(opts: &Opts) -> Result<RunConfig, String> {
             .unwrap_or(Backend::NonScan),
     );
     if let Some(m) = opts.value("model") {
-        config.model = m.parse()?;
+        config.apply_model_name(m)?;
     }
+    if let Some(s) = opts.value("sensitization") {
+        config.sensitization = s.parse()?;
+    }
+    config.validate().map_err(|e| e.to_string())?;
     if let Some(u) = opts.value("universe") {
         config.universe = FaultUniverse::parse_name(u)?;
     }
@@ -348,6 +360,7 @@ fn configure<'c>(
     builder = builder
         .backend(config.backend)
         .model(config.model)
+        .sensitization(config.sensitization)
         .universe(config.universe)
         .limits(config.limits)
         .seed(config.seed);
@@ -531,8 +544,21 @@ fn cmd_grade(args: &[String]) -> Result<ExitCode, String> {
         .map(FaultUniverse::parse_name)
         .transpose()?
         .unwrap_or_default();
+    // `--model` picks the graded fault model through the shared compat
+    // shim: the pre-PR-5 sensitization spellings (robust/non-robust)
+    // land in the probe's sensitization and leave the model at its
+    // delay default — exactly what grading always did with them.
+    let model = match opts.value("model") {
+        None => ModelKind::Delay,
+        Some(name) => {
+            let mut probe = RunConfig::new(Backend::NonScan);
+            probe.apply_model_name(name)?;
+            probe.model
+        }
+    };
     let seed = opts.number("seed")?.unwrap_or(set.seed);
-    let grade = grade_patterns(&circuit, &set, &universe, seed).map_err(|e| e.to_string())?;
+    let grade =
+        grade_patterns(&circuit, &set, model, &universe, seed).map_err(|e| e.to_string())?;
     println!("{grade}");
     Ok(ExitCode::SUCCESS)
 }
@@ -547,12 +573,26 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         let (circuit, source) = load_circuit(spec)?;
         builder = builder.circuit_with_source(circuit, source);
     }
-    if let Some(b) = opts.value("backend") {
-        builder = builder.backend(b.parse()?);
-    }
+    // Resolve backend/model/sensitization through the same probe `gdf
+    // run` uses, so an unsupported pairing is a friendly error here too
+    // — never a panic inside Campaign::run.
+    let mut probe = RunConfig::new(
+        opts.value("backend")
+            .map(str::parse)
+            .transpose()?
+            .unwrap_or(Backend::NonScan),
+    );
     if let Some(m) = opts.value("model") {
-        builder = builder.model(m.parse()?);
+        probe.apply_model_name(m)?;
     }
+    if let Some(s) = opts.value("sensitization") {
+        probe.sensitization = s.parse()?;
+    }
+    probe.validate().map_err(|e| e.to_string())?;
+    builder = builder
+        .backend(probe.backend)
+        .model(probe.model)
+        .sensitization(probe.sensitization);
     if let Some(u) = opts.value("universe") {
         builder = builder.universe(FaultUniverse::parse_name(u)?);
     }
@@ -599,7 +639,7 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
     for path in &opts.positional {
         let artifact = RunArtifact::load(path).map_err(|e| e.to_string())?;
         match artifact.report() {
-            Some(report) => println!("{}", report.row),
+            Some(report) => println!("{}", report.line()),
             None => println!(
                 "{:<12} partial checkpoint: {}/{} faults decided, {} sequences",
                 artifact.circuit.name,
@@ -612,20 +652,74 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Lists the embedded suite circuits with their gate/DFF counts and
+/// per-model fault-universe sizes, so `suite:<name>` refs are
+/// discoverable without reading source. The fault counts come from the
+/// lazy [`gdf::netlist::FaultSet`] — nothing is materialized.
+fn cmd_suite(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, &["universe"], &[])?;
+    if !opts.positional.is_empty() {
+        return Err("suite takes no positional arguments".into());
+    }
+    let universe = opts
+        .value("universe")
+        .map(FaultUniverse::parse_name)
+        .transpose()?
+        .unwrap_or_default();
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>8} {:>7} {:>8}",
+        "ref", "inputs", "dffs", "gates", "outputs", "faults", "classes"
+    );
+    for circuit in suite::full_suite() {
+        let reference = circuit.name().trim_end_matches("_syn").to_string();
+        let stats = circuit.stats();
+        let model = ModelKind::Delay.model();
+        let faults = gdf::netlist::FaultSet::new(&circuit, universe, ModelKind::Delay).len();
+        let universe_list: Vec<_> = model.enumerate(&circuit, &universe).collect();
+        let classes = model
+            .collapse(&circuit, &universe_list)
+            .representatives
+            .len();
+        println!(
+            "suite:{:<8} {:>6} {:>6} {:>6} {:>8} {:>7} {:>8}",
+            reference,
+            stats.num_inputs,
+            stats.num_dffs,
+            stats.num_gates,
+            stats.num_outputs,
+            faults,
+            classes
+        );
+    }
+    println!(
+        "\nuniverse: {} (2 faults per site, every model) — run one with \
+         `gdf run suite:<name>`, e.g. `gdf run suite:s27 --model transition`",
+        opts.value("universe").unwrap_or("full")
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Compares two completed run artifacts modulo wall-clock; exit 0 iff
-/// records, sequences and normalized reports are identical.
+/// the artifacts are byte-identical in canonical form. Specific
+/// differences (config, records, sequences, reports, coverage) are
+/// named; anything the named checks miss is still caught by the final
+/// canonical-encoding comparison, so a nonzero exit is guaranteed
+/// whenever the artifacts differ — scripts and CI key on that.
 fn diff_runs(a: &str, b: &str) -> Result<ExitCode, String> {
     let load = |path: &str| -> Result<(RunArtifact, AtpgRun), String> {
-        let artifact = RunArtifact::load(path).map_err(|e| e.to_string())?;
+        let artifact = RunArtifact::load(path).map_err(|e| format!("{path}: {e}"))?;
         let circuit = artifact.circuit.resolve().map_err(|e| e.to_string())?;
         let run = artifact
             .to_run(&circuit)
             .map_err(|e| format!("{path}: {e}"))?;
         Ok((artifact, run))
     };
-    let (_, run_a) = load(a)?;
-    let (_, run_b) = load(b)?;
+    let (artifact_a, run_a) = load(a)?;
+    let (artifact_b, run_b) = load(b)?;
     let mut differences = Vec::new();
+    if artifact_a.config() != artifact_b.config() {
+        differences.push("configurations differ (backend/model/universe/limits/seed)".to_string());
+    }
     if run_a.records != run_b.records {
         let first = run_a
             .records
@@ -637,12 +731,24 @@ fn diff_runs(a: &str, b: &str) -> Result<ExitCode, String> {
     if run_a.sequences != run_b.sequences {
         differences.push("sequences differ".to_string());
     }
+    if run_a.relied_ppos != run_b.relied_ppos {
+        differences.push("relied-PPO lists differ".to_string());
+    }
     if run_a.report.row.normalized() != run_b.report.row.normalized() {
         differences.push(format!(
             "reports differ: {} vs {}",
             run_a.report.row.normalized(),
             run_b.report.row.normalized()
         ));
+    }
+    if run_a.report.coverage != run_b.report.coverage {
+        differences.push(format!(
+            "coverage differs: {} vs {}",
+            run_a.report.coverage, run_b.report.coverage
+        ));
+    }
+    if differences.is_empty() && artifact_a.canonical_encode() != artifact_b.canonical_encode() {
+        differences.push("artifacts differ outside the compared fields".to_string());
     }
     if differences.is_empty() {
         println!("identical: {} == {} (modulo wall-clock)", a, b);

@@ -3,8 +3,8 @@
 //! uninterrupted ones, and campaign aggregation/resumption.
 
 use gdf::core::{
-    grade_patterns, Atpg, AtpgError, AtpgRun, Backend, Campaign, FaultRecord, Observer, PatternSet,
-    RunArtifact, RunConfig,
+    grade_patterns, Atpg, AtpgError, AtpgRun, Backend, Campaign, FaultRecord, ModelKind, Observer,
+    PatternSet, RunArtifact, RunConfig,
 };
 use gdf::netlist::{suite, FaultUniverse};
 use std::path::PathBuf;
@@ -145,7 +145,14 @@ fn pattern_sets_grade_standalone() {
     assert_eq!(loaded, set);
     // Grade on the circuit reconstructed from the artifact alone.
     let c2 = loaded.circuit.resolve().unwrap();
-    let grade = grade_patterns(&c2, &loaded, &FaultUniverse::default(), seed).unwrap();
+    let grade = grade_patterns(
+        &c2,
+        &loaded,
+        ModelKind::Delay,
+        &FaultUniverse::default(),
+        seed,
+    )
+    .unwrap();
     assert!(grade.detected() > 0);
     assert!(grade.coverage() <= 1.0);
     let _ = std::fs::remove_file(&path);

@@ -10,9 +10,16 @@
 //! and driven to completion by its worker pool. Appends one JSON record
 //! per invocation so the perf curve is tracked PR over PR.
 //!
+//! With `--fleet`, the record additionally carries the **distributed
+//! campaign throughput**: a 2-node in-process fleet (two real
+//! `gdf_serve::JobServer`s behind a `gdf_fleet::Coordinator`) runs a
+//! sharded stuck-at campaign end to end, recording cluster work-units/sec
+//! and faults/sec/node — the orchestration overhead trajectory.
+//!
 //! ```text
 //! cargo run --release -p gdf-bench --bin bench_fsim            # full run
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --smoke # CI smoke
+//! cargo run --release -p gdf-bench --bin bench_fsim -- --fleet # + fleet bench
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --out path.json
 //! ```
 
@@ -141,6 +148,68 @@ fn serve_jobs_per_sec(jobs: usize, workers: usize) -> f64 {
     jobs as f64 / elapsed
 }
 
+/// What the `--fleet` bench measured.
+struct FleetFigures {
+    nodes: usize,
+    workers: usize,
+    units: usize,
+    cluster_units_per_sec: f64,
+    faults_per_sec_per_node: f64,
+}
+
+/// Distributed campaign throughput: a stuck-at campaign over `s27` +
+/// `s42`, split `units_per_circuit` ways per circuit, driven across
+/// `nodes` in-process servers by a real coordinator (HTTP submissions,
+/// shard harvesting, deterministic merge), timed end to end.
+fn fleet_throughput(units_per_circuit: usize, nodes: usize, workers: usize) -> FleetFigures {
+    use gdf_core::artifact::CircuitSource;
+    use gdf_core::engine::{Backend, RunConfig};
+    use gdf_fleet::{Coordinator, FleetPlan};
+    use gdf_serve::{JobServer, ServeConfig};
+
+    let base = std::env::temp_dir().join(format!("gdf-bench-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let servers: Vec<JobServer> = (0..nodes)
+        .map(|i| {
+            JobServer::start(
+                ServeConfig::new("127.0.0.1:0", base.join(format!("node-{i}")))
+                    .with_workers(workers),
+            )
+            .expect("bench fleet node starts")
+        })
+        .collect();
+    let addrs = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let config = RunConfig::new(Backend::StuckAt);
+    let sources = ["s27", "s42"]
+        .iter()
+        .map(|name| CircuitSource::suite(&suite::by_name(name).expect("suite"), name))
+        .collect();
+    let plan = FleetPlan::new("bench", addrs, config, sources, units_per_circuit)
+        .expect("bench fleet plan");
+    let units = plan.units.len();
+
+    let start = Instant::now();
+    let report = Coordinator::create(base.join("coord"), plan)
+        .expect("bench coordinator")
+        .with_poll(std::time::Duration::from_millis(10))
+        .run()
+        .expect("bench fleet converges");
+    let elapsed = start.elapsed().as_secs_f64();
+
+    for server in servers {
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    let faults: usize = report.nodes.iter().map(|n| n.faults).sum();
+    FleetFigures {
+        nodes,
+        workers,
+        units,
+        cluster_units_per_sec: units as f64 / elapsed,
+        faults_per_sec_per_node: faults as f64 / elapsed / nodes.max(1) as f64,
+    }
+}
+
 /// Appends `record` to the JSON array in `path` (creating `[...]` if the
 /// file is missing or empty).
 fn append_record(path: &str, record: &str) -> std::io::Result<()> {
@@ -162,6 +231,7 @@ fn append_record(path: &str, record: &str) -> std::io::Result<()> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let fleet = args.iter().any(|a| a == "--fleet");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -196,6 +266,16 @@ fn main() {
     println!(
         "serve    {serve_jobs} jobs / {serve_workers} workers  {jobs_per_sec:>8.1} jobs/s end-to-end"
     );
+
+    let fleet_figures = fleet.then(|| {
+        let (units_per_circuit, nodes, workers) = if smoke { (3, 2, 2) } else { (8, 2, 4) };
+        let f = fleet_throughput(units_per_circuit, nodes, workers);
+        println!(
+            "fleet    {} units / {} nodes  {:>8.1} units/s cluster  {:>10.0} faults/s/node",
+            f.units, f.nodes, f.cluster_units_per_sec, f.faults_per_sec_per_node
+        );
+        f
+    });
 
     // Timestamp each appended record so the accumulated trajectory in
     // BENCH_fsim.json stays ordered and attributable across PRs.
@@ -235,8 +315,18 @@ fn main() {
     let _ = writeln!(
         record,
         "    \"serve\": {{\"circuit\": \"s27\", \"backend\": \"stuck-at\", \"jobs\": {serve_jobs}, \
-         \"workers\": {serve_workers}, \"jobs_per_sec\": {jobs_per_sec:.1}}}"
+         \"workers\": {serve_workers}, \"jobs_per_sec\": {jobs_per_sec:.1}}}{}",
+        if fleet_figures.is_some() { "," } else { "" }
     );
+    if let Some(f) = &fleet_figures {
+        let _ = writeln!(
+            record,
+            "    \"fleet\": {{\"circuits\": [\"s27\", \"s42\"], \"backend\": \"stuck-at\", \
+             \"nodes\": {}, \"workers\": {}, \"units\": {}, \
+             \"cluster_units_per_sec\": {:.1}, \"faults_per_sec_per_node\": {:.0}}}",
+            f.nodes, f.workers, f.units, f.cluster_units_per_sec, f.faults_per_sec_per_node
+        );
+    }
     let _ = write!(record, "  }}");
     append_record(&out_path, &record).expect("write bench record");
     println!("appended record to {out_path}");

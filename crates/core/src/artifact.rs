@@ -110,7 +110,7 @@ impl From<JsonError> for ArtifactError {
     }
 }
 
-fn schema(m: impl Into<String>) -> ArtifactError {
+pub(crate) fn schema(m: impl Into<String>) -> ArtifactError {
     ArtifactError::Schema(m.into())
 }
 
@@ -216,13 +216,13 @@ fn parse_hex_u64(j: &Json, what: &str) -> Result<u64, ArtifactError> {
     u64::from_str_radix(digits, 16).map_err(|_| schema(format!("{what}: bad hex `{s}`")))
 }
 
-fn str_field<'a>(j: &'a Json, key: &str) -> Result<&'a str, ArtifactError> {
+pub(crate) fn str_field<'a>(j: &'a Json, key: &str) -> Result<&'a str, ArtifactError> {
     j.get(key)
         .and_then(Json::as_str)
         .ok_or_else(|| schema(format!("missing string field `{key}`")))
 }
 
-fn usize_field(j: &Json, key: &str) -> Result<usize, ArtifactError> {
+pub(crate) fn usize_field(j: &Json, key: &str) -> Result<usize, ArtifactError> {
     j.get(key)
         .and_then(Json::as_usize)
         .ok_or_else(|| schema(format!("missing integer field `{key}`")))
@@ -1207,7 +1207,7 @@ fn decode_report(
     })
 }
 
-fn write_atomic(path: &Path, text: &str) -> Result<(), ArtifactError> {
+pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), ArtifactError> {
     let io_err = |e: std::io::Error| ArtifactError::Io(format!("{}: {e}", path.display()));
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {

@@ -504,6 +504,7 @@ impl Atpg {
             time_budget: None,
             observers: Vec::new(),
             resume: None,
+            speculation: None,
         }
     }
 }
@@ -584,6 +585,7 @@ pub struct AtpgBuilder<'c> {
     time_budget: Option<Duration>,
     observers: Vec<Box<dyn Observer + 'c>>,
     resume: Option<ResumeState>,
+    speculation: Option<Vec<Option<FaultOutcome>>>,
 }
 
 impl<'c> AtpgBuilder<'c> {
@@ -642,6 +644,31 @@ impl<'c> AtpgBuilder<'c> {
     /// clamped to at least 1.
     pub fn parallelism(mut self, n: usize) -> Self {
         self.parallelism = n.max(1);
+        self
+    }
+
+    /// Installs a table of pre-computed per-fault generation outcomes,
+    /// index-aligned with the engine's fault list (`None` entries are
+    /// generated locally as usual).
+    ///
+    /// This is the engine's speculative parallelism opened up to
+    /// *external* speculators: per-fault generation is a pure function
+    /// of the fault, so outcomes computed elsewhere — another process,
+    /// another machine ([`gdf` fleet shards]) — slot into the
+    /// deterministic merge exactly like the in-process wave workers'
+    /// results do. Classification, fault-simulation credit and the
+    /// X-fill RNG stream still run here, in fault-list order, so the
+    /// completed run is **byte-identical to a run that generated
+    /// everything locally** with the same config and seed.
+    ///
+    /// Table entries for faults an earlier merge step credits are simply
+    /// never consumed (wasted speculation, same as a dropped wave slot);
+    /// `None` holes — a shard that never came back — fall back to local
+    /// generation, so the merge is robust to missing speculation.
+    ///
+    /// [`gdf` fleet shards]: crate::shard
+    pub fn speculation(mut self, outcomes: Vec<Option<FaultOutcome>>) -> Self {
+        self.speculation = Some(outcomes);
         self
     }
 
@@ -765,12 +792,21 @@ impl<'c> AtpgBuilder<'c> {
                  change .backend()/.model()/.universe() after .resume_from()"
             );
         }
+        if let Some(table) = &self.speculation {
+            let n = faults_of(self.circuit, config.model, &self.universe).len();
+            assert_eq!(
+                table.len(),
+                n,
+                "speculation table must be index-aligned with the fault universe"
+            );
+        }
         let opts = RunOptions {
             config,
             parallelism: self.parallelism,
             time_budget: self.time_budget,
             observers: self.observers,
             resume: self.resume,
+            speculation: self.speculation,
         };
         Ok(match self.backend {
             Backend::NonScan => {
@@ -816,6 +852,7 @@ struct RunOptions<'c> {
     time_budget: Option<Duration>,
     observers: Vec<Box<dyn Observer + 'c>>,
     resume: Option<ResumeState>,
+    speculation: Option<Vec<Option<FaultOutcome>>>,
 }
 
 impl Default for RunOptions<'_> {
@@ -826,6 +863,7 @@ impl Default for RunOptions<'_> {
             time_budget: None,
             observers: Vec::new(),
             resume: None,
+            speculation: None,
         }
     }
 }
@@ -1228,6 +1266,13 @@ fn orchestrate(
     let mut stopped: Option<AtpgError> = None;
     let parallelism = opts.parallelism.max(1);
     let config = opts.config;
+    // Externally speculated outcomes (fleet shards): consumed by the
+    // merge below exactly like in-process wave results; covered faults
+    // are excluded from local wave speculation so no work is repeated.
+    let mut table = opts.speculation.take();
+    if let Some(t) = &table {
+        debug_assert_eq!(t.len(), total);
+    }
     let observers = &mut opts.observers;
 
     for o in observers.iter_mut() {
@@ -1264,6 +1309,7 @@ fn orchestrate(
                 let slots: Vec<OnceLock<Result<FaultOutcome, AtpgError>>> =
                     (0..wave.len()).map(|_| OnceLock::new()).collect();
                 let next = AtomicUsize::new(0);
+                let table_ref = table.as_deref();
                 thread::scope(|s| {
                     for _ in 0..parallelism.min(wave.len()) {
                         let next = &next;
@@ -1273,6 +1319,9 @@ fn orchestrate(
                             let k = next.fetch_add(1, Ordering::Relaxed);
                             if k >= wave.len() {
                                 break;
+                            }
+                            if table_ref.is_some_and(|t| t[wave[k]].is_some()) {
+                                continue; // already speculated externally
                             }
                             let out = worker.generate(faults[wave[k]]);
                             slots[k].set(out).expect("each slot claimed once");
@@ -1304,7 +1353,10 @@ fn orchestrate(
             }
             let outcome = match speculative.get_mut(slot).and_then(Option::take) {
                 Some(out) => out,
-                None => worker.generate(faults[idx]),
+                None => match table.as_mut().and_then(|t| t[idx].take()) {
+                    Some(out) => Ok(out),
+                    None => worker.generate(faults[idx]),
+                },
             };
             let classification = match outcome {
                 Ok(FaultOutcome::Detected(detection)) => {

@@ -39,6 +39,7 @@ pub mod pattern;
 pub mod report;
 pub mod scan;
 pub mod session;
+pub mod shard;
 
 pub use artifact::{ArtifactError, CircuitSource, PatternEntry, PatternSet, RunArtifact};
 pub use compact::{compact_sequences, CompactionResult};
@@ -58,3 +59,4 @@ pub use session::{
     grade_patterns, Campaign, CampaignBuilder, CampaignReport, Checkpointer, EventObserver,
     GradeReport, ProgressEvent,
 };
+pub use shard::ShardArtifact;

@@ -1,0 +1,85 @@
+//! # gdf-fleet — the distributed campaign coordinator
+//!
+//! Shards one multi-circuit ATPG campaign across N `gdf-serve` nodes
+//! and merges the partial results back into artifacts **byte-identical
+//! in canonical encoding to a single-node run** of the same
+//! configuration and seed.
+//!
+//! The split is deterministic twice over: by circuit, and by
+//! fault-universe range — [`gdf_netlist::FaultSet::split`] partitions
+//! each circuit's universe through the O(1) enumeration cursor, and the
+//! resulting `[lo, hi)` unit boundaries are recorded in the persistent
+//! plan ([`plan::FleetPlan`], `fleet.json`, schema-versioned like every
+//! other artifact). Each unit becomes a *shard job* on some node (a
+//! `gdf_serve` job tagged with [`gdf_serve::ShardSpec`] provenance)
+//! producing a [`gdf_core::ShardArtifact`]: pure per-fault generation
+//! outcomes, **zero credit-RNG draws** — the whole RNG stream and every
+//! credit pass replay on the coordinator during
+//! [`gdf_core::shard::merge_artifact`], which is what makes
+//! `fleet(N) ≡ fleet(1) ≡ local` hold bit for bit.
+//!
+//! The [`coordinator::Coordinator`] drives the plan with the fault
+//! tolerance the job server already guarantees underneath:
+//!
+//! * **health probing** — each round scrapes `GET /metrics` (falling
+//!   back to `/healthz`) through the [`gdf_serve::Client`]'s
+//!   deterministic retry/backoff; a node is dead after consecutive
+//!   probe failures and is re-probed every round, so a restarted node
+//!   rejoins by itself;
+//! * **work stealing** — units on dead nodes are resubmitted elsewhere
+//!   immediately; units on *slow* nodes are duplicated onto an idle
+//!   node after a configurable patience. Duplicates are harmless:
+//!   generation is pure, and the merge accepts overlapping shards;
+//! * **resumability** — every unit-state transition persists
+//!   `fleet.json`. Kill the coordinator, restart it, and
+//!   [`coordinator::Coordinator::resume`] reconciles the plan against
+//!   each node's actual job state (done jobs are harvested, vanished
+//!   jobs resubmitted) and continues to the same bytes.
+
+pub mod coordinator;
+pub mod plan;
+
+pub use coordinator::{Coordinator, FleetReport, NodeHealth, NodeStats};
+pub use plan::{FleetPlan, UnitState, WorkUnit, FLEET_VERSION, FLEET_VERSION_MIN};
+
+use gdf_core::artifact::ArtifactError;
+use gdf_serve::ServeError;
+use std::fmt;
+
+/// Errors of the fleet layer.
+#[derive(Debug)]
+pub enum FleetError {
+    /// Local I/O (plan directory, shard files).
+    Io(String),
+    /// Artifact/shard codec trouble.
+    Artifact(ArtifactError),
+    /// A node conversation failed beyond the client's retry budget.
+    Serve(ServeError),
+    /// The plan itself is unusable (bad schema, no live nodes, …).
+    Plan(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Io(m) => write!(f, "{m}"),
+            FleetError::Artifact(e) => write!(f, "{e}"),
+            FleetError::Serve(e) => write!(f, "{e}"),
+            FleetError::Plan(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<ArtifactError> for FleetError {
+    fn from(e: ArtifactError) -> Self {
+        FleetError::Artifact(e)
+    }
+}
+
+impl From<ServeError> for FleetError {
+    fn from(e: ServeError) -> Self {
+        FleetError::Serve(e)
+    }
+}

@@ -1,0 +1,417 @@
+//! The persistent fleet plan — `fleet.json`.
+//!
+//! A plan pins down everything a fleet campaign needs to be restartable
+//! and auditable: the node addresses, the shared [`RunConfig`], the
+//! circuits (full [`CircuitSource`] provenance, so a resumed
+//! coordinator rebuilds byte-identical circuits), and the **work
+//! units** — one per circuit × fault-universe range, with the `[lo,
+//! hi)` boundaries that [`gdf_netlist::FaultSet::split`] produced
+//! recorded explicitly. Unit state transitions (`pending → submitted →
+//! done`/`failed`) are persisted on every change, which is the whole
+//! resumability story: a restarted coordinator reads the plan and
+//! reconciles `submitted` units against the nodes' actual job state.
+
+use crate::FleetError;
+use gdf_core::artifact::{decode_config, encode_config, ArtifactError, CircuitSource};
+use gdf_core::engine::RunConfig;
+use gdf_core::json::{Json, ParseLimits};
+use gdf_netlist::FaultSet;
+use gdf_serve::JobId;
+use std::path::Path;
+
+/// Current `fleet.json` schema version.
+pub const FLEET_VERSION: u32 = 1;
+
+/// Oldest schema version [`FleetPlan::decode`] still reads.
+pub const FLEET_VERSION_MIN: u32 = 1;
+
+/// Where a work unit stands. `Submitted` remembers the node and job id
+/// so a resumed coordinator can reconcile instead of resubmitting
+/// blindly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitState {
+    /// Not yet on any node.
+    Pending,
+    /// Submitted as job `job` on `node`; outcome unknown.
+    Submitted {
+        /// Node address the unit went to.
+        node: String,
+        /// The job id the node assigned.
+        job: JobId,
+    },
+    /// The shard artifact is harvested and on the coordinator's disk.
+    Done,
+    /// The node reported the job failed (the unit goes back to pending
+    /// only by an explicit steal; the error is kept for diagnosis).
+    Failed {
+        /// The node's error message.
+        error: String,
+    },
+}
+
+impl UnitState {
+    fn name(&self) -> &'static str {
+        match self {
+            UnitState::Pending => "pending",
+            UnitState::Submitted { .. } => "submitted",
+            UnitState::Done => "done",
+            UnitState::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// One deterministic work unit: universe indexes `[lo, hi)` of one
+/// circuit's fault universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkUnit {
+    /// Index into [`FleetPlan::circuits`].
+    pub circuit: usize,
+    /// First universe index (inclusive).
+    pub lo: usize,
+    /// One past the last universe index (exclusive).
+    pub hi: usize,
+    /// Current state.
+    pub state: UnitState,
+}
+
+impl WorkUnit {
+    /// Number of faults the unit covers.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether the unit covers no faults (legal: tiny universes split
+    /// into more units than faults).
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// The schema-versioned fleet plan; see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPlan {
+    /// Plan name — the provenance namespace of every unit tag.
+    pub name: String,
+    /// Node addresses (`host:port`), in submission-preference order.
+    pub nodes: Vec<String>,
+    /// The shared run configuration (identical on every unit — that is
+    /// what makes the merge byte-identical to a single-node run).
+    pub config: RunConfig,
+    /// Engine workers per shard job.
+    pub parallelism: usize,
+    /// Checkpoint cadence of shard jobs, in decided faults.
+    pub checkpoint_every: usize,
+    /// The campaign's circuits, with full provenance.
+    pub circuits: Vec<CircuitSource>,
+    /// The work units, in deterministic (circuit, lo) order.
+    pub units: Vec<WorkUnit>,
+}
+
+impl FleetPlan {
+    /// Builds a plan: every circuit's fault universe is partitioned
+    /// into `units_per_circuit` contiguous ranges through
+    /// [`FaultSet::split`]'s O(1) cursor, and the resulting boundaries
+    /// become the plan's work units.
+    pub fn new(
+        name: impl Into<String>,
+        nodes: Vec<String>,
+        config: RunConfig,
+        circuits: Vec<CircuitSource>,
+        units_per_circuit: usize,
+    ) -> Result<FleetPlan, FleetError> {
+        if nodes.is_empty() {
+            return Err(FleetError::Plan("a fleet needs at least one node".into()));
+        }
+        let units_per_circuit = units_per_circuit.max(1);
+        let mut units = Vec::new();
+        for (index, source) in circuits.iter().enumerate() {
+            let circuit = source.resolve()?;
+            let set = FaultSet::new(&circuit, config.universe, config.model);
+            let mut lo = 0usize;
+            for shard in set.split(units_per_circuit) {
+                let hi = lo + shard.len();
+                units.push(WorkUnit {
+                    circuit: index,
+                    lo,
+                    hi,
+                    state: UnitState::Pending,
+                });
+                lo = hi;
+            }
+        }
+        Ok(FleetPlan {
+            name: name.into(),
+            nodes,
+            config,
+            parallelism: 1,
+            checkpoint_every: 16,
+            circuits,
+            units,
+        })
+    }
+
+    /// The provenance tag of unit `index`, as submitted to nodes and
+    /// recorded in their `job.json`.
+    pub fn tag(&self, index: usize) -> String {
+        format!("fleet:{}/unit-{index}", self.name)
+    }
+
+    /// Indexes of the units belonging to circuit `circuit`.
+    pub fn units_of(&self, circuit: usize) -> impl Iterator<Item = usize> + '_ {
+        self.units
+            .iter()
+            .enumerate()
+            .filter(move |(_, u)| u.circuit == circuit)
+            .map(|(i, _)| i)
+    }
+
+    /// Whether every unit is done.
+    pub fn is_complete(&self) -> bool {
+        self.units.iter().all(|u| u.state == UnitState::Done)
+    }
+
+    /// Counts units per state: `(pending, submitted, done, failed)`.
+    pub fn state_counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for unit in &self.units {
+            match unit.state {
+                UnitState::Pending => counts.0 += 1,
+                UnitState::Submitted { .. } => counts.1 += 1,
+                UnitState::Done => counts.2 += 1,
+                UnitState::Failed { .. } => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Encodes the plan as a schema-versioned pretty JSON document.
+    pub fn encode(&self) -> String {
+        let mut fields = vec![
+            ("schema".into(), Json::Str("gdf-fleet".into())),
+            ("version".into(), Json::Num(FLEET_VERSION as f64)),
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "nodes".into(),
+                Json::Arr(self.nodes.iter().map(|n| Json::Str(n.clone())).collect()),
+            ),
+        ];
+        fields.extend(encode_config(&self.config));
+        fields.push(("parallelism".into(), Json::Num(self.parallelism as f64)));
+        fields.push((
+            "checkpoint_every".into(),
+            Json::Num(self.checkpoint_every as f64),
+        ));
+        fields.push((
+            "circuits".into(),
+            Json::Arr(self.circuits.iter().map(CircuitSource::encode).collect()),
+        ));
+        fields.push((
+            "units".into(),
+            Json::Arr(
+                self.units
+                    .iter()
+                    .map(|unit| {
+                        let mut u = vec![
+                            ("circuit".into(), Json::Num(unit.circuit as f64)),
+                            ("lo".into(), Json::Num(unit.lo as f64)),
+                            ("hi".into(), Json::Num(unit.hi as f64)),
+                            ("state".into(), Json::Str(unit.state.name().into())),
+                        ];
+                        match &unit.state {
+                            UnitState::Submitted { node, job } => {
+                                u.push(("node".into(), Json::Str(node.clone())));
+                                u.push(("job".into(), Json::Num(*job as f64)));
+                            }
+                            UnitState::Failed { error } => {
+                                u.push(("error".into(), Json::Str(error.clone())));
+                            }
+                            _ => {}
+                        }
+                        Json::Obj(u)
+                    })
+                    .collect(),
+            ),
+        ));
+        Json::Obj(fields).pretty()
+    }
+
+    /// Decodes a document written by [`FleetPlan::encode`].
+    pub fn decode(text: &str) -> Result<FleetPlan, FleetError> {
+        let schema = |m: String| FleetError::Artifact(ArtifactError::Schema(m));
+        let j = Json::parse_with_limits(text, ParseLimits::network())
+            .map_err(|e| FleetError::Artifact(ArtifactError::Json(e)))?;
+        if j.get("schema").and_then(Json::as_str) != Some("gdf-fleet") {
+            return Err(schema("not a gdf-fleet plan".into()));
+        }
+        let version = j
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| schema("missing `version`".into()))? as u32;
+        if !(FLEET_VERSION_MIN..=FLEET_VERSION).contains(&version) {
+            return Err(schema(format!(
+                "unsupported fleet plan version {version} (supported: \
+                 {FLEET_VERSION_MIN}..={FLEET_VERSION})"
+            )));
+        }
+        let name = j
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| schema("missing `name`".into()))?
+            .to_string();
+        let nodes = j
+            .get("nodes")
+            .and_then(Json::as_array)
+            .ok_or_else(|| schema("missing `nodes`".into()))?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| schema("non-string node address".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let config = decode_config(&j)?;
+        let circuits = j
+            .get("circuits")
+            .and_then(Json::as_array)
+            .ok_or_else(|| schema("missing `circuits`".into()))?
+            .iter()
+            .map(CircuitSource::decode)
+            .collect::<Result<Vec<_>, _>>()?;
+        let raw_units = j
+            .get("units")
+            .and_then(Json::as_array)
+            .ok_or_else(|| schema("missing `units`".into()))?;
+        let mut units = Vec::with_capacity(raw_units.len());
+        for u in raw_units {
+            let field = |name: &str| {
+                u.get(name)
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| schema(format!("unit missing `{name}`")))
+            };
+            let circuit = field("circuit")?;
+            let lo = field("lo")?;
+            let hi = field("hi")?;
+            if circuit >= circuits.len() || lo > hi {
+                return Err(schema(format!(
+                    "unit references circuit {circuit} range [{lo}‥{hi})"
+                )));
+            }
+            let state = match u.get("state").and_then(Json::as_str) {
+                Some("pending") => UnitState::Pending,
+                Some("submitted") => UnitState::Submitted {
+                    node: u
+                        .get("node")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| schema("submitted unit missing `node`".into()))?
+                        .to_string(),
+                    job: u
+                        .get("job")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| schema("submitted unit missing `job`".into()))?,
+                },
+                Some("done") => UnitState::Done,
+                Some("failed") => UnitState::Failed {
+                    error: u
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                },
+                other => return Err(schema(format!("unknown unit state {other:?}"))),
+            };
+            units.push(WorkUnit {
+                circuit,
+                lo,
+                hi,
+                state,
+            });
+        }
+        Ok(FleetPlan {
+            name,
+            nodes,
+            config,
+            parallelism: j
+                .get("parallelism")
+                .and_then(Json::as_usize)
+                .unwrap_or(1)
+                .max(1),
+            checkpoint_every: j
+                .get("checkpoint_every")
+                .and_then(Json::as_usize)
+                .unwrap_or(16)
+                .max(1),
+            circuits,
+            units,
+        })
+    }
+
+    /// Atomically writes the plan to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), FleetError> {
+        gdf_serve::job::write_atomic(path.as_ref(), &self.encode()).map_err(FleetError::Artifact)
+    }
+
+    /// Reads and decodes a plan from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<FleetPlan, FleetError> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| FleetError::Io(format!("{}: {e}", path.as_ref().display())))?;
+        Self::decode(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdf_core::engine::Backend;
+    use gdf_netlist::suite;
+
+    fn sources() -> Vec<CircuitSource> {
+        vec![
+            CircuitSource::suite(&suite::s27(), "s27"),
+            CircuitSource::suite(&suite::by_name("s42").unwrap(), "s42"),
+        ]
+    }
+
+    #[test]
+    fn plan_units_tile_every_circuit_universe() {
+        let config = RunConfig::new(Backend::NonScan);
+        let plan =
+            FleetPlan::new("p", vec!["a:1".into(), "b:2".into()], config, sources(), 3).unwrap();
+        assert_eq!(plan.units.len(), 6);
+        for (index, source) in plan.circuits.iter().enumerate() {
+            let circuit = source.resolve().unwrap();
+            let total = FaultSet::new(&circuit, config.universe, config.model).len();
+            let mut expect_lo = 0usize;
+            for k in plan.units_of(index) {
+                let unit = &plan.units[k];
+                assert_eq!(unit.lo, expect_lo, "units tile contiguously");
+                expect_lo = unit.hi;
+            }
+            assert_eq!(expect_lo, total, "units cover the whole universe");
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_with_unit_states() {
+        let config = RunConfig::new(Backend::NonScan).with_seed(0xF1EE7);
+        let mut plan = FleetPlan::new("p", vec!["a:1".into()], config, sources(), 2).unwrap();
+        plan.units[0].state = UnitState::Submitted {
+            node: "a:1".into(),
+            job: 42,
+        };
+        plan.units[1].state = UnitState::Done;
+        plan.units[2].state = UnitState::Failed {
+            error: "engine exploded".into(),
+        };
+        let decoded = FleetPlan::decode(&plan.encode()).unwrap();
+        assert_eq!(decoded, plan);
+        assert_eq!(decoded.state_counts(), (1, 1, 1, 1));
+        assert_eq!(decoded.tag(0), "fleet:p/unit-0");
+    }
+
+    #[test]
+    fn decode_rejects_foreign_documents() {
+        assert!(FleetPlan::decode("{}").is_err());
+        assert!(FleetPlan::decode("{\"schema\":\"gdf-run\"}").is_err());
+        assert!(FleetPlan::decode("{\"schema\":\"gdf-fleet\",\"version\":99}").is_err());
+    }
+}

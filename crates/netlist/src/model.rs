@@ -271,6 +271,87 @@ impl<'c> FaultSet<'c> {
     fn sites_of(&self, node: usize) -> Option<usize> {
         self.universe.node_sites(&self.circuit.nodes()[node])
     }
+
+    /// Advances the cursor past `count` faults without materializing
+    /// them, in O(nodes skipped) rather than O(faults skipped): whole
+    /// nodes are stepped over by their site counts, and the final
+    /// partial node is entered by direct index arithmetic (faults are
+    /// site-major, polarity-minor within a node).
+    fn advance(&mut self, count: usize) {
+        let count = count.min(self.remaining);
+        self.remaining -= count;
+        // Offset within the current node's remaining faults.
+        let mut offset = 2 * self.site + self.polarity + count;
+        let nodes = self.circuit.nodes();
+        while self.node < nodes.len() {
+            let Some(sites) = self.sites_of(self.node) else {
+                self.node += 1;
+                continue;
+            };
+            if offset < 2 * sites {
+                self.site = offset / 2;
+                self.polarity = offset % 2;
+                return;
+            }
+            offset -= 2 * sites;
+            self.node += 1;
+        }
+        self.site = 0;
+        self.polarity = 0;
+    }
+
+    /// Splits the *remaining* enumeration into `n` contiguous,
+    /// deterministic shards that concatenate back to exactly this
+    /// enumeration's order: shard sizes are `len/n` with the first
+    /// `len % n` shards one fault larger, so boundaries depend only on
+    /// `(len, n)` — the property a distributed work plan records and
+    /// relies on. `n` is clamped to at least 1; when `n > len()` the
+    /// trailing shards are empty.
+    ///
+    /// Each shard is itself a [`FaultSet`] whose cursor starts at its
+    /// range boundary (positioned in O(nodes), never by iterating
+    /// faults) and whose [`FaultSet::len`] is the shard size.
+    pub fn split(self, n: usize) -> Vec<FaultSet<'c>> {
+        let n = n.max(1);
+        let total = self.remaining;
+        let (base, extra) = (total / n, total % n);
+        let mut shards = Vec::with_capacity(n);
+        let mut cursor = self;
+        for i in 0..n {
+            let size = base + usize::from(i < extra);
+            let mut shard = FaultSet {
+                circuit: cursor.circuit,
+                universe: cursor.universe,
+                kind: cursor.kind,
+                node: cursor.node,
+                site: cursor.site,
+                polarity: cursor.polarity,
+                remaining: cursor.remaining,
+            };
+            shard.remaining = size;
+            cursor.advance(size);
+            shards.push(shard);
+        }
+        shards
+    }
+
+    /// The sub-enumeration covering universe indexes `[lo, hi)` of a
+    /// fresh enumeration — the random-access form of [`FaultSet::split`]
+    /// a coordinator uses to reconstruct one recorded work unit without
+    /// enumerating the shards before it.
+    pub fn range(
+        circuit: &'c Circuit,
+        universe: FaultUniverse,
+        kind: ModelKind,
+        lo: usize,
+        hi: usize,
+    ) -> Self {
+        let mut set = FaultSet::new(circuit, universe, kind);
+        let hi = hi.min(set.remaining).max(lo);
+        set.advance(lo);
+        set.remaining = hi - lo;
+        set
+    }
 }
 
 impl Iterator for FaultSet<'_> {
@@ -278,6 +359,11 @@ impl Iterator for FaultSet<'_> {
 
     fn next(&mut self) -> Option<Fault> {
         let nodes = self.circuit.nodes();
+        // A sharded set ([`FaultSet::split`]) ends at its range boundary,
+        // not at the end of the node list.
+        if self.remaining == 0 {
+            return None;
+        }
         loop {
             if self.node >= nodes.len() {
                 return None;
@@ -367,6 +453,91 @@ mod tests {
         let eager: Vec<Fault> =
             FaultSet::new(&c, FaultUniverse::default(), ModelKind::Delay).collect();
         assert_eq!(seen, eager);
+    }
+
+    /// Exhaustive shard proof over the whole benchmark suite: for every
+    /// circuit, every model and a spread of shard counts — including
+    /// `n = len` (all 1-element shards) and `n > len` (empty shards) —
+    /// the concatenated shard enumerations equal the unsharded order,
+    /// and the recorded `[lo, hi)` boundaries reconstruct each shard via
+    /// [`FaultSet::range`].
+    #[test]
+    fn split_concatenation_is_exhaustive_over_the_suite() {
+        let mut circuits = suite::table3_suite();
+        for (name, text) in suite::EXTRA_BENCHES {
+            circuits.push(crate::parse_bench(name, text).unwrap_or_else(|e| panic!("{name}: {e}")));
+        }
+        for c in &circuits {
+            for universe in [FaultUniverse::default(), FaultUniverse::stems_only()] {
+                for kind in ModelKind::ALL {
+                    let whole: Vec<Fault> = FaultSet::new(c, universe, kind).collect();
+                    let total = whole.len();
+                    for n in [1, 2, 3, 7, total.max(1), total + 5] {
+                        let shards = FaultSet::new(c, universe, kind).split(n);
+                        assert_eq!(shards.len(), n.max(1));
+                        let mut concat = Vec::with_capacity(total);
+                        let mut lo = 0usize;
+                        for shard in shards {
+                            let size = shard.len();
+                            let hi = lo + size;
+                            let faults: Vec<Fault> = shard.collect();
+                            assert_eq!(faults.len(), size, "{}: len is exact", c.name());
+                            let by_range: Vec<Fault> =
+                                FaultSet::range(c, universe, kind, lo, hi).collect();
+                            assert_eq!(
+                                faults,
+                                by_range,
+                                "{}: range [{}‥{}) rebuilds the shard",
+                                c.name(),
+                                lo,
+                                hi
+                            );
+                            concat.extend(faults);
+                            lo = hi;
+                        }
+                        assert_eq!(lo, total, "{}: shard sizes sum to the universe", c.name());
+                        assert_eq!(
+                            concat,
+                            whole,
+                            "{}: n={} concatenation preserves order",
+                            c.name(),
+                            n
+                        );
+                    }
+                    // Empty and 1-element shards behave.
+                    if total > 0 {
+                        let ones = FaultSet::new(c, universe, kind).split(total);
+                        assert!(ones.iter().all(|s| s.len() == 1));
+                        let with_empty = FaultSet::new(c, universe, kind).split(total + 3);
+                        assert_eq!(
+                            with_empty.iter().filter(|s| s.is_empty()).count(),
+                            3,
+                            "{}: n>len yields exactly n-len empty shards",
+                            c.name()
+                        );
+                        for empty in with_empty.into_iter().filter(|s| s.is_empty()) {
+                            assert_eq!(empty.count(), 0, "empty shards yield nothing");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_of_a_partially_drained_set_covers_the_rest() {
+        let c = suite::s27();
+        let mut set = FaultSet::new(&c, FaultUniverse::default(), ModelKind::Delay);
+        let whole: Vec<Fault> =
+            FaultSet::new(&c, FaultUniverse::default(), ModelKind::Delay).collect();
+        let head: Vec<Fault> = set.by_ref().take(5).collect();
+        assert_eq!(head, whole[..5]);
+        let tail: Vec<Fault> = set.split(3).into_iter().flatten().collect();
+        assert_eq!(
+            tail,
+            whole[5..],
+            "split picks up exactly where iteration stopped"
+        );
     }
 
     #[test]

@@ -5,27 +5,45 @@
 //! response (see `crate::http`). Errors split into transport
 //! ([`ServeError::Http`]) and API ([`ServeError::Api`], carrying the
 //! server's status code and `{"error": …}` message).
+//!
+//! Two transient conditions are retried with a capped, **jitter-free**
+//! exponential backoff (see [`Client::retry_after`]): a `503` response
+//! (saturated queue, server stopping) and a refused connection (node
+//! not up yet, node restarting). Both are safe to retry for every verb
+//! the client speaks — a `503` submit enqueued nothing, and a refused
+//! connection never reached the server. The schedule is deterministic
+//! so fleet runs sequence identically on every execution.
 
-use crate::http::{client_request, client_stream};
+use crate::http::{client_request, client_stream, HttpError};
 use crate::job::JobId;
 use crate::ServeError;
 use gdf_core::json::{Json, ParseLimits};
 use gdf_core::session::ProgressEvent;
 use std::time::{Duration, Instant};
 
+/// First backoff delay; doubles per attempt up to [`RETRY_CAP`].
+const RETRY_BASE: Duration = Duration::from_millis(100);
+/// Ceiling of the exponential backoff schedule.
+const RETRY_CAP: Duration = Duration::from_secs(2);
+/// Default number of retries after the first attempt.
+const RETRY_DEFAULT: u32 = 5;
+
 /// A handle on one server address.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
     timeout: Duration,
+    retries: u32,
 }
 
 impl Client {
-    /// A client for `addr` (`host:port`) with a 30 s per-request timeout.
+    /// A client for `addr` (`host:port`) with a 30 s per-request timeout
+    /// and 5 retries on `503`/connection-refused.
     pub fn new(addr: impl Into<String>) -> Self {
         Client {
             addr: addr.into(),
             timeout: Duration::from_secs(30),
+            retries: RETRY_DEFAULT,
         }
     }
 
@@ -35,9 +53,33 @@ impl Client {
         self
     }
 
+    /// Replaces the retry budget (`0` fails on the first transient
+    /// error — what a health probe that wants a fast verdict uses).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
     /// The server address this client talks to.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// The backoff before retry number `attempt` (0-based): `100ms ·
+    /// 2^attempt`, capped at 2 s. No jitter — randomizing the schedule
+    /// would make fleet campaigns time-dependent for no benefit at this
+    /// scale (a handful of coordinators, not a thundering herd).
+    pub fn retry_after(attempt: u32) -> Duration {
+        RETRY_BASE
+            .saturating_mul(1u32 << attempt.min(30))
+            .min(RETRY_CAP)
+    }
+
+    /// Whether a transport error is a refused/unreachable connection —
+    /// the request never reached a server, so retrying cannot duplicate
+    /// work.
+    fn transient_transport(error: &HttpError) -> bool {
+        matches!(error, HttpError::Io(m) if m.starts_with("connect "))
     }
 
     fn exchange(
@@ -46,9 +88,17 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, Vec<u8>), ServeError> {
-        let response = client_request(&self.addr, method, path, body, self.timeout)
-            .map_err(ServeError::Http)?;
-        Ok((response.status, response.body))
+        let mut attempt = 0u32;
+        loop {
+            match client_request(&self.addr, method, path, body, self.timeout) {
+                Ok(response) if response.status == 503 && attempt < self.retries => {}
+                Ok(response) => return Ok((response.status, response.body)),
+                Err(e) if Self::transient_transport(&e) && attempt < self.retries => {}
+                Err(e) => return Err(ServeError::Http(e)),
+            }
+            std::thread::sleep(Self::retry_after(attempt));
+            attempt += 1;
+        }
     }
 
     /// Parses a response body as JSON, mapping non-2xx to
@@ -72,6 +122,12 @@ impl Client {
     /// `GET /healthz`.
     pub fn healthz(&self) -> Result<Json, ServeError> {
         self.json("GET", "/healthz", None)
+    }
+
+    /// `GET /metrics` — the Prometheus text exposition, verbatim. What
+    /// the fleet coordinator's health probe scrapes.
+    pub fn metrics(&self) -> Result<String, ServeError> {
+        self.fetch_document("/metrics")
     }
 
     /// `POST /jobs` with a body built by
@@ -196,5 +252,33 @@ impl Client {
             }
             std::thread::sleep(poll);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let schedule: Vec<u64> = (0..7)
+            .map(|a| Client::retry_after(a).as_millis() as u64)
+            .collect();
+        assert_eq!(schedule, vec![100, 200, 400, 800, 1600, 2000, 2000]);
+        // No overflow at absurd attempt numbers.
+        assert_eq!(Client::retry_after(u32::MAX), RETRY_CAP);
+    }
+
+    #[test]
+    fn refused_connections_classify_as_transient() {
+        assert!(Client::transient_transport(&HttpError::Io(
+            "connect 127.0.0.1:1: Connection refused".into()
+        )));
+        assert!(!Client::transient_transport(&HttpError::Io(
+            "read: Connection reset by peer".into()
+        )));
+        assert!(!Client::transient_transport(&HttpError::Malformed(
+            "bad status line".into()
+        )));
     }
 }

@@ -103,6 +103,59 @@ pub struct JobSpec {
     pub parallelism: usize,
     /// Checkpoint cadence in decided faults.
     pub checkpoint_every: usize,
+    /// `Some` turns the job into a *shard job*: target only fault
+    /// universe indexes `[lo, hi)` and produce a
+    /// [`gdf_core::ShardArtifact`] (pure generation outcomes, no credit
+    /// pass, no RNG draws) instead of a full run artifact.
+    pub shard: Option<ShardSpec>,
+}
+
+/// The shard tag of a shard job: which universe range to cover, and the
+/// coordinator-assigned provenance label (`fleet:<plan>/unit-<k>`) that
+/// survives in `job.json` so an operator can trace a node's queue back
+/// to the fleet plan that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// First universe index of the range (inclusive).
+    pub lo: usize,
+    /// One past the last universe index (exclusive).
+    pub hi: usize,
+    /// Free-form provenance label assigned by the submitter.
+    pub tag: String,
+}
+
+impl ShardSpec {
+    /// The wire object used by submissions and `job.json`.
+    pub fn encode(&self) -> Json {
+        Json::Obj(vec![
+            ("lo".into(), Json::Num(self.lo as f64)),
+            ("hi".into(), Json::Num(self.hi as f64)),
+            ("tag".into(), Json::Str(self.tag.clone())),
+        ])
+    }
+
+    /// Inverse of [`ShardSpec::encode`].
+    pub fn decode(j: &Json) -> Result<Self, String> {
+        let field = |name: &str| {
+            j.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("shard needs a numeric `{name}`"))
+        };
+        let lo = field("lo")?;
+        let hi = field("hi")?;
+        if lo > hi {
+            return Err(format!("shard range [{lo}‥{hi}) is inverted"));
+        }
+        Ok(ShardSpec {
+            lo,
+            hi,
+            tag: j
+                .get("tag")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        })
+    }
 }
 
 /// Aggregate counters mirrored from the final report into `job.json`,
@@ -227,11 +280,13 @@ impl Job {
 // ---------------------------------------------------------------------
 
 const JOB_FORMAT: &str = "gdf-job";
-/// v2 (PR 5): config carries `model` + `sensitization`, report summaries
-/// carry `coverage`. v1 records (PR 4 servers) still decode — the old
-/// `model` field maps to the sensitization and the fault model defaults
-/// from the backend, exactly like the artifact layer's v1 loader.
-const JOB_VERSION: u64 = 2;
+/// v3 (PR 6): optional `shard` tag for fleet shard jobs. v2 (PR 5):
+/// config carries `model` + `sensitization`, report summaries carry
+/// `coverage`. v1 records (PR 4 servers) still decode — the old `model`
+/// field maps to the sensitization and the fault model defaults from
+/// the backend, exactly like the artifact layer's v1 loader. v2 records
+/// simply have no `shard` field, which reads as `None`.
+const JOB_VERSION: u64 = 3;
 const JOB_VERSION_MIN: u64 = 1;
 
 fn schema(m: impl Into<String>) -> ArtifactError {
@@ -259,6 +314,9 @@ pub fn encode_record(id: JobId, spec: &JobSpec, status: &JobStatus) -> String {
             Json::Num(spec.checkpoint_every as f64),
         ),
     ];
+    if let Some(shard) = &spec.shard {
+        fields.push(("shard".into(), shard.encode()));
+    }
     fields.extend(encode_config(&spec.config));
     fields.push(("circuit".into(), spec.source.encode()));
     fields.push((
@@ -317,6 +375,10 @@ pub fn decode_record(text: &str) -> Result<(JobId, JobSpec, JobStatus), Artifact
             .and_then(Json::as_usize)
             .unwrap_or(16)
             .max(1),
+        shard: match j.get("shard") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(ShardSpec::decode(s).map_err(schema)?),
+        },
     };
     let report = match j.get("report") {
         None | Some(Json::Null) => None,
@@ -385,6 +447,7 @@ mod tests {
             config: RunConfig::new(Backend::StuckAt).with_seed(0xDEAD),
             parallelism: 3,
             checkpoint_every: 8,
+            shard: None,
         };
         let mut status = JobStatus {
             state: JobState::Failed,
@@ -421,6 +484,36 @@ mod tests {
         let (_, _, status3) = decode_record(&encode_record(1, &spec, &status)).unwrap();
         assert_eq!(status3.state, JobState::Queued);
         assert!(status3.error.is_none() && status3.report.is_none());
+    }
+
+    #[test]
+    fn shard_tag_round_trips() {
+        let circuit = suite::s27();
+        let spec = JobSpec {
+            source: CircuitSource::suite(&circuit, "s27"),
+            config: RunConfig::new(Backend::NonScan),
+            parallelism: 1,
+            checkpoint_every: 4,
+            shard: Some(ShardSpec {
+                lo: 3,
+                hi: 11,
+                tag: "fleet:plan-7/unit-2".into(),
+            }),
+        };
+        let status = JobStatus {
+            state: JobState::Queued,
+            error: None,
+            decided: 0,
+            total: 0,
+            report: None,
+        };
+        let (_, spec2, _) = decode_record(&encode_record(9, &spec, &status)).unwrap();
+        assert_eq!(spec2, spec);
+        assert_eq!(spec2.shard.as_ref().unwrap().tag, "fleet:plan-7/unit-2");
+
+        // An inverted range is a schema error, not a silent zero-length
+        // shard.
+        assert!(ShardSpec::decode(&Json::parse(r#"{"lo": 5, "hi": 2}"#).unwrap()).is_err());
     }
 
     #[test]

@@ -52,11 +52,11 @@ pub mod server;
 pub use client::Client;
 pub use events::EventLog;
 pub use http::HttpError;
-pub use job::{Job, JobId, JobSpec, JobState, JobStatus, ReportSummary};
+pub use job::{Job, JobId, JobSpec, JobState, JobStatus, ReportSummary, ShardSpec};
 pub use queue::{QueueFull, ShardedQueue};
 pub use server::{
     decode_submission, submission_for_bench, submission_for_suite, submission_with_runtime,
-    JobServer, ServeConfig,
+    submission_with_shard, JobServer, ServeConfig,
 };
 
 /// Errors of the serve layer (server start, client calls).

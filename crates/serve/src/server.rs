@@ -5,6 +5,7 @@
 //! | Method & path            | Meaning                                              |
 //! |--------------------------|------------------------------------------------------|
 //! | `GET /healthz`           | liveness + pool counters                             |
+//! | `GET /metrics`           | pool counters in Prometheus text format              |
 //! | `POST /jobs`             | submit (suite ref or `.bench` text + config) → `201` |
 //! | `GET /jobs`              | list job summaries                                   |
 //! | `GET /jobs/<id>`         | status + progress + final report summary             |
@@ -41,6 +42,7 @@
 use crate::http::{read_request, ChunkedWriter, HttpError, Request, Response};
 use crate::job::{
     decode_record, encode_record, write_atomic, Job, JobId, JobSpec, JobState, ReportSummary,
+    ShardSpec,
 };
 use crate::queue::ShardedQueue;
 use crate::ServeError;
@@ -48,15 +50,16 @@ use gdf_core::artifact::{encode_config, CircuitSource, PatternSet, RunArtifact};
 use gdf_core::engine::{Atpg, AtpgBuilder, AtpgError, Backend, Limits, Observer, RunConfig};
 use gdf_core::json::{Json, ParseLimits};
 use gdf_core::session::{Checkpointer, EventObserver, ProgressEvent};
-use gdf_netlist::FaultUniverse;
+use gdf_core::ShardArtifact;
+use gdf_netlist::{Circuit, FaultUniverse};
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long an idle worker blocks on its shard before re-checking
 /// shutdown and the other shards.
@@ -124,6 +127,53 @@ impl ServeConfig {
     }
 }
 
+/// Pool counters behind `GET /metrics`. Latencies keep the most recent
+/// [`LATENCY_WINDOW`] completed-job wall times — quantiles over a
+/// sliding window, not the full server history, so a week-old slow job
+/// cannot pin p99 forever.
+struct Metrics {
+    /// Jobs that reached `Done` in this process.
+    completed: AtomicU64,
+    /// Jobs that reached `Failed` in this process.
+    failed: AtomicU64,
+    /// Workers currently inside `run_job`.
+    busy: AtomicUsize,
+    /// Ring of recent completed-job latencies, in microseconds.
+    latencies_us: Mutex<std::collections::VecDeque<u64>>,
+}
+
+/// Completed-job latency samples retained for the `/metrics` quantiles.
+const LATENCY_WINDOW: usize = 1024;
+
+impl Metrics {
+    fn new() -> Self {
+        Metrics {
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            busy: AtomicUsize::new(0),
+            latencies_us: Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    fn record_done(&self, elapsed: Duration) {
+        self.completed.fetch_add(1, Ordering::AcqRel);
+        let mut window = self.latencies_us.lock().expect("metrics poisoned");
+        if window.len() == LATENCY_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Nearest-rank quantile over the window, in seconds.
+    fn latency_quantile(sorted_us: &[u64], q: f64) -> f64 {
+        if sorted_us.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+        sorted_us[rank - 1] as f64 / 1e6
+    }
+}
+
 struct ServerState {
     dir: PathBuf,
     jobs: Mutex<BTreeMap<JobId, Arc<Job>>>,
@@ -137,6 +187,7 @@ struct ServerState {
     body_limit: usize,
     stopping: AtomicBool,
     connections: Arc<std::sync::atomic::AtomicUsize>,
+    metrics: Metrics,
 }
 
 impl ServerState {
@@ -237,6 +288,7 @@ impl JobServer {
             body_limit: config.body_limit,
             stopping: AtomicBool::new(false),
             connections: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            metrics: Metrics::new(),
         });
         recover_jobs(&state)?;
 
@@ -424,7 +476,9 @@ fn worker_loop(state: Arc<ServerState>, index: usize) {
             continue;
         };
         let Some(job) = state.job(id) else { continue };
+        state.metrics.busy.fetch_add(1, Ordering::AcqRel);
         run_job(&state, &job);
+        state.metrics.busy.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -436,6 +490,7 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
         state.finalize(job, JobState::Cancelled, None, None);
         return;
     }
+    let started = Instant::now();
     job.status.lock().expect("job status poisoned").state = JobState::Running;
     state.persist(job);
 
@@ -443,10 +498,18 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
     let circuit = match spec.source.resolve() {
         Ok(circuit) => circuit,
         Err(e) => {
+            state.metrics.failed.fetch_add(1, Ordering::AcqRel);
             state.finalize(job, JobState::Failed, Some(e.to_string()), None);
             return;
         }
     };
+    // Shard jobs take the pure-generation path: target the tagged
+    // universe range, checkpoint a shard document, never touch the
+    // credit RNG (see `gdf_core::shard` for the contract).
+    if let Some(shard) = spec.shard.clone() {
+        run_shard_job(state, job, &circuit, &shard, started);
+        return;
+    }
     let config = spec.config;
     let artifact_path = Job::artifact_path(&state.dir, job.id);
 
@@ -469,6 +532,7 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
         match RunArtifact::load(&artifact_path) {
             Ok(artifact) if artifact.config() == config && !artifact.partial => {
                 let report = artifact.report().map(ReportSummary::from);
+                state.metrics.record_done(started.elapsed());
                 state.finalize(job, JobState::Done, None, report);
                 return;
             }
@@ -517,6 +581,7 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
     let mut engine = match builder.try_build() {
         Ok(engine) => engine,
         Err(e) => {
+            state.metrics.failed.fetch_add(1, Ordering::AcqRel);
             state.finalize(job, JobState::Failed, Some(e.to_string()), None);
             return;
         }
@@ -534,15 +599,121 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
             match artifact.save(&artifact_path) {
                 Ok(()) => {
                     let report = ReportSummary::from(&run.report);
+                    state.metrics.record_done(started.elapsed());
                     state.finalize(job, JobState::Done, None, Some(report));
                 }
                 Err(e) => {
+                    state.metrics.failed.fetch_add(1, Ordering::AcqRel);
                     state.finalize(job, JobState::Failed, Some(e.to_string()), None);
                 }
             }
         }
         Some(AtpgError::Cancelled) => state.finalize(job, JobState::Cancelled, None, None),
-        Some(e) => state.finalize(job, JobState::Failed, Some(e.to_string()), None),
+        Some(e) => {
+            state.metrics.failed.fetch_add(1, Ordering::AcqRel);
+            state.finalize(job, JobState::Failed, Some(e.to_string()), None);
+        }
+    }
+}
+
+/// The shard-job work loop: resume the shard document if one is on
+/// disk, target every remaining fault of the range, checkpoint every
+/// `checkpoint_every` outcomes, and finalize like an ordinary job —
+/// except the artifact is a `gdf-shard` document and there is no
+/// report (a shard classifies nothing; the merge does).
+fn run_shard_job(
+    state: &Arc<ServerState>,
+    job: &Arc<Job>,
+    circuit: &Circuit,
+    shard: &ShardSpec,
+    started: Instant,
+) {
+    let spec = &job.spec;
+    let artifact_path = Job::artifact_path(&state.dir, job.id);
+    let mut artifact = match ShardArtifact::new(
+        circuit,
+        Some(spec.source.clone()),
+        spec.config,
+        shard.lo,
+        shard.hi,
+    ) {
+        Ok(artifact) => artifact,
+        Err(e) => {
+            state.metrics.failed.fetch_add(1, Ordering::AcqRel);
+            state.finalize(job, JobState::Failed, Some(e.to_string()), None);
+            return;
+        }
+    };
+    // A pre-existing shard document under the same spec is a checkpoint
+    // from an interrupted attempt: resume at its first hole. Foreign
+    // leftovers are ignored and overwritten.
+    if artifact_path.exists() {
+        if let Ok(prior) = ShardArtifact::load(&artifact_path, circuit) {
+            if prior.config() == &spec.config && prior.range() == (shard.lo, shard.hi) {
+                artifact = prior;
+            }
+        }
+    }
+
+    let total = artifact.len();
+    {
+        let mut status = job.status.lock().expect("job status poisoned");
+        status.total = total;
+        status.decided = artifact.decided();
+    }
+    job.events.push(ProgressEvent::Started {
+        engine: spec.config.backend.to_string(),
+        circuit: circuit.name().to_string(),
+        total_faults: total,
+    });
+
+    let every = spec.checkpoint_every.max(1);
+    let mut since_checkpoint = 0usize;
+    let result = artifact.run(circuit, |current| {
+        let decided = current.decided();
+        {
+            let mut status = job.status.lock().expect("job status poisoned");
+            status.decided = decided;
+        }
+        job.events.push(ProgressEvent::Progress { decided, total });
+        since_checkpoint += 1;
+        if since_checkpoint >= every {
+            since_checkpoint = 0;
+            if let Err(e) = current.save(&artifact_path, circuit) {
+                eprintln!("gdf-serve: job {} shard checkpoint failed: {e}", job.id);
+            }
+        }
+        !(state.stopping.load(Ordering::Acquire) || job.cancel.load(Ordering::Acquire))
+    });
+
+    if state.stopping.load(Ordering::Acquire) {
+        // Crash-style stop, same as full jobs: last checkpoint + the
+        // `running` record stay; the next server resumes the shard.
+        return;
+    }
+    match result {
+        Ok(true) => match artifact.save(&artifact_path, circuit) {
+            Ok(()) => {
+                job.events.push(ProgressEvent::Finished {
+                    tested: 0,
+                    untestable: 0,
+                    aborted: 0,
+                    patterns: 0,
+                    sequences: 0,
+                });
+                state.metrics.record_done(started.elapsed());
+                state.finalize(job, JobState::Done, None, None);
+            }
+            Err(e) => {
+                state.metrics.failed.fetch_add(1, Ordering::AcqRel);
+                state.finalize(job, JobState::Failed, Some(e.to_string()), None);
+            }
+        },
+        Ok(false) => state.finalize(job, JobState::Cancelled, None, None),
+        Err(e) => {
+            state.metrics.failed.fetch_add(1, Ordering::AcqRel);
+            state.finalize(job, JobState::Failed, Some(e.to_string()), None);
+        }
     }
 }
 
@@ -613,6 +784,7 @@ fn route(state: &Arc<ServerState>, request: Request, stream: &mut TcpStream) {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let response = match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => handle_health(state),
+        ("GET", ["metrics"]) => handle_metrics(state),
         ("POST", ["jobs"]) => handle_submit(state, &request),
         ("GET", ["jobs"]) => handle_list(state),
         ("GET", ["jobs", id]) => with_job(state, id, |job| {
@@ -635,7 +807,10 @@ fn route(state: &Arc<ServerState>, request: Request, stream: &mut TcpStream) {
         // including unknown sub-resources like /jobs/7/artifacts — 404.
         (
             _,
-            ["healthz"] | ["jobs"] | ["jobs", _] | ["jobs", _, "events" | "artifact" | "patterns"],
+            ["healthz" | "metrics"]
+            | ["jobs"]
+            | ["jobs", _]
+            | ["jobs", _, "events" | "artifact" | "patterns"],
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     };
@@ -678,6 +853,95 @@ fn handle_health(state: &Arc<ServerState>) -> Response {
     )
 }
 
+/// `GET /metrics`: the pool's counters in Prometheus text exposition
+/// format — what the fleet coordinator's health probe scrapes, and what
+/// an ordinary Prometheus can scrape unchanged. Quantiles are computed
+/// over the [`LATENCY_WINDOW`] most recent completed jobs.
+fn handle_metrics(state: &Arc<ServerState>) -> Response {
+    let (running, queued_jobs) = {
+        let jobs = state.jobs.lock().expect("job store poisoned");
+        let mut running = 0usize;
+        let mut queued = 0usize;
+        for job in jobs.values() {
+            match job.status().state {
+                JobState::Running => running += 1,
+                JobState::Queued => queued += 1,
+                _ => {}
+            }
+        }
+        (running, queued)
+    };
+    let workers = state.queue.shards();
+    let busy = state.metrics.busy.load(Ordering::Acquire).min(workers);
+    let completed = state.metrics.completed.load(Ordering::Acquire);
+    let failed = state.metrics.failed.load(Ordering::Acquire);
+    let mut window: Vec<u64> = state
+        .metrics
+        .latencies_us
+        .lock()
+        .expect("metrics poisoned")
+        .iter()
+        .copied()
+        .collect();
+    window.sort_unstable();
+    let p50 = Metrics::latency_quantile(&window, 0.50);
+    let p99 = Metrics::latency_quantile(&window, 0.99);
+
+    let mut out = String::new();
+    let mut gauge = |name: &str, help: &str, value: f64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+        ));
+    };
+    gauge(
+        "gdf_queue_depth",
+        "Jobs waiting in the sharded queue.",
+        state.queue.len() as f64,
+    );
+    gauge(
+        "gdf_jobs_running",
+        "Jobs currently being driven by a worker.",
+        running as f64,
+    );
+    gauge(
+        "gdf_jobs_queued",
+        "Jobs in the queued state (including the recovery backlog).",
+        queued_jobs as f64,
+    );
+    gauge("gdf_workers", "Worker threads in the pool.", workers as f64);
+    gauge(
+        "gdf_workers_busy",
+        "Workers currently inside a job.",
+        busy as f64,
+    );
+    gauge(
+        "gdf_worker_utilization",
+        "Busy workers as a fraction of the pool.",
+        if workers == 0 {
+            0.0
+        } else {
+            busy as f64 / workers as f64
+        },
+    );
+    out.push_str(&format!(
+        "# HELP gdf_jobs_completed_total Jobs that finished successfully.\n\
+         # TYPE gdf_jobs_completed_total counter\n\
+         gdf_jobs_completed_total {completed}\n\
+         # HELP gdf_jobs_failed_total Jobs that finished in failure.\n\
+         # TYPE gdf_jobs_failed_total counter\n\
+         gdf_jobs_failed_total {failed}\n"
+    ));
+    out.push_str(&format!(
+        "# HELP gdf_job_latency_seconds Completed-job wall time over the recent window.\n\
+         # TYPE gdf_job_latency_seconds summary\n\
+         gdf_job_latency_seconds{{quantile=\"0.5\"}} {p50}\n\
+         gdf_job_latency_seconds{{quantile=\"0.99\"}} {p99}\n\
+         gdf_job_latency_seconds_count {}\n",
+        window.len()
+    ));
+    Response::text(200, out)
+}
+
 fn handle_list(state: &Arc<ServerState>) -> Response {
     let jobs = state.jobs.lock().expect("job store poisoned");
     let list: Vec<Json> = jobs.values().map(|job| status_json(job, false)).collect();
@@ -711,6 +975,9 @@ fn status_json(job: &Arc<Job>, verbose: bool) -> Json {
             },
         ),
     ];
+    if let Some(shard) = &job.spec.shard {
+        fields.push(("shard".into(), shard.encode()));
+    }
     if verbose {
         fields.extend(encode_config(&job.spec.config));
         fields.push(("parallelism".into(), Json::Num(job.spec.parallelism as f64)));
@@ -808,7 +1075,16 @@ fn handle_artifact(state: &Arc<ServerState>, job: &Arc<Job>) -> Response {
             format!("job {} is {}, artifact not available", job.id, status.state),
         );
     }
-    match RunArtifact::load(Job::artifact_path(&state.dir, job.id)) {
+    let path = Job::artifact_path(&state.dir, job.id);
+    if job.spec.shard.is_some() {
+        // Shard jobs persist a `gdf-shard` document, already in its
+        // byte-stable encoding — serve it verbatim.
+        return match std::fs::read(&path) {
+            Ok(bytes) => Response::json_bytes(200, bytes),
+            Err(e) => Response::error(500, format!("{}: {e}", path.display())),
+        };
+    }
+    match RunArtifact::load(path) {
         Ok(artifact) => Response::json_bytes(200, artifact.canonical_encode()),
         Err(e) => Response::error(500, e.to_string()),
     }
@@ -820,6 +1096,15 @@ fn handle_patterns(state: &Arc<ServerState>, job: &Arc<Job>) -> Response {
         return Response::error(
             409,
             format!("job {} is {}, patterns not available", job.id, status.state),
+        );
+    }
+    if job.spec.shard.is_some() {
+        return Response::error(
+            409,
+            format!(
+                "job {} is a shard job; patterns come from the merged artifact",
+                job.id
+            ),
         );
     }
     let result = RunArtifact::load(Job::artifact_path(&state.dir, job.id)).and_then(|artifact| {
@@ -905,6 +1190,25 @@ pub fn submission_for_bench(name: &str, bench: &str, config: &RunConfig) -> Json
     ])
 }
 
+/// Tags a submission body as a *shard job* covering universe indexes
+/// `[lo, hi)`, with a free-form provenance label (the fleet coordinator
+/// uses `fleet:<plan>/unit-<k>`). The job then produces a `gdf-shard`
+/// document instead of a run artifact.
+pub fn submission_with_shard(mut body: Json, lo: usize, hi: usize, tag: &str) -> Json {
+    if let Json::Obj(fields) = &mut body {
+        fields.push((
+            "shard".into(),
+            ShardSpec {
+                lo,
+                hi,
+                tag: tag.into(),
+            }
+            .encode(),
+        ));
+    }
+    body
+}
+
 /// Adds runtime options to a submission body built by the helpers
 /// above. Pass `checkpoint_every: None` to leave the cadence to the
 /// server's configured default.
@@ -968,6 +1272,28 @@ pub fn decode_submission(j: &Json, default_checkpoint: usize) -> Result<JobSpec,
     // parse_bench), so a bad submission fails here at POST time and the
     // worker's later resolve() cannot surprise.
     let config = decode_submission_config(j.get("config"))?;
+    let shard = match j.get("shard") {
+        None | Some(Json::Null) => None,
+        Some(s) => {
+            let shard = ShardSpec::decode(s)?;
+            // Validate the range against the enumerated universe at POST
+            // time, like every other submission field — a worker must
+            // not be the first to notice a bad range.
+            let circuit = source.resolve().map_err(|e| e.to_string())?;
+            let total = config
+                .model
+                .model()
+                .enumerate(&circuit, &config.universe)
+                .len();
+            if shard.hi > total {
+                return Err(format!(
+                    "shard range [{}‥{}) does not fit a universe of {total} faults",
+                    shard.lo, shard.hi
+                ));
+            }
+            Some(shard)
+        }
+    };
     Ok(JobSpec {
         source,
         config,
@@ -981,6 +1307,7 @@ pub fn decode_submission(j: &Json, default_checkpoint: usize) -> Result<JobSpec,
             .and_then(Json::as_usize)
             .unwrap_or(default_checkpoint)
             .max(1),
+        shard,
     })
 }
 
@@ -1110,6 +1437,31 @@ mod tests {
         assert_eq!(spec.source.name, "mine");
         assert!(spec.source.reference.is_none());
         assert!(spec.source.resolve().is_ok());
+    }
+
+    #[test]
+    fn submission_shard_tag() {
+        let config = RunConfig::new(Backend::NonScan);
+        let body = submission_with_shard(
+            submission_for_suite("suite:s27", &config),
+            2,
+            9,
+            "fleet:p/unit-0",
+        );
+        let spec = decode_submission(&body, 16).unwrap();
+        let shard = spec.shard.expect("shard survives decoding");
+        assert_eq!((shard.lo, shard.hi), (2, 9));
+        assert_eq!(shard.tag, "fleet:p/unit-0");
+
+        // A range beyond the enumerated universe is rejected at POST
+        // time.
+        let body = submission_with_shard(
+            submission_for_suite("suite:s27", &config),
+            0,
+            1_000_000,
+            "fleet:p/unit-1",
+        );
+        assert!(decode_submission(&body, 16).is_err());
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! gdf resume <RUN.json> [-o done.json] [--patterns p.json]
 //! gdf grade <PATTERNS.json> [--circuit CIRCUIT] [--seed N]
 //! gdf campaign [CIRCUIT...] [--suite] [--dir DIR] [--resume] [options]
+//! gdf campaign ... --fleet H1:P1,H2:P2 [--units N] [--dir DIR]
+//! gdf fleet status [--dir DIR]
 //! gdf report <RUN.json>... [--diff]
 //! gdf suite [--universe <full|stems>]
 //! gdf serve --addr HOST:PORT --dir DIR [--workers N]
@@ -27,6 +29,14 @@
 //! `POST /jobs`, the others are remote controls for it. A fetched
 //! artifact is the server's canonical (wall-clock-zeroed) encoding and
 //! is byte-identical to what any same-spec submission returns.
+//!
+//! `gdf campaign --fleet` shards one campaign across N running
+//! `gdf serve` nodes (`gdf_fleet::Coordinator`): the plan persists in
+//! `<dir>/fleet.json`, a killed coordinator resumes with `--resume`,
+//! dead nodes lose their units to live ones, and the merged per-circuit
+//! artifacts are byte-identical in canonical encoding to a single-node
+//! campaign of the same configuration. `gdf fleet status` renders the
+//! plan and probes node health.
 
 use gdf::core::json::Json;
 use gdf::core::{
@@ -34,6 +44,7 @@ use gdf::core::{
     CircuitSource, FaultRecord, ModelKind, Observer, PatternSet, ProgressEvent, RunArtifact,
     RunConfig,
 };
+use gdf::fleet::{Coordinator, FleetPlan};
 use gdf::netlist::{parse_bench, suite, Circuit, FaultUniverse};
 use gdf::serve::server::{submission_for_bench, submission_for_suite, submission_with_runtime};
 use gdf::serve::{Client, JobServer, ServeConfig};
@@ -50,6 +61,7 @@ USAGE:
     gdf resume <RUN.json> [options]     resume an interrupted run
     gdf grade <PATTERNS.json> [options] re-grade a saved pattern set
     gdf campaign [CIRCUIT...] [options] run many circuits, aggregate report
+    gdf fleet status [--dir DIR]        fleet plan progress and node health
     gdf report <RUN.json>... [--diff]   render or compare saved runs
     gdf suite [--universe <full|stems>] list embedded suite circuits
     gdf serve [options]                 host the engine as an HTTP job server
@@ -79,6 +91,9 @@ OPTIONS:
     --suite                                       (campaign) the full suite
     --dir <DIR>                                   (campaign/serve) artifact dir
     --resume                                      (campaign) reuse artifacts
+    --fleet <H1:P1,H2:P2,...>                     (campaign) shard across nodes
+    --units <N>                                   (fleet) units per circuit
+    --steal-after <SECS>                          (fleet) slow-node patience
     --diff                                        (report) compare two runs
     --addr <HOST:PORT>                            (serve/remote) server address
     --workers <N>                                 (serve) worker pool size
@@ -113,6 +128,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(rest),
         "grade" => cmd_grade(rest),
         "campaign" => cmd_campaign(rest),
+        "fleet" => cmd_fleet(rest),
         "report" => cmd_report(rest),
         "suite" => cmd_suite(rest),
         "serve" => cmd_serve(rest),
@@ -226,6 +242,9 @@ const RUN_VALUES: &[&str] = &[
     "addr",
     "workers",
     "queue-capacity",
+    "fleet",
+    "units",
+    "steal-after",
 ];
 const RUN_SWITCHES: &[&str] = &["quiet", "suite", "resume", "diff", "wait", "follow"];
 
@@ -565,6 +584,9 @@ fn cmd_grade(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    if let Some(nodes) = opts.value("fleet") {
+        return cmd_campaign_fleet(&opts, nodes);
+    }
     let mut builder = Campaign::builder();
     if opts.switch("suite") {
         builder = builder.suite();
@@ -622,6 +644,109 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// The campaign's circuit list as [`CircuitSource`]s — what a fleet
+/// plan records (full provenance, so any node and any resumed
+/// coordinator rebuild byte-identical circuits).
+fn fleet_sources(opts: &Opts) -> Result<Vec<CircuitSource>, String> {
+    let mut sources = Vec::new();
+    if opts.switch("suite") {
+        for circuit in suite::full_suite() {
+            let reference = circuit.name().trim_end_matches("_syn").to_string();
+            sources.push(CircuitSource::suite(&circuit, &reference));
+        }
+    }
+    for spec in &opts.positional {
+        sources.push(load_circuit(spec)?.1);
+    }
+    if sources.is_empty() {
+        return Err("no circuits: pass CIRCUIT arguments or --suite".into());
+    }
+    Ok(sources)
+}
+
+/// `gdf campaign --fleet H1,H2,…`: shard the campaign across running
+/// `gdf serve` nodes and merge deterministically. With `--resume` and an
+/// existing `<dir>/fleet.json`, the persisted plan is continued (its
+/// recorded node list wins over `--fleet`).
+fn cmd_campaign_fleet(opts: &Opts, nodes_arg: &str) -> Result<ExitCode, String> {
+    let nodes: Vec<String> = nodes_arg
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if nodes.is_empty() {
+        return Err("--fleet needs a comma-separated HOST:PORT list".into());
+    }
+    let dir = PathBuf::from(opts.value("dir").unwrap_or("gdf-fleet"));
+    let mut coordinator = if opts.switch("resume") && Coordinator::plan_path(&dir).exists() {
+        let coordinator = Coordinator::resume(&dir).map_err(|e| e.to_string())?;
+        if coordinator.plan().nodes != nodes {
+            eprintln!(
+                "note: resuming with the plan's recorded nodes ({}), not --fleet",
+                coordinator.plan().nodes.join(",")
+            );
+        }
+        coordinator
+    } else {
+        let sources = fleet_sources(opts)?;
+        let config = config_from_opts(opts)?;
+        let units = opts
+            .number("units")?
+            .unwrap_or(2 * nodes.len() as u64)
+            .max(1) as usize;
+        let name = dir
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or("campaign")
+            .to_string();
+        let mut plan =
+            FleetPlan::new(name, nodes, config, sources, units).map_err(|e| e.to_string())?;
+        if let Some(n) = opts.number("parallelism")? {
+            plan.parallelism = (n as usize).max(1);
+        }
+        if let Some(every) = opts.number("checkpoint-every")? {
+            plan.checkpoint_every = (every as usize).max(1);
+        }
+        Coordinator::create(&dir, plan).map_err(|e| e.to_string())?
+    };
+    coordinator = coordinator.with_verbose(!opts.switch("quiet"));
+    if let Some(secs) = opts.number("steal-after")? {
+        coordinator = coordinator.with_steal_after(Duration::from_secs(secs));
+    }
+    let report = coordinator.run().map_err(|e| e.to_string())?;
+    print!("{}", report.campaign.render());
+    println!(
+        "fleet: {} units over {} nodes, {} reassigned — artifacts in {}",
+        report.units,
+        report.nodes.len(),
+        report.stolen,
+        dir.display()
+    );
+    for node in &report.nodes {
+        println!(
+            "  {}: {} units harvested, {} faults",
+            node.addr, node.units, node.faults
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `gdf fleet status --dir DIR`: the persisted plan's unit states plus a
+/// live probe of every node.
+fn cmd_fleet(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    match opts.positional.as_slice() {
+        [sub] if sub == "status" => {
+            let dir = PathBuf::from(opts.value("dir").unwrap_or("gdf-fleet"));
+            let mut coordinator = Coordinator::resume(&dir).map_err(|e| e.to_string())?;
+            print!("{}", coordinator.render_status());
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err("usage: gdf fleet status [--dir DIR]".into()),
+    }
 }
 
 fn cmd_report(args: &[String]) -> Result<ExitCode, String> {

@@ -26,7 +26,14 @@
 //!   `std::net` with a bounded sharded queue, a fixed worker pool,
 //!   streaming progress events and checkpoint-backed crash recovery
 //!   (`gdf serve`, with `gdf submit` / `status` / `fetch` / `cancel` as
-//!   its remote controls).
+//!   its remote controls);
+//! * [`fleet`] — the **distributed campaign coordinator**: shards one
+//!   campaign across N `gdf-serve` nodes by circuit and fault-universe
+//!   range, with a persistent schema-versioned plan (`fleet.json`),
+//!   health probing over `GET /metrics`, work stealing from dead or slow
+//!   nodes, and a deterministic merge whose artifacts are byte-identical
+//!   in canonical encoding to a single-node run (`gdf campaign --fleet`,
+//!   `gdf fleet status`).
 //!
 //! ## Quickstart
 //!
@@ -72,6 +79,7 @@
 
 pub use gdf_algebra as algebra;
 pub use gdf_core as core;
+pub use gdf_fleet as fleet;
 pub use gdf_netlist as netlist;
 pub use gdf_semilet as semilet;
 pub use gdf_serve as serve;

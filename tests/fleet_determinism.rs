@@ -1,0 +1,299 @@
+//! The fleet layer's headline guarantee, proven over real sockets:
+//! **fleet(2) ≡ fleet(1) ≡ local**, byte for byte in canonical encoding
+//! — and the guarantee survives both failure modes the coordinator is
+//! built for:
+//!
+//! 1. the **coordinator** killed between control rounds and resumed
+//!    from `fleet.json`;
+//! 2. a **node** killed mid-campaign (no disk updates — the `kill -9`
+//!    path), its units stolen by the survivor.
+//!
+//! Plus the degenerate split: a universe oversplit into more units than
+//! faults, producing empty units that complete without touching a node.
+
+use gdf::core::{Atpg, Backend, CircuitSource, FaultClassification, RunArtifact, RunConfig};
+use gdf::fleet::{Coordinator, FleetPlan, UnitState};
+use gdf::netlist::{suite, FaultSet, FaultUniverse};
+use gdf::serve::{JobServer, ServeConfig};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gdf-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_node(dir: &Path, workers: usize) -> JobServer {
+    JobServer::start(ServeConfig::new("127.0.0.1:0", dir).with_workers(workers))
+        .expect("node starts")
+}
+
+fn sources(names: &[&str]) -> Vec<CircuitSource> {
+    names
+        .iter()
+        .map(|name| CircuitSource::suite(&suite::by_name(name).expect("suite circuit"), name))
+        .collect()
+}
+
+/// What a local, in-process run of the same spec persists — the
+/// reference every fleet merge must match byte for byte.
+fn local_canonical(name: &str, config: RunConfig) -> String {
+    let circuit = suite::by_name(name).expect("suite circuit");
+    let run = Atpg::builder(&circuit)
+        .backend(config.backend)
+        .model(config.model)
+        .universe(config.universe)
+        .limits(config.limits)
+        .seed(config.seed)
+        .build()
+        .run();
+    RunArtifact::from_run(
+        &circuit,
+        &run,
+        config,
+        Some(CircuitSource::suite(&circuit, name)),
+    )
+    .canonical_encode()
+}
+
+fn merged_canonical(dir: &Path, name: &str) -> String {
+    let path = dir.join(format!("{name}.run.json"));
+    RunArtifact::load(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+        .canonical_encode()
+}
+
+fn fast_coordinator(dir: &Path, plan: FleetPlan) -> Coordinator {
+    Coordinator::create(dir, plan)
+        .expect("coordinator creates")
+        .with_poll(Duration::from_millis(25))
+}
+
+#[test]
+fn fleet_of_two_and_fleet_of_one_match_a_local_run() {
+    let config = RunConfig::new(Backend::NonScan);
+    let names = ["s27", "s42"];
+
+    // Two nodes, three units per circuit (uneven shard sizes included).
+    let (na, nb) = (temp_dir("f2-node-a"), temp_dir("f2-node-b"));
+    let (a, b) = (start_node(&na, 2), start_node(&nb, 2));
+    let dir2 = temp_dir("f2-coord");
+    let plan = FleetPlan::new(
+        "two",
+        vec![a.local_addr().to_string(), b.local_addr().to_string()],
+        config,
+        sources(&names),
+        3,
+    )
+    .unwrap();
+    assert_eq!(plan.units.len(), 6);
+    let report2 = fast_coordinator(&dir2, plan)
+        .run()
+        .expect("fleet(2) converges");
+    assert_eq!(report2.units, 6);
+    assert_eq!(
+        report2.nodes.iter().map(|n| n.units).sum::<usize>(),
+        6,
+        "every unit is harvested from some node"
+    );
+
+    // One node, same campaign.
+    let nc = temp_dir("f1-node");
+    let c = start_node(&nc, 2);
+    let dir1 = temp_dir("f1-coord");
+    let plan = FleetPlan::new(
+        "one",
+        vec![c.local_addr().to_string()],
+        config,
+        sources(&names),
+        3,
+    )
+    .unwrap();
+    fast_coordinator(&dir1, plan)
+        .run()
+        .expect("fleet(1) converges");
+
+    for name in names {
+        let reference = local_canonical(name, config);
+        assert_eq!(
+            merged_canonical(&dir2, name),
+            reference,
+            "fleet(2) diverged from the local run on {name}"
+        );
+        assert_eq!(
+            merged_canonical(&dir1, name),
+            reference,
+            "fleet(1) diverged from the local run on {name}"
+        );
+    }
+    // The fleet totals agree with the local reports they merged into.
+    let totals = report2.campaign.totals();
+    assert!(totals.tested > 0, "campaign found tests: {totals}");
+
+    a.shutdown();
+    b.shutdown();
+    c.shutdown();
+    for dir in [na, nb, nc, dir2, dir1] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn coordinator_killed_between_rounds_resumes_to_identical_bytes() {
+    let config = RunConfig::new(Backend::NonScan);
+    let nd = temp_dir("kr-node");
+    let node = start_node(&nd, 2);
+    let dir = temp_dir("kr-coord");
+    let plan = FleetPlan::new(
+        "kr",
+        vec![node.local_addr().to_string()],
+        config,
+        sources(&["s27"]),
+        4,
+    )
+    .unwrap();
+
+    // One control round submits every unit, then the coordinator "dies"
+    // — dropped without harvesting anything. The plan on disk is all
+    // that survives.
+    let mut first = fast_coordinator(&dir, plan);
+    let done = first.step().expect("first round");
+    assert!(!done, "nothing can be merged after one round");
+    let submitted = first
+        .plan()
+        .units
+        .iter()
+        .filter(|u| matches!(u.state, UnitState::Submitted { .. }))
+        .count();
+    assert_eq!(submitted, 4, "round one submits every unit");
+    drop(first);
+
+    // A fresh coordinator reconciles against the node's real job state
+    // and finishes to the same bytes as an uninterrupted local run.
+    let report = Coordinator::resume(&dir)
+        .expect("resume from fleet.json")
+        .with_poll(Duration::from_millis(25))
+        .run()
+        .expect("resumed coordinator converges");
+    assert_eq!(report.units, 4);
+    assert_eq!(
+        merged_canonical(&dir, "s27"),
+        local_canonical("s27", config)
+    );
+
+    node.shutdown();
+    let _ = std::fs::remove_dir_all(&nd);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn node_killed_mid_campaign_loses_its_units_to_the_survivor() {
+    let config = RunConfig::new(Backend::NonScan);
+    let (na, nb) = (temp_dir("steal-node-a"), temp_dir("steal-node-b"));
+    let (a, b) = (start_node(&na, 2), start_node(&nb, 1));
+    let survivor = a.local_addr().to_string();
+    let victim = b.local_addr().to_string();
+    let dir = temp_dir("steal-coord");
+    let plan = FleetPlan::new(
+        "steal",
+        vec![survivor.clone(), victim.clone()],
+        config,
+        sources(&["s27", "s42"]),
+        2,
+    )
+    .unwrap();
+
+    // Round one spreads the 4 units across both nodes (least-loaded,
+    // deterministic ties), then the victim dies the hard way: no
+    // shutdown handshake, no disk updates.
+    let mut coordinator = fast_coordinator(&dir, plan);
+    coordinator.step().expect("first round");
+    let on_victim = coordinator
+        .plan()
+        .units
+        .iter()
+        .filter(|u| matches!(&u.state, UnitState::Submitted { node, .. } if *node == victim))
+        .count();
+    assert!(on_victim > 0, "the victim node was assigned work");
+    b.kill();
+
+    let report = coordinator.run().expect("fleet survives the node kill");
+    assert!(
+        report.stolen >= on_victim,
+        "{} unit(s) were on the dead node but only {} were reassigned",
+        on_victim,
+        report.stolen
+    );
+    let by_addr = |addr: &str| {
+        report
+            .nodes
+            .iter()
+            .find(|n| n.addr == *addr)
+            .expect("node stats")
+            .units
+    };
+    assert_eq!(by_addr(&survivor) + by_addr(&victim), 4);
+    for name in ["s27", "s42"] {
+        assert_eq!(
+            merged_canonical(&dir, name),
+            local_canonical(name, config),
+            "post-steal merge diverged on {name}"
+        );
+    }
+
+    a.shutdown();
+    for dir in [na, nb, dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn oversplit_universe_yields_empty_units_and_identical_bytes() {
+    // More units than faults: the tail units are empty and complete on
+    // the coordinator without ever reaching a node.
+    let mut config = RunConfig::new(Backend::NonScan);
+    config.universe = FaultUniverse::stems_only();
+    let circuit = suite::s27();
+    let total = FaultSet::new(&circuit, config.universe, config.model).len();
+    assert!(total > 0);
+
+    let nd = temp_dir("empty-node");
+    let node = start_node(&nd, 4);
+    let dir = temp_dir("empty-coord");
+    let plan = FleetPlan::new(
+        "oversplit",
+        vec![node.local_addr().to_string()],
+        config,
+        sources(&["s27"]),
+        total + 3,
+    )
+    .unwrap();
+    assert_eq!(plan.units.len(), total + 3);
+    assert_eq!(plan.units.iter().filter(|u| u.is_empty()).count(), 3);
+
+    let report = fast_coordinator(&dir, plan)
+        .run()
+        .expect("oversplit fleet converges");
+    assert_eq!(
+        report.nodes[0].units, total,
+        "only the non-empty units travel to the node"
+    );
+    assert_eq!(
+        merged_canonical(&dir, "s27"),
+        local_canonical("s27", config)
+    );
+    // Sanity: the merged run actually classified faults.
+    let artifact = RunArtifact::load(dir.join("s27.run.json")).unwrap();
+    let run = artifact.to_run(&circuit).unwrap();
+    assert_eq!(run.records.len(), total);
+    assert!(run
+        .records
+        .iter()
+        .any(|r| r.classification == FaultClassification::Tested));
+
+    node.shutdown();
+    let _ = std::fs::remove_dir_all(&nd);
+    let _ = std::fs::remove_dir_all(&dir);
+}

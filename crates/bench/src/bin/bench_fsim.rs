@@ -20,6 +20,7 @@
 //! cargo run --release -p gdf-bench --bin bench_fsim            # full run
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --smoke # CI smoke
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --fleet # + fleet bench
+//! cargo run --release -p gdf-bench --bin bench_fsim -- --chaos # + chaos campaign
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --out path.json
 //! ```
 
@@ -210,6 +211,93 @@ fn fleet_throughput(units_per_circuit: usize, nodes: usize, workers: usize) -> F
     }
 }
 
+/// What the `--chaos` bench measured.
+struct ChaosFigures {
+    nodes: usize,
+    units: usize,
+    faults_injected: usize,
+    recoveries: usize,
+    wall_secs: f64,
+}
+
+/// The fleet campaign again, but under seeded fault injection: a chaos
+/// proxy on every node link plus disk chaos on the coordinator's own
+/// documents. Reports how many faults were injected, how many recovery
+/// actions the stack took (quarantines, requeues, steals, warnings),
+/// and the wall time the chaos cost.
+fn chaos_campaign(units_per_circuit: usize, nodes: usize, workers: usize) -> ChaosFigures {
+    use gdf_chaos::{ChaosDisk, ChaosGuard, ChaosProxy, ChaosSchedule};
+    use gdf_core::artifact::CircuitSource;
+    use gdf_core::engine::{Backend, RunConfig};
+    use gdf_fleet::{Coordinator, FleetPlan};
+    use gdf_serve::{JobServer, ServeConfig};
+    use std::sync::Arc;
+
+    let base = std::env::temp_dir().join(format!("gdf-bench-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let servers: Vec<JobServer> = (0..nodes)
+        .map(|i| {
+            JobServer::start(
+                ServeConfig::new("127.0.0.1:0", base.join(format!("node-{i}")))
+                    .with_workers(workers),
+            )
+            .expect("bench chaos node starts")
+        })
+        .collect();
+    let net: Vec<Arc<ChaosSchedule>> = (0..nodes)
+        .map(|i| Arc::new(ChaosSchedule::new(0xBE7C + i as u64, 0.3)))
+        .collect();
+    let mut proxies: Vec<ChaosProxy> = servers
+        .iter()
+        .zip(&net)
+        .map(|(server, schedule)| {
+            ChaosProxy::start(
+                server.local_addr(),
+                Arc::clone(schedule),
+                std::time::Duration::from_millis(75),
+            )
+            .expect("bench chaos proxy starts")
+        })
+        .collect();
+    let coord_dir = base.join("coord");
+    let addrs = proxies.iter().map(|p| p.local_addr().to_string()).collect();
+    let config = RunConfig::new(Backend::StuckAt);
+    let sources = ["s27", "s42"]
+        .iter()
+        .map(|name| CircuitSource::suite(&suite::by_name(name).expect("suite"), name))
+        .collect();
+    let plan = FleetPlan::new("bench-chaos", addrs, config, sources, units_per_circuit)
+        .expect("bench chaos plan");
+    let units = plan.units.len();
+
+    let mut coordinator = Coordinator::create(&coord_dir, plan)
+        .expect("bench chaos coordinator")
+        .with_poll(std::time::Duration::from_millis(10));
+    // Chaos starts with the campaign: `create` failing its very first
+    // plan save is the documented fail-fast path, not a benchmark.
+    let disk = Arc::new(ChaosSchedule::new(0xD15C, 0.15));
+    let guard = ChaosGuard::install(ChaosDisk::new(Arc::clone(&disk), &coord_dir));
+    let start = Instant::now();
+    let report = coordinator.run().expect("bench chaos fleet converges");
+    let wall_secs = start.elapsed().as_secs_f64();
+    drop(guard);
+
+    for proxy in &mut proxies {
+        proxy.stop();
+    }
+    for server in servers {
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    ChaosFigures {
+        nodes,
+        units,
+        faults_injected: disk.injected() + net.iter().map(|s| s.injected()).sum::<usize>(),
+        recoveries: report.campaign.warnings.len() + report.stolen,
+        wall_secs,
+    }
+}
+
 /// Appends `record` to the JSON array in `path` (creating `[...]` if the
 /// file is missing or empty).
 fn append_record(path: &str, record: &str) -> std::io::Result<()> {
@@ -232,6 +320,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let fleet = args.iter().any(|a| a == "--fleet");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -277,6 +366,16 @@ fn main() {
         f
     });
 
+    let chaos_figures = chaos.then(|| {
+        let (units_per_circuit, nodes, workers) = if smoke { (3, 2, 2) } else { (6, 2, 4) };
+        let c = chaos_campaign(units_per_circuit, nodes, workers);
+        println!(
+            "chaos    {} units / {} nodes  {} faults injected  {} recoveries  {:.2}s wall",
+            c.units, c.nodes, c.faults_injected, c.recoveries, c.wall_secs
+        );
+        c
+    });
+
     // Timestamp each appended record so the accumulated trajectory in
     // BENCH_fsim.json stays ordered and attributable across PRs.
     let unix_time = std::time::SystemTime::now()
@@ -316,15 +415,33 @@ fn main() {
         record,
         "    \"serve\": {{\"circuit\": \"s27\", \"backend\": \"stuck-at\", \"jobs\": {serve_jobs}, \
          \"workers\": {serve_workers}, \"jobs_per_sec\": {jobs_per_sec:.1}}}{}",
-        if fleet_figures.is_some() { "," } else { "" }
+        if fleet_figures.is_some() || chaos_figures.is_some() {
+            ","
+        } else {
+            ""
+        }
     );
     if let Some(f) = &fleet_figures {
         let _ = writeln!(
             record,
             "    \"fleet\": {{\"circuits\": [\"s27\", \"s42\"], \"backend\": \"stuck-at\", \
              \"nodes\": {}, \"workers\": {}, \"units\": {}, \
-             \"cluster_units_per_sec\": {:.1}, \"faults_per_sec_per_node\": {:.0}}}",
-            f.nodes, f.workers, f.units, f.cluster_units_per_sec, f.faults_per_sec_per_node
+             \"cluster_units_per_sec\": {:.1}, \"faults_per_sec_per_node\": {:.0}}}{}",
+            f.nodes,
+            f.workers,
+            f.units,
+            f.cluster_units_per_sec,
+            f.faults_per_sec_per_node,
+            if chaos_figures.is_some() { "," } else { "" }
+        );
+    }
+    if let Some(c) = &chaos_figures {
+        let _ = writeln!(
+            record,
+            "    \"chaos\": {{\"circuits\": [\"s27\", \"s42\"], \"backend\": \"stuck-at\", \
+             \"nodes\": {}, \"units\": {}, \"faults_injected\": {}, \
+             \"recoveries\": {}, \"wall_secs\": {:.2}}}",
+            c.nodes, c.units, c.faults_injected, c.recoveries, c.wall_secs
         );
     }
     let _ = write!(record, "  }}");

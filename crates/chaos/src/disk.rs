@@ -1,0 +1,284 @@
+//! Disk chaos: an [`ArtifactIo`] implementation that breaks the atomic
+//! write/read contract on purpose, per schedule.
+//!
+//! Fault menu (see [`DiskFault`]):
+//!
+//! * **Torn write** — a prefix of the document lands *at the
+//!   destination* and the call reports success: the one failure the
+//!   rename dance is supposed to make impossible (a crashed `fsync`-less
+//!   filesystem can still produce it). Readers must detect the
+//!   corruption structurally — JSON parse failure, schema mismatch —
+//!   and heal by resume/requeue/quarantine, never trust it.
+//! * **Stale temp** — the temp file is fully written but the rename
+//!   never happens (crash between the two syscalls): the destination
+//!   keeps its old content, a `*.tmp` straggler is left behind, and the
+//!   call errors.
+//! * **ENOSPC / EIO** — the write fails cleanly with a real OS error
+//!   code before touching the destination.
+//! * **Partial read / read EIO** — the read returns a prefix of the
+//!   true content (truncated at a char boundary) or fails with `EIO`.
+//!
+//! Injection is scoped: only paths under the configured root are
+//! touched, so a chaos test never perturbs a neighbouring test's files.
+
+use crate::schedule::ChaosSchedule;
+use gdf_core::io::{tmp_path, ArtifactIo, ProductionIo};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// The disk fault menu, in schedule order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Prefix at the destination, call succeeds (silent corruption).
+    TornWrite,
+    /// Temp fully written, no rename, call errors (crash window).
+    StaleTemp,
+    /// `ENOSPC` before anything is written.
+    NoSpace,
+    /// `EIO` on write.
+    WriteIo,
+    /// Read returns a prefix of the content.
+    PartialRead,
+    /// `EIO` on read.
+    ReadIo,
+}
+
+impl DiskFault {
+    const WRITE_MENU: [DiskFault; 4] = [
+        DiskFault::TornWrite,
+        DiskFault::StaleTemp,
+        DiskFault::NoSpace,
+        DiskFault::WriteIo,
+    ];
+    const READ_MENU: [DiskFault; 2] = [DiskFault::PartialRead, DiskFault::ReadIo];
+
+    /// Display name, as it appears in the injection log.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiskFault::TornWrite => "torn-write",
+            DiskFault::StaleTemp => "stale-temp",
+            DiskFault::NoSpace => "enospc",
+            DiskFault::WriteIo => "write-eio",
+            DiskFault::PartialRead => "partial-read",
+            DiskFault::ReadIo => "read-eio",
+        }
+    }
+}
+
+const ENOSPC: i32 = 28;
+const EIO: i32 = 5;
+
+/// The chaos [`ArtifactIo`]: injects [`DiskFault`]s for paths under its
+/// root, passes everything else through untouched.
+#[derive(Debug)]
+pub struct ChaosDisk {
+    schedule: Arc<ChaosSchedule>,
+    root: PathBuf,
+}
+
+impl ChaosDisk {
+    /// Chaos for every artifact path under `root`, drawing from
+    /// `schedule`.
+    pub fn new(schedule: Arc<ChaosSchedule>, root: impl Into<PathBuf>) -> Self {
+        ChaosDisk {
+            schedule,
+            root: root.into(),
+        }
+    }
+
+    fn covers(&self, path: &Path) -> bool {
+        path.starts_with(&self.root)
+    }
+
+    /// A deterministic auxiliary value for the current draw (prefix
+    /// lengths) — derived from the draw count so it replays with the
+    /// schedule.
+    fn aux(&self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (self.schedule.draws().wrapping_mul(0x9e3779b97f4a7c15) % len as u64) as usize
+    }
+}
+
+impl ArtifactIo for ChaosDisk {
+    fn write_atomic(&self, path: &Path, text: &str) -> std::io::Result<()> {
+        if !self.covers(path) {
+            return ProductionIo.write_atomic(path, text);
+        }
+        let Some(kind) = self.schedule.decide(DiskFault::WRITE_MENU.len()) else {
+            return ProductionIo.write_atomic(path, text);
+        };
+        let fault = DiskFault::WRITE_MENU[kind];
+        self.schedule.record(
+            self.schedule.draws() - 1,
+            "disk",
+            fault.name().to_string(),
+            path.display().to_string(),
+        );
+        match fault {
+            DiskFault::TornWrite => {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                let mut cut = self.aux(text.len());
+                while !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                std::fs::write(path, &text[..cut])?;
+                Ok(())
+            }
+            DiskFault::StaleTemp => {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                std::fs::write(tmp_path(path), text)?;
+                Err(std::io::Error::other("chaos: crash before rename"))
+            }
+            DiskFault::NoSpace => Err(std::io::Error::from_raw_os_error(ENOSPC)),
+            DiskFault::WriteIo => Err(std::io::Error::from_raw_os_error(EIO)),
+            _ => unreachable!("read fault in the write menu"),
+        }
+    }
+
+    fn read_to_string(&self, path: &Path) -> std::io::Result<String> {
+        if !self.covers(path) {
+            return ProductionIo.read_to_string(path);
+        }
+        let Some(kind) = self.schedule.decide(DiskFault::READ_MENU.len()) else {
+            return ProductionIo.read_to_string(path);
+        };
+        let fault = DiskFault::READ_MENU[kind];
+        self.schedule.record(
+            self.schedule.draws() - 1,
+            "disk",
+            fault.name().to_string(),
+            path.display().to_string(),
+        );
+        match fault {
+            DiskFault::PartialRead => {
+                let text = std::fs::read_to_string(path)?;
+                let mut cut = self.aux(text.len());
+                while !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                Ok(text[..cut].to_string())
+            }
+            DiskFault::ReadIo => Err(std::io::Error::from_raw_os_error(EIO)),
+            _ => unreachable!("write fault in the read menu"),
+        }
+    }
+}
+
+/// Serializes chaos installations: the [`ArtifactIo`] registry is
+/// process-global, so only one chaos test may hold it at a time.
+/// Poison-tolerant — a panicking chaos test must not wedge the rest of
+/// the binary.
+fn install_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// RAII installation of a [`ChaosDisk`]: holds the global install lock,
+/// swaps the chaos implementation in, and restores the production
+/// passthrough on drop (also on panic-unwind).
+pub struct ChaosGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl ChaosGuard {
+    /// Installs `disk` as the process-global artifact I/O.
+    pub fn install(disk: ChaosDisk) -> Self {
+        let lock = install_lock();
+        gdf_core::io::set_artifact_io(Arc::new(disk));
+        ChaosGuard { _lock: lock }
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        gdf_core::io::reset_artifact_io();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gdf-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn faults_stay_inside_the_root() {
+        let root = temp_root("scope");
+        let outside = temp_root("scope-outside");
+        let disk = ChaosDisk::new(Arc::new(ChaosSchedule::new(9, 1.0)), &root);
+        // Outside the root: rate 1.0 and still a clean round trip.
+        let path = outside.join("doc.json");
+        disk.write_atomic(&path, "{\"ok\":true}").unwrap();
+        assert_eq!(disk.read_to_string(&path).unwrap(), "{\"ok\":true}");
+        let _ = std::fs::remove_dir_all(&root);
+        let _ = std::fs::remove_dir_all(&outside);
+    }
+
+    #[test]
+    fn every_write_fault_is_friendly_or_detectable() {
+        let root = temp_root("faults");
+        let schedule = Arc::new(ChaosSchedule::new(1234, 1.0));
+        let disk = ChaosDisk::new(Arc::clone(&schedule), &root);
+        let path = root.join("doc.json");
+        ProductionIo.write_atomic(&path, "old-good").unwrap();
+        for i in 0..40 {
+            match disk.write_atomic(&path, "new-content") {
+                // Reported success: destination holds a prefix of the
+                // new content (possibly complete) — never garbage.
+                Ok(()) => {
+                    let now = std::fs::read_to_string(&path).unwrap();
+                    assert!("new-content".starts_with(&now), "round {i}: {now:?}");
+                }
+                // Reported failure: a typed io::Error, and the
+                // destination still holds what it held before or the
+                // new content, never a mix.
+                Err(e) => {
+                    assert!(e.raw_os_error().is_some() || e.to_string().contains("chaos"));
+                    let now = std::fs::read_to_string(&path).unwrap();
+                    assert!(
+                        now == "old-good" || "new-content".starts_with(now.as_str()),
+                        "round {i}: {now:?}"
+                    );
+                }
+            }
+            // Reset for the next round.
+            ProductionIo.write_atomic(&path, "old-good").unwrap();
+        }
+        assert!(schedule.injected() >= 40);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn partial_reads_are_prefixes() {
+        let root = temp_root("reads");
+        let schedule = Arc::new(ChaosSchedule::new(77, 1.0));
+        let disk = ChaosDisk::new(Arc::clone(&schedule), &root);
+        let path = root.join("doc.json");
+        ProductionIo
+            .write_atomic(&path, "αβγδε-full-document")
+            .unwrap();
+        for _ in 0..40 {
+            if let Ok(text) = disk.read_to_string(&path) {
+                assert!("αβγδε-full-document".starts_with(&text));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

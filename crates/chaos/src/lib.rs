@@ -1,0 +1,33 @@
+//! `gdf-chaos`: deterministic fault injection across disk and wire.
+//!
+//! The system's headline invariant — kill -9 anything, resume, and the
+//! merged artifact is byte-identical — is only as strong as the set of
+//! failures it has been exercised against. Hand-scripted crash tests
+//! sample that space; this crate *enumerates* it from a seed, in the
+//! same spirit as the exhaustive fault-universe discipline of the ATPG
+//! core: prune no failure you cannot prove unreachable.
+//!
+//! Three pieces:
+//!
+//! * [`ChaosSchedule`] — the seeded decision stream. Decision `n` is a
+//!   pure function of `(seed, n)`, so the injection sequence is
+//!   reproducible run-to-run even when threads interleave differently,
+//!   and every injection is logged for post-hoc assertions.
+//! * [`ChaosDisk`] — an [`gdf_core::ArtifactIo`] implementation that
+//!   tears writes, leaves stale temp files, fakes `ENOSPC`/`EIO`, and
+//!   truncates reads, scoped to one directory tree. Installed via
+//!   [`ChaosGuard`], which serializes tests and restores the production
+//!   passthrough on drop.
+//! * [`ChaosProxy`] — a TCP proxy that drops, delays, truncates
+//!   mid-stream, and black-holes connections between a client (the
+//!   fleet coordinator) and a real `gdf-serve` node.
+//!
+//! Everything here is test harness: production binaries never link it.
+
+pub mod disk;
+pub mod net;
+pub mod schedule;
+
+pub use disk::{ChaosDisk, ChaosGuard, DiskFault};
+pub use net::{ChaosProxy, NetFault};
+pub use schedule::{ChaosSchedule, Injection};

@@ -1,0 +1,291 @@
+//! Wire chaos: a TCP proxy between a client and a real `gdf-serve`
+//! node that misbehaves per schedule.
+//!
+//! Fault menu (see [`NetFault`]):
+//!
+//! * **Drop** — accept, close immediately (connection reset before the
+//!   request is read).
+//! * **Delay** — hold the connection briefly, then proxy faithfully
+//!   (late but correct — exercises timeouts that should *not* fire).
+//! * **Truncate** — proxy the request, then cut the server's response
+//!   after a schedule-derived number of bytes (mid-status-line,
+//!   mid-header or mid-body, depending on the cut).
+//! * **BlackHole** — accept, read nothing, answer nothing until the
+//!   hold expires, then close (exercises client read timeouts).
+//!
+//! Clean connections are pumped byte-for-byte in both directions, so a
+//! zero-rate proxy is transparent. Each connection consumes exactly one
+//! schedule decision.
+
+use crate::schedule::ChaosSchedule;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The wire fault menu, in schedule order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Close the client connection before reading the request.
+    Drop,
+    /// Hold briefly, then proxy faithfully.
+    Delay,
+    /// Proxy the request, truncate the response mid-stream.
+    Truncate,
+    /// Accept and go silent for the hold duration.
+    BlackHole,
+}
+
+impl NetFault {
+    const MENU: [NetFault; 4] = [
+        NetFault::Drop,
+        NetFault::Delay,
+        NetFault::Truncate,
+        NetFault::BlackHole,
+    ];
+
+    /// Display name, as it appears in the injection log.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFault::Drop => "drop",
+            NetFault::Delay => "delay",
+            NetFault::Truncate => "truncate",
+            NetFault::BlackHole => "black-hole",
+        }
+    }
+}
+
+/// A chaos TCP proxy in front of one upstream address.
+pub struct ChaosProxy {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// How long reads inside the pump may block before re-checking flags —
+/// also the upper bound on how stale a stop signal can go unnoticed.
+const PUMP_TIMEOUT: Duration = Duration::from_millis(100);
+
+impl ChaosProxy {
+    /// Starts a proxy on `127.0.0.1:0` forwarding to `upstream`, with
+    /// `hold` as the black-hole/delay duration (keep it shorter than
+    /// the client timeout for delays to be survivable).
+    pub fn start(
+        upstream: SocketAddr,
+        schedule: Arc<ChaosSchedule>,
+        hold: Duration,
+    ) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let connections = Arc::new(AtomicU64::new(0));
+        let acceptor = std::thread::Builder::new()
+            .name("gdf-chaos-proxy".into())
+            .spawn(move || {
+                for client in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Ok(client) = client else { continue };
+                    let n = connections.fetch_add(1, Ordering::AcqRel);
+                    let schedule = Arc::clone(&schedule);
+                    let _ = std::thread::Builder::new()
+                        .name(format!("gdf-chaos-conn-{n}"))
+                        .spawn(move || handle(client, upstream, &schedule, n, hold));
+                }
+            })?;
+        Ok(ChaosProxy {
+            local,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address clients (and fleet plans) should dial.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stops accepting and joins the acceptor. In-flight connection
+    /// threads finish on their own (reads are bounded by
+    /// `PUMP_TIMEOUT`-grained timeouts).
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock accept() so the acceptor observes the flag.
+        let _ = TcpStream::connect(self.local);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle(
+    client: TcpStream,
+    upstream: SocketAddr,
+    schedule: &ChaosSchedule,
+    n: u64,
+    hold: Duration,
+) {
+    let draw = schedule.draws();
+    let Some(kind) = schedule.decide(NetFault::MENU.len()) else {
+        proxy(client, upstream, None);
+        return;
+    };
+    let fault = NetFault::MENU[kind];
+    schedule.record(draw, "net", fault.name().to_string(), format!("conn-{n}"));
+    match fault {
+        NetFault::Drop => drop(client),
+        NetFault::Delay => {
+            std::thread::sleep(Duration::from_millis(25));
+            proxy(client, upstream, None);
+        }
+        NetFault::Truncate => {
+            // 1‥=512 bytes of response: cuts land in the status line,
+            // the headers, or the body depending on the draw.
+            let cap = 1 + (draw.wrapping_mul(0x9e3779b97f4a7c15) % 512) as usize;
+            proxy(client, upstream, Some(cap));
+        }
+        NetFault::BlackHole => {
+            std::thread::sleep(hold);
+            drop(client);
+        }
+    }
+}
+
+/// Pumps `client` ⇄ `upstream`, optionally cutting the server→client
+/// direction after `cap` bytes.
+fn proxy(client: TcpStream, upstream: SocketAddr, cap: Option<usize>) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        return;
+    };
+    let _ = client.set_read_timeout(Some(PUMP_TIMEOUT));
+    let _ = server.set_read_timeout(Some(PUMP_TIMEOUT));
+    let (Ok(client_read), Ok(mut server_write)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    // Client → server: requests are small; pump until EOF/error.
+    let up = std::thread::spawn(move || pump(client_read, &mut server_write, None));
+    let mut client_write = client;
+    pump(server, &mut client_write, cap);
+    let _ = client_write.shutdown(std::net::Shutdown::Both);
+    let _ = up.join();
+}
+
+/// Copies bytes until EOF, a hard error, or the optional cap; timeouts
+/// retry so a half-open direction does not hang the thread forever.
+fn pump(mut from: TcpStream, to: &mut TcpStream, cap: Option<usize>) {
+    let mut buffer = [0u8; 4096];
+    let mut sent = 0usize;
+    let mut idle_rounds = 0u32;
+    loop {
+        match from.read(&mut buffer) {
+            Ok(0) => return,
+            Ok(mut n) => {
+                idle_rounds = 0;
+                if let Some(cap) = cap {
+                    if sent + n > cap {
+                        n = cap - sent;
+                    }
+                }
+                if n > 0 && to.write_all(&buffer[..n]).is_err() {
+                    return;
+                }
+                sent += n;
+                if cap.is_some_and(|c| sent >= c) {
+                    // The cut: drop both directions mid-stream.
+                    let _ = to.shutdown(std::net::Shutdown::Both);
+                    let _ = from.shutdown(std::net::Shutdown::Both);
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                idle_rounds += 1;
+                // ~30 s of silence: the peer is gone or black-holed.
+                if idle_rounds > 300 {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A one-line echo upstream: reads a line, answers `echo: <line>`.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming().take(20) {
+                let Ok(stream) = stream else { continue };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_ok() {
+                    let mut stream = stream;
+                    let _ = write!(stream, "echo: {line}");
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn zero_rate_proxy_is_transparent() {
+        let (upstream, _server) = echo_server();
+        let schedule = Arc::new(ChaosSchedule::new(5, 0.0));
+        let mut proxy =
+            ChaosProxy::start(upstream, Arc::clone(&schedule), Duration::from_millis(50)).unwrap();
+        for i in 0..3 {
+            let mut stream = TcpStream::connect(proxy.local_addr()).unwrap();
+            writeln!(stream, "hello-{i}").unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line, format!("echo: hello-{i}\n"));
+        }
+        assert_eq!(schedule.injected(), 0);
+        proxy.stop();
+    }
+
+    #[test]
+    fn full_rate_proxy_injects_and_never_hangs() {
+        let (upstream, _server) = echo_server();
+        let schedule = Arc::new(ChaosSchedule::new(6, 1.0));
+        let mut proxy =
+            ChaosProxy::start(upstream, Arc::clone(&schedule), Duration::from_millis(20)).unwrap();
+        for i in 0..10 {
+            let Ok(mut stream) = TcpStream::connect(proxy.local_addr()) else {
+                continue;
+            };
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = writeln!(stream, "hello-{i}");
+            let mut out = String::new();
+            // Any outcome is legal — full echo, truncation, reset —
+            // except a hang past the read timeout.
+            let _ = stream.read_to_string(&mut out);
+            assert!(out.is_empty() || format!("echo: hello-{i}\n").starts_with(&out));
+        }
+        assert_eq!(schedule.injected(), 10);
+        proxy.stop();
+    }
+}

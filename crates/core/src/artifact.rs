@@ -1083,7 +1083,7 @@ impl RunArtifact {
     /// Reads and decodes an artifact file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
         let path = path.as_ref();
-        let text = std::fs::read_to_string(path)
+        let text = crate::io::read_to_string(path)
             .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))?;
         Self::decode(&text)
     }
@@ -1208,15 +1208,8 @@ fn decode_report(
 }
 
 pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), ArtifactError> {
-    let io_err = |e: std::io::Error| ArtifactError::Io(format!("{}: {e}", path.display()));
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).map_err(io_err)?;
-        }
-    }
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, text).map_err(io_err)?;
-    std::fs::rename(&tmp, path).map_err(io_err)
+    crate::io::write_atomic(path, text)
+        .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))
 }
 
 // ---------------------------------------------------------------------
@@ -1372,7 +1365,7 @@ impl PatternSet {
     /// Reads and decodes a pattern-set file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
         let path = path.as_ref();
-        let text = std::fs::read_to_string(path)
+        let text = crate::io::read_to_string(path)
             .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))?;
         Self::decode(&text)
     }

@@ -1,0 +1,139 @@
+//! The artifact I/O facade — the one narrow seam every persistent byte
+//! of the workspace passes through.
+//!
+//! Everything durable in this system is a small text document written
+//! atomically (write a temp file, rename over the destination) and read
+//! back whole: run artifacts and pattern sets (`artifact.rs`), shard
+//! documents (`shard.rs`), checkpoints (`session::Checkpointer`), job
+//! records and the id watermark (`gdf-serve`), and the fleet plan
+//! (`gdf-fleet`). [`ArtifactIo`] abstracts exactly those two
+//! operations, nothing more; [`ProductionIo`] is the passthrough the
+//! process uses unless told otherwise.
+//!
+//! The point of the seam is *fault injection*: `gdf-chaos` installs an
+//! implementation that tears writes, truncates reads, and fakes
+//! `ENOSPC` from a deterministic seeded schedule, so the recovery
+//! guarantees ("kill -9 anything, resume to identical bytes") can be
+//! exercised over the whole failure space instead of the handful of
+//! crashes a test author thinks to script. Production code never
+//! branches on which implementation is installed — it sees ordinary
+//! `std::io` errors or (for torn writes) corrupt bytes its decoders
+//! must reject.
+//!
+//! The installed implementation is process-global ([`set_artifact_io`] /
+//! [`reset_artifact_io`]); tests that install one must serialize on
+//! their own lock and filter by path so concurrent tests in the same
+//! binary are unaffected.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+/// The two primitives of artifact persistence. Implementations must be
+/// shareable across the server's worker threads.
+pub trait ArtifactIo: Send + Sync {
+    /// Writes `text` to `path` atomically: parent directories are
+    /// created, the content lands in a temp file first, and a rename
+    /// publishes it — readers see the old document or the new one,
+    /// never a half-written mix. (A chaos implementation may break
+    /// exactly that promise on purpose.)
+    fn write_atomic(&self, path: &Path, text: &str) -> std::io::Result<()>;
+
+    /// Reads the whole document at `path`.
+    fn read_to_string(&self, path: &Path) -> std::io::Result<String>;
+}
+
+/// Where [`ProductionIo`] stages the temp file: the destination's file
+/// name with `.tmp` appended (`job.json` → `job.json.tmp`), in the same
+/// directory so the rename never crosses a filesystem.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// The passthrough implementation: real `std::fs`, real atomicity.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ProductionIo;
+
+impl ArtifactIo for ProductionIo {
+    fn write_atomic(&self, path: &Path, text: &str) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = tmp_path(path);
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    fn read_to_string(&self, path: &Path) -> std::io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+}
+
+static ARTIFACT_IO: RwLock<Option<Arc<dyn ArtifactIo>>> = RwLock::new(None);
+
+/// Installs a process-global [`ArtifactIo`] implementation. Intended
+/// for fault-injection harnesses; production never calls this.
+pub fn set_artifact_io(io: Arc<dyn ArtifactIo>) {
+    *ARTIFACT_IO.write().expect("artifact io lock poisoned") = Some(io);
+}
+
+/// Restores the default [`ProductionIo`] passthrough.
+pub fn reset_artifact_io() {
+    *ARTIFACT_IO.write().expect("artifact io lock poisoned") = None;
+}
+
+fn current() -> Option<Arc<dyn ArtifactIo>> {
+    ARTIFACT_IO
+        .read()
+        .expect("artifact io lock poisoned")
+        .clone()
+}
+
+/// Atomic write through the installed implementation (the production
+/// passthrough unless a harness swapped one in).
+pub fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    match current() {
+        Some(io) => io.write_atomic(path, text),
+        None => ProductionIo.write_atomic(path, text),
+    }
+}
+
+/// Whole-document read through the installed implementation.
+pub fn read_to_string(path: &Path) -> std::io::Result<String> {
+    match current() {
+        Some(io) => io.read_to_string(path),
+        None => ProductionIo.read_to_string(path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_io_round_trips_and_creates_parents() {
+        let dir = std::env::temp_dir().join(format!("gdf-io-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep").join("doc.json");
+        write_atomic(&path, "{\"a\":1}\n").unwrap();
+        assert_eq!(read_to_string(&path).unwrap(), "{\"a\":1}\n");
+        // The temp file does not linger after a successful publish.
+        assert!(!tmp_path(&path).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_path_appends_to_the_full_file_name() {
+        assert_eq!(
+            tmp_path(Path::new("/x/job.json")),
+            PathBuf::from("/x/job.json.tmp")
+        );
+        assert_eq!(
+            tmp_path(Path::new("/x/s27.run.json")),
+            PathBuf::from("/x/s27.run.json.tmp")
+        );
+    }
+}

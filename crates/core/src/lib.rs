@@ -34,6 +34,7 @@ pub mod artifact;
 pub mod compact;
 pub mod driver;
 pub mod engine;
+pub mod io;
 pub mod json;
 pub mod pattern;
 pub mod report;
@@ -52,6 +53,7 @@ pub use engine::{
 };
 pub use gdf_netlist::{Fault, FaultModel, FaultSet, ModelKind};
 pub use gdf_tdgen::Sensitization;
+pub use io::{ArtifactIo, ProductionIo};
 pub use pattern::{ClockSpeed, TestSequence, TimedVector};
 pub use report::{CircuitReport, ClassCounts, Coverage, Table3Row};
 pub use scan::ScanDelayAtpg;

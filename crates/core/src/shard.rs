@@ -275,7 +275,7 @@ impl ShardArtifact {
 
     /// Reads and decodes a shard from `path`.
     pub fn load(path: impl AsRef<Path>, circuit: &Circuit) -> Result<Self, ArtifactError> {
-        let text = std::fs::read_to_string(path.as_ref())
+        let text = crate::io::read_to_string(path.as_ref())
             .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.as_ref().display())))?;
         Self::decode(&text, circuit)
     }

@@ -50,6 +50,9 @@ pub struct NodeHealth {
     pub running: Option<u64>,
     /// `gdf_worker_utilization` from `/metrics`, when parsable.
     pub utilization: Option<f64>,
+    /// `gdf_draining` from `/metrics`: the node took a `SIGTERM` and is
+    /// winding down — assign it nothing, steal from it soon.
+    pub draining: bool,
 }
 
 /// Per-node accounting of a finished fleet campaign.
@@ -85,6 +88,7 @@ pub struct Coordinator {
     circuits: Vec<Circuit>,
     clients: Vec<Client>,
     alive: Vec<bool>,
+    draining: Vec<bool>,
     probe_failures: Vec<u32>,
     submitted_at: Vec<Option<Instant>>,
     unit_failures: Vec<u32>,
@@ -143,6 +147,7 @@ impl Coordinator {
             circuits,
             clients,
             alive: vec![true; nodes],
+            draining: vec![false; nodes],
             probe_failures: vec![0; nodes],
             submitted_at: vec![None; units],
             unit_failures: vec![0; units],
@@ -250,6 +255,11 @@ impl Coordinator {
                     rest.strip_prefix(' ')?.trim().parse().ok()
                 })
             };
+            let draining = sample("gdf_draining").map(|v| v > 0.5).unwrap_or(false);
+            if draining && !self.draining[i] {
+                self.note(format!("node {addr} is draining"));
+            }
+            self.draining[i] = draining;
             // The health row reports *this* probe's reachability; the
             // internal alive set stays debounced (PROBE_TOLERANCE) so
             // one dropped probe does not trigger a steal.
@@ -259,6 +269,7 @@ impl Coordinator {
                 queue_depth: sample("gdf_queue_depth").map(|v| v as u64),
                 running: sample("gdf_jobs_running").map(|v| v as u64),
                 utilization: sample("gdf_worker_utilization"),
+                draining,
             });
         }
         out
@@ -364,12 +375,22 @@ impl Coordinator {
                     // Queued or running: steal onto an idle node if the
                     // unit has outlived the patience. The old job keeps
                     // running (best-effort cancel) — duplicates are
-                    // safe, generation is pure.
+                    // safe, generation is pure. A draining node gets
+                    // one poll interval of patience, not the full steal
+                    // window: it will finish nothing new, and its drain
+                    // checkpoint makes the re-run a resume elsewhere.
                     _ => {
-                        let stuck =
-                            self.submitted_at[k].is_some_and(|t| t.elapsed() >= self.steal_after);
+                        let patience = if self.draining[n] {
+                            self.poll
+                        } else {
+                            self.steal_after
+                        };
+                        let stuck = self.submitted_at[k].is_some_and(|t| t.elapsed() >= patience);
                         if stuck {
-                            if let Some(idle) = self.idle_node(n) {
+                            if self.draining[n] {
+                                let _ = self.clients[n].delete(job);
+                                self.make_pending(k, "its node is draining");
+                            } else if let Some(idle) = self.idle_node(n) {
                                 let _ = self.clients[n].delete(job);
                                 self.stolen += 1;
                                 let tag = self.plan.tag(k);
@@ -401,10 +422,12 @@ impl Coordinator {
         self.persist();
     }
 
-    /// A live node with no in-flight unit, other than `not`, for slow
-    /// steals. Deterministic: first such node in plan order.
+    /// A live, non-draining node with no in-flight unit, other than
+    /// `not`, for slow steals. Deterministic: first such node in plan
+    /// order.
     fn idle_node(&self, not: usize) -> Option<usize> {
-        (0..self.plan.nodes.len()).find(|&n| n != not && self.alive[n] && self.in_flight(n) == 0)
+        (0..self.plan.nodes.len())
+            .find(|&n| n != not && self.alive[n] && !self.draining[n] && self.in_flight(n) == 0)
     }
 
     fn in_flight(&self, n: usize) -> usize {
@@ -486,10 +509,11 @@ impl Coordinator {
                 }
                 continue;
             }
-            // Least in-flight live node; ties resolve in plan order, so
-            // assignment is deterministic given the same alive set.
+            // Least in-flight live node (draining nodes finish nothing
+            // new); ties resolve in plan order, so assignment is
+            // deterministic given the same alive/draining sets.
             let Some(n) = (0..self.plan.nodes.len())
-                .filter(|&n| self.alive[n])
+                .filter(|&n| self.alive[n] && !self.draining[n])
                 .min_by_key(|&n| (self.in_flight(n), n))
             else {
                 return; // nobody alive; next round retries
@@ -535,6 +559,14 @@ impl Coordinator {
     /// artifact is not on disk yet. The merge is pure replay —
     /// rerunning it (after a coordinator restart, say) rewrites the
     /// identical bytes.
+    ///
+    /// Robustness: a shard file that fails to load or validate (torn
+    /// write, hand-truncation, a crash between rename and fsync) is
+    /// *quarantined* — renamed to `<file>.corrupt` — and its unit goes
+    /// back to `Pending` for recomputation; the merge retries on a later
+    /// round. The merged artifact itself is written and then read back
+    /// raw: if the bytes on disk differ from the encoding (a torn write
+    /// slipped past the rename), the write retries.
     fn merge_ready(&mut self) -> Result<(), FleetError> {
         for index in 0..self.circuits.len() {
             let units: Vec<usize> = self.plan.units_of(index).collect();
@@ -544,26 +576,112 @@ impl Coordinator {
             if !ready || self.artifact_path(index).exists() {
                 continue;
             }
-            let circuit = &self.circuits[index];
-            let shards = units
+            let loaded: Vec<Result<ShardArtifact, _>> = units
                 .iter()
-                .map(|&k| ShardArtifact::load(self.shard_path(k), circuit))
-                .collect::<Result<Vec<_>, _>>()?;
+                .map(|&k| ShardArtifact::load(self.shard_path(k), &self.circuits[index]))
+                .collect();
+            let mut shards = Vec::with_capacity(units.len());
+            let mut quarantined = false;
+            for (&k, result) in units.iter().zip(loaded) {
+                let expected = (self.plan.units[k].lo, self.plan.units[k].hi);
+                match result {
+                    Ok(shard) if shard.range() == expected && shard.is_complete() => {
+                        shards.push(shard)
+                    }
+                    Ok(shard) => {
+                        self.quarantine_shard(
+                            k,
+                            &format!(
+                                "shard holds [{}‥{}), {} decided",
+                                shard.range().0,
+                                shard.range().1,
+                                shard.decided()
+                            ),
+                        );
+                        quarantined = true;
+                    }
+                    Err(e) => {
+                        self.quarantine_shard(k, &e.to_string());
+                        quarantined = true;
+                    }
+                }
+            }
+            if quarantined {
+                // Recompute the quarantined units before merging.
+                continue;
+            }
             let refs: Vec<&ShardArtifact> = shards.iter().collect();
             let merged = merge_artifact(
-                circuit,
+                &self.circuits[index],
                 Some(self.plan.circuits[index].clone()),
                 self.plan.config,
                 &refs,
             )?;
-            merged.save(self.artifact_path(index))?;
+            self.save_verified(&self.artifact_path(index), &merged.encode())?;
             self.note(format!(
                 "merged {} from {} shards",
-                circuit.name(),
+                self.circuits[index].name(),
                 refs.len()
             ));
         }
         Ok(())
+    }
+
+    /// Moves unit `k`'s shard file aside (`<file>.corrupt`) and requeues
+    /// the unit — corrupt harvest state is recomputed, never trusted and
+    /// never fatal.
+    fn quarantine_shard(&mut self, k: usize, why: &str) {
+        let path = self.shard_path(k);
+        let aside = path.with_extension("json.corrupt");
+        if std::fs::rename(&path, &aside).is_err() {
+            // Rename can fail if the file vanished; removing is enough —
+            // the point is that the next round does not reload it.
+            let _ = std::fs::remove_file(&path);
+        }
+        let tag = self.plan.tag(k);
+        self.warnings
+            .push(format!("{tag}: quarantined corrupt shard: {why}"));
+        self.make_pending(k, &format!("its shard was corrupt ({why})"));
+    }
+
+    /// Writes `text` to `path` and reads it back raw (straight
+    /// `std::fs`, bypassing any installed I/O facade) until the bytes on
+    /// disk match. Bounded retries: persistent disk trouble surfaces as
+    /// a friendly [`FleetError::Io`], not an infinite loop.
+    fn save_verified(&self, path: &Path, text: &str) -> Result<(), FleetError> {
+        let mut last = String::from("never attempted");
+        for _ in 0..8 {
+            if let Err(e) = gdf_serve::job::write_atomic(path, text) {
+                last = e.to_string();
+                continue;
+            }
+            match std::fs::read_to_string(path) {
+                Ok(on_disk) if on_disk == text => return Ok(()),
+                Ok(_) => last = "bytes on disk differ from the encoding".into(),
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(FleetError::Io(format!(
+            "{}: could not persist a verified copy: {last}",
+            path.display()
+        )))
+    }
+
+    /// Loads a merged artifact with bounded retries. The file went
+    /// through [`Coordinator::save_verified`], so a failing load is a
+    /// transient read fault far more often than real on-disk damage;
+    /// only a persistent failure surfaces (as a typed error).
+    fn load_persistent(path: &Path) -> Result<RunArtifact, FleetError> {
+        let mut last = None;
+        for _ in 0..8 {
+            match RunArtifact::load(path) {
+                Ok(artifact) => return Ok(artifact),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(FleetError::Artifact(
+            last.expect("at least one load attempt"),
+        ))
     }
 
     // -----------------------------------------------------------------
@@ -574,7 +692,7 @@ impl Coordinator {
     pub fn report(&self) -> Result<FleetReport, FleetError> {
         let mut circuits = Vec::with_capacity(self.circuits.len());
         for index in 0..self.circuits.len() {
-            let artifact = RunArtifact::load(self.artifact_path(index))?;
+            let artifact = Self::load_persistent(&self.artifact_path(index))?;
             let run = artifact.to_run(&self.circuits[index])?;
             circuits.push(run.report);
         }

@@ -326,6 +326,20 @@ impl FleetPlan {
                 state,
             });
         }
+        // A unit id is its (circuit, range): the same range listed twice
+        // would double-submit and double-count — reject the document (a
+        // hand-edited or corrupt plan, never one this code wrote).
+        for (a, unit) in units.iter().enumerate() {
+            if units[..a]
+                .iter()
+                .any(|b| b.circuit == unit.circuit && b.lo == unit.lo && b.hi == unit.hi)
+            {
+                return Err(schema(format!(
+                    "duplicated unit: circuit {} range [{}‥{})",
+                    unit.circuit, unit.lo, unit.hi
+                )));
+            }
+        }
         Ok(FleetPlan {
             name,
             nodes,
@@ -350,9 +364,10 @@ impl FleetPlan {
         gdf_serve::job::write_atomic(path.as_ref(), &self.encode()).map_err(FleetError::Artifact)
     }
 
-    /// Reads and decodes a plan from `path`.
+    /// Reads and decodes a plan from `path` (through the core I/O
+    /// facade, so fault harnesses see plan reads too).
     pub fn load(path: impl AsRef<Path>) -> Result<FleetPlan, FleetError> {
-        let text = std::fs::read_to_string(path.as_ref())
+        let text = gdf_core::io::read_to_string(path.as_ref())
             .map_err(|e| FleetError::Io(format!("{}: {e}", path.as_ref().display())))?;
         Self::decode(&text)
     }

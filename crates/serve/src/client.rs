@@ -6,13 +6,17 @@
 //! ([`ServeError::Http`]) and API ([`ServeError::Api`], carrying the
 //! server's status code and `{"error": …}` message).
 //!
-//! Two transient conditions are retried with a capped, **jitter-free**
+//! Transient conditions are retried with a capped, **jitter-free**
 //! exponential backoff (see [`Client::retry_after`]): a `503` response
 //! (saturated queue, server stopping) and a refused connection (node
-//! not up yet, node restarting). Both are safe to retry for every verb
-//! the client speaks — a `503` submit enqueued nothing, and a refused
-//! connection never reached the server. The schedule is deterministic
-//! so fleet runs sequence identically on every execution.
+//! not up yet, node restarting) are safe to retry for every verb the
+//! client speaks — a `503` submit enqueued nothing, and a refused
+//! connection never reached the server. Idempotent GETs additionally
+//! retry *any* transport failure (connection reset mid-body, truncated
+//! chunked read): re-reading changes nothing server-side. A `503` that
+//! carries `Retry-After` is a deliberate drain verdict and returns
+//! immediately. The schedule is deterministic so fleet runs sequence
+//! identically on every execution.
 
 use crate::http::{client_request, client_stream, HttpError};
 use crate::job::JobId;
@@ -77,9 +81,20 @@ impl Client {
 
     /// Whether a transport error is a refused/unreachable connection —
     /// the request never reached a server, so retrying cannot duplicate
-    /// work.
+    /// work. Safe for every verb.
     fn transient_transport(error: &HttpError) -> bool {
         matches!(error, HttpError::Io(m) if m.starts_with("connect "))
+    }
+
+    /// Whether a transport error is retryable *for idempotent requests*:
+    /// any socket failure (reset mid-body, truncated chunked read, EOF
+    /// inside the status line) or malformed wire bytes. A GET that died
+    /// half-way changed nothing server-side, so re-issuing it is always
+    /// safe; for POST/DELETE the request may have been applied, so only
+    /// [`Self::transient_transport`] qualifies. `TooLarge` is excluded —
+    /// an oversized document stays oversized on retry.
+    fn idempotent_transport(error: &HttpError) -> bool {
+        matches!(error, HttpError::Io(_) | HttpError::Malformed(_))
     }
 
     fn exchange(
@@ -88,12 +103,22 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, Vec<u8>), ServeError> {
+        let idempotent = method == "GET";
         let mut attempt = 0u32;
         loop {
             match client_request(&self.addr, method, path, body, self.timeout) {
-                Ok(response) if response.status == 503 && attempt < self.retries => {}
+                // A 503 carrying `Retry-After` is a deliberate verdict
+                // (drain, hard capacity) — surface it immediately so the
+                // caller can route elsewhere instead of burning backoff.
+                Ok(response)
+                    if response.status == 503
+                        && !response.headers.iter().any(|(k, _)| k == "retry-after")
+                        && attempt < self.retries => {}
                 Ok(response) => return Ok((response.status, response.body)),
-                Err(e) if Self::transient_transport(&e) && attempt < self.retries => {}
+                Err(e)
+                    if attempt < self.retries
+                        && (Self::transient_transport(&e)
+                            || (idempotent && Self::idempotent_transport(&e))) => {}
                 Err(e) => return Err(ServeError::Http(e)),
             }
             std::thread::sleep(Self::retry_after(attempt));
@@ -279,6 +304,22 @@ mod tests {
         )));
         assert!(!Client::transient_transport(&HttpError::Malformed(
             "bad status line".into()
+        )));
+    }
+
+    #[test]
+    fn mid_body_deaths_classify_as_retryable_for_gets_only() {
+        // A connection dying mid-response: retryable for GETs.
+        assert!(Client::idempotent_transport(&HttpError::Io(
+            "chunk body: Connection reset by peer".into()
+        )));
+        assert!(Client::idempotent_transport(&HttpError::Malformed(
+            "EOF inside a line".into()
+        )));
+        // A bound violation is not transient — the document will exceed
+        // the bound again on every retry.
+        assert!(!Client::idempotent_transport(&HttpError::TooLarge(
+            "body over limit".into()
         )));
     }
 }

@@ -214,6 +214,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: Vec<u8>,
+    /// Optional `Retry-After` header (seconds) — set on `503`s that are
+    /// deliberate (drain, capacity) rather than transient.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -225,6 +228,7 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            retry_after: None,
         }
     }
 
@@ -235,6 +239,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -244,7 +249,14 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: message.into().into_bytes(),
+            retry_after: None,
         }
+    }
+
+    /// Attaches a `Retry-After` hint (seconds).
+    pub fn with_retry_after(mut self, seconds: u32) -> Self {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// An error response in the API's standard `{"error": …}` shape.
@@ -263,12 +275,16 @@ impl Response {
     pub fn write(&self, stream: &mut impl Write) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len()
         )?;
+        if let Some(seconds) = self.retry_after {
+            write!(stream, "Retry-After: {seconds}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }

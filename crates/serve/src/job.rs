@@ -426,11 +426,11 @@ pub fn decode_record(text: &str) -> Result<(JobId, JobSpec, JobStatus), Artifact
     Ok((id, spec, status))
 }
 
-/// Atomic write (`path.tmp` + rename), mirroring the artifact layer.
+/// Atomic write (`path.tmp` + rename) through the core I/O facade, so
+/// fault-injection harnesses see server-side persistence too.
 pub fn write_atomic(path: &Path, text: &str) -> Result<(), ArtifactError> {
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, text).map_err(|e| ArtifactError::Io(format!("{}: {e}", tmp.display())))?;
-    std::fs::rename(&tmp, path).map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))
+    gdf_core::io::write_atomic(path, text)
+        .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))
 }
 
 #[cfg(test)]

@@ -186,6 +186,12 @@ struct ServerState {
     default_checkpoint_every: usize,
     body_limit: usize,
     stopping: AtomicBool,
+    /// Graceful-degradation flag: set by [`JobServer::drain`]. A
+    /// draining server answers submissions `503 + Retry-After`, stops
+    /// jobs at their next fault boundary (leaving resumable disk
+    /// state), and advertises `gdf_draining 1` so coordinators finish
+    /// nothing new here and steal soon.
+    draining: AtomicBool,
     connections: Arc<std::sync::atomic::AtomicUsize>,
     metrics: Metrics,
 }
@@ -287,6 +293,7 @@ impl JobServer {
             default_checkpoint_every: config.checkpoint_every.max(1),
             body_limit: config.body_limit,
             stopping: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             connections: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
             metrics: Metrics::new(),
         });
@@ -346,6 +353,23 @@ impl JobServer {
         self.stop();
     }
 
+    /// Graceful drain, the front half of a `SIGTERM` shutdown: stop
+    /// accepting work (submissions answer `503 + Retry-After`, metrics
+    /// advertise `gdf_draining 1`), stop running jobs at their next
+    /// fault boundary with their checkpoints and `running`/`queued`
+    /// records left on disk, and block until every worker is idle. The
+    /// caller then finishes with [`JobServer::shutdown`]; a restarted
+    /// server (or a coordinator stealing the units) resumes everything
+    /// exactly where it stopped. Deliberately *additive* to the
+    /// crash-style stop — drain never updates disk state the crash path
+    /// would not, so the recovery guarantee is unchanged.
+    pub fn drain(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        while self.state.metrics.busy.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
     fn stop(&mut self) {
         if self.state.stopping.swap(true, Ordering::SeqCst) {
             return;
@@ -396,7 +420,7 @@ fn recover_jobs(state: &Arc<ServerState>) -> Result<(), ServeError> {
             continue;
         };
         let record_path = Job::record_path(&state.dir, id);
-        let text = match std::fs::read_to_string(&record_path) {
+        let text = match gdf_core::io::read_to_string(&record_path) {
             Ok(text) => text,
             Err(e) => {
                 eprintln!("gdf-serve: skipping job {id}: {e}");
@@ -416,7 +440,7 @@ fn recover_jobs(state: &Arc<ServerState>) -> Result<(), ServeError> {
             Err(e) => eprintln!("gdf-serve: skipping job {id}: {e}"),
         }
     }
-    let watermark = std::fs::read_to_string(ServerState::watermark_path(&state.dir))
+    let watermark = gdf_core::io::read_to_string(&ServerState::watermark_path(&state.dir))
         .ok()
         .and_then(|text| text.trim().parse::<u64>().ok())
         .unwrap_or(0);
@@ -463,6 +487,19 @@ impl Observer for CancelWatch {
     }
 }
 
+/// Observer polling the server's drain flag between faults — what makes
+/// a running full job stop at its next fault boundary during a graceful
+/// drain (its checkpoint and `running` record stay, so the job resumes).
+struct DrainWatch {
+    state: Arc<ServerState>,
+}
+
+impl Observer for DrainWatch {
+    fn cancelled(&mut self) -> bool {
+        self.state.draining.load(Ordering::Acquire)
+    }
+}
+
 fn worker_loop(state: Arc<ServerState>, index: usize) {
     loop {
         if state.stopping.load(Ordering::Acquire) {
@@ -484,6 +521,12 @@ fn worker_loop(state: Arc<ServerState>, index: usize) {
 
 fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
     if state.stopping.load(Ordering::Acquire) {
+        return;
+    }
+    if state.draining.load(Ordering::Acquire) {
+        // Draining: start nothing new. The job's `queued` record is
+        // already on disk; a restarted server (or a stealing
+        // coordinator) picks it up.
         return;
     }
     if job.cancel.load(Ordering::Acquire) {
@@ -573,6 +616,9 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
         )
         .observer(CancelWatch {
             job: Arc::clone(job),
+        })
+        .observer(DrainWatch {
+            state: Arc::clone(state),
         });
 
     // Submissions are validated at POST time, but v1 job records replayed
@@ -591,6 +637,16 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
     if state.stopping.load(Ordering::Acquire) {
         // Crash-style stop: the last checkpoint and the `running` record
         // stay exactly as they are; the next server resumes from them.
+        return;
+    }
+    if state.draining.load(Ordering::Acquire)
+        && !job.cancel.load(Ordering::Acquire)
+        && matches!(run.stopped, Some(AtpgError::Cancelled))
+    {
+        // Drain stopped the run at a fault boundary (not a client
+        // cancel): keep the checkpoint and `running` record so a
+        // restart resumes; the Checkpointer's cadence bounds the
+        // recomputed tail.
         return;
     }
     match run.stopped {
@@ -683,12 +739,27 @@ fn run_shard_job(
                 eprintln!("gdf-serve: job {} shard checkpoint failed: {e}", job.id);
             }
         }
-        !(state.stopping.load(Ordering::Acquire) || job.cancel.load(Ordering::Acquire))
+        !(state.stopping.load(Ordering::Acquire)
+            || state.draining.load(Ordering::Acquire)
+            || job.cancel.load(Ordering::Acquire))
     });
 
     if state.stopping.load(Ordering::Acquire) {
         // Crash-style stop, same as full jobs: last checkpoint + the
         // `running` record stay; the next server resumes the shard.
+        return;
+    }
+    if state.draining.load(Ordering::Acquire)
+        && !job.cancel.load(Ordering::Acquire)
+        && matches!(result, Ok(false))
+    {
+        // Drain stopped the shard between outcomes: persist a final
+        // checkpoint (shard documents resume at their first hole), keep
+        // the `running` record, and let the restart or the stealing
+        // coordinator finish the range.
+        if let Err(e) = artifact.save(&artifact_path, circuit) {
+            eprintln!("gdf-serve: job {} drain checkpoint failed: {e}", job.id);
+        }
         return;
     }
     match result {
@@ -923,6 +994,15 @@ fn handle_metrics(state: &Arc<ServerState>) -> Response {
             busy as f64 / workers as f64
         },
     );
+    gauge(
+        "gdf_draining",
+        "1 while the server is draining (graceful shutdown in progress).",
+        if state.draining.load(Ordering::Acquire) {
+            1.0
+        } else {
+            0.0
+        },
+    );
     out.push_str(&format!(
         "# HELP gdf_jobs_completed_total Jobs that finished successfully.\n\
          # TYPE gdf_jobs_completed_total counter\n\
@@ -1001,6 +1081,11 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
     if state.stopping.load(Ordering::Acquire) {
         return Response::error(503, "server is stopping");
     }
+    if state.draining.load(Ordering::Acquire) {
+        // `Retry-After` marks this 503 as a deliberate drain verdict:
+        // clients route elsewhere instead of retrying here.
+        return Response::error(503, "server is draining; resubmit elsewhere").with_retry_after(5);
+    }
 
     let id = state.next_id.fetch_add(1, Ordering::AcqRel);
     let job = Arc::new(Job::new(id, spec));
@@ -1078,9 +1163,11 @@ fn handle_artifact(state: &Arc<ServerState>, job: &Arc<Job>) -> Response {
     let path = Job::artifact_path(&state.dir, job.id);
     if job.spec.shard.is_some() {
         // Shard jobs persist a `gdf-shard` document, already in its
-        // byte-stable encoding — serve it verbatim.
-        return match std::fs::read(&path) {
-            Ok(bytes) => Response::json_bytes(200, bytes),
+        // byte-stable encoding — serve it verbatim (through the I/O
+        // facade, so fault harnesses can corrupt served artifacts too;
+        // the coordinator's harvest validation heals that by requeue).
+        return match gdf_core::io::read_to_string(&path) {
+            Ok(text) => Response::json_bytes(200, text.into_bytes()),
             Err(e) => Response::error(500, format!("{}: {e}", path.display())),
         };
     }

@@ -928,8 +928,59 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         server.local_addr(),
         workers
     );
-    server.wait();
-    Ok(ExitCode::SUCCESS)
+    #[cfg(unix)]
+    {
+        // Graceful degradation: SIGTERM drains (stop accepting,
+        // checkpoint running jobs at their next fault boundary, leave
+        // the queue persisted) and exits 0; a restarted server — or a
+        // fleet coordinator stealing the units — resumes everything.
+        // kill -9 remains the crash path the recovery tests cover.
+        sigterm::arm();
+        while !sigterm::received() {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        println!("gdf serve: SIGTERM received, draining");
+        server.drain();
+        server.shutdown();
+        println!("gdf serve: drained, exiting");
+        Ok(ExitCode::SUCCESS)
+    }
+    #[cfg(not(unix))]
+    {
+        server.wait();
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Minimal `SIGTERM` latch on the libc `signal(2)` already linked via
+/// std — no new dependencies, no sigaction plumbing. The handler only
+/// flips an atomic; all real work happens on the main thread.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static RECEIVED: AtomicBool = AtomicBool::new(false);
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler. Call once, before waiting.
+    pub fn arm() {
+        unsafe {
+            signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+        }
+    }
+
+    /// Whether a `SIGTERM` has arrived since [`arm`].
+    pub fn received() -> bool {
+        RECEIVED.load(Ordering::SeqCst)
+    }
 }
 
 fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {

@@ -33,7 +33,15 @@
 //!   health probing over `GET /metrics`, work stealing from dead or slow
 //!   nodes, and a deterministic merge whose artifacts are byte-identical
 //!   in canonical encoding to a single-node run (`gdf campaign --fleet`,
-//!   `gdf fleet status`).
+//!   `gdf fleet status`);
+//! * [`chaos`] — **deterministic fault injection** for the persistence
+//!   and socket layers: a seeded schedule drives torn writes, stale
+//!   temp files, `ENOSPC`, partial reads (via the `core::io` artifact
+//!   facade) and dropped/delayed/truncated/black-holed connections (via
+//!   a TCP proxy), so the recovery guarantees are exercised over the
+//!   whole failure space — see `tests/chaos_*.rs`. `gdf serve` also
+//!   drains gracefully on `SIGTERM`: stop accepting, checkpoint running
+//!   jobs, persist the queue, exit 0.
 //!
 //! ## Quickstart
 //!
@@ -78,6 +86,7 @@
 //! the full old-to-new mapping).
 
 pub use gdf_algebra as algebra;
+pub use gdf_chaos as chaos;
 pub use gdf_core as core;
 pub use gdf_fleet as fleet;
 pub use gdf_netlist as netlist;

@@ -21,6 +21,7 @@
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --smoke # CI smoke
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --fleet # + fleet bench
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --chaos # + chaos campaign
+//! cargo run --release -p gdf-bench --bin bench_fsim -- --cache # + result-cache bench
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --out path.json
 //! ```
 
@@ -298,6 +299,93 @@ fn chaos_campaign(units_per_circuit: usize, nodes: usize, workers: usize) -> Cha
     }
 }
 
+/// What the `--cache` bench measured.
+struct CacheFigures {
+    jobs: usize,
+    cold_jobs_per_sec: f64,
+    warm_jobs_per_sec: f64,
+    cache_hits: u64,
+    compaction_ratio: f64,
+}
+
+/// The result-cache trajectory: two identical rounds of stuck-at `s27`
+/// jobs against **one** server directory. Round one lands on an empty
+/// store (cold — real generation); round two resubmits the same spec and
+/// is answered from the exact result cache (warm). Also runs the
+/// bloom-gated campaign compaction over fresh non-scan `s27`+`s42` runs
+/// and records the global vectors-after/vectors-before ratio.
+fn cache_throughput(jobs: usize, workers: usize) -> CacheFigures {
+    use gdf_core::artifact::{CircuitSource, RunArtifact};
+    use gdf_core::engine::{Atpg, Backend, RunConfig};
+    use gdf_serve::server::submission_for_suite;
+    use gdf_serve::{Client, JobServer, ServeConfig};
+    use gdf_store::compact_campaign;
+
+    let dir = std::env::temp_dir().join(format!("gdf-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = JobServer::start(
+        ServeConfig::new("127.0.0.1:0", &dir)
+            .with_workers(workers)
+            .with_queue_capacity(jobs.max(1)),
+    )
+    .expect("bench cache server starts");
+    let client = Client::new(server.local_addr().to_string());
+    let config = RunConfig::new(Backend::StuckAt);
+    let submission = submission_for_suite("suite:s27", &config);
+
+    let round = || {
+        let start = Instant::now();
+        let ids: Vec<_> = (0..jobs)
+            .map(|_| client.submit(&submission).expect("submit"))
+            .collect();
+        for id in ids {
+            client
+                .wait(
+                    id,
+                    std::time::Duration::from_millis(5),
+                    Some(std::time::Duration::from_secs(300)),
+                )
+                .expect("job completes");
+        }
+        jobs as f64 / start.elapsed().as_secs_f64()
+    };
+    let cold_jobs_per_sec = round();
+    let warm_jobs_per_sec = round();
+    let cache_hits = client
+        .metric("gdf_cache_hits_total")
+        .ok()
+        .flatten()
+        .unwrap_or(0.0) as u64;
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut inputs = Vec::new();
+    for name in ["s27", "s42"] {
+        let circuit = suite::by_name(name).expect("suite circuit");
+        let run = Atpg::builder(&circuit).build().run();
+        let artifact = RunArtifact::from_run(
+            &circuit,
+            &run,
+            RunConfig::new(Backend::NonScan),
+            Some(CircuitSource::suite(&circuit, name)),
+        );
+        inputs.push((circuit, artifact));
+    }
+    let compaction = compact_campaign(&inputs, 0x1995).expect("bench compaction");
+    let compaction_ratio = if compaction.set.patterns_before == 0 {
+        1.0
+    } else {
+        compaction.set.patterns_after as f64 / compaction.set.patterns_before as f64
+    };
+    CacheFigures {
+        jobs,
+        cold_jobs_per_sec,
+        warm_jobs_per_sec,
+        cache_hits,
+        compaction_ratio,
+    }
+}
+
 /// Appends `record` to the JSON array in `path` (creating `[...]` if the
 /// file is missing or empty).
 fn append_record(path: &str, record: &str) -> std::io::Result<()> {
@@ -321,6 +409,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let fleet = args.iter().any(|a| a == "--fleet");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let cache = args.iter().any(|a| a == "--cache");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -376,6 +465,16 @@ fn main() {
         c
     });
 
+    let cache_figures = cache.then(|| {
+        let (jobs, workers) = if smoke { (8, 4) } else { (32, 4) };
+        let c = cache_throughput(jobs, workers);
+        println!(
+            "cache    {} jobs  cold {:>8.1} jobs/s  warm {:>8.1} jobs/s  {} hits  compaction {:.2}x",
+            c.jobs, c.cold_jobs_per_sec, c.warm_jobs_per_sec, c.cache_hits, c.compaction_ratio
+        );
+        c
+    });
+
     // Timestamp each appended record so the accumulated trajectory in
     // BENCH_fsim.json stays ordered and attributable across PRs.
     let unix_time = std::time::SystemTime::now()
@@ -415,7 +514,7 @@ fn main() {
         record,
         "    \"serve\": {{\"circuit\": \"s27\", \"backend\": \"stuck-at\", \"jobs\": {serve_jobs}, \
          \"workers\": {serve_workers}, \"jobs_per_sec\": {jobs_per_sec:.1}}}{}",
-        if fleet_figures.is_some() || chaos_figures.is_some() {
+        if fleet_figures.is_some() || chaos_figures.is_some() || cache_figures.is_some() {
             ","
         } else {
             ""
@@ -432,7 +531,11 @@ fn main() {
             f.units,
             f.cluster_units_per_sec,
             f.faults_per_sec_per_node,
-            if chaos_figures.is_some() { "," } else { "" }
+            if chaos_figures.is_some() || cache_figures.is_some() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     if let Some(c) = &chaos_figures {
@@ -440,8 +543,22 @@ fn main() {
             record,
             "    \"chaos\": {{\"circuits\": [\"s27\", \"s42\"], \"backend\": \"stuck-at\", \
              \"nodes\": {}, \"units\": {}, \"faults_injected\": {}, \
-             \"recoveries\": {}, \"wall_secs\": {:.2}}}",
-            c.nodes, c.units, c.faults_injected, c.recoveries, c.wall_secs
+             \"recoveries\": {}, \"wall_secs\": {:.2}}}{}",
+            c.nodes,
+            c.units,
+            c.faults_injected,
+            c.recoveries,
+            c.wall_secs,
+            if cache_figures.is_some() { "," } else { "" }
+        );
+    }
+    if let Some(c) = &cache_figures {
+        let _ = writeln!(
+            record,
+            "    \"cache\": {{\"circuit\": \"s27\", \"backend\": \"stuck-at\", \"jobs\": {}, \
+             \"cold_jobs_per_sec\": {:.1}, \"warm_jobs_per_sec\": {:.1}, \"cache_hits\": {}, \
+             \"compaction_ratio\": {:.3}}}",
+            c.jobs, c.cold_jobs_per_sec, c.warm_jobs_per_sec, c.cache_hits, c.compaction_ratio
         );
     }
     let _ = write!(record, "  }}");

@@ -198,6 +198,15 @@ impl CircuitSource {
             bench: str_field(j, "bench")?.to_string(),
         })
     }
+
+    /// Content digest of the canonical encoding — the circuit half of a
+    /// result-cache key. Two sources digest equal iff they encode equal,
+    /// so a suite reference and a pasted copy of the same netlist are
+    /// distinct keys (their generated artifacts embed distinct sources
+    /// and would not be byte-identical anyway).
+    pub fn digest(&self) -> crate::digest::Digest {
+        crate::digest::Digest::of_text(&self.encode().pretty())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -957,6 +966,12 @@ impl RunArtifact {
             report.row.elapsed = Duration::ZERO;
         }
         normalized.encode()
+    }
+
+    /// Content digest of [`RunArtifact::canonical_encode`] — the store
+    /// address a published run lands under.
+    pub fn canonical_digest(&self) -> crate::digest::Digest {
+        crate::digest::Digest::of_text(&self.canonical_encode())
     }
 
     /// Parses an artifact from JSON text.

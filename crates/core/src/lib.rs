@@ -32,6 +32,7 @@
 
 pub mod artifact;
 pub mod compact;
+pub mod digest;
 pub mod driver;
 pub mod engine;
 pub mod io;
@@ -44,6 +45,7 @@ pub mod shard;
 
 pub use artifact::{ArtifactError, CircuitSource, PatternEntry, PatternSet, RunArtifact};
 pub use compact::{compact_sequences, CompactionResult};
+pub use digest::{config_digest, Digest};
 pub use driver::{
     AtpgRun, DelayAtpg, DelayAtpgConfig, FaultClassification, FaultRecord, FsimScratch,
 };

@@ -25,6 +25,7 @@ use gdf_serve::server::{
     submission_for_bench, submission_for_suite, submission_with_runtime, submission_with_shard,
 };
 use gdf_serve::{Client, ServeError};
+use gdf_store::{CacheKey, Store};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -53,6 +54,11 @@ pub struct NodeHealth {
     /// `gdf_draining` from `/metrics`: the node took a `SIGTERM` and is
     /// winding down — assign it nothing, steal from it soon.
     pub draining: bool,
+    /// `gdf_cache_hits_total` from `/metrics`, when the node exports it
+    /// (pre-store servers don't).
+    pub cache_hits: Option<u64>,
+    /// `gdf_store_bytes` from `/metrics`, when the node exports it.
+    pub store_bytes: Option<u64>,
 }
 
 /// Per-node accounting of a finished fleet campaign.
@@ -95,6 +101,12 @@ pub struct Coordinator {
     node_units: Vec<usize>,
     node_faults: Vec<usize>,
     stolen: usize,
+    /// The shard-level result cache under `<dir>/store`. `None` only if
+    /// the store directory cannot be created — the fleet then runs
+    /// uncached rather than not at all.
+    store: Option<Store>,
+    /// Units completed from the cache instead of a node.
+    cached_units: usize,
     warnings: Vec<String>,
     poll: Duration,
     steal_after: Duration,
@@ -143,6 +155,14 @@ impl Coordinator {
             .collect();
         let nodes = plan.nodes.len();
         let units = plan.units.len();
+        let mut warnings = Vec::new();
+        let store = match Store::open(dir.join("store")) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                warnings.push(format!("shard cache unavailable: {e}"));
+                None
+            }
+        };
         Ok(Coordinator {
             circuits,
             clients,
@@ -154,7 +174,9 @@ impl Coordinator {
             node_units: vec![0; nodes],
             node_faults: vec![0; nodes],
             stolen: 0,
-            warnings: Vec::new(),
+            store,
+            cached_units: 0,
+            warnings,
             poll: Duration::from_millis(300),
             steal_after: Duration::from_secs(60),
             verbose: false,
@@ -195,6 +217,42 @@ impl Coordinator {
 
     fn shard_path(&self, unit: usize) -> PathBuf {
         self.dir.join("shards").join(format!("unit-{unit}.json"))
+    }
+
+    /// Store name of unit `k`'s shard: `(circuit digest, config digest)`
+    /// plus the fault range, so two campaigns over the same circuit and
+    /// config share shards whatever node computed them.
+    fn unit_cache_name(&self, k: usize) -> String {
+        let unit = &self.plan.units[k];
+        CacheKey::new(&self.plan.circuits[unit.circuit], &self.plan.config)
+            .shard_name(unit.lo, unit.hi)
+    }
+
+    /// Best-effort publication of a harvested shard to the shard cache.
+    /// Cache misses on a later campaign only cost recomputation, so a
+    /// store failure is a warning, never a unit failure.
+    fn publish_shard(&mut self, k: usize, text: &str) {
+        let name = self.unit_cache_name(k);
+        if let Some(store) = &self.store {
+            if let Err(e) = store.publish(&name, text) {
+                self.warnings
+                    .push(format!("shard cache publish failed: {e}"));
+            }
+        }
+    }
+
+    /// Looks unit `k` up in the shard cache. A hit must decode against
+    /// the unit's circuit, cover exactly `[lo‥hi)` and be complete —
+    /// anything else is treated as a miss, never an error.
+    fn cached_shard(&self, k: usize) -> Option<String> {
+        let store = self.store.as_ref()?;
+        let unit = &self.plan.units[k];
+        let text = store.get_named(&self.unit_cache_name(k)).ok().flatten()?;
+        let shard = ShardArtifact::decode(&text, &self.circuits[unit.circuit]).ok()?;
+        (shard.range() == (unit.lo, unit.hi)
+            && shard.is_complete()
+            && *shard.config() == self.plan.config)
+            .then_some(text)
     }
 
     /// Where circuit `index`'s merged artifact lands — the same
@@ -270,6 +328,8 @@ impl Coordinator {
                 running: sample("gdf_jobs_running").map(|v| v as u64),
                 utilization: sample("gdf_worker_utilization"),
                 draining,
+                cache_hits: sample("gdf_cache_hits_total").map(|v| v as u64),
+                store_bytes: sample("gdf_store_bytes").map(|v| v as u64),
             });
         }
         out
@@ -460,12 +520,13 @@ impl Coordinator {
                     )));
                 }
                 gdf_serve::job::write_atomic(&self.shard_path(k), &text)?;
-                Ok(())
+                Ok(text)
             });
         match result {
-            Ok(()) => {
+            Ok(text) => {
                 self.node_units[n] += 1;
                 self.node_faults[n] += self.plan.units[k].len();
+                self.publish_shard(k, &text);
                 self.note(format!("harvested {tag} from {}", self.plan.nodes[n]));
                 self.plan.units[k].state = UnitState::Done;
                 self.submitted_at[k] = None;
@@ -508,6 +569,22 @@ impl Coordinator {
                     Err(e) => self.warnings.push(format!("empty unit {k}: {e}")),
                 }
                 continue;
+            }
+            // Shard cache: an identical unit (same circuit digest, same
+            // config digest, same range) computed by any earlier
+            // campaign completes without touching a node.
+            if let Some(text) = self.cached_shard(k) {
+                match gdf_serve::job::write_atomic(&self.shard_path(k), &text) {
+                    Ok(()) => {
+                        let tag = self.plan.tag(k);
+                        self.note(format!("{tag} served from shard cache"));
+                        self.cached_units += 1;
+                        self.plan.units[k].state = UnitState::Done;
+                        self.persist();
+                        continue;
+                    }
+                    Err(e) => self.warnings.push(format!("shard cache restore: {e}")),
+                }
             }
             // Least in-flight live node (draining nodes finish nothing
             // new); ties resolve in plan order, so assignment is
@@ -743,11 +820,22 @@ impl Coordinator {
                 h.addr,
                 if h.alive { "up" } else { "DOWN" },
                 match (h.queue_depth, h.running, h.utilization) {
-                    (Some(q), Some(r), Some(u)) =>
-                        format!("  queue={q} running={r} utilization={u:.2}"),
+                    (Some(q), Some(r), Some(u)) => {
+                        let mut line = format!("  queue={q} running={r} utilization={u:.2}");
+                        if let Some(hits) = h.cache_hits {
+                            let _ = write!(line, " cache_hits={hits}");
+                        }
+                        if let Some(bytes) = h.store_bytes {
+                            let _ = write!(line, " store_bytes={bytes}");
+                        }
+                        line
+                    }
                     _ => String::new(),
                 }
             );
+        }
+        if self.cached_units > 0 {
+            let _ = writeln!(out, "  shard cache: {} unit(s) reused", self.cached_units);
         }
         for (k, unit) in self.plan.units.iter().enumerate() {
             let _ = writeln!(

@@ -155,6 +155,35 @@ impl Client {
         self.fetch_document("/metrics")
     }
 
+    /// One sample from `GET /metrics` by exact metric name (e.g.
+    /// `gdf_cache_hits_total`, `gdf_store_bytes`). `Ok(None)` when the
+    /// server doesn't export it — older servers predate the cache
+    /// gauges, and a probe must degrade, not error.
+    pub fn metric(&self, name: &str) -> Result<Option<f64>, ServeError> {
+        let text = self.metrics()?;
+        Ok(Self::sample_metric(&text, name))
+    }
+
+    /// Extracts `name`'s sample from an exposition text: the value on
+    /// the line whose name (before any label set) matches exactly.
+    pub fn sample_metric(text: &str, name: &str) -> Option<f64> {
+        text.lines()
+            .filter(|line| !line.starts_with('#'))
+            .find_map(|line| {
+                let rest = line.strip_prefix(name)?;
+                // Exact name only: `gdf_jobs` must not match
+                // `gdf_jobs_running`'s line.
+                if !rest.starts_with(' ') && !rest.starts_with('{') {
+                    return None;
+                }
+                rest.trim_start_matches(|c: char| c != ' ')
+                    .split_whitespace()
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+    }
+
     /// `POST /jobs` with a body built by
     /// [`crate::server::submission_for_suite`] /
     /// [`crate::server::submission_for_bench`]; returns the new job id.

@@ -52,6 +52,7 @@ use gdf_core::json::{Json, ParseLimits};
 use gdf_core::session::{Checkpointer, EventObserver, ProgressEvent};
 use gdf_core::ShardArtifact;
 use gdf_netlist::{Circuit, FaultUniverse};
+use gdf_store::{CacheKey, Store};
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -136,6 +137,10 @@ struct Metrics {
     completed: AtomicU64,
     /// Jobs that reached `Failed` in this process.
     failed: AtomicU64,
+    /// Submissions answered straight from the result cache (these also
+    /// count as completed, but contribute no latency sample — a cache
+    /// hit measures the store, not the engine).
+    cache_hits: AtomicU64,
     /// Workers currently inside `run_job`.
     busy: AtomicUsize,
     /// Ring of recent completed-job latencies, in microseconds.
@@ -150,6 +155,7 @@ impl Metrics {
         Metrics {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
             busy: AtomicUsize::new(0),
             latencies_us: Mutex::new(std::collections::VecDeque::new()),
         }
@@ -194,6 +200,10 @@ struct ServerState {
     draining: AtomicBool,
     connections: Arc<std::sync::atomic::AtomicUsize>,
     metrics: Metrics,
+    /// The content-addressed result cache under `<dir>/store`. Always
+    /// on: publishing costs one extra write per completed run, and a hit
+    /// saves an entire generation run.
+    store: Store,
 }
 
 impl ServerState {
@@ -284,6 +294,8 @@ impl JobServer {
             .local_addr()
             .map_err(|e| ServeError::Io(e.to_string()))?;
         let workers = config.workers.max(1);
+        let store =
+            Store::open(config.dir.join("store")).map_err(|e| ServeError::Io(e.to_string()))?;
         let state = Arc::new(ServerState {
             dir: config.dir.clone(),
             jobs: Mutex::new(BTreeMap::new()),
@@ -296,6 +308,7 @@ impl JobServer {
             draining: AtomicBool::new(false),
             connections: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
             metrics: Metrics::new(),
+            store,
         });
         recover_jobs(&state)?;
 
@@ -519,6 +532,15 @@ fn worker_loop(state: Arc<ServerState>, index: usize) {
     }
 }
 
+/// Publishes a completed run's canonical bytes into the result cache.
+/// Best-effort: a store failure costs future cache hits, never the job.
+fn publish_run(state: &ServerState, spec: &JobSpec, artifact: &RunArtifact) {
+    let name = CacheKey::new(&spec.source, &spec.config).run_name();
+    if let Err(e) = state.store.publish(&name, &artifact.canonical_encode()) {
+        eprintln!("gdf-serve: result-cache publish failed: {e}");
+    }
+}
+
 fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
     if state.stopping.load(Ordering::Acquire) {
         return;
@@ -575,6 +597,7 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
         match RunArtifact::load(&artifact_path) {
             Ok(artifact) if artifact.config() == config && !artifact.partial => {
                 let report = artifact.report().map(ReportSummary::from);
+                publish_run(state, spec, &artifact);
                 state.metrics.record_done(started.elapsed());
                 state.finalize(job, JobState::Done, None, report);
                 return;
@@ -654,6 +677,7 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
             let artifact = RunArtifact::from_run(&circuit, &run, config, Some(spec.source.clone()));
             match artifact.save(&artifact_path) {
                 Ok(()) => {
+                    publish_run(state, spec, &artifact);
                     let report = ReportSummary::from(&run.report);
                     state.metrics.record_done(started.elapsed());
                     state.finalize(job, JobState::Done, None, Some(report));
@@ -946,6 +970,8 @@ fn handle_metrics(state: &Arc<ServerState>) -> Response {
     let busy = state.metrics.busy.load(Ordering::Acquire).min(workers);
     let completed = state.metrics.completed.load(Ordering::Acquire);
     let failed = state.metrics.failed.load(Ordering::Acquire);
+    let cache_hits = state.metrics.cache_hits.load(Ordering::Acquire);
+    let store_stats = state.store.stats().unwrap_or_default();
     let mut window: Vec<u64> = state
         .metrics
         .latencies_us
@@ -1003,13 +1029,26 @@ fn handle_metrics(state: &Arc<ServerState>) -> Response {
             0.0
         },
     );
+    gauge(
+        "gdf_store_bytes",
+        "Total object bytes in the content-addressed result store.",
+        store_stats.bytes as f64,
+    );
+    gauge(
+        "gdf_store_objects",
+        "Objects in the content-addressed result store.",
+        store_stats.objects as f64,
+    );
     out.push_str(&format!(
         "# HELP gdf_jobs_completed_total Jobs that finished successfully.\n\
          # TYPE gdf_jobs_completed_total counter\n\
          gdf_jobs_completed_total {completed}\n\
          # HELP gdf_jobs_failed_total Jobs that finished in failure.\n\
          # TYPE gdf_jobs_failed_total counter\n\
-         gdf_jobs_failed_total {failed}\n"
+         gdf_jobs_failed_total {failed}\n\
+         # HELP gdf_cache_hits_total Submissions answered from the exact result cache.\n\
+         # TYPE gdf_cache_hits_total counter\n\
+         gdf_cache_hits_total {cache_hits}\n"
     ));
     out.push_str(&format!(
         "# HELP gdf_job_latency_seconds Completed-job wall time over the recent window.\n\
@@ -1087,6 +1126,26 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
         return Response::error(503, "server is draining; resubmit elsewhere").with_retry_after(5);
     }
 
+    // Exact result cache: a stored artifact under the same
+    // `(circuit, config)` key is byte-for-byte what this job would
+    // compute (the determinism invariant), so answer it as an
+    // instantly-Done job instead of burning a generation run. Any
+    // validation failure falls through to the normal queue path.
+    let cached: Option<(String, RunArtifact)> = match &spec.shard {
+        Some(_) => None,
+        None => state
+            .store
+            .get_named(&CacheKey::new(&spec.source, &spec.config).run_name())
+            .ok()
+            .flatten()
+            .and_then(|text| {
+                RunArtifact::decode(&text)
+                    .ok()
+                    .filter(|a| a.config() == spec.config && !a.partial && a.circuit == spec.source)
+                    .map(|artifact| (text, artifact))
+            }),
+    };
+
     let id = state.next_id.fetch_add(1, Ordering::AcqRel);
     let job = Arc::new(Job::new(id, spec));
     let dir = Job::dir(&state.dir, id);
@@ -1099,7 +1158,30 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
         jobs.insert(id, Arc::clone(&job));
         state.persist_watermark();
     }
-    if state.queue.push(id).is_err() {
+    let mut served_from_cache = false;
+    if let Some((text, artifact)) = cached {
+        // Materialize the cached bytes as the job's artifact so fetch,
+        // patterns, and restart recovery see a normal completed job.
+        match write_atomic(&Job::artifact_path(&state.dir, id), &text) {
+            Ok(()) => {
+                {
+                    let mut status = job.status.lock().expect("job status poisoned");
+                    status.decided = artifact.decided();
+                    status.total = artifact.total();
+                }
+                let report = artifact.report().map(ReportSummary::from);
+                state.metrics.cache_hits.fetch_add(1, Ordering::AcqRel);
+                state.metrics.completed.fetch_add(1, Ordering::AcqRel);
+                state.finalize(&job, JobState::Done, None, report);
+                served_from_cache = true;
+            }
+            Err(e) => {
+                // Cache unusable right now — run the job for real.
+                eprintln!("gdf-serve: cached artifact write failed ({e}); generating");
+            }
+        }
+    }
+    if !served_from_cache && state.queue.push(id).is_err() {
         state.jobs.lock().expect("job store poisoned").remove(&id);
         // A subscriber that raced onto /jobs/<id>/events in the insert
         // window must see the stream end, not keepalives forever.
@@ -1112,6 +1194,7 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
         &Json::Obj(vec![
             ("id".into(), Json::Num(id as f64)),
             ("url".into(), Json::Str(format!("/jobs/{id}"))),
+            ("cached".into(), Json::Bool(served_from_cache)),
         ]),
     )
 }

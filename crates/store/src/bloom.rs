@@ -1,0 +1,156 @@
+//! Seeded double-hashing bloom filter.
+//!
+//! The campaign compactor asks one question millions of times: *has any
+//! kept sequence already detected this fault?* The exact answer lives in
+//! per-circuit bit-sets, but consulting them means an O(candidates) scan
+//! per sequence; the bloom filter answers "definitely not" in a handful
+//! of probes. Its error is one-sided — a "no" is always true, a "maybe"
+//! falls back to the exact set — which is exactly the shape a sound fast
+//! path needs.
+//!
+//! Construction: the probe sequence for a key is classic double hashing,
+//! `h1 + i·h2` over a power-of-two bit array. `h1` is seeded
+//! SipHash-2-4, `h2` is seeded FNV-1a forced odd — odd strides over a
+//! power-of-two table are full-cycle, so the `k` probes never collapse
+//! onto fewer distinct bits. The seed makes filter behaviour (and any
+//! false-positive pattern) reproducible run to run, like every other
+//! randomized component in this workspace.
+
+use gdf_core::digest::{fnv1a64, siphash24};
+
+/// A fixed-size bloom filter with deterministic, seeded hashing.
+#[derive(Debug, Clone)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    mask: u64,
+    probes: u32,
+    seed: u64,
+    inserted: u64,
+}
+
+impl Bloom {
+    /// A filter sized for `expected_items` at roughly 1% false-positive
+    /// rate (10 bits/item, 7 probes — the standard operating point).
+    pub fn for_items(expected_items: usize, seed: u64) -> Self {
+        Self::with_bits(expected_items.saturating_mul(10).max(64), 7, seed)
+    }
+
+    /// A filter with at least `min_bits` bits (rounded up to a power of
+    /// two) and `probes` probes per key.
+    pub fn with_bits(min_bits: usize, probes: u32, seed: u64) -> Self {
+        let nbits = min_bits.next_power_of_two().max(64);
+        Bloom {
+            bits: vec![0u64; nbits / 64],
+            mask: (nbits - 1) as u64,
+            probes: probes.max(1),
+            seed,
+            inserted: 0,
+        }
+    }
+
+    fn h1(&self, key: &[u8]) -> u64 {
+        siphash24(self.seed, 0x626c_6f6f_6d5f_6831, key)
+    }
+
+    fn h2(&self, key: &[u8]) -> u64 {
+        // Forced odd: odd strides are coprime with the power-of-two
+        // table size, so the probe walk is full-cycle.
+        (fnv1a64(key) ^ self.seed.rotate_left(32)) | 1
+    }
+
+    /// Sets the key's bits. Returns `true` if the key was *possibly*
+    /// present already (every probe bit was set before the insert).
+    pub fn insert(&mut self, key: &[u8]) -> bool {
+        let (h1, h2) = (self.h1(key), self.h2(key));
+        let mut was_present = true;
+        for i in 0..self.probes as u64 {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2))) & self.mask;
+            let (word, shift) = ((bit / 64) as usize, bit % 64);
+            was_present &= self.bits[word] >> shift & 1 == 1;
+            self.bits[word] |= 1 << shift;
+        }
+        self.inserted += 1;
+        was_present
+    }
+
+    /// `false` means the key was definitely never inserted; `true` means
+    /// possibly inserted.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let (h1, h2) = (self.h1(key), self.h2(key));
+        (0..self.probes as u64).all(|i| {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2))) & self.mask;
+            self.bits[(bit / 64) as usize] >> (bit % 64) & 1 == 1
+        })
+    }
+
+    /// Number of `insert` calls so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Fraction of bits set, `0.0..=1.0` — a saturation diagnostic.
+    pub fn fill(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        set as f64 / ((self.mask + 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bloom = Bloom::for_items(1000, 42);
+        let keys: Vec<String> = (0..1000).map(|i| format!("fault-sig-{i}")).collect();
+        for k in &keys {
+            bloom.insert(k.as_bytes());
+        }
+        for k in &keys {
+            assert!(
+                bloom.contains(k.as_bytes()),
+                "inserted key {k} reported absent"
+            );
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable_at_design_load() {
+        let mut bloom = Bloom::for_items(1000, 7);
+        for i in 0..1000 {
+            bloom.insert(format!("member-{i}").as_bytes());
+        }
+        let false_positives = (0..10_000)
+            .filter(|i| bloom.contains(format!("outsider-{i}").as_bytes()))
+            .count();
+        // Design point is ~1%; accept an order of magnitude of slack so
+        // the test never flakes on hash alignment.
+        assert!(
+            false_positives < 1000,
+            "{false_positives}/10000 false positives"
+        );
+        assert!(bloom.fill() < 0.75);
+    }
+
+    #[test]
+    fn seed_changes_the_probe_pattern_deterministically() {
+        let mut a1 = Bloom::with_bits(256, 4, 1);
+        let mut a2 = Bloom::with_bits(256, 4, 1);
+        let mut b = Bloom::with_bits(256, 4, 2);
+        for i in 0..20 {
+            let key = format!("k{i}");
+            a1.insert(key.as_bytes());
+            a2.insert(key.as_bytes());
+            b.insert(key.as_bytes());
+        }
+        assert_eq!(a1.bits, a2.bits, "same seed must reproduce exactly");
+        assert_ne!(a1.bits, b.bits, "different seeds must differ");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let bloom = Bloom::for_items(10, 0);
+        assert!(!bloom.contains(b"anything"));
+        assert_eq!(bloom.inserted(), 0);
+    }
+}

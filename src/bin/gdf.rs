@@ -48,6 +48,7 @@ use gdf::fleet::{Coordinator, FleetPlan};
 use gdf::netlist::{parse_bench, suite, Circuit, FaultUniverse};
 use gdf::serve::server::{submission_for_bench, submission_for_suite, submission_with_runtime};
 use gdf::serve::{Client, JobServer, ServeConfig};
+use gdf::store::{compact_campaign, CacheKey, Store};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
@@ -63,6 +64,8 @@ USAGE:
     gdf campaign [CIRCUIT...] [options] run many circuits, aggregate report
     gdf fleet status [--dir DIR]        fleet plan progress and node health
     gdf report <RUN.json>... [--diff]   render or compare saved runs
+    gdf compact [--dir DIR] [options]   bloom-gated campaign compaction
+    gdf store <stats|gc> [--dir DIR]    artifact-store stats / garbage collect
     gdf suite [--universe <full|stems>] list embedded suite circuits
     gdf serve [options]                 host the engine as an HTTP job server
     gdf submit <CIRCUIT> [options]      submit a job to a server
@@ -91,6 +94,7 @@ OPTIONS:
     --suite                                       (campaign) the full suite
     --dir <DIR>                                   (campaign/serve) artifact dir
     --resume                                      (campaign) reuse artifacts
+    --cache                                       (campaign) exact result cache
     --fleet <H1:P1,H2:P2,...>                     (campaign) shard across nodes
     --units <N>                                   (fleet) units per circuit
     --steal-after <SECS>                          (fleet) slow-node patience
@@ -130,6 +134,8 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(rest),
         "fleet" => cmd_fleet(rest),
         "report" => cmd_report(rest),
+        "compact" => cmd_compact(rest),
+        "store" => cmd_store(rest),
         "suite" => cmd_suite(rest),
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
@@ -246,7 +252,9 @@ const RUN_VALUES: &[&str] = &[
     "units",
     "steal-after",
 ];
-const RUN_SWITCHES: &[&str] = &["quiet", "suite", "resume", "diff", "wait", "follow"];
+const RUN_SWITCHES: &[&str] = &[
+    "quiet", "suite", "resume", "diff", "wait", "follow", "cache",
+];
 
 /// Resolves a circuit argument: `suite:<name>` or a `.bench` file path.
 /// Returns the circuit plus the provenance artifacts should record.
@@ -633,12 +641,77 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     if let Some(every) = opts.number("checkpoint-every")? {
         builder = builder.checkpoint_every(every as usize);
     }
-    builder = builder.resume(opts.switch("resume"));
+    // --cache: the exact result cache. Before the run, any circuit whose
+    // `(circuit digest, config digest)` key resolves in `<dir>/store` is
+    // materialized as its `<name>.run.json` artifact, which `resume`
+    // then loads instead of regenerating; after the run every completed
+    // artifact is published back under the same key. Hits are *exact*:
+    // the cached bytes are the canonical encoding the same configuration
+    // would recompute.
+    let cache_ctx = if opts.switch("cache") {
+        let dir = PathBuf::from(
+            opts.value("dir")
+                .ok_or("--cache needs --dir (the store lives at <dir>/store)")?,
+        );
+        let store = Store::open(dir.join("store")).map_err(|e| e.to_string())?;
+        let config = config_from_opts(&opts)?;
+        let sources = fleet_sources(&opts)?;
+        Some((dir, store, config, sources))
+    } else {
+        None
+    };
+    if let Some((dir, store, config, sources)) = &cache_ctx {
+        let mut seeded = 0usize;
+        for source in sources {
+            let Ok(circuit) = source.resolve() else {
+                continue;
+            };
+            let path = dir.join(format!("{}.run.json", circuit.name()));
+            if path.exists() {
+                continue;
+            }
+            let key = CacheKey::new(source, config).run_name();
+            let Ok(Some(text)) = store.get_named(&key) else {
+                continue;
+            };
+            let Ok(artifact) = RunArtifact::decode(&text) else {
+                continue;
+            };
+            if artifact.partial || artifact.config() != *config || artifact.circuit != *source {
+                continue;
+            }
+            if gdf::core::io::write_atomic(&path, &text).is_ok() {
+                seeded += 1;
+            }
+        }
+        if !opts.switch("quiet") && seeded > 0 {
+            eprintln!("cache: {seeded} circuit(s) seeded from the result cache");
+        }
+    }
+    builder = builder.resume(opts.switch("resume") || cache_ctx.is_some());
     if !opts.switch("quiet") {
         builder = builder.observer(Progress::new("campaign"));
     }
     let report = builder.run();
     print!("{}", report.render());
+    if let Some((dir, store, config, sources)) = &cache_ctx {
+        for source in sources {
+            let Ok(circuit) = source.resolve() else {
+                continue;
+            };
+            let path = dir.join(format!("{}.run.json", circuit.name()));
+            let Ok(artifact) = RunArtifact::load(&path) else {
+                continue;
+            };
+            if artifact.partial || artifact.config() != *config {
+                continue;
+            }
+            let key = CacheKey::new(source, config).run_name();
+            if let Err(e) = store.publish(&key, &artifact.canonical_encode()) {
+                eprintln!("cache: publish {} failed: {e}", circuit.name());
+            }
+        }
+    }
     Ok(if report.stopped {
         ExitCode::FAILURE
     } else {
@@ -775,6 +848,115 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `gdf compact --dir DIR [-o OUT.json] [--seed N]`: loads every
+/// `<name>.run.json` in the campaign directory, runs the bloom-gated
+/// cross-circuit compaction and writes one global compacted pattern
+/// document. Each per-circuit compacted set is then re-graded against
+/// the full (uncompacted) export of the same run — compaction must not
+/// lose a single graded detection, or the command fails.
+fn cmd_compact(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    let dir = PathBuf::from(opts.value("dir").unwrap_or("gdf-campaign"));
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".run.json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no *.run.json artifacts in {}", dir.display()));
+    }
+    let mut inputs = Vec::new();
+    for path in &paths {
+        let artifact = RunArtifact::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let circuit = artifact
+            .circuit
+            .resolve()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        inputs.push((circuit, artifact));
+    }
+    let seed = opts.number("seed")?.unwrap_or(0x1995);
+    let compaction = compact_campaign(&inputs, seed).map_err(|e| e.to_string())?;
+    // Re-grade: the compacted set must detect everything the full
+    // export of the same run detects, circuit by circuit.
+    for ((circuit, artifact), compacted) in inputs.iter().zip(&compaction.set.sets) {
+        let config = artifact.config();
+        let run = artifact.to_run(circuit).map_err(|e| e.to_string())?;
+        let full = PatternSet::from_run(
+            circuit,
+            &run,
+            &config.backend.to_string(),
+            config.seed,
+            Some(artifact.circuit.clone()),
+        );
+        let universe = config.universe;
+        let before = grade_patterns(circuit, &full, config.model, &universe, config.seed)
+            .map_err(|e| e.to_string())?;
+        let after = grade_patterns(circuit, compacted, config.model, &universe, config.seed)
+            .map_err(|e| e.to_string())?;
+        if after.detected() < before.detected() {
+            return Err(format!(
+                "{}: compaction lost coverage ({} -> {} of {} faults)",
+                circuit.name(),
+                before.detected(),
+                after.detected(),
+                after.total_faults
+            ));
+        }
+        println!(
+            "{:<12} {:>5} -> {:>4} sequences, {}/{} faults re-graded detected",
+            circuit.name(),
+            full.patterns.len(),
+            compacted.patterns.len(),
+            after.detected(),
+            after.total_faults
+        );
+    }
+    let set = &compaction.set;
+    println!(
+        "compact: {} -> {} sequences over {} circuit(s) ({:.1}% kept); bloom fast-kept {}, {} exact check(s) over {} signature(s)",
+        set.patterns_before,
+        set.patterns_after,
+        set.sets.len(),
+        100.0 * (1.0 - set.reduction()),
+        compaction.bloom_fast_keeps,
+        compaction.exact_checks,
+        compaction.signatures,
+    );
+    let out = opts
+        .value("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| dir.join("patterns.compact.json"));
+    set.save(&out).map_err(|e| e.to_string())?;
+    println!("compact: wrote {}", out.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `gdf store <stats|gc> --dir DIR`: inspect or garbage-collect the
+/// content-addressed store under `<dir>/store` — the layout shared by
+/// `gdf serve`, `gdf campaign --cache` and the fleet coordinator.
+fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    let dir = PathBuf::from(opts.value("dir").unwrap_or("."));
+    match opts.positional.as_slice() {
+        [sub] if sub == "stats" => {
+            let store = Store::open(dir.join("store")).map_err(|e| e.to_string())?;
+            println!("{}", store.stats().map_err(|e| e.to_string())?);
+            Ok(ExitCode::SUCCESS)
+        }
+        [sub] if sub == "gc" => {
+            let store = Store::open(dir.join("store")).map_err(|e| e.to_string())?;
+            println!("{}", store.gc().map_err(|e| e.to_string())?);
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err("usage: gdf store <stats|gc> [--dir DIR]".into()),
+    }
 }
 
 /// Lists the embedded suite circuits with their gate/DFF counts and

@@ -34,6 +34,14 @@
 //!   nodes, and a deterministic merge whose artifacts are byte-identical
 //!   in canonical encoding to a single-node run (`gdf campaign --fleet`,
 //!   `gdf fleet status`);
+//! * [`store`] — the **content-addressed artifact store**: objects keyed
+//!   by a 128-bit digest of their canonical encoding, refcounted named
+//!   handles, mark-and-sweep `gc()`, and the **exact result cache**
+//!   keyed by `(circuit digest, RunConfig digest)` that lets `gdf serve`
+//!   answer duplicate submissions instantly and the fleet coordinator
+//!   skip already-computed shards — plus **bloom-gated campaign
+//!   compaction** (`gdf compact`) emitting one global compacted pattern
+//!   document verified by re-grading;
 //! * [`chaos`] — **deterministic fault injection** for the persistence
 //!   and socket layers: a seeded schedule drives torn writes, stale
 //!   temp files, `ENOSPC`, partial reads (via the `core::io` artifact
@@ -93,4 +101,5 @@ pub use gdf_netlist as netlist;
 pub use gdf_semilet as semilet;
 pub use gdf_serve as serve;
 pub use gdf_sim as sim;
+pub use gdf_store as store;
 pub use gdf_tdgen as tdgen;

@@ -1,0 +1,207 @@
+//! The result cache's headline guarantee, proven over real sockets:
+//! a duplicate `POST /jobs` is answered **instantly Done from the
+//! store**, and the artifact it serves is byte-identical both to the
+//! first submission's artifact and to a local in-process run of the
+//! same spec. Hits are exact because artifacts are canonical: same
+//! circuit digest + same config digest ⇒ the same bytes would be
+//! recomputed.
+//!
+//! Also covers: the `/metrics` surface (`gdf_cache_hits_total`,
+//! `gdf_store_bytes`), `gc()` on a live server directory keeping every
+//! referenced cache entry, cache survival across a server restart, and
+//! the store's hostile-name rejection contract.
+
+use gdf::core::json::Json;
+use gdf::core::{Atpg, Backend, CircuitSource, RunArtifact, RunConfig};
+use gdf::netlist::suite;
+use gdf::serve::server::submission_for_suite;
+use gdf::serve::{Client, JobServer, ServeConfig};
+use gdf::store::{Store, StoreError};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gdf-store-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_server(dir: &PathBuf, workers: usize) -> (JobServer, Client) {
+    let server = JobServer::start(
+        ServeConfig::new("127.0.0.1:0", dir)
+            .with_workers(workers)
+            .with_queue_capacity(16),
+    )
+    .expect("server starts");
+    let client = Client::new(server.local_addr().to_string());
+    (server, client)
+}
+
+fn local_canonical(suite_name: &str, config: RunConfig) -> String {
+    let circuit = suite::by_name(suite_name).expect("suite circuit");
+    let run = Atpg::builder(&circuit)
+        .backend(config.backend)
+        .model(config.model)
+        .universe(config.universe)
+        .limits(config.limits)
+        .seed(config.seed)
+        .build()
+        .run();
+    RunArtifact::from_run(
+        &circuit,
+        &run,
+        config,
+        Some(CircuitSource::suite(&circuit, suite_name)),
+    )
+    .canonical_encode()
+}
+
+/// Submits over raw HTTP so the response body's `cached` flag is
+/// visible, returning `(id, cached)`.
+fn submit_raw(addr: &str, submission: &Json) -> (u64, bool) {
+    let body = submission.to_string();
+    let response = gdf::serve::http::client_request(
+        addr,
+        "POST",
+        "/jobs",
+        Some(&body),
+        Duration::from_secs(10),
+    )
+    .expect("http exchange");
+    let text = String::from_utf8(response.body).expect("utf-8 response");
+    assert_eq!(response.status, 201, "submit failed: {text}");
+    let json = Json::parse(&text).expect("submit response is json");
+    let id = json.get("id").and_then(Json::as_u64).expect("job id");
+    let cached = json.get("cached").and_then(Json::as_bool).unwrap_or(false);
+    (id, cached)
+}
+
+#[test]
+fn duplicate_submission_is_served_from_the_cache_byte_identically() {
+    let dir = temp_dir("dup");
+    let (server, client) = start_server(&dir, 2);
+    let addr = server.local_addr().to_string();
+    let config = RunConfig::new(Backend::NonScan);
+    let submission = submission_for_suite("suite:s27", &config);
+
+    // First submission: a real generation run.
+    let (first, first_cached) = submit_raw(&addr, &submission);
+    assert!(!first_cached, "empty store cannot serve a hit");
+    client
+        .wait(
+            first,
+            Duration::from_millis(25),
+            Some(Duration::from_secs(120)),
+        )
+        .expect("first job finishes");
+    let first_bytes = client.artifact(first).expect("first artifact");
+
+    // Second submission of the identical spec: answered from the store,
+    // Done before we ever poll — no generation happened.
+    let (second, second_cached) = submit_raw(&addr, &submission);
+    assert!(second_cached, "duplicate spec was not served from cache");
+    let status = client.status(second).expect("status");
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("done"),
+        "cached job was not instantly done: {status}"
+    );
+
+    // Exactness: cached bytes ≡ first bytes ≡ a local recomputation.
+    let second_bytes = client.artifact(second).expect("cached artifact");
+    assert_eq!(second_bytes, first_bytes, "cache served different bytes");
+    assert_eq!(
+        second_bytes,
+        local_canonical("s27", config),
+        "cached artifact differs from a local run of the same spec"
+    );
+
+    // The hit and the store's footprint are visible in /metrics.
+    let hits = client
+        .metric("gdf_cache_hits_total")
+        .expect("metrics")
+        .expect("gdf_cache_hits_total exported");
+    assert!(hits >= 1.0, "no cache hit counted: {hits}");
+    let bytes = client
+        .metric("gdf_store_bytes")
+        .expect("metrics")
+        .expect("gdf_store_bytes exported");
+    assert!(bytes > 0.0, "store reports no bytes: {bytes}");
+
+    // GC on the live directory keeps the referenced entry: the cache
+    // still answers afterwards with the same bytes.
+    let report = Store::open(dir.join("store"))
+        .expect("open server store")
+        .gc()
+        .expect("gc");
+    assert_eq!(report.swept_objects, 0, "gc swept a live cache object");
+    assert!(report.live_objects >= 1);
+    let (third, third_cached) = submit_raw(&addr, &submission);
+    assert!(third_cached, "cache entry lost after gc");
+    client
+        .wait(
+            third,
+            Duration::from_millis(10),
+            Some(Duration::from_secs(30)),
+        )
+        .expect("cached job readable");
+    assert_eq!(client.artifact(third).expect("artifact"), first_bytes);
+
+    server.shutdown();
+
+    // The cache is on disk, not in memory: a fresh server on the same
+    // directory serves the same hit.
+    let (server, client) = start_server(&dir, 2);
+    let (fourth, fourth_cached) = submit_raw(&server.local_addr().to_string(), &submission);
+    assert!(fourth_cached, "cache did not survive a server restart");
+    assert_eq!(client.artifact(fourth).expect("artifact"), first_bytes);
+
+    // A *different* config is a different key — no false hit.
+    let other = RunConfig::new(Backend::StuckAt);
+    let (fifth, fifth_cached) = submit_raw(
+        &server.local_addr().to_string(),
+        &submission_for_suite("suite:s27", &other),
+    );
+    assert!(!fifth_cached, "different config produced a cache hit");
+    client
+        .wait(
+            fifth,
+            Duration::from_millis(25),
+            Some(Duration::from_secs(120)),
+        )
+        .expect("stuck-at job finishes");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hostile_store_names_are_rejected_with_a_named_error() {
+    let dir = temp_dir("names");
+    let store = Store::open(dir.join("store")).expect("open");
+    let digest = store.put("{\"probe\": 1}\n").expect("put");
+    for hostile in [
+        "",
+        ".",
+        "..",
+        "../escape",
+        "/etc/passwd",
+        "a/b",
+        "a\\b",
+        ".hidden",
+        "nul\0byte",
+        "spa ce",
+    ] {
+        let err = store.link(hostile, &digest).expect_err("must reject");
+        assert!(
+            matches!(err, StoreError::BadName(_)),
+            "{hostile:?}: expected BadName, got {err}"
+        );
+        assert!(
+            matches!(store.resolve(hostile), Err(StoreError::BadName(_))),
+            "{hostile:?}: resolve accepted a hostile name"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

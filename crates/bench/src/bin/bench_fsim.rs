@@ -22,6 +22,7 @@
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --fleet # + fleet bench
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --chaos # + chaos campaign
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --cache # + result-cache bench
+//! cargo run --release -p gdf-bench --bin bench_fsim -- --obs   # + tracing-overhead bench
 //! cargo run --release -p gdf-bench --bin bench_fsim -- --out path.json
 //! ```
 
@@ -386,6 +387,100 @@ fn cache_throughput(jobs: usize, workers: usize) -> CacheFigures {
     }
 }
 
+/// What the `--obs` bench measured.
+struct ObsFigures {
+    jobs: usize,
+    off_jobs_per_sec: f64,
+    on_jobs_per_sec: f64,
+    overhead_pct: f64,
+    traces_written: u64,
+}
+
+/// One observability round: `jobs` distinct stuck-at `s27` submissions
+/// (seed varied per job so every one is a real run, never a cache hit)
+/// against a fresh server with observability on or off, timed from
+/// first submit to last completion.
+fn obs_round(jobs: usize, workers: usize, obs: bool) -> (f64, u64) {
+    use gdf_core::engine::{Backend, RunConfig};
+    use gdf_serve::server::submission_for_suite;
+    use gdf_serve::{Client, JobServer, ServeConfig};
+
+    let dir = std::env::temp_dir().join(format!(
+        "gdf-bench-obs-{}-{}",
+        if obs { "on" } else { "off" },
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = JobServer::start(
+        ServeConfig::new("127.0.0.1:0", &dir)
+            .with_workers(workers)
+            .with_queue_capacity(jobs.max(1))
+            .with_obs(obs),
+    )
+    .expect("bench obs server starts");
+    let client = Client::new(server.local_addr().to_string());
+
+    let start = Instant::now();
+    let ids: Vec<_> = (0..jobs)
+        .map(|i| {
+            let mut config = RunConfig::new(Backend::StuckAt);
+            config.seed = 0x0B5_0000 + i as u64;
+            client
+                .submit(&submission_for_suite("suite:s27", &config))
+                .expect("submit")
+        })
+        .collect();
+    for id in ids {
+        client
+            .wait(
+                id,
+                std::time::Duration::from_millis(5),
+                Some(std::time::Duration::from_secs(300)),
+            )
+            .expect("job completes");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let traces = client
+        .metric("gdf_traces_written_total")
+        .ok()
+        .flatten()
+        .unwrap_or(0.0) as u64;
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    (jobs as f64 / elapsed, traces)
+}
+
+/// The observability overhead trajectory: the same job mix with the
+/// whole stack off and on (phase sink, per-phase histograms, per-job
+/// tracer + profiler, trace documents). Three interleaved off/on pairs,
+/// aggregated over total elapsed time, so a CPU-frequency or scheduler
+/// swing hits both modes alike instead of biasing a percent-level
+/// comparison. (Interleaving does leave the process-global phase sink
+/// installed during the later off rounds; its cost — one histogram
+/// observe per span — is nanoseconds against multi-millisecond jobs.)
+fn obs_overhead(jobs: usize, workers: usize) -> ObsFigures {
+    let mut elapsed = [0.0f64; 2];
+    let mut traces_written = 0;
+    for _ in 0..3 {
+        for obs in [false, true] {
+            let (rate, traces) = obs_round(jobs, workers, obs);
+            elapsed[obs as usize] += jobs as f64 / rate;
+            if obs {
+                traces_written = traces;
+            }
+        }
+    }
+    let off_jobs_per_sec = 3.0 * jobs as f64 / elapsed[0];
+    let on_jobs_per_sec = 3.0 * jobs as f64 / elapsed[1];
+    ObsFigures {
+        jobs,
+        off_jobs_per_sec,
+        on_jobs_per_sec,
+        overhead_pct: (1.0 - on_jobs_per_sec / off_jobs_per_sec) * 100.0,
+        traces_written,
+    }
+}
+
 /// Appends `record` to the JSON array in `path` (creating `[...]` if the
 /// file is missing or empty).
 fn append_record(path: &str, record: &str) -> std::io::Result<()> {
@@ -410,6 +505,7 @@ fn main() {
     let fleet = args.iter().any(|a| a == "--fleet");
     let chaos = args.iter().any(|a| a == "--chaos");
     let cache = args.iter().any(|a| a == "--cache");
+    let obs = args.iter().any(|a| a == "--obs");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -475,6 +571,18 @@ fn main() {
         c
     });
 
+    let obs_figures = obs.then(|| {
+        // Even the smoke rounds need enough work per round (~1s) for a
+        // percent-level comparison to clear scheduler noise.
+        let (jobs, workers) = if smoke { (24, 4) } else { (48, 4) };
+        let o = obs_overhead(jobs, workers);
+        println!(
+            "obs      {} jobs  off {:>8.1} jobs/s  on {:>8.1} jobs/s  overhead {:>5.1}%  {} traces",
+            o.jobs, o.off_jobs_per_sec, o.on_jobs_per_sec, o.overhead_pct, o.traces_written
+        );
+        o
+    });
+
     // Timestamp each appended record so the accumulated trajectory in
     // BENCH_fsim.json stays ordered and attributable across PRs.
     let unix_time = std::time::SystemTime::now()
@@ -514,7 +622,11 @@ fn main() {
         record,
         "    \"serve\": {{\"circuit\": \"s27\", \"backend\": \"stuck-at\", \"jobs\": {serve_jobs}, \
          \"workers\": {serve_workers}, \"jobs_per_sec\": {jobs_per_sec:.1}}}{}",
-        if fleet_figures.is_some() || chaos_figures.is_some() || cache_figures.is_some() {
+        if fleet_figures.is_some()
+            || chaos_figures.is_some()
+            || cache_figures.is_some()
+            || obs_figures.is_some()
+        {
             ","
         } else {
             ""
@@ -531,7 +643,7 @@ fn main() {
             f.units,
             f.cluster_units_per_sec,
             f.faults_per_sec_per_node,
-            if chaos_figures.is_some() || cache_figures.is_some() {
+            if chaos_figures.is_some() || cache_figures.is_some() || obs_figures.is_some() {
                 ","
             } else {
                 ""
@@ -549,7 +661,11 @@ fn main() {
             c.faults_injected,
             c.recoveries,
             c.wall_secs,
-            if cache_figures.is_some() { "," } else { "" }
+            if cache_figures.is_some() || obs_figures.is_some() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     if let Some(c) = &cache_figures {
@@ -557,8 +673,22 @@ fn main() {
             record,
             "    \"cache\": {{\"circuit\": \"s27\", \"backend\": \"stuck-at\", \"jobs\": {}, \
              \"cold_jobs_per_sec\": {:.1}, \"warm_jobs_per_sec\": {:.1}, \"cache_hits\": {}, \
-             \"compaction_ratio\": {:.3}}}",
-            c.jobs, c.cold_jobs_per_sec, c.warm_jobs_per_sec, c.cache_hits, c.compaction_ratio
+             \"compaction_ratio\": {:.3}}}{}",
+            c.jobs,
+            c.cold_jobs_per_sec,
+            c.warm_jobs_per_sec,
+            c.cache_hits,
+            c.compaction_ratio,
+            if obs_figures.is_some() { "," } else { "" }
+        );
+    }
+    if let Some(o) = &obs_figures {
+        let _ = writeln!(
+            record,
+            "    \"obs\": {{\"circuit\": \"s27\", \"backend\": \"stuck-at\", \"jobs\": {}, \
+             \"off_jobs_per_sec\": {:.1}, \"on_jobs_per_sec\": {:.1}, \"overhead_pct\": {:.1}, \
+             \"traces_written\": {}}}",
+            o.jobs, o.off_jobs_per_sec, o.on_jobs_per_sec, o.overhead_pct, o.traces_written
         );
     }
     let _ = write!(record, "  }}");

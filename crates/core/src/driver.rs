@@ -27,6 +27,7 @@
 
 use crate::engine::{AtpgError, Detection, FaultOutcome, Limits, NonScanEngine};
 use crate::pattern::TestSequence;
+use crate::phase;
 use crate::report::CircuitReport;
 use gdf_algebra::delay::DelaySet;
 use gdf_algebra::logic3::Logic3;
@@ -525,7 +526,11 @@ impl<'c> DelayAtpg<'c> {
         // X-fill first, then hand the frames to the shared §5 grading
         // entry point (`rng` keeps drawing for unresolved state bits in
         // the same order as before the refactor).
-        sequence.fill_into(|| rng.gen(), &mut scratch.filled);
+        {
+            let _span = phase::start("fill");
+            sequence.fill_into(|| rng.gen(), &mut scratch.filled);
+        }
+        let _span = phase::start("fsim");
         Ok(grade_filled_sequence(
             self.circuit,
             &scratch.filled,
@@ -561,7 +566,11 @@ impl<'c> DelayAtpg<'c> {
         let Some(fast) = sequence.at_speed() else {
             return Err(AtpgError::StaticSequence);
         };
-        sequence.fill_into(|| rng.gen(), &mut scratch.filled);
+        {
+            let _span = phase::start("fill");
+            sequence.fill_into(|| rng.gen(), &mut scratch.filled);
+        }
+        let _span = phase::start("fsim");
         Ok(grade_filled_sequence_transition(
             self.circuit,
             &scratch.filled,
@@ -594,6 +603,7 @@ impl<'c> DelayAtpg<'c> {
         if sequence.at_speed().is_none() {
             return Err(AtpgError::StaticSequence);
         }
+        let _span = phase::start("fsim");
         // Phase 1: good-machine simulation of the initialization frames
         // with random X-fill, yielding the state when V1 is applied.
         let filled = sequence.filled_with(|| rng.gen());

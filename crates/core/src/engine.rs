@@ -47,6 +47,7 @@ use crate::driver::{
     AtpgRun, DelayAtpg, DelayAtpgConfig, FaultClassification, FaultRecord, FsimScratch,
 };
 use crate::pattern::TestSequence;
+use crate::phase;
 use crate::report::{CircuitReport, Coverage, Table3Row};
 use crate::scan::ScanDelayAtpg;
 use gdf_netlist::{Circuit, DelayFault, Fault, FaultUniverse, ModelKind, NodeId};
@@ -1323,6 +1324,7 @@ fn orchestrate(
                             if table_ref.is_some_and(|t| t[wave[k]].is_some()) {
                                 continue; // already speculated externally
                             }
+                            let _span = phase::start("generate");
                             let out = worker.generate(faults[wave[k]]);
                             slots[k].set(out).expect("each slot claimed once");
                         });
@@ -1355,7 +1357,10 @@ fn orchestrate(
                 Some(out) => out,
                 None => match table.as_mut().and_then(|t| t[idx].take()) {
                     Some(out) => Ok(out),
-                    None => worker.generate(faults[idx]),
+                    None => {
+                        let _span = phase::start("generate");
+                        worker.generate(faults[idx])
+                    }
                 },
             };
             let classification = match outcome {
@@ -1376,7 +1381,10 @@ fn orchestrate(
                     let undecided: Vec<usize> =
                         (0..total).filter(|&i| records[i].is_none()).collect();
                     let candidates: Vec<Fault> = undecided.iter().map(|&i| faults[i]).collect();
-                    let hits = worker.credit(&detection, &candidates, &mut rng, &mut scratch);
+                    let hits = {
+                        let _span = phase::start("credit");
+                        worker.credit(&detection, &candidates, &mut rng, &mut scratch)
+                    };
                     for hit in hits {
                         let i = undecided[hit];
                         if records[i].is_none() {
@@ -1504,6 +1512,7 @@ fn emit_checkpoint(
     if observers.is_empty() {
         return;
     }
+    let _span = phase::start("checkpoint");
     let snapshot = RunSnapshot {
         engine,
         circuit,

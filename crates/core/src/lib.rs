@@ -38,6 +38,7 @@ pub mod engine;
 pub mod io;
 pub mod json;
 pub mod pattern;
+pub mod phase;
 pub mod report;
 pub mod scan;
 pub mod session;
@@ -57,6 +58,7 @@ pub use gdf_netlist::{Fault, FaultModel, FaultSet, ModelKind};
 pub use gdf_tdgen::Sensitization;
 pub use io::{ArtifactIo, ProductionIo};
 pub use pattern::{ClockSpeed, TestSequence, TimedVector};
+pub use phase::{PhaseSink, PhaseSpan};
 pub use report::{CircuitReport, ClassCounts, Coverage, Table3Row};
 pub use scan::ScanDelayAtpg;
 pub use session::{

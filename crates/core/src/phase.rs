@@ -1,0 +1,116 @@
+//! The phase-timing facade — the engine's narrow seam for profiling,
+//! modeled on the [`crate::io`] artifact-I/O facade.
+//!
+//! Hot paths in the orchestrator and the fault-simulation driver mark
+//! their stages (`generate`, `credit`, `fill`, `fsim`, `checkpoint`, …)
+//! by opening a [`PhaseSpan`]. With no sink installed — the default —
+//! [`start`] is one relaxed atomic load and the span is inert: no clock
+//! read, no allocation, nothing. An observability layer (`gdf-obs` via
+//! `gdf-serve`) installs a process-global [`PhaseSink`] to receive
+//! `(phase, start, duration)` triples, which it folds into histograms
+//! and per-job traces.
+//!
+//! Nothing recorded here can reach a canonical artifact: the facade
+//! only *observes* wall time, and every consumer keeps its output in
+//! side-channel documents (`/metrics`, `traces/`). The determinism
+//! invariants (serial ≡ parallel ≡ resumed ≡ served ≡ fleet) hold with
+//! any sink installed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Receiver of phase timings. Implementations must be cheap and
+/// panic-free: they run inside the engine's merge loop.
+pub trait PhaseSink: Send + Sync {
+    /// One completed phase: its name, when it started, how long it ran.
+    fn record(&self, phase: &'static str, started: Instant, duration: Duration);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn PhaseSink>>> = RwLock::new(None);
+
+/// Installs the process-global phase sink.
+pub fn set_phase_sink(sink: Arc<dyn PhaseSink>) {
+    *SINK.write().unwrap_or_else(|e| e.into_inner()) = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the sink; [`start`] returns to its one-atomic-load fast
+/// path.
+pub fn reset_phase_sink() {
+    ENABLED.store(false, Ordering::Release);
+    *SINK.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Whether a sink is installed.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// An in-flight phase measurement; records to the sink on drop. Inert
+/// (no clock was even read) when no sink is installed.
+#[must_use = "the span records on drop; binding it to `_` drops immediately"]
+pub struct PhaseSpan {
+    phase: &'static str,
+    started: Option<Instant>,
+}
+
+/// Opens a span over the phase named `phase`.
+#[inline]
+pub fn start(phase: &'static str) -> PhaseSpan {
+    PhaseSpan {
+        phase,
+        started: enabled().then(Instant::now),
+    }
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        let Some(started) = self.started else {
+            return;
+        };
+        let sink = SINK.read().unwrap_or_else(|e| e.into_inner()).clone();
+        if let Some(sink) = sink {
+            sink.record(self.phase, started, started.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Collect(Mutex<Vec<(&'static str, Duration)>>);
+
+    impl PhaseSink for Collect {
+        fn record(&self, phase: &'static str, _started: Instant, duration: Duration) {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((phase, duration));
+        }
+    }
+
+    #[test]
+    fn spans_are_inert_without_a_sink_and_record_with_one() {
+        reset_phase_sink();
+        {
+            let span = start("idle");
+            assert!(span.started.is_none(), "no clock read when disabled");
+        }
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        set_phase_sink(sink.clone());
+        {
+            let _span = start("fill");
+        }
+        reset_phase_sink();
+        {
+            let _span = start("after");
+        }
+        let got = sink.0.lock().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "fill");
+    }
+}

@@ -21,6 +21,7 @@ use gdf_core::json::Json;
 use gdf_core::session::CampaignReport;
 use gdf_core::shard::{merge_artifact, ShardArtifact};
 use gdf_netlist::Circuit;
+use gdf_obs::TraceCtx;
 use gdf_serve::server::{
     submission_for_bench, submission_for_suite, submission_with_runtime, submission_with_shard,
 };
@@ -107,6 +108,12 @@ pub struct Coordinator {
     store: Option<Store>,
     /// Units completed from the cache instead of a node.
     cached_units: usize,
+    /// The campaign's trace root, derived from the plan's name + config
+    /// digest — stable across coordinator restarts, so a resumed fleet
+    /// keeps correlating under the same trace id. Every shard
+    /// submission carries a per-unit child of this context in
+    /// `X-Gdf-Trace`.
+    trace: TraceCtx,
     warnings: Vec<String>,
     poll: Duration,
     steal_after: Duration,
@@ -163,6 +170,11 @@ impl Coordinator {
                 None
             }
         };
+        let trace = TraceCtx::root(&format!(
+            "gdf-fleet:{}:{}",
+            plan.name,
+            gdf_core::digest::config_digest(&plan.config).hex()
+        ));
         Ok(Coordinator {
             circuits,
             clients,
@@ -176,6 +188,7 @@ impl Coordinator {
             stolen: 0,
             store,
             cached_units: 0,
+            trace,
             warnings,
             poll: Duration::from_millis(300),
             steal_after: Duration::from_secs(60),
@@ -208,6 +221,12 @@ impl Coordinator {
     /// The plan as the coordinator currently holds it.
     pub fn plan(&self) -> &FleetPlan {
         &self.plan
+    }
+
+    /// The campaign's trace context (every shard submission carries a
+    /// per-unit child of it).
+    pub fn trace(&self) -> TraceCtx {
+        self.trace
     }
 
     /// Where the plan lives inside a fleet directory.
@@ -610,7 +629,11 @@ impl Coordinator {
                 unit.hi,
                 &self.plan.tag(k),
             );
-            match self.clients[n].submit(&body) {
+            // Parent the shard job under the campaign trace: every node
+            // derives its job trace from this context, so one campaign
+            // correlates across the whole fleet.
+            let unit_trace = self.trace.child(&self.plan.tag(k));
+            match self.clients[n].submit_traced(&body, Some(&unit_trace)) {
                 Ok(job) => {
                     let tag = self.plan.tag(k);
                     let addr = self.plan.nodes[n].clone();

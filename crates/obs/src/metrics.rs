@@ -1,0 +1,467 @@
+//! The metrics registry: counters, gauges, and log-bucketed histograms
+//! behind a single Prometheus text-exposition encoder.
+//!
+//! Everything is hand-rolled on `std::sync::atomic`, in the same
+//! no-crates.io discipline as `gdf_core::json`. The registry is the one
+//! place series are declared (name, help, type, labels); handles are
+//! cheap `Arc`-backed clones that callers update lock-free. `render()`
+//! walks families in registration order and emits valid Prometheus text
+//! — the encoder shared by `GET /metrics`, the fleet coordinator, and
+//! the CLI dashboards.
+//!
+//! The [`Histogram`] replaces window-sampled quantiles: values (in
+//! microseconds) land in log-spaced buckets — 32 sub-buckets per
+//! power of two, HDR style — so p50/p90/p99 read out exactly (to ~3%
+//! bucket resolution) over *every* observation ever made, not a biased
+//! most-recent window. Quantile readout is deterministic nearest-rank
+//! over the cumulative bucket counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Sub-bucket resolution: 2^5 = 32 sub-buckets per power of two,
+/// bounding the relative quantile error at ~3%.
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Bucket count for the full `u64` microsecond range: 32 linear buckets
+/// below 32, then 32 per octave for each of the 59 octaves from 2^5
+/// through 2^63 (top index: msb 63, sub 31 → 1919).
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// Index of the log bucket holding `v` (microseconds).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        (msb - SUB_BITS + 1) as usize * SUB + sub
+    }
+}
+
+/// Lower bound of bucket `i` — the deterministic representative value
+/// reported for any observation that landed in it.
+fn bucket_value(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let octave = (i / SUB) as u32;
+        let sub = (i % SUB) as u64;
+        let msb = octave + SUB_BITS - 1;
+        (1u64 << msb) | (sub << (msb - SUB_BITS))
+    }
+}
+
+/// A monotone counter. Clones share the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable gauge storing an `f64`. Clones share the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A log-bucketed histogram over microsecond values with exact
+/// nearest-rank quantile readout. Rendered as a Prometheus `summary`
+/// (quantile series plus `_sum`/`_count`).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one microsecond value.
+    pub fn observe_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one duration (saturating at `u64::MAX` microseconds).
+    pub fn observe(&self, d: Duration) {
+        self.observe_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Nearest-rank quantile in microseconds; 0 when empty. Walks the
+    /// cumulative bucket counts — deterministic for a fixed set of
+    /// observations, no sampling window.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return bucket_value(i);
+            }
+        }
+        bucket_value(BUCKETS - 1)
+    }
+
+    /// Nearest-rank quantile in seconds; 0.0 when empty.
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        self.quantile_us(q) as f64 / 1e6
+    }
+}
+
+/// The type of a metric family, for the `# TYPE` header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotone counter.
+    Counter,
+    /// Settable gauge.
+    Gauge,
+    /// Histogram rendered as a Prometheus summary.
+    Summary,
+}
+
+impl Kind {
+    fn text(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Summary => "summary",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    /// Rendered label body (`key="value",...`, empty for unlabeled) →
+    /// series, in insertion order; sorted at render time.
+    series: Vec<(String, Series)>,
+}
+
+/// A shared registry of metric families. Cheap to clone; all clones see
+/// the same families. Registration is get-or-create: asking twice for
+/// the same (name, labels) returns a handle to the same cell, so crates
+/// can register independently without coordinating.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Vec<Family>>>,
+}
+
+/// Renders a label value with Prometheus escaping.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_body(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    out
+}
+
+/// Formats a sample value: finite floats via `Display`, anything
+/// non-finite as 0 (the exposition must never carry NaN).
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn series(&self, name: &str, help: &str, kind: Kind, labels: &[(&str, &str)]) -> Series {
+        let key = label_body(labels);
+        let mut fams = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let fam = match fams.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                fams.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                fams.last_mut().expect("just pushed")
+            }
+        };
+        debug_assert_eq!(
+            fam.kind, kind,
+            "metric {name} re-registered with a new type"
+        );
+        if let Some((_, s)) = fam.series.iter().find(|(k, _)| *k == key) {
+            return s.clone();
+        }
+        let s = match kind {
+            Kind::Counter => Series::Counter(Counter::default()),
+            Kind::Gauge => Series::Gauge(Gauge::default()),
+            Kind::Summary => Series::Histogram(Arc::new(Histogram::default())),
+        };
+        fam.series.push((key, s.clone()));
+        s
+    }
+
+    /// Get-or-create an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-create a labeled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, help, Kind::Counter, labels) {
+            Series::Counter(c) => c,
+            _ => unreachable!("kind checked at registration"),
+        }
+    }
+
+    /// Get-or-create an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.series(name, help, Kind::Gauge, &[]) {
+            Series::Gauge(g) => g,
+            _ => unreachable!("kind checked at registration"),
+        }
+    }
+
+    /// Get-or-create an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Get-or-create a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.series(name, help, Kind::Summary, labels) {
+            Series::Histogram(h) => h,
+            _ => unreachable!("kind checked at registration"),
+        }
+    }
+
+    /// Encodes every family as Prometheus text exposition: `# HELP` and
+    /// `# TYPE` headers, families in registration order, series within a
+    /// family sorted by label body for a stable readout.
+    pub fn render(&self) -> String {
+        let fams = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for fam in fams.iter() {
+            out.push_str(&format!("# HELP {} {}\n", fam.name, fam.help));
+            out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind.text()));
+            let mut series: Vec<&(String, Series)> = fam.series.iter().collect();
+            series.sort_by(|a, b| a.0.cmp(&b.0));
+            for (labels, s) in series {
+                match s {
+                    Series::Counter(c) => {
+                        push_sample(&mut out, &fam.name, labels, &format!("{}", c.get()));
+                    }
+                    Series::Gauge(g) => {
+                        push_sample(&mut out, &fam.name, labels, &fmt_value(g.get()));
+                    }
+                    Series::Histogram(h) => {
+                        for q in ["0.5", "0.9", "0.99"] {
+                            let quantile = q.parse::<f64>().expect("static quantile");
+                            let with_q = if labels.is_empty() {
+                                format!("quantile=\"{q}\"")
+                            } else {
+                                format!("{labels},quantile=\"{q}\"")
+                            };
+                            push_sample(
+                                &mut out,
+                                &fam.name,
+                                &with_q,
+                                &fmt_value(h.quantile_seconds(quantile)),
+                            );
+                        }
+                        push_sample(
+                            &mut out,
+                            &format!("{}_sum", fam.name),
+                            labels,
+                            &fmt_value(h.sum_seconds()),
+                        );
+                        push_sample(
+                            &mut out,
+                            &format!("{}_count", fam.name),
+                            labels,
+                            &format!("{}", h.count()),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn push_sample(out: &mut String, name: &str, labels: &str, value: &str) {
+    if labels.is_empty() {
+        out.push_str(&format!("{name} {value}\n"));
+    } else {
+        out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_value_are_consistent() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 1_000_000, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            let lo = bucket_value(i);
+            assert!(lo <= v, "bucket lower bound {lo} above value {v}");
+            if i + 1 < BUCKETS {
+                assert!(bucket_value(i + 1) > v, "value {v} beyond bucket {i}");
+            }
+        }
+        // Lower bounds are strictly increasing — buckets never overlap.
+        for i in 1..BUCKETS {
+            assert!(bucket_value(i) > bucket_value(i - 1));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_exact_at_bucket_resolution() {
+        let h = Histogram::default();
+        for us in 1..=1000u64 {
+            h.observe_us(us);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_us(0.5) as f64;
+        let p99 = h.quantile_us(0.99) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.05, "p99 {p99}");
+        // The empty histogram reads 0, never NaN.
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile_seconds(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_is_not_window_biased() {
+        // A window sampler would forget the early tail; the histogram
+        // keeps every observation, so one huge late value cannot shift
+        // p50 and an early outlier still shows at p99.
+        let h = Histogram::default();
+        h.observe_us(1_000_000); // early outlier
+        for _ in 0..2000 {
+            h.observe_us(100);
+        }
+        assert!(h.quantile_us(0.5) <= 104);
+        assert!(h.quantile_us(0.9999) >= 900_000);
+    }
+
+    #[test]
+    fn render_emits_valid_prometheus_text() {
+        let r = Registry::new();
+        let c = r.counter("gdf_test_total", "A counter.");
+        c.add(3);
+        let g = r.gauge("gdf_test_depth", "A gauge.");
+        g.set(2.5);
+        let h = r.histogram("gdf_test_seconds", "A summary.");
+        h.observe_us(1500);
+        let labeled = r.counter_with("gdf_test_http_total", "Labeled.", &[("code", "200")]);
+        labeled.inc();
+        let text = r.render();
+        assert!(text.contains("# TYPE gdf_test_total counter"));
+        assert!(text.contains("gdf_test_total 3\n"));
+        assert!(text.contains("# TYPE gdf_test_depth gauge"));
+        assert!(text.contains("gdf_test_depth 2.5\n"));
+        assert!(text.contains("# TYPE gdf_test_seconds summary"));
+        assert!(text.contains("gdf_test_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("gdf_test_seconds_count 1\n"));
+        assert!(text.contains("gdf_test_http_total{code=\"200\"} 1\n"));
+    }
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let r = Registry::new();
+        r.counter("gdf_once_total", "Once.").inc();
+        r.counter("gdf_once_total", "Once.").inc();
+        assert_eq!(r.counter("gdf_once_total", "Once.").get(), 2);
+        // Only one family line in the render.
+        let text = r.render();
+        assert_eq!(text.matches("# TYPE gdf_once_total").count(), 1);
+    }
+}

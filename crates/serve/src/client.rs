@@ -18,11 +18,12 @@
 //! immediately. The schedule is deterministic so fleet runs sequence
 //! identically on every execution.
 
-use crate::http::{client_request, client_stream, HttpError};
+use crate::http::{client_request_with_headers, client_stream, HttpError};
 use crate::job::JobId;
 use crate::ServeError;
 use gdf_core::json::{Json, ParseLimits};
 use gdf_core::session::ProgressEvent;
+use gdf_obs::{TraceCtx, TRACE_HEADER};
 use std::time::{Duration, Instant};
 
 /// First backoff delay; doubles per attempt up to [`RETRY_CAP`].
@@ -103,10 +104,27 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, Vec<u8>), ServeError> {
+        self.exchange_with(method, path, body, &[])
+    }
+
+    fn exchange_with(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<(u16, Vec<u8>), ServeError> {
         let idempotent = method == "GET";
         let mut attempt = 0u32;
         loop {
-            match client_request(&self.addr, method, path, body, self.timeout) {
+            match client_request_with_headers(
+                &self.addr,
+                method,
+                path,
+                body,
+                self.timeout,
+                extra_headers,
+            ) {
                 // A 503 carrying `Retry-After` is a deliberate verdict
                 // (drain, hard capacity) — surface it immediately so the
                 // caller can route elsewhere instead of burning backoff.
@@ -129,7 +147,17 @@ impl Client {
     /// Parses a response body as JSON, mapping non-2xx to
     /// [`ServeError::Api`] with the server's error message.
     fn json(&self, method: &str, path: &str, body: Option<&str>) -> Result<Json, ServeError> {
-        let (status, bytes) = self.exchange(method, path, body)?;
+        self.json_with(method, path, body, &[])
+    }
+
+    fn json_with(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<Json, ServeError> {
+        let (status, bytes) = self.exchange_with(method, path, body, extra_headers)?;
         let text = String::from_utf8_lossy(&bytes);
         let parsed = Json::parse_with_limits(&text, ParseLimits::default()).ok();
         if !(200..300).contains(&status) {
@@ -188,8 +216,24 @@ impl Client {
     /// [`crate::server::submission_for_suite`] /
     /// [`crate::server::submission_for_bench`]; returns the new job id.
     pub fn submit(&self, submission: &Json) -> Result<JobId, ServeError> {
+        self.submit_traced(submission, None)
+    }
+
+    /// [`Client::submit`] carrying an `X-Gdf-Trace` header, so the
+    /// server parents the job's trace under the caller's campaign (what
+    /// the fleet coordinator sends per shard unit).
+    pub fn submit_traced(
+        &self,
+        submission: &Json,
+        trace: Option<&TraceCtx>,
+    ) -> Result<JobId, ServeError> {
         let body = submission.to_string();
-        let response = self.json("POST", "/jobs", Some(&body))?;
+        let header_value = trace.map(TraceCtx::header_value);
+        let headers: Vec<(&str, &str)> = match &header_value {
+            Some(value) => vec![(TRACE_HEADER, value.as_str())],
+            None => Vec::new(),
+        };
+        let response = self.json_with("POST", "/jobs", Some(&body), &headers)?;
         response
             .get("id")
             .and_then(Json::as_u64)

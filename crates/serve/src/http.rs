@@ -370,13 +370,18 @@ fn write_request_head(
     path: &str,
     addr: &str,
     body_len: usize,
+    extra_headers: &[(&str, &str)],
 ) -> Result<(), HttpError> {
     write!(
         stream,
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nAccept: application/json\r\n\
-         Content-Length: {body_len}\r\nConnection: close\r\n\r\n"
+         Content-Length: {body_len}\r\nConnection: close\r\n"
     )
-    .map_err(io_err)
+    .map_err(io_err)?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n").map_err(io_err)?;
+    }
+    write!(stream, "\r\n").map_err(io_err)
 }
 
 fn read_status_line<R: BufRead>(reader: &mut R) -> Result<u16, HttpError> {
@@ -424,10 +429,30 @@ pub fn client_request(
     body: Option<&str>,
     timeout: Duration,
 ) -> Result<ClientResponse, HttpError> {
+    client_request_with_headers(addr, method, path, body, timeout, &[])
+}
+
+/// [`client_request`] with extra request headers (e.g. `X-Gdf-Trace`
+/// for cross-node trace propagation).
+pub fn client_request_with_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+    extra_headers: &[(&str, &str)],
+) -> Result<ClientResponse, HttpError> {
     let stream = connect(addr, timeout)?;
     let mut writer = stream.try_clone().map_err(io_err)?;
     let body_bytes = body.map(str::as_bytes).unwrap_or_default();
-    write_request_head(&mut writer, method, path, addr, body_bytes.len())?;
+    write_request_head(
+        &mut writer,
+        method,
+        path,
+        addr,
+        body_bytes.len(),
+        extra_headers,
+    )?;
     writer.write_all(body_bytes).map_err(io_err)?;
     writer.flush().map_err(io_err)?;
 
@@ -488,7 +513,7 @@ pub fn client_stream(
 ) -> Result<(u16, Vec<u8>), HttpError> {
     let stream = connect(addr, idle_timeout)?;
     let mut writer = stream.try_clone().map_err(io_err)?;
-    write_request_head(&mut writer, "GET", path, addr, 0)?;
+    write_request_head(&mut writer, "GET", path, addr, 0, &[])?;
     writer.flush().map_err(io_err)?;
 
     let mut reader = BufReader::new(stream);

@@ -25,6 +25,7 @@ use gdf_core::artifact::{
 use gdf_core::engine::RunConfig;
 use gdf_core::json::Json;
 use gdf_core::Coverage;
+use gdf_obs::TraceCtx;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicBool;
@@ -217,6 +218,15 @@ pub struct JobStatus {
     pub total: usize,
     /// Final counters once done.
     pub report: Option<ReportSummary>,
+    /// The trace context this job runs under: parsed from the
+    /// submission's `X-Gdf-Trace` header, or digest-derived by the
+    /// server. Persisted so a resumed job keeps its campaign
+    /// correlation.
+    pub trace: Option<TraceCtx>,
+    /// Optional profiling summary (wall time, per-phase breakdown)
+    /// attached when the job finishes with observability enabled.
+    /// Strictly a side channel: never part of the canonical artifact.
+    pub profile: Option<Json>,
 }
 
 /// One job as the server holds it: immutable spec, mutable status,
@@ -248,6 +258,8 @@ impl Job {
                 decided: 0,
                 total: 0,
                 report: None,
+                trace: None,
+                profile: None,
             }),
             events: EventLog::new(),
             cancel: AtomicBool::new(false),
@@ -326,6 +338,14 @@ pub fn encode_record(id: JobId, spec: &JobSpec, status: &JobStatus) -> String {
             Some(r) => r.encode(),
         },
     ));
+    // Observability side channel: optional keys, so v3 readers that
+    // predate them keep decoding these records unchanged.
+    if let Some(trace) = &status.trace {
+        fields.push(("trace".into(), Json::Str(trace.header_value())));
+    }
+    if let Some(profile) = &status.profile {
+        fields.push(("profile".into(), profile.clone()));
+    }
     Json::Obj(fields).pretty()
 }
 
@@ -416,12 +436,22 @@ pub fn decode_record(text: &str) -> Result<(JobId, JobSpec, JobStatus), Artifact
             })
         }
     };
+    let trace = j
+        .get("trace")
+        .and_then(Json::as_str)
+        .and_then(TraceCtx::parse);
+    let profile = match j.get("profile") {
+        None | Some(Json::Null) => None,
+        Some(p) => Some(p.clone()),
+    };
     let status = JobStatus {
         state,
         error,
         decided: 0,
         total: 0,
         report,
+        trace,
+        profile,
     };
     Ok((id, spec, status))
 }
@@ -469,6 +499,8 @@ mod tests {
                     collapsed: None,
                 },
             }),
+            trace: TraceCtx::parse("000000000000000000000000000000ab-00000000000000cd"),
+            profile: Some(Json::Obj(vec![("wall_us".into(), Json::Num(7.0))])),
         };
         let text = encode_record(42, &spec, &status);
         let (id, spec2, status2) = decode_record(&text).unwrap();
@@ -477,6 +509,16 @@ mod tests {
         assert_eq!(status2.state, JobState::Failed);
         assert_eq!(status2.error.as_deref(), Some("engine exploded"));
         assert_eq!(status2.report, status.report);
+        assert_eq!(status2.trace, status.trace);
+        assert!(status2.trace.is_some());
+        assert_eq!(
+            status2
+                .profile
+                .as_ref()
+                .and_then(|p| p.get("wall_us"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
 
         status.error = None;
         status.report = None;
@@ -506,6 +548,8 @@ mod tests {
             decided: 0,
             total: 0,
             report: None,
+            trace: None,
+            profile: None,
         };
         let (_, spec2, _) = decode_record(&encode_record(9, &spec, &status)).unwrap();
         assert_eq!(spec2, spec);

@@ -52,6 +52,10 @@ use gdf_core::json::{Json, ParseLimits};
 use gdf_core::session::{Checkpointer, EventObserver, ProgressEvent};
 use gdf_core::ShardArtifact;
 use gdf_netlist::{Circuit, FaultUniverse};
+use gdf_obs::{
+    capture_begin, capture_take, Counter, Gauge, Histogram, ProfileData, ProfileHandle, Profiler,
+    Registry, TraceCtx, Tracer, PHASE_HELP, PHASE_METRIC, TRACE_HEADER,
+};
 use gdf_store::{CacheKey, Store};
 use std::collections::BTreeMap;
 use std::io::BufReader;
@@ -78,6 +82,24 @@ const MAX_CONNECTIONS: usize = 256;
 /// is the durable record).
 const TERMINAL_EVENT_TAIL: usize = 256;
 
+/// Help text for the labeled HTTP request counter.
+const HTTP_HELP: &str = "HTTP requests served, by method, route pattern, and status.";
+
+/// Engine/job phases pre-registered at startup so the
+/// `gdf_engine_phase_seconds` family renders (with zero counts) before
+/// the first job runs — scrapers never see the family flicker in.
+const PHASES: [&str; 9] = [
+    "parse",
+    "generate",
+    "fill",
+    "fsim",
+    "credit",
+    "checkpoint",
+    "publish",
+    "store_get",
+    "store_publish",
+];
+
 /// Server construction parameters; see [`JobServer::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -93,6 +115,11 @@ pub struct ServeConfig {
     pub checkpoint_every: usize,
     /// Request-body byte limit.
     pub body_limit: usize,
+    /// Observability: per-job traces under `<dir>/traces/`, per-phase
+    /// engine histograms, and `profile` blocks on finished jobs. On by
+    /// default; the benchmark harness turns it off to measure overhead.
+    /// Never affects canonical artifacts either way.
+    pub obs: bool,
 }
 
 impl ServeConfig {
@@ -106,6 +133,7 @@ impl ServeConfig {
             queue_capacity: 64,
             checkpoint_every: 16,
             body_limit: crate::http::DEFAULT_BODY_LIMIT,
+            obs: true,
         }
     }
 
@@ -126,57 +154,118 @@ impl ServeConfig {
         self.checkpoint_every = every.max(1);
         self
     }
+
+    /// Enables or disables tracing + profiling (metrics stay on).
+    pub fn with_obs(mut self, obs: bool) -> Self {
+        self.obs = obs;
+        self
+    }
 }
 
-/// Pool counters behind `GET /metrics`. Latencies keep the most recent
-/// [`LATENCY_WINDOW`] completed-job wall times — quantiles over a
-/// sliding window, not the full server history, so a week-old slow job
-/// cannot pin p99 forever.
+/// Pool counters behind `GET /metrics`, now held in the shared
+/// [`Registry`]. Job latency is a log-bucketed histogram over the full
+/// server history — exact nearest-rank quantiles at every scrape, no
+/// sliding-window bias (the old ring buffer let a burst of fast jobs
+/// evict the slow tail and understate p99).
 struct Metrics {
     /// Jobs that reached `Done` in this process.
-    completed: AtomicU64,
+    completed: Counter,
     /// Jobs that reached `Failed` in this process.
-    failed: AtomicU64,
+    failed: Counter,
     /// Submissions answered straight from the result cache (these also
     /// count as completed, but contribute no latency sample — a cache
     /// hit measures the store, not the engine).
-    cache_hits: AtomicU64,
+    cache_hits: Counter,
+    /// Trace documents written under `<dir>/traces/`.
+    traces_written: Counter,
     /// Workers currently inside `run_job`.
     busy: AtomicUsize,
-    /// Ring of recent completed-job latencies, in microseconds.
-    latencies_us: Mutex<std::collections::VecDeque<u64>>,
+    /// Completed-job wall time; rendered as the
+    /// `gdf_job_latency_seconds` summary.
+    latency: Arc<Histogram>,
+    /// Gauge handles, registered up front in the exposition order the
+    /// pre-obs server printed them, so migrating to the registry
+    /// encoder does not reorder anyone's scrape.
+    queue_depth: Gauge,
+    jobs_running: Gauge,
+    jobs_queued: Gauge,
+    workers: Gauge,
+    workers_busy: Gauge,
+    worker_utilization: Gauge,
+    draining: Gauge,
+    store_bytes: Gauge,
+    store_objects: Gauge,
 }
 
-/// Completed-job latency samples retained for the `/metrics` quantiles.
-const LATENCY_WINDOW: usize = 1024;
-
 impl Metrics {
-    fn new() -> Self {
+    fn new(registry: &Registry) -> Self {
+        // Registration order is render order; keep the historical one.
+        let queue_depth = registry.gauge("gdf_queue_depth", "Jobs waiting in the sharded queue.");
+        let jobs_running = registry.gauge(
+            "gdf_jobs_running",
+            "Jobs currently being driven by a worker.",
+        );
+        let jobs_queued = registry.gauge(
+            "gdf_jobs_queued",
+            "Jobs in the queued state (including the recovery backlog).",
+        );
+        let workers = registry.gauge("gdf_workers", "Worker threads in the pool.");
+        let workers_busy = registry.gauge("gdf_workers_busy", "Workers currently inside a job.");
+        let worker_utilization = registry.gauge(
+            "gdf_worker_utilization",
+            "Busy workers as a fraction of the pool.",
+        );
+        let draining = registry.gauge(
+            "gdf_draining",
+            "1 while the server is draining (graceful shutdown in progress).",
+        );
+        let store_bytes = registry.gauge(
+            "gdf_store_bytes",
+            "Total object bytes in the content-addressed result store.",
+        );
+        let store_objects = registry.gauge(
+            "gdf_store_objects",
+            "Objects in the content-addressed result store.",
+        );
+        let completed = registry.counter(
+            "gdf_jobs_completed_total",
+            "Jobs that finished successfully.",
+        );
+        let failed = registry.counter("gdf_jobs_failed_total", "Jobs that finished in failure.");
+        let cache_hits = registry.counter(
+            "gdf_cache_hits_total",
+            "Submissions answered from the exact result cache.",
+        );
+        let latency = registry.histogram(
+            "gdf_job_latency_seconds",
+            "Completed-job wall time (log-bucketed over the full server history).",
+        );
+        let traces_written = registry.counter(
+            "gdf_traces_written_total",
+            "Job trace documents written under the server's traces/ directory.",
+        );
         Metrics {
-            completed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
+            completed,
+            failed,
+            cache_hits,
+            traces_written,
             busy: AtomicUsize::new(0),
-            latencies_us: Mutex::new(std::collections::VecDeque::new()),
+            latency,
+            queue_depth,
+            jobs_running,
+            jobs_queued,
+            workers,
+            workers_busy,
+            worker_utilization,
+            draining,
+            store_bytes,
+            store_objects,
         }
     }
 
     fn record_done(&self, elapsed: Duration) {
-        self.completed.fetch_add(1, Ordering::AcqRel);
-        let mut window = self.latencies_us.lock().expect("metrics poisoned");
-        if window.len() == LATENCY_WINDOW {
-            window.pop_front();
-        }
-        window.push_back(elapsed.as_micros().min(u64::MAX as u128) as u64);
-    }
-
-    /// Nearest-rank quantile over the window, in seconds.
-    fn latency_quantile(sorted_us: &[u64], q: f64) -> f64 {
-        if sorted_us.is_empty() {
-            return 0.0;
-        }
-        let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
-        sorted_us[rank - 1] as f64 / 1e6
+        self.completed.inc();
+        self.latency.observe(elapsed);
     }
 }
 
@@ -200,6 +289,12 @@ struct ServerState {
     draining: AtomicBool,
     connections: Arc<std::sync::atomic::AtomicUsize>,
     metrics: Metrics,
+    /// The unified metric registry: pool counters, the job-latency
+    /// summary, per-phase engine histograms, HTTP request counters.
+    /// `GET /metrics` is one `registry.render()`.
+    registry: Registry,
+    /// Tracing + profiling enabled ([`ServeConfig::obs`]).
+    obs: bool,
     /// The content-addressed result cache under `<dir>/store`. Always
     /// on: publishing costs one extra write per completed run, and a hit
     /// saves an entire generation run.
@@ -207,6 +302,27 @@ struct ServerState {
 }
 
 impl ServerState {
+    /// Bumps `gdf_http_requests_total{method,path,status}`. `path` is
+    /// the route *pattern* (`/jobs/{id}`), not the raw path — ids must
+    /// not explode the series cardinality.
+    fn record_http(&self, method: &str, route: &str, status: u16) {
+        let method = match method {
+            "GET" | "POST" | "DELETE" => method,
+            _ => "other",
+        };
+        self.registry
+            .counter_with(
+                "gdf_http_requests_total",
+                HTTP_HELP,
+                &[
+                    ("method", method),
+                    ("path", route),
+                    ("status", &status.to_string()),
+                ],
+            )
+            .inc();
+    }
+
     fn job(&self, id: JobId) -> Option<Arc<Job>> {
         self.jobs
             .lock()
@@ -296,6 +412,25 @@ impl JobServer {
         let workers = config.workers.max(1);
         let store =
             Store::open(config.dir.join("store")).map_err(|e| ServeError::Io(e.to_string()))?;
+        let registry = Registry::new();
+        let metrics = Metrics::new(&registry);
+        // Pre-register the per-phase histograms and the /metrics scrape
+        // counter so those families are present from the first scrape.
+        for phase in PHASES {
+            registry.histogram_with(PHASE_METRIC, PHASE_HELP, &[("phase", phase)]);
+        }
+        registry.counter_with(
+            "gdf_http_requests_total",
+            HTTP_HELP,
+            &[("method", "GET"), ("path", "/metrics"), ("status", "200")],
+        );
+        if config.obs {
+            // Route engine phase spans (parse/generate/fill/fsim/…)
+            // into this registry. The sink is process-global: with
+            // several in-process servers the last one started wins,
+            // which the tests and the bench harness account for.
+            gdf_obs::install_phase_sink(registry.clone());
+        }
         let state = Arc::new(ServerState {
             dir: config.dir.clone(),
             jobs: Mutex::new(BTreeMap::new()),
@@ -307,7 +442,9 @@ impl JobServer {
             stopping: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             connections: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
-            metrics: Metrics::new(),
+            metrics,
+            registry,
+            obs: config.obs,
             store,
         });
         recover_jobs(&state)?;
@@ -513,6 +650,98 @@ impl Observer for DrainWatch {
     }
 }
 
+/// Per-job observability bundle: a tracer rooted at the job's trace
+/// context (from the submission's `X-Gdf-Trace` header, or digest
+/// -derived — never wall-clock random) and, for full jobs, a profiler
+/// handle. Inert when [`ServeConfig::obs`] is off. Strictly a side
+/// channel: nothing here touches the canonical artifact bytes.
+struct JobObs {
+    tracer: Option<Tracer>,
+    profile: Option<ProfileHandle>,
+}
+
+impl JobObs {
+    /// Starts observing a job on the current worker thread (phase spans
+    /// recorded by the engine on this thread are captured thread-local
+    /// for per-job attribution; spans from spawned generation threads
+    /// reach only the registry histograms).
+    fn begin(state: &ServerState, job: &Job) -> JobObs {
+        if !state.obs {
+            return JobObs {
+                tracer: None,
+                profile: None,
+            };
+        }
+        capture_begin();
+        let ctx = job.status().trace.unwrap_or_else(|| {
+            TraceCtx::root(&format!(
+                "gdf-job:{}:{}",
+                job.id,
+                gdf_core::digest::config_digest(&job.spec.config).hex()
+            ))
+        });
+        JobObs {
+            tracer: Some(Tracer::new(ctx)),
+            profile: None,
+        }
+    }
+
+    /// Finishes observing: folds this thread's captured phase records
+    /// into the job's `profile` block (persisted by the caller's
+    /// subsequent `finalize`) and writes the trace document in one
+    /// atomic pass through the I/O facade — a torn write loses the
+    /// trace, never corrupts the job.
+    fn finish(self, state: &ServerState, job: &Job, started: Instant) {
+        let Some(tracer) = self.tracer else { return };
+        let records = capture_take();
+        let mut data = match &self.profile {
+            Some(handle) => {
+                handle.add_phases(&records);
+                handle.snapshot()
+            }
+            None => {
+                let mut data = ProfileData::default();
+                data.add_phases(&records);
+                data
+            }
+        };
+        if data.wall_us == 0 {
+            // Shard jobs (and failures before the engine ran) have no
+            // profiler-reported wall time; the worker's is the truth.
+            data.wall_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        }
+        {
+            let mut status = job.status.lock().expect("job status poisoned");
+            status.trace = Some(tracer.ctx());
+            status.profile = Some(data.to_json());
+        }
+        for r in &records {
+            let start_us = r
+                .started
+                .checked_duration_since(tracer.epoch())
+                .unwrap_or_default()
+                .as_micros()
+                .min(u64::MAX as u128) as u64;
+            tracer.record(
+                r.phase,
+                start_us,
+                r.duration.as_micros().min(u64::MAX as u128) as u64,
+            );
+        }
+        let dir = state.dir.join("traces");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("gdf-serve: create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("job-{}.ndjson", job.id));
+        let doc = tracer.encode(&format!("job:{}", job.id));
+        match gdf_core::io::write_atomic(&path, &doc) {
+            Ok(()) => state.metrics.traces_written.inc(),
+            Err(e) => eprintln!("gdf-serve: job {} trace write failed: {e}", job.id),
+        }
+    }
+}
+
 fn worker_loop(state: Arc<ServerState>, index: usize) {
     loop {
         if state.stopping.load(Ordering::Acquire) {
@@ -558,12 +787,18 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
     let started = Instant::now();
     job.status.lock().expect("job status poisoned").state = JobState::Running;
     state.persist(job);
+    let mut obs = JobObs::begin(state, job);
 
     let spec = &job.spec;
-    let circuit = match spec.source.resolve() {
+    let resolved = {
+        let _span = gdf_core::phase::start("parse");
+        spec.source.resolve()
+    };
+    let circuit = match resolved {
         Ok(circuit) => circuit,
         Err(e) => {
-            state.metrics.failed.fetch_add(1, Ordering::AcqRel);
+            state.metrics.failed.inc();
+            obs.finish(state, job, started);
             state.finalize(job, JobState::Failed, Some(e.to_string()), None);
             return;
         }
@@ -572,7 +807,7 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
     // universe range, checkpoint a shard document, never touch the
     // credit RNG (see `gdf_core::shard` for the contract).
     if let Some(shard) = spec.shard.clone() {
-        run_shard_job(state, job, &circuit, &shard, started);
+        run_shard_job(state, job, &circuit, &shard, started, obs);
         return;
     }
     let config = spec.config;
@@ -597,8 +832,12 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
         match RunArtifact::load(&artifact_path) {
             Ok(artifact) if artifact.config() == config && !artifact.partial => {
                 let report = artifact.report().map(ReportSummary::from);
-                publish_run(state, spec, &artifact);
+                {
+                    let _span = gdf_core::phase::start("publish");
+                    publish_run(state, spec, &artifact);
+                }
                 state.metrics.record_done(started.elapsed());
+                obs.finish(state, job, started);
                 state.finalize(job, JobState::Done, None, report);
                 return;
             }
@@ -643,6 +882,11 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
         .observer(DrainWatch {
             state: Arc::clone(state),
         });
+    if state.obs {
+        let (profiler, handle) = Profiler::new();
+        builder = builder.observer(profiler);
+        obs.profile = Some(handle);
+    }
 
     // Submissions are validated at POST time, but v1 job records replayed
     // from disk skip that path — reject unsupported pairings as a failed
@@ -650,7 +894,8 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
     let mut engine = match builder.try_build() {
         Ok(engine) => engine,
         Err(e) => {
-            state.metrics.failed.fetch_add(1, Ordering::AcqRel);
+            state.metrics.failed.inc();
+            obs.finish(state, job, started);
             state.finalize(job, JobState::Failed, Some(e.to_string()), None);
             return;
         }
@@ -675,22 +920,35 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
     match run.stopped {
         None => {
             let artifact = RunArtifact::from_run(&circuit, &run, config, Some(spec.source.clone()));
-            match artifact.save(&artifact_path) {
-                Ok(()) => {
+            let saved = {
+                let _span = gdf_core::phase::start("publish");
+                let saved = artifact.save(&artifact_path);
+                if saved.is_ok() {
                     publish_run(state, spec, &artifact);
+                }
+                saved
+            };
+            match saved {
+                Ok(()) => {
                     let report = ReportSummary::from(&run.report);
                     state.metrics.record_done(started.elapsed());
+                    obs.finish(state, job, started);
                     state.finalize(job, JobState::Done, None, Some(report));
                 }
                 Err(e) => {
-                    state.metrics.failed.fetch_add(1, Ordering::AcqRel);
+                    state.metrics.failed.inc();
+                    obs.finish(state, job, started);
                     state.finalize(job, JobState::Failed, Some(e.to_string()), None);
                 }
             }
         }
-        Some(AtpgError::Cancelled) => state.finalize(job, JobState::Cancelled, None, None),
+        Some(AtpgError::Cancelled) => {
+            obs.finish(state, job, started);
+            state.finalize(job, JobState::Cancelled, None, None);
+        }
         Some(e) => {
-            state.metrics.failed.fetch_add(1, Ordering::AcqRel);
+            state.metrics.failed.inc();
+            obs.finish(state, job, started);
             state.finalize(job, JobState::Failed, Some(e.to_string()), None);
         }
     }
@@ -707,6 +965,7 @@ fn run_shard_job(
     circuit: &Circuit,
     shard: &ShardSpec,
     started: Instant,
+    obs: JobObs,
 ) {
     let spec = &job.spec;
     let artifact_path = Job::artifact_path(&state.dir, job.id);
@@ -719,7 +978,8 @@ fn run_shard_job(
     ) {
         Ok(artifact) => artifact,
         Err(e) => {
-            state.metrics.failed.fetch_add(1, Ordering::AcqRel);
+            state.metrics.failed.inc();
+            obs.finish(state, job, started);
             state.finalize(job, JobState::Failed, Some(e.to_string()), None);
             return;
         }
@@ -787,26 +1047,38 @@ fn run_shard_job(
         return;
     }
     match result {
-        Ok(true) => match artifact.save(&artifact_path, circuit) {
-            Ok(()) => {
-                job.events.push(ProgressEvent::Finished {
-                    tested: 0,
-                    untestable: 0,
-                    aborted: 0,
-                    patterns: 0,
-                    sequences: 0,
-                });
-                state.metrics.record_done(started.elapsed());
-                state.finalize(job, JobState::Done, None, None);
+        Ok(true) => {
+            let saved = {
+                let _span = gdf_core::phase::start("publish");
+                artifact.save(&artifact_path, circuit)
+            };
+            match saved {
+                Ok(()) => {
+                    job.events.push(ProgressEvent::Finished {
+                        tested: 0,
+                        untestable: 0,
+                        aborted: 0,
+                        patterns: 0,
+                        sequences: 0,
+                    });
+                    state.metrics.record_done(started.elapsed());
+                    obs.finish(state, job, started);
+                    state.finalize(job, JobState::Done, None, None);
+                }
+                Err(e) => {
+                    state.metrics.failed.inc();
+                    obs.finish(state, job, started);
+                    state.finalize(job, JobState::Failed, Some(e.to_string()), None);
+                }
             }
-            Err(e) => {
-                state.metrics.failed.fetch_add(1, Ordering::AcqRel);
-                state.finalize(job, JobState::Failed, Some(e.to_string()), None);
-            }
-        },
-        Ok(false) => state.finalize(job, JobState::Cancelled, None, None),
+        }
+        Ok(false) => {
+            obs.finish(state, job, started);
+            state.finalize(job, JobState::Cancelled, None, None);
+        }
         Err(e) => {
-            state.metrics.failed.fetch_add(1, Ordering::AcqRel);
+            state.metrics.failed.inc();
+            obs.finish(state, job, started);
             state.finalize(job, JobState::Failed, Some(e.to_string()), None);
         }
     }
@@ -877,6 +1149,18 @@ fn handle_connection(state: Arc<ServerState>, stream: TcpStream) {
 fn route(state: &Arc<ServerState>, request: Request, stream: &mut TcpStream) {
     let path = request.path.split('?').next().unwrap_or("");
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    // The route *pattern* for the HTTP request counter — ids must not
+    // explode the series cardinality, so they label as `{id}`.
+    let route_name = match segments.as_slice() {
+        ["healthz"] => "/healthz",
+        ["metrics"] => "/metrics",
+        ["jobs"] => "/jobs",
+        ["jobs", _] => "/jobs/{id}",
+        ["jobs", _, "artifact"] => "/jobs/{id}/artifact",
+        ["jobs", _, "patterns"] => "/jobs/{id}/patterns",
+        ["jobs", _, "events"] => "/jobs/{id}/events",
+        _ => "other",
+    };
     let response = match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => handle_health(state),
         ("GET", ["metrics"]) => handle_metrics(state),
@@ -892,6 +1176,7 @@ fn route(state: &Arc<ServerState>, request: Request, stream: &mut TcpStream) {
             // Streaming: takes over the connection, no Response to write.
             match lookup(state, id) {
                 Ok(job) => {
+                    state.record_http(&request.method, route_name, 200);
                     stream_events(&job, stream);
                     return;
                 }
@@ -909,6 +1194,7 @@ fn route(state: &Arc<ServerState>, request: Request, stream: &mut TcpStream) {
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     };
+    state.record_http(&request.method, route_name, response.status);
     let _ = response.write(stream);
 }
 
@@ -948,10 +1234,11 @@ fn handle_health(state: &Arc<ServerState>) -> Response {
     )
 }
 
-/// `GET /metrics`: the pool's counters in Prometheus text exposition
+/// `GET /metrics`: the full registry in Prometheus text exposition
 /// format — what the fleet coordinator's health probe scrapes, and what
-/// an ordinary Prometheus can scrape unchanged. Quantiles are computed
-/// over the [`LATENCY_WINDOW`] most recent completed jobs.
+/// an ordinary Prometheus can scrape unchanged. Pool gauges are
+/// computed per scrape; every pre-obs series keeps its exact name and
+/// type (see the compat test in `tests/obs_metrics.rs`).
 fn handle_metrics(state: &Arc<ServerState>) -> Response {
     let (running, queued_jobs) = {
         let jobs = state.jobs.lock().expect("job store poisoned");
@@ -968,97 +1255,26 @@ fn handle_metrics(state: &Arc<ServerState>) -> Response {
     };
     let workers = state.queue.shards();
     let busy = state.metrics.busy.load(Ordering::Acquire).min(workers);
-    let completed = state.metrics.completed.load(Ordering::Acquire);
-    let failed = state.metrics.failed.load(Ordering::Acquire);
-    let cache_hits = state.metrics.cache_hits.load(Ordering::Acquire);
     let store_stats = state.store.stats().unwrap_or_default();
-    let mut window: Vec<u64> = state
-        .metrics
-        .latencies_us
-        .lock()
-        .expect("metrics poisoned")
-        .iter()
-        .copied()
-        .collect();
-    window.sort_unstable();
-    let p50 = Metrics::latency_quantile(&window, 0.50);
-    let p99 = Metrics::latency_quantile(&window, 0.99);
-
-    let mut out = String::new();
-    let mut gauge = |name: &str, help: &str, value: f64| {
-        out.push_str(&format!(
-            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
-        ));
-    };
-    gauge(
-        "gdf_queue_depth",
-        "Jobs waiting in the sharded queue.",
-        state.queue.len() as f64,
-    );
-    gauge(
-        "gdf_jobs_running",
-        "Jobs currently being driven by a worker.",
-        running as f64,
-    );
-    gauge(
-        "gdf_jobs_queued",
-        "Jobs in the queued state (including the recovery backlog).",
-        queued_jobs as f64,
-    );
-    gauge("gdf_workers", "Worker threads in the pool.", workers as f64);
-    gauge(
-        "gdf_workers_busy",
-        "Workers currently inside a job.",
-        busy as f64,
-    );
-    gauge(
-        "gdf_worker_utilization",
-        "Busy workers as a fraction of the pool.",
-        if workers == 0 {
-            0.0
-        } else {
-            busy as f64 / workers as f64
-        },
-    );
-    gauge(
-        "gdf_draining",
-        "1 while the server is draining (graceful shutdown in progress).",
-        if state.draining.load(Ordering::Acquire) {
-            1.0
-        } else {
-            0.0
-        },
-    );
-    gauge(
-        "gdf_store_bytes",
-        "Total object bytes in the content-addressed result store.",
-        store_stats.bytes as f64,
-    );
-    gauge(
-        "gdf_store_objects",
-        "Objects in the content-addressed result store.",
-        store_stats.objects as f64,
-    );
-    out.push_str(&format!(
-        "# HELP gdf_jobs_completed_total Jobs that finished successfully.\n\
-         # TYPE gdf_jobs_completed_total counter\n\
-         gdf_jobs_completed_total {completed}\n\
-         # HELP gdf_jobs_failed_total Jobs that finished in failure.\n\
-         # TYPE gdf_jobs_failed_total counter\n\
-         gdf_jobs_failed_total {failed}\n\
-         # HELP gdf_cache_hits_total Submissions answered from the exact result cache.\n\
-         # TYPE gdf_cache_hits_total counter\n\
-         gdf_cache_hits_total {cache_hits}\n"
-    ));
-    out.push_str(&format!(
-        "# HELP gdf_job_latency_seconds Completed-job wall time over the recent window.\n\
-         # TYPE gdf_job_latency_seconds summary\n\
-         gdf_job_latency_seconds{{quantile=\"0.5\"}} {p50}\n\
-         gdf_job_latency_seconds{{quantile=\"0.99\"}} {p99}\n\
-         gdf_job_latency_seconds_count {}\n",
-        window.len()
-    ));
-    Response::text(200, out)
+    let m = &state.metrics;
+    m.queue_depth.set(state.queue.len() as f64);
+    m.jobs_running.set(running as f64);
+    m.jobs_queued.set(queued_jobs as f64);
+    m.workers.set(workers as f64);
+    m.workers_busy.set(busy as f64);
+    m.worker_utilization.set(if workers == 0 {
+        0.0
+    } else {
+        busy as f64 / workers as f64
+    });
+    m.draining.set(if state.draining.load(Ordering::Acquire) {
+        1.0
+    } else {
+        0.0
+    });
+    m.store_bytes.set(store_stats.bytes as f64);
+    m.store_objects.set(store_stats.objects as f64);
+    Response::text(200, state.registry.render())
 }
 
 fn handle_list(state: &Arc<ServerState>) -> Response {
@@ -1100,6 +1316,12 @@ fn status_json(job: &Arc<Job>, verbose: bool) -> Json {
     if verbose {
         fields.extend(encode_config(&job.spec.config));
         fields.push(("parallelism".into(), Json::Num(job.spec.parallelism as f64)));
+        if let Some(trace) = &status.trace {
+            fields.push(("trace".into(), Json::Str(trace.header_value())));
+        }
+        if let Some(profile) = &status.profile {
+            fields.push(("profile".into(), profile.clone()));
+        }
     }
     Json::Obj(fields)
 }
@@ -1148,6 +1370,21 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
 
     let id = state.next_id.fetch_add(1, Ordering::AcqRel);
     let job = Arc::new(Job::new(id, spec));
+    if state.obs {
+        // The job's trace context: the caller's `X-Gdf-Trace` (so fleet
+        // shard jobs correlate under one campaign trace), or a root
+        // derived from the job id + config digest — never random.
+        let ctx = request
+            .header(TRACE_HEADER)
+            .and_then(TraceCtx::parse)
+            .unwrap_or_else(|| {
+                TraceCtx::root(&format!(
+                    "gdf-job:{id}:{}",
+                    gdf_core::digest::config_digest(&job.spec.config).hex()
+                ))
+            });
+        job.status.lock().expect("job status poisoned").trace = Some(ctx);
+    }
     let dir = Job::dir(&state.dir, id);
     if let Err(e) = std::fs::create_dir_all(&dir) {
         return Response::error(500, format!("create {}: {e}", dir.display()));
@@ -1170,8 +1407,8 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
                     status.total = artifact.total();
                 }
                 let report = artifact.report().map(ReportSummary::from);
-                state.metrics.cache_hits.fetch_add(1, Ordering::AcqRel);
-                state.metrics.completed.fetch_add(1, Ordering::AcqRel);
+                state.metrics.cache_hits.inc();
+                state.metrics.completed.inc();
                 state.finalize(&job, JobState::Done, None, report);
                 served_from_cache = true;
             }

@@ -312,6 +312,7 @@ impl Store {
 
     /// `resolve` + `get` in one step — the cache-lookup primitive.
     pub fn get_named(&self, name: &str) -> Result<Option<String>, StoreError> {
+        let _span = gdf_core::phase::start("store_get");
         match self.resolve(name)? {
             None => Ok(None),
             Some(digest) => self.get(&digest),
@@ -320,6 +321,7 @@ impl Store {
 
     /// `put` + `link` in one step — the cache-publish primitive.
     pub fn publish(&self, name: &str, text: &str) -> Result<Digest, StoreError> {
+        let _span = gdf_core::phase::start("store_publish");
         validate_name(name)?;
         let digest = self.put(text)?;
         self.link(name, &digest)?;

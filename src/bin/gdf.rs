@@ -72,6 +72,9 @@ USAGE:
     gdf status [<JOB>] [options]        job status (or list all jobs)
     gdf fetch <JOB> [options]           download a finished job's artifact
     gdf cancel <JOB> [options]          cancel / remove a job
+    gdf top [options]                   live metrics dashboard for a server
+    gdf fleet top [--dir DIR]           live fleet dashboard (plan + nodes)
+    gdf trace export <T.ndjson> --chrome  convert a job trace for chrome://tracing
     gdf --version                       print the version
 
 CIRCUIT:
@@ -104,6 +107,10 @@ OPTIONS:
     --queue-capacity <N>                          (serve) queued jobs per shard
     --wait                                        (submit) block until terminal
     --follow                                      (submit/status) stream events
+    --no-obs                                      (serve) disable tracing/profiling
+    --interval <SECS>                             (top) refresh cadence (default 2)
+    --once                                        (top) print one frame and exit
+    --chrome                                      (trace export) chrome://tracing JSON
     -q, --quiet                                   no progress output
 ";
 
@@ -142,6 +149,8 @@ fn main() -> ExitCode {
         "status" => cmd_status(rest),
         "fetch" => cmd_fetch(rest),
         "cancel" => cmd_cancel(rest),
+        "top" => cmd_top(rest),
+        "trace" => cmd_trace(rest),
         "version" | "--version" | "-V" => {
             println!("gdf {}", env!("CARGO_PKG_VERSION"));
             return ExitCode::SUCCESS;
@@ -251,9 +260,10 @@ const RUN_VALUES: &[&str] = &[
     "fleet",
     "units",
     "steal-after",
+    "interval",
 ];
 const RUN_SWITCHES: &[&str] = &[
-    "quiet", "suite", "resume", "diff", "wait", "follow", "cache",
+    "quiet", "suite", "resume", "diff", "wait", "follow", "cache", "once", "chrome", "no-obs",
 ];
 
 /// Resolves a circuit argument: `suite:<name>` or a `.bench` file path.
@@ -808,7 +818,8 @@ fn cmd_campaign_fleet(opts: &Opts, nodes_arg: &str) -> Result<ExitCode, String> 
 }
 
 /// `gdf fleet status --dir DIR`: the persisted plan's unit states plus a
-/// live probe of every node.
+/// live probe of every node. `gdf fleet top` is the same view,
+/// refreshing in place until interrupted.
 fn cmd_fleet(args: &[String]) -> Result<ExitCode, String> {
     let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
     match opts.positional.as_slice() {
@@ -818,8 +829,39 @@ fn cmd_fleet(args: &[String]) -> Result<ExitCode, String> {
             print!("{}", coordinator.render_status());
             Ok(ExitCode::SUCCESS)
         }
-        _ => Err("usage: gdf fleet status [--dir DIR]".into()),
+        [sub] if sub == "top" => {
+            let dir = PathBuf::from(opts.value("dir").unwrap_or("gdf-fleet"));
+            let interval = Duration::from_secs(opts.number("interval")?.unwrap_or(2).max(1));
+            let once = opts.switch("once");
+            loop {
+                // Re-resume each frame: the plan on disk is the source
+                // of truth while a separate coordinator process drives
+                // the campaign.
+                let mut coordinator = Coordinator::resume(&dir).map_err(|e| e.to_string())?;
+                let frame = format!(
+                    "gdf fleet top — {} (campaign trace {})\n\n{}",
+                    dir.display(),
+                    coordinator.trace().header_value(),
+                    coordinator.render_status()
+                );
+                if once {
+                    print!("{frame}");
+                    return Ok(ExitCode::SUCCESS);
+                }
+                refresh_frame(&frame);
+                std::thread::sleep(interval);
+            }
+        }
+        _ => Err("usage: gdf fleet <status|top> [--dir DIR] [--interval SECS] [--once]".into()),
     }
+}
+
+/// Clears the terminal and paints one dashboard frame (plain ANSI —
+/// no terminal library, works in any VT100-descendant).
+fn refresh_frame(frame: &str) {
+    use std::io::Write;
+    print!("\x1b[2J\x1b[H{frame}");
+    std::io::stdout().flush().ok();
 }
 
 fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
@@ -1103,6 +1145,9 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     if let Some(every) = opts.number("checkpoint-every")? {
         config = config.with_checkpoint_every(every as usize);
     }
+    if opts.switch("no-obs") {
+        config = config.with_obs(false);
+    }
     let workers = config.workers;
     let server = JobServer::start(config).map_err(|e| e.to_string())?;
     println!(
@@ -1369,4 +1414,192 @@ fn cmd_cancel(args: &[String]) -> Result<ExitCode, String> {
         outcome.get("action").and_then(Json::as_str).unwrap_or("?")
     );
     Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+// Observability front ends
+// ---------------------------------------------------------------------
+
+/// One parsed exposition sample: `(metric name, label body, value)`.
+/// `gdf_x{a="b"} 3` parses to `("gdf_x", "a=\"b\"", 3.0)`.
+fn parse_exposition(text: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => (name, rest.trim_end_matches('}')),
+            None => (series, ""),
+        };
+        out.push((name.to_string(), labels.to_string(), value));
+    }
+    out
+}
+
+/// Extracts one label's value from a label body:
+/// `label_value("phase=\"fsim\",quantile=\"0.5\"", "phase")` -> `fsim`.
+fn label_value<'a>(labels: &'a str, key: &str) -> Option<&'a str> {
+    labels.split(',').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| v.trim_matches('"'))
+    })
+}
+
+/// Renders one `gdf top` frame from a `/metrics` exposition.
+fn render_top(addr: &str, text: &str) -> String {
+    use std::fmt::Write;
+    let samples = parse_exposition(text);
+    let get = |name: &str| -> f64 {
+        samples
+            .iter()
+            .find(|(n, l, _)| n == name && l.is_empty())
+            .map(|(_, _, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let quantile = |name: &str, q: &str| -> f64 {
+        samples
+            .iter()
+            .find(|(n, l, _)| n == name && label_value(l, "quantile") == Some(q))
+            .map(|(_, _, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "gdf top — {addr}\n");
+    let _ = writeln!(
+        out,
+        "  jobs      {} completed, {} failed, {} cache hits, {} traces",
+        get("gdf_jobs_completed_total"),
+        get("gdf_jobs_failed_total"),
+        get("gdf_cache_hits_total"),
+        get("gdf_traces_written_total"),
+    );
+    let _ = writeln!(
+        out,
+        "  pool      {}/{} workers busy ({:.0}%), queue depth {}, {} running, {} queued{}",
+        get("gdf_workers_busy"),
+        get("gdf_workers"),
+        get("gdf_worker_utilization") * 100.0,
+        get("gdf_queue_depth"),
+        get("gdf_jobs_running"),
+        get("gdf_jobs_queued"),
+        if get("gdf_draining") > 0.0 {
+            "  [DRAINING]"
+        } else {
+            ""
+        },
+    );
+    let _ = writeln!(
+        out,
+        "  store     {} objects, {} bytes",
+        get("gdf_store_objects"),
+        get("gdf_store_bytes"),
+    );
+    let _ = writeln!(
+        out,
+        "  latency   p50 {:.3}s  p90 {:.3}s  p99 {:.3}s  ({} jobs)",
+        quantile("gdf_job_latency_seconds", "0.5"),
+        quantile("gdf_job_latency_seconds", "0.9"),
+        quantile("gdf_job_latency_seconds", "0.99"),
+        get("gdf_job_latency_seconds_count"),
+    );
+    // Per-phase breakdown, busiest first.
+    let mut phases: Vec<(&str, f64, f64)> = samples
+        .iter()
+        .filter(|(n, _, _)| n == "gdf_engine_phase_seconds_sum")
+        .filter_map(|(_, l, v)| {
+            let phase = label_value(l, "phase")?;
+            let count = samples
+                .iter()
+                .find(|(n, l2, _)| {
+                    n == "gdf_engine_phase_seconds_count" && label_value(l2, "phase") == Some(phase)
+                })
+                .map(|(_, _, c)| *c)
+                .unwrap_or(0.0);
+            Some((phase, *v, count))
+        })
+        .filter(|(_, _, count)| *count > 0.0)
+        .collect();
+    phases.sort_by(|a, b| b.1.total_cmp(&a.1));
+    if !phases.is_empty() {
+        let _ = writeln!(out, "\n  {:<16} {:>10} {:>12}", "phase", "spans", "total");
+        for (phase, sum, count) in phases {
+            let _ = writeln!(out, "  {phase:<16} {count:>10} {sum:>11.3}s");
+        }
+    }
+    // HTTP request counters, busiest first.
+    let mut http: Vec<(String, f64)> = samples
+        .iter()
+        .filter(|(n, _, _)| n == "gdf_http_requests_total")
+        .filter_map(|(_, l, v)| {
+            let method = label_value(l, "method")?;
+            let path = label_value(l, "path")?;
+            let status = label_value(l, "status")?;
+            Some((format!("{method} {path} -> {status}"), *v))
+        })
+        .filter(|(_, v)| *v > 0.0)
+        .collect();
+    http.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    if !http.is_empty() {
+        let _ = writeln!(out, "\n  {:<34} {:>8}", "http", "requests");
+        for (route, count) in http {
+            let _ = writeln!(out, "  {route:<34} {count:>8}");
+        }
+    }
+    out
+}
+
+/// `gdf top --addr HOST:PORT [--interval SECS] [--once]`: a live
+/// dashboard over `GET /metrics` — same bytes Prometheus would scrape,
+/// rendered for a terminal and refreshed in place.
+fn cmd_top(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    if !opts.positional.is_empty() {
+        return Err("top takes no positional arguments".into());
+    }
+    let client = client_from(&opts)?;
+    let interval = Duration::from_secs(opts.number("interval")?.unwrap_or(2).max(1));
+    let once = opts.switch("once");
+    loop {
+        let text = client.metrics().map_err(|e| e.to_string())?;
+        let frame = render_top(client.addr(), &text);
+        if once {
+            print!("{frame}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        refresh_frame(&frame);
+        std::thread::sleep(interval);
+    }
+}
+
+/// `gdf trace export <TRACE.ndjson> --chrome [-o OUT.json]`: converts a
+/// server-written NDJSON job trace into the chrome://tracing (and
+/// Perfetto) JSON event format.
+fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, RUN_VALUES, RUN_SWITCHES)?;
+    match opts.positional.as_slice() {
+        [sub, path] if sub == "export" => {
+            if !opts.switch("chrome") {
+                return Err("specify an export format: --chrome".into());
+            }
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let converted = gdf::obs::chrome_trace(&text)?.pretty();
+            match opts.value("out") {
+                Some(out) => {
+                    std::fs::write(out, &converted).map_err(|e| format!("{out}: {e}"))?;
+                    println!("{path} -> {out}");
+                }
+                None => println!("{converted}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err("usage: gdf trace export <TRACE.ndjson> --chrome [-o OUT.json]".into()),
+    }
 }

@@ -49,7 +49,16 @@
 //!   a TCP proxy), so the recovery guarantees are exercised over the
 //!   whole failure space — see `tests/chaos_*.rs`. `gdf serve` also
 //!   drains gracefully on `SIGTERM`: stop accepting, checkpoint running
-//!   jobs, persist the queue, exit 0.
+//!   jobs, persist the queue, exit 0;
+//! * [`obs`] — **observability**: the unified metrics registry
+//!   (counters, gauges, log-bucketed histograms with exact quantiles,
+//!   one Prometheus text encoder behind `GET /metrics`), digest-derived
+//!   structured tracing propagated across nodes via `X-Gdf-Trace`
+//!   (`gdf trace export --chrome` converts a job trace for
+//!   chrome://tracing), engine profiling hooks (`core::phase`) feeding
+//!   per-phase histograms and per-job `profile` blocks, and the
+//!   `gdf top` / `gdf fleet top` live dashboards. Strictly a side
+//!   channel: canonical artifact bytes are identical with it on or off.
 //!
 //! ## Quickstart
 //!
@@ -98,6 +107,7 @@ pub use gdf_chaos as chaos;
 pub use gdf_core as core;
 pub use gdf_fleet as fleet;
 pub use gdf_netlist as netlist;
+pub use gdf_obs as obs;
 pub use gdf_semilet as semilet;
 pub use gdf_serve as serve;
 pub use gdf_sim as sim;

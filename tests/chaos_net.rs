@@ -29,7 +29,10 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 /// A listener that answers its first `broken` connections with `reply`
 /// cut short (write + close), then answers everything else with a full
-/// well-formed 200. Counts connections.
+/// well-formed 200. Counts connections. The thread serves until the
+/// process exits: retiring after one good answer races against client
+/// read timeouts under CPU starvation (a stale backlogged connection
+/// can consume the good reply, and the next retry finds the port dead).
 fn flaky_listener(
     broken: usize,
     truncated_reply: &'static str,
@@ -51,7 +54,6 @@ fn flaky_listener(
                 b"HTTP/1.1 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\n\
                   Content-Length: 3\r\nConnection: close\r\n\r\nok\n",
             );
-            return; // one good answer, then the listener retires
         }
     });
     (addr, connections, handle)
@@ -61,7 +63,7 @@ fn flaky_listener(
 fn truncated_gets_retry_to_success() {
     // Two truncated bodies (Content-Length promises more than arrives),
     // then a good one: an idempotent GET must ride through.
-    let (addr, connections, handle) =
+    let (addr, connections, _handle) =
         flaky_listener(2, "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\npartial-");
     let text = Client::new(addr)
         .with_retries(5)
@@ -69,8 +71,13 @@ fn truncated_gets_retry_to_success() {
         .metrics()
         .expect("GET retries truncated responses");
     assert_eq!(text, "ok\n");
-    assert_eq!(connections.load(Ordering::Acquire), 3);
-    let _ = handle.join();
+    // Exactly 3 on a quiet machine (two truncated + one good); a
+    // starved run may burn extra attempts on read timeouts, which is
+    // the retry contract working, not a violation of it.
+    assert!(
+        connections.load(Ordering::Acquire) >= 3,
+        "both truncated responses were retried"
+    );
 }
 
 #[test]

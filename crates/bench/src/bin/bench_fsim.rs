@@ -481,24 +481,6 @@ fn obs_overhead(jobs: usize, workers: usize) -> ObsFigures {
     }
 }
 
-/// Appends `record` to the JSON array in `path` (creating `[...]` if the
-/// file is missing or empty).
-fn append_record(path: &str, record: &str) -> std::io::Result<()> {
-    let existing = std::fs::read_to_string(path).unwrap_or_default();
-    let trimmed = existing.trim();
-    let out = if trimmed.is_empty() || trimmed == "[]" {
-        format!("[\n{record}\n]\n")
-    } else {
-        let body = trimmed
-            .strip_suffix(']')
-            .expect("existing bench file must be a JSON array")
-            .trim_end()
-            .to_string();
-        format!("{body},\n{record}\n]\n")
-    };
-    std::fs::write(path, out)
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -584,11 +566,9 @@ fn main() {
     });
 
     // Timestamp each appended record so the accumulated trajectory in
-    // BENCH_fsim.json stays ordered and attributable across PRs.
-    let unix_time = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+    // BENCH_fsim.json stays ordered and attributable across PRs; the
+    // shared `append_record` refuses records that forgot the stamp.
+    let unix_time = gdf_bench::unix_time_now();
     let mut record = String::new();
     let _ = writeln!(record, "  {{");
     let _ = writeln!(record, "    \"bench\": \"fsim\",");
@@ -692,6 +672,6 @@ fn main() {
         );
     }
     let _ = write!(record, "  }}");
-    append_record(&out_path, &record).expect("write bench record");
+    gdf_bench::append_record(&out_path, &record).expect("write bench record");
     println!("appended record to {out_path}");
 }

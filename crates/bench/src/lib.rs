@@ -7,6 +7,47 @@ use gdf_core::driver::AtpgRun;
 use gdf_core::{DelayAtpg, DelayAtpgConfig};
 use gdf_netlist::suite;
 
+/// Appends `record` (one pre-formatted JSON object) to the JSON array in
+/// `path`, creating `[ … ]` if the file is missing or empty.
+///
+/// Every appended record **must** carry a `"unix_time"` key — the
+/// accumulated trajectory files (`BENCH_fsim.json`) are ordered and
+/// attributed by it, and a record without a timestamp silently breaks
+/// that ordering for every later reader. The bench bins stamp it via
+/// [`unix_time_now`]; this helper refuses records that forgot to.
+///
+/// # Panics
+///
+/// Panics if `record` lacks a `"unix_time"` key, or if the existing file
+/// is not a JSON array.
+pub fn append_record(path: &str, record: &str) -> std::io::Result<()> {
+    assert!(
+        record.contains("\"unix_time\""),
+        "bench record appended to {path} lacks the mandatory \"unix_time\" stamp"
+    );
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim();
+    let out = if trimmed.is_empty() || trimmed == "[]" {
+        format!("[\n{record}\n]\n")
+    } else {
+        let body = trimmed
+            .strip_suffix(']')
+            .expect("existing bench file must be a JSON array")
+            .trim_end()
+            .to_string();
+        format!("{body},\n{record}\n]\n")
+    };
+    std::fs::write(path, out)
+}
+
+/// Seconds since the Unix epoch, for stamping bench records.
+pub fn unix_time_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
 /// Circuits selected by the `GDF_CIRCUITS` environment variable
 /// (comma-separated names), or the whole Table 3 list. `GDF_QUICK=1`
 /// restricts to the circuits that finish in seconds.
@@ -37,4 +78,37 @@ pub fn paper_row(name: &str) -> Option<(u32, u32, u32, u32, u32)> {
         .iter()
         .find(|&&(n, ..)| n == name)
         .map(|&(_, t, u, a, p, s)| (t, u, a, p, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("gdf-bench-append-{tag}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn append_record_grows_a_parseable_array() {
+        let path = temp_path("grow");
+        let _ = std::fs::remove_file(&path);
+        append_record(&path, "  {\"bench\": \"a\", \"unix_time\": 1}").unwrap();
+        append_record(&path, "  {\"bench\": \"b\", \"unix_time\": 2}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = gdf_core::json::Json::parse(&text).expect("appended file stays valid JSON");
+        let rows = parsed.as_array().expect("top level is an array");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("unix_time").and_then(|t| t.as_f64()), Some(2.0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "unix_time")]
+    fn append_record_rejects_unstamped_records() {
+        let path = temp_path("unstamped");
+        let _ = append_record(&path, "  {\"bench\": \"oops\"}");
+    }
 }

@@ -218,6 +218,21 @@ impl Coordinator {
         self
     }
 
+    /// Attaches a tenant bearer token to every node client — what a
+    /// fleet of multi-tenant nodes (`gdf serve --tenants`) requires.
+    /// Held in memory only, never persisted into `fleet.json`: plans
+    /// are shareable operational documents, secrets are not. A node's
+    /// quota `429` retries on the next round like any failed submit.
+    pub fn with_token(mut self, token: impl Into<String>) -> Self {
+        let token = token.into();
+        self.clients = self
+            .clients
+            .drain(..)
+            .map(|c| c.with_token(token.clone()))
+            .collect();
+        self
+    }
+
     /// The plan as the coordinator currently holds it.
     pub fn plan(&self) -> &FleetPlan {
         &self.plan

@@ -295,7 +295,12 @@ impl Registry {
 
     /// Get-or-create an unlabeled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
-        match self.series(name, help, Kind::Gauge, &[]) {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get-or-create a labeled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, Kind::Gauge, labels) {
             Series::Gauge(g) => g,
             _ => unreachable!("kind checked at registration"),
         }

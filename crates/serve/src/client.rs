@@ -15,8 +15,10 @@
 //! retry *any* transport failure (connection reset mid-body, truncated
 //! chunked read): re-reading changes nothing server-side. A `503` that
 //! carries `Retry-After` is a deliberate drain verdict and returns
-//! immediately. The schedule is deterministic so fleet runs sequence
-//! identically on every execution.
+//! immediately. A `429` (tenant quota or rate limit) enqueued nothing
+//! either, so it retries like a `503` — honoring the server's
+//! `Retry-After` hint, capped at 5 s. The schedule is deterministic so
+//! fleet runs sequence identically on every execution.
 
 use crate::http::{client_request_with_headers, client_stream, HttpError};
 use crate::job::JobId;
@@ -39,6 +41,7 @@ pub struct Client {
     addr: String,
     timeout: Duration,
     retries: u32,
+    token: Option<String>,
 }
 
 impl Client {
@@ -49,12 +52,22 @@ impl Client {
             addr: addr.into(),
             timeout: Duration::from_secs(30),
             retries: RETRY_DEFAULT,
+            token: None,
         }
     }
 
     /// Replaces the per-request timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Attaches a tenant bearer token, sent as `Authorization: Bearer
+    /// <token>` on every request — what a multi-tenant server
+    /// (`gdf serve --tenants`) requires on job-mutating routes.
+    pub fn with_token(mut self, token: impl Into<String>) -> Self {
+        let token = token.into();
+        self.token = (!token.is_empty()).then_some(token);
         self
     }
 
@@ -98,12 +111,20 @@ impl Client {
         matches!(error, HttpError::Io(_) | HttpError::Malformed(_))
     }
 
+    /// Parses a response's `Retry-After` header (whole seconds).
+    fn retry_after_header(headers: &[(String, String)]) -> Option<u32> {
+        headers
+            .iter()
+            .find(|(k, _)| k == "retry-after")
+            .and_then(|(_, v)| v.trim().parse().ok())
+    }
+
     fn exchange(
         &self,
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> Result<(u16, Vec<u8>), ServeError> {
+    ) -> Result<(u16, Vec<u8>, Option<u32>), ServeError> {
         self.exchange_with(method, path, body, &[])
     }
 
@@ -113,33 +134,51 @@ impl Client {
         path: &str,
         body: Option<&str>,
         extra_headers: &[(&str, &str)],
-    ) -> Result<(u16, Vec<u8>), ServeError> {
+    ) -> Result<(u16, Vec<u8>, Option<u32>), ServeError> {
+        let auth = self.token.as_ref().map(|t| format!("Bearer {t}"));
+        let mut headers: Vec<(&str, &str)> = extra_headers.to_vec();
+        if let Some(auth) = &auth {
+            headers.push(("Authorization", auth.as_str()));
+        }
         let idempotent = method == "GET";
         let mut attempt = 0u32;
         loop {
+            let mut delay = Self::retry_after(attempt);
             match client_request_with_headers(
                 &self.addr,
                 method,
                 path,
                 body,
                 self.timeout,
-                extra_headers,
+                &headers,
             ) {
                 // A 503 carrying `Retry-After` is a deliberate verdict
                 // (drain, hard capacity) — surface it immediately so the
                 // caller can route elsewhere instead of burning backoff.
                 Ok(response)
                     if response.status == 503
-                        && !response.headers.iter().any(|(k, _)| k == "retry-after")
+                        && Self::retry_after_header(&response.headers).is_none()
                         && attempt < self.retries => {}
-                Ok(response) => return Ok((response.status, response.body)),
+                // A 429 is the tenant's own quota or rate limit:
+                // nothing was enqueued, so retrying is safe for every
+                // verb. Honor the server's `Retry-After` hint (capped
+                // at 5 s) when it exceeds the backoff.
+                Ok(response) if response.status == 429 && attempt < self.retries => {
+                    if let Some(hint) = Self::retry_after_header(&response.headers) {
+                        delay = delay.max(Duration::from_secs(u64::from(hint.min(5))));
+                    }
+                }
+                Ok(response) => {
+                    let retry_after = Self::retry_after_header(&response.headers);
+                    return Ok((response.status, response.body, retry_after));
+                }
                 Err(e)
                     if attempt < self.retries
                         && (Self::transient_transport(&e)
                             || (idempotent && Self::idempotent_transport(&e))) => {}
                 Err(e) => return Err(ServeError::Http(e)),
             }
-            std::thread::sleep(Self::retry_after(attempt));
+            std::thread::sleep(delay);
             attempt += 1;
         }
     }
@@ -157,7 +196,7 @@ impl Client {
         body: Option<&str>,
         extra_headers: &[(&str, &str)],
     ) -> Result<Json, ServeError> {
-        let (status, bytes) = self.exchange_with(method, path, body, extra_headers)?;
+        let (status, bytes, retry_after) = self.exchange_with(method, path, body, extra_headers)?;
         let text = String::from_utf8_lossy(&bytes);
         let parsed = Json::parse_with_limits(&text, ParseLimits::default()).ok();
         if !(200..300).contains(&status) {
@@ -167,7 +206,11 @@ impl Client {
                 .and_then(Json::as_str)
                 .unwrap_or(text.trim())
                 .to_string();
-            return Err(ServeError::Api { status, message });
+            return Err(ServeError::Api {
+                status,
+                message,
+                retry_after,
+            });
         }
         parsed.ok_or_else(|| ServeError::Protocol(format!("non-JSON response to {method} {path}")))
     }
@@ -268,14 +311,18 @@ impl Client {
     }
 
     fn fetch_document(&self, path: &str) -> Result<String, ServeError> {
-        let (status, bytes) = self.exchange("GET", path, None)?;
+        let (status, bytes, retry_after) = self.exchange("GET", path, None)?;
         let text = String::from_utf8_lossy(&bytes).into_owned();
         if !(200..300).contains(&status) {
             let message = Json::parse(&text)
                 .ok()
                 .and_then(|j| j.get("error").and_then(Json::as_str).map(str::to_string))
                 .unwrap_or(text);
-            return Err(ServeError::Api { status, message });
+            return Err(ServeError::Api {
+                status,
+                message,
+                retry_after,
+            });
         }
         Ok(text)
     }
@@ -320,7 +367,12 @@ impl Client {
                 .ok()
                 .and_then(|j| j.get("error").and_then(Json::as_str).map(str::to_string))
                 .unwrap_or_else(|| text.trim().to_string());
-            return Err(ServeError::Api { status, message });
+            // The streaming path surfaces no headers, so no hint here.
+            return Err(ServeError::Api {
+                status,
+                message,
+                retry_after: None,
+            });
         }
         Ok(())
     }

@@ -109,6 +109,12 @@ pub struct JobSpec {
     /// [`gdf_core::ShardArtifact`] (pure generation outcomes, no credit
     /// pass, no RNG draws) instead of a full run artifact.
     pub shard: Option<ShardSpec>,
+    /// The authenticated tenant that submitted this job, when the
+    /// server runs with a tenant registry (`gdf serve --tenants`).
+    /// Admission bookkeeping only — never part of the cache key or the
+    /// artifact, so identical specs hit the result cache across
+    /// tenants (the determinism invariant makes that exact).
+    pub tenant: Option<String>,
 }
 
 /// The shard tag of a shard job: which universe range to cover, and the
@@ -292,7 +298,9 @@ impl Job {
 // ---------------------------------------------------------------------
 
 const JOB_FORMAT: &str = "gdf-job";
-/// v3 (PR 6): optional `shard` tag for fleet shard jobs. v2 (PR 5):
+/// v3 (PR 6): optional `shard` tag for fleet shard jobs; later PRs add
+/// further *optional* keys (`trace`/`profile`, `tenant`) that older v3
+/// readers ignore and older records simply lack. v2 (PR 5):
 /// config carries `model` + `sensitization`, report summaries carry
 /// `coverage`. v1 records (PR 4 servers) still decode — the old `model`
 /// field maps to the sensitization and the fault model defaults from
@@ -328,6 +336,11 @@ pub fn encode_record(id: JobId, spec: &JobSpec, status: &JobStatus) -> String {
     ];
     if let Some(shard) = &spec.shard {
         fields.push(("shard".into(), shard.encode()));
+    }
+    // Optional like the observability keys below: open-mode records
+    // (and every pre-tenancy record) simply have no `tenant`.
+    if let Some(tenant) = &spec.tenant {
+        fields.push(("tenant".into(), Json::Str(tenant.clone())));
     }
     fields.extend(encode_config(&spec.config));
     fields.push(("circuit".into(), spec.source.encode()));
@@ -399,6 +412,7 @@ pub fn decode_record(text: &str) -> Result<(JobId, JobSpec, JobStatus), Artifact
             None | Some(Json::Null) => None,
             Some(s) => Some(ShardSpec::decode(s).map_err(schema)?),
         },
+        tenant: j.get("tenant").and_then(Json::as_str).map(str::to_string),
     };
     let report = match j.get("report") {
         None | Some(Json::Null) => None,
@@ -478,6 +492,7 @@ mod tests {
             parallelism: 3,
             checkpoint_every: 8,
             shard: None,
+            tenant: Some("acme".into()),
         };
         let mut status = JobStatus {
             state: JobState::Failed,
@@ -506,6 +521,7 @@ mod tests {
         let (id, spec2, status2) = decode_record(&text).unwrap();
         assert_eq!(id, 42);
         assert_eq!(spec2, spec);
+        assert_eq!(spec2.tenant.as_deref(), Some("acme"));
         assert_eq!(status2.state, JobState::Failed);
         assert_eq!(status2.error.as_deref(), Some("engine exploded"));
         assert_eq!(status2.report, status.report);
@@ -541,6 +557,7 @@ mod tests {
                 hi: 11,
                 tag: "fleet:plan-7/unit-2".into(),
             }),
+            tenant: None,
         };
         let status = JobStatus {
             state: JobState::Queued,

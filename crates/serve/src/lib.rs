@@ -53,7 +53,7 @@ pub use client::Client;
 pub use events::EventLog;
 pub use http::HttpError;
 pub use job::{Job, JobId, JobSpec, JobState, JobStatus, ReportSummary, ShardSpec};
-pub use queue::{QueueFull, ShardedQueue};
+pub use queue::{FairQueue, JobQueue, PushError, QueueFull, ShardedQueue};
 pub use server::{
     decode_submission, submission_for_bench, submission_for_suite, submission_with_runtime,
     submission_with_shard, JobServer, ServeConfig,
@@ -72,6 +72,10 @@ pub enum ServeError {
         status: u16,
         /// The server's `{"error": …}` message.
         message: String,
+        /// The `Retry-After` header, in seconds, when the server sent
+        /// one — a drain verdict on `503`, the wait hint on a tenant
+        /// quota/rate `429`.
+        retry_after: Option<u32>,
     },
     /// The peer spoke, but not the job API dialect.
     Protocol(String),
@@ -82,7 +86,9 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Io(m) => write!(f, "{m}"),
             ServeError::Http(e) => write!(f, "{e}"),
-            ServeError::Api { status, message } => write!(f, "server said {status}: {message}"),
+            ServeError::Api {
+                status, message, ..
+            } => write!(f, "server said {status}: {message}"),
             ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }

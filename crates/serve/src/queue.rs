@@ -12,7 +12,16 @@
 //! the others when idle, so one deep shard cannot strand work while
 //! other workers sit idle. Waits are short-timeout so shutdown flags are
 //! observed promptly.
+//!
+//! With a tenant registry configured, the server swaps the sharded FIFO
+//! for a [`FairQueue`]: the same bounded/blocking surface, but dispatch
+//! order comes from [`gdf_tenant::FairScheduler`] — weighted deficit
+//! round-robin across tenant lanes within priority bands — so one
+//! tenant's burst queues behind its own lane. [`JobQueue`] is the
+//! either-or front the server holds; open mode keeps the exact
+//! pre-tenancy code path.
 
+use gdf_tenant::{EnqueueError, FairScheduler, LaneConfig, TenantRegistry};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -153,6 +162,198 @@ impl ShardedQueue {
     }
 }
 
+/// Returned by [`JobQueue::push`] when a job cannot be queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Global capacity exhausted — the server is saturated (`503`).
+    Full,
+    /// The tenant's `max_queued` quota is exhausted (`429`).
+    OverQuota,
+}
+
+/// The tenant-fair queue: [`FairScheduler`] behind one mutex and one
+/// condvar, presenting the same bounded/blocking surface as
+/// [`ShardedQueue`]. Scheduling decisions need global (all-lane) state,
+/// so there is nothing to shard — the mutex guards pure bookkeeping and
+/// is never held across a job run.
+pub struct FairQueue {
+    sched: Mutex<FairScheduler>,
+    available: Condvar,
+    closed: AtomicBool,
+    workers: usize,
+}
+
+impl FairQueue {
+    /// A queue dispatching to `workers` workers, bounding total queued
+    /// jobs at `capacity`, with one configured lane per registry tenant
+    /// (unknown tenants get a default lane on first enqueue).
+    pub fn new(workers: usize, capacity: usize, registry: &TenantRegistry) -> Self {
+        let mut sched = FairScheduler::new(capacity.max(1));
+        for tenant in &registry.tenants {
+            sched.configure(&tenant.id, LaneConfig::from(tenant));
+        }
+        FairQueue {
+            sched: Mutex::new(sched),
+            available: Condvar::new(),
+            closed: AtomicBool::new(false),
+            workers: workers.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FairScheduler> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues on the tenant's lane (`None` = the ownerless lane).
+    pub fn push(&self, tenant: Option<&str>, id: u64) -> Result<(), PushError> {
+        let result = self.lock().enqueue(tenant.unwrap_or(""), id);
+        match result {
+            Ok(()) => {
+                self.available.notify_one();
+                Ok(())
+            }
+            Err(EnqueueError::Saturated) => Err(PushError::Full),
+            Err(EnqueueError::OverQuota) => Err(PushError::OverQuota),
+        }
+    }
+
+    /// Dispatches the next job per the fair schedule, blocking up to
+    /// `timeout` when nothing is eligible. `None` on timeout or when
+    /// closed and drained.
+    pub fn pop(&self, timeout: Duration) -> Option<u64> {
+        let mut sched = self.lock();
+        if let Some((_, id)) = sched.dispatch() {
+            return Some(id);
+        }
+        if self.closed.load(Ordering::Acquire) {
+            return None;
+        }
+        let (mut sched, _timeout) = self
+            .available
+            .wait_timeout(sched, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        sched.dispatch().map(|(_, id)| id)
+    }
+
+    /// Records a dispatched job finishing, re-opening its lane if it
+    /// was at `max_running` — and waking a worker to check.
+    pub fn finish(&self, tenant: Option<&str>) {
+        self.lock().finish(tenant.unwrap_or(""));
+        self.available.notify_one();
+    }
+
+    /// Removes a queued job; `true` if found.
+    pub fn remove(&self, id: u64) -> bool {
+        self.lock().remove(id)
+    }
+
+    /// Total queued jobs.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks the queue closed and wakes every waiting worker.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.available.notify_all();
+    }
+
+    /// `true` once [`FairQueue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// `(tenant, queued, running)` per lane, for `/metrics`.
+    pub fn snapshot(&self) -> Vec<(String, usize, usize)> {
+        self.lock().snapshot()
+    }
+}
+
+/// The queue the server actually holds: the pre-tenancy sharded FIFO in
+/// open mode, the fair scheduler when a tenant registry is configured.
+pub enum JobQueue {
+    /// No registry: exact pre-tenancy behavior.
+    Open(ShardedQueue),
+    /// Registry configured: tenant-fair dispatch.
+    Fair(FairQueue),
+}
+
+impl JobQueue {
+    /// Worker-pool size the queue was built for.
+    pub fn shards(&self) -> usize {
+        match self {
+            JobQueue::Open(q) => q.shards(),
+            JobQueue::Fair(q) => q.workers,
+        }
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        match self {
+            JobQueue::Open(q) => q.len(),
+            JobQueue::Fair(q) => q.len(),
+        }
+    }
+
+    /// `true` when no job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a job. The tenant tag is ignored in open mode.
+    pub fn push(&self, tenant: Option<&str>, id: u64) -> Result<(), PushError> {
+        match self {
+            JobQueue::Open(q) => q.push(id).map_err(|QueueFull| PushError::Full),
+            JobQueue::Fair(q) => q.push(tenant, id),
+        }
+    }
+
+    /// Dequeues for `worker`, blocking up to `timeout`.
+    pub fn pop(&self, worker: usize, timeout: Duration) -> Option<u64> {
+        match self {
+            JobQueue::Open(q) => q.pop(worker, timeout),
+            JobQueue::Fair(q) => q.pop(timeout),
+        }
+    }
+
+    /// Records a dispatched job finishing (no-op in open mode, where
+    /// nothing gates on running counts).
+    pub fn finish(&self, tenant: Option<&str>) {
+        if let JobQueue::Fair(q) = self {
+            q.finish(tenant);
+        }
+    }
+
+    /// Removes a queued job; `true` if found.
+    pub fn remove(&self, id: u64) -> bool {
+        match self {
+            JobQueue::Open(q) => q.remove(id),
+            JobQueue::Fair(q) => q.remove(id),
+        }
+    }
+
+    /// Closes the queue and wakes all workers.
+    pub fn close(&self) {
+        match self {
+            JobQueue::Open(q) => q.close(),
+            JobQueue::Fair(q) => q.close(),
+        }
+    }
+
+    /// `true` once closed.
+    pub fn is_closed(&self) -> bool {
+        match self {
+            JobQueue::Open(q) => q.is_closed(),
+            JobQueue::Fair(q) => q.is_closed(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +405,130 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.push(42).unwrap();
         assert_eq!(handle.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn spill_walks_shards_in_order_and_pops_preserve_it() {
+        // Three capacity-1 shards, all pushes homed on shard 0: the
+        // spill probe must place them 0 -> 1 -> 2, and a worker draining
+        // from shard 0 must see exactly that order (own shard, then
+        // steals in probe order).
+        let q = ShardedQueue::new(3, 1);
+        q.push(0).unwrap(); // shard 0
+        q.push(3).unwrap(); // home 0 full -> shard 1
+        q.push(6).unwrap(); // shards 0,1 full -> shard 2
+        assert_eq!(q.push(9), Err(QueueFull));
+        let order: Vec<_> = (0..3)
+            .map(|_| q.pop(0, Duration::from_millis(1)).unwrap())
+            .collect();
+        assert_eq!(order, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn steal_skips_empty_shards() {
+        // Worker 1's own shard is empty; its pops must walk past it and
+        // steal everything homed on shard 0, then time out cleanly.
+        let q = ShardedQueue::new(2, 4);
+        q.push(0).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(1, Duration::from_millis(1)), Some(0));
+        assert_eq!(q.pop(1, Duration::from_millis(1)), Some(2));
+        assert_eq!(q.pop(1, Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn capacity_one_queue_round_trips() {
+        // The smallest legal queue: one shard, one slot. Push/pop must
+        // cycle indefinitely, and the full case must report QueueFull
+        // (not wedge or overwrite).
+        let q = ShardedQueue::new(1, 1);
+        for round in 0..3u64 {
+            q.push(round).unwrap();
+            assert_eq!(q.push(100 + round), Err(QueueFull));
+            assert_eq!(q.pop(0, Duration::from_millis(1)), Some(round));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_sized_parameters_are_clamped_to_one() {
+        let q = ShardedQueue::new(0, 0);
+        assert_eq!(q.shards(), 1);
+        q.push(5).unwrap();
+        assert_eq!(q.push(6), Err(QueueFull), "capacity clamps to 1");
+        assert_eq!(q.pop(0, Duration::from_millis(1)), Some(5));
+    }
+
+    mod fair {
+        use super::super::*;
+        use gdf_tenant::TenantSpec;
+        use std::sync::Arc;
+
+        fn registry() -> TenantRegistry {
+            TenantRegistry::new(vec![
+                TenantSpec::new("acme", "t-a")
+                    .with_weight(2)
+                    .with_max_queued(8),
+                TenantSpec::new("zeta", "t-z").with_max_queued(2),
+            ])
+            .unwrap()
+        }
+
+        #[test]
+        fn fair_queue_dispatches_by_weight() {
+            let q = FairQueue::new(1, 64, &registry());
+            for j in 0..6u64 {
+                q.push(Some("acme"), j).unwrap();
+                q.push(Some("zeta"), 10 + j).unwrap();
+            }
+            // acme (weight 2) gets two dispatches per zeta's one.
+            let order: Vec<u64> = (0..6)
+                .map(|_| q.pop(Duration::from_millis(1)).unwrap())
+                .collect();
+            assert_eq!(order, vec![0, 1, 10, 2, 3, 11]);
+        }
+
+        #[test]
+        fn fair_queue_separates_quota_from_saturation() {
+            let q = FairQueue::new(1, 3, &registry());
+            q.push(Some("zeta"), 1).unwrap();
+            q.push(Some("zeta"), 2).unwrap();
+            // zeta's max_queued=2 is its own problem...
+            assert_eq!(q.push(Some("zeta"), 3), Err(PushError::OverQuota));
+            q.push(Some("acme"), 4).unwrap();
+            // ...while the global bound is everyone's.
+            assert_eq!(q.push(Some("acme"), 5), Err(PushError::Full));
+            assert_eq!(q.len(), 3);
+            assert!(q.remove(2));
+            q.push(Some("zeta"), 3).unwrap();
+        }
+
+        #[test]
+        fn fair_queue_wakes_a_waiting_worker_and_closes() {
+            let q = Arc::new(FairQueue::new(2, 16, &registry()));
+            let q2 = Arc::clone(&q);
+            let handle = std::thread::spawn(move || q2.pop(Duration::from_secs(5)));
+            std::thread::sleep(Duration::from_millis(20));
+            q.push(None, 7).unwrap();
+            assert_eq!(handle.join().unwrap(), Some(7));
+            q.finish(None);
+            q.close();
+            assert!(q.is_closed());
+            assert_eq!(q.pop(Duration::from_millis(1)), None);
+        }
+
+        #[test]
+        fn job_queue_front_is_transparent_in_both_modes() {
+            for queue in [
+                JobQueue::Open(ShardedQueue::new(2, 4)),
+                JobQueue::Fair(FairQueue::new(2, 8, &registry())),
+            ] {
+                queue.push(Some("acme"), 3).unwrap();
+                assert_eq!(queue.len(), 1);
+                assert_eq!(queue.pop(0, Duration::from_millis(1)), Some(3));
+                queue.finish(Some("acme"));
+                assert!(queue.is_empty());
+            }
+        }
     }
 }

@@ -18,6 +18,22 @@
 //! `413`; a missing job `404`; an artifact requested before completion
 //! `409`.
 //!
+//! # Multi-tenant admission control
+//!
+//! With a tenant registry ([`ServeConfig::with_tenants`], `gdf serve
+//! --tenants FILE`) the job-mutating routes (`POST /jobs`,
+//! `DELETE /jobs/<id>`) require `Authorization: Bearer <token>`: no
+//! token is `401`, an unknown token `403`, another tenant's job `403`.
+//! Read routes, `/healthz` and `/metrics` stay open (the fleet health
+//! probe scrapes `/metrics` unauthenticated). A tenant over its own
+//! quota — queued-job cap or request rate — gets `429 + Retry-After`,
+//! *distinct* from the saturation `503`: `429` means "your quota, slow
+//! down", `503` means "my capacity, try another node". Queued jobs
+//! dispatch through a weighted deficit round-robin scheduler
+//! ([`gdf_tenant::FairScheduler`]) within priority bands, with
+//! deterministic tie-breaks. Without a registry nothing changes: the
+//! server runs the exact pre-tenancy open path.
+//!
 //! # Determinism over the wire
 //!
 //! Jobs run through the same deterministic engine the CLI drives, so two
@@ -44,7 +60,7 @@ use crate::job::{
     decode_record, encode_record, write_atomic, Job, JobId, JobSpec, JobState, ReportSummary,
     ShardSpec,
 };
-use crate::queue::ShardedQueue;
+use crate::queue::{FairQueue, JobQueue, PushError, ShardedQueue};
 use crate::ServeError;
 use gdf_core::artifact::{encode_config, CircuitSource, PatternSet, RunArtifact};
 use gdf_core::engine::{Atpg, AtpgBuilder, AtpgError, Backend, Limits, Observer, RunConfig};
@@ -57,6 +73,7 @@ use gdf_obs::{
     Registry, TraceCtx, Tracer, PHASE_HELP, PHASE_METRIC, TRACE_HEADER,
 };
 use gdf_store::{CacheKey, Store};
+use gdf_tenant::{TenantRegistry, TokenBucket};
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -120,6 +137,12 @@ pub struct ServeConfig {
     /// default; the benchmark harness turns it off to measure overhead.
     /// Never affects canonical artifacts either way.
     pub obs: bool,
+    /// Multi-tenant admission control: `Some` puts every job-mutating
+    /// route behind bearer-token auth, enforces per-tenant quotas and
+    /// rate limits (`429 + Retry-After`), and dispatches through the
+    /// weighted-fair scheduler. `None` (the default) is the open
+    /// pre-tenancy server, byte-for-byte.
+    pub tenants: Option<TenantRegistry>,
 }
 
 impl ServeConfig {
@@ -134,6 +157,7 @@ impl ServeConfig {
             checkpoint_every: 16,
             body_limit: crate::http::DEFAULT_BODY_LIMIT,
             obs: true,
+            tenants: None,
         }
     }
 
@@ -158,6 +182,12 @@ impl ServeConfig {
     /// Enables or disables tracing + profiling (metrics stay on).
     pub fn with_obs(mut self, obs: bool) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Turns on multi-tenant admission control with this registry.
+    pub fn with_tenants(mut self, registry: TenantRegistry) -> Self {
+        self.tenants = Some(registry);
         self
     }
 }
@@ -269,11 +299,104 @@ impl Metrics {
     }
 }
 
+/// Admission-control state when a tenant registry is configured: the
+/// registry, one request-rate bucket per rate-limited tenant, and the
+/// per-tenant metric handles (pre-registered at startup so every
+/// `gdf_tenant_*` family is present from the first scrape — tenants are
+/// a fixed set, so no series appears mid-flight).
+struct Tenancy {
+    registry: TenantRegistry,
+    /// Request-rate buckets keyed by tenant id; only tenants with a
+    /// configured rate have one (no entry = unlimited).
+    buckets: Mutex<BTreeMap<String, TokenBucket>>,
+    admitted: BTreeMap<String, Counter>,
+    rejected: BTreeMap<String, Counter>,
+    queued: BTreeMap<String, Gauge>,
+    running: BTreeMap<String, Gauge>,
+}
+
+impl Tenancy {
+    fn new(registry: TenantRegistry, metrics: &Registry) -> Tenancy {
+        let mut buckets = BTreeMap::new();
+        let mut admitted = BTreeMap::new();
+        let mut rejected = BTreeMap::new();
+        let mut queued = BTreeMap::new();
+        let mut running = BTreeMap::new();
+        for tenant in &registry.tenants {
+            let id = tenant.id.clone();
+            let labels = &[("tenant", tenant.id.as_str())];
+            admitted.insert(
+                id.clone(),
+                metrics.counter_with(
+                    "gdf_tenant_admitted_total",
+                    "Submissions admitted past tenant admission control.",
+                    labels,
+                ),
+            );
+            rejected.insert(
+                id.clone(),
+                metrics.counter_with(
+                    "gdf_tenant_rejected_total",
+                    "Submissions rejected by a tenant quota or rate limit (429s).",
+                    labels,
+                ),
+            );
+            queued.insert(
+                id.clone(),
+                metrics.gauge_with("gdf_tenant_queued", "Jobs queued, per tenant.", labels),
+            );
+            running.insert(
+                id.clone(),
+                metrics.gauge_with("gdf_tenant_running", "Jobs running, per tenant.", labels),
+            );
+            if let Some(rate) = tenant.rate_per_sec {
+                buckets.insert(
+                    id,
+                    TokenBucket::new(rate, tenant.effective_burst(), Instant::now()),
+                );
+            }
+        }
+        Tenancy {
+            registry,
+            buckets: Mutex::new(buckets),
+            admitted,
+            rejected,
+            queued,
+            running,
+        }
+    }
+
+    /// Takes one request-rate token for `tenant`; `Err(wait)` is the
+    /// seconds until the next token when the tenant is over its rate.
+    /// Tenants with no configured rate always pass.
+    fn take_rate_token(&self, tenant: &str) -> Result<(), f64> {
+        let mut buckets = self.buckets.lock().expect("rate buckets poisoned");
+        match buckets.get_mut(tenant) {
+            Some(bucket) => bucket.try_take(Instant::now()),
+            None => Ok(()),
+        }
+    }
+
+    fn record_admitted(&self, tenant: &str) {
+        if let Some(c) = self.admitted.get(tenant) {
+            c.inc();
+        }
+    }
+
+    fn record_rejected(&self, tenant: &str) {
+        if let Some(c) = self.rejected.get(tenant) {
+            c.inc();
+        }
+    }
+}
+
 struct ServerState {
     dir: PathBuf,
     jobs: Mutex<BTreeMap<JobId, Arc<Job>>>,
     next_id: AtomicU64,
-    queue: ShardedQueue,
+    queue: JobQueue,
+    /// `Some` when a tenant registry is loaded; `None` is open mode.
+    tenancy: Option<Tenancy>,
     /// Recovered in-flight jobs that did not fit the bounded queue at
     /// startup; idle workers drain this into the queue as slots free up
     /// (submissions never land here — a full queue answers `503`).
@@ -347,10 +470,14 @@ impl ServerState {
     }
 
     /// Moves backlogged recovery jobs into the queue while it has room.
+    /// In tenant mode a recovered job re-enters its owner's lane, so a
+    /// backlogged job can also wait on that tenant's quota — recovery
+    /// stays in id order either way.
     fn drain_backlog(&self) {
         let mut backlog = self.backlog.lock().expect("backlog poisoned");
         while let Some(&id) = backlog.front() {
-            if self.queue.push(id).is_err() {
+            let tenant = self.job(id).and_then(|job| job.spec.tenant.clone());
+            if self.queue.push(tenant.as_deref(), id).is_err() {
                 return;
             }
             backlog.pop_front();
@@ -431,11 +558,25 @@ impl JobServer {
             // which the tests and the bench harness account for.
             gdf_obs::install_phase_sink(registry.clone());
         }
+        // Tenancy registers its per-tenant families after every
+        // pre-existing one, so open-mode scrapes render unchanged.
+        let tenancy = config.tenants.clone().map(|r| Tenancy::new(r, &registry));
+        let queue = match &tenancy {
+            // The fair queue bounds *total* queued jobs at the same
+            // global capacity open mode has (workers × per-shard cap).
+            Some(t) => JobQueue::Fair(FairQueue::new(
+                workers,
+                workers * config.queue_capacity.max(1),
+                &t.registry,
+            )),
+            None => JobQueue::Open(ShardedQueue::new(workers, config.queue_capacity.max(1))),
+        };
         let state = Arc::new(ServerState {
             dir: config.dir.clone(),
             jobs: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
-            queue: ShardedQueue::new(workers, config.queue_capacity.max(1)),
+            queue,
+            tenancy,
             backlog: Mutex::new(std::collections::VecDeque::new()),
             default_checkpoint_every: config.checkpoint_every.max(1),
             body_limit: config.body_limit,
@@ -608,7 +749,7 @@ fn recover_jobs(state: &Arc<ServerState>) -> Result<(), ServeError> {
             // recovery is deterministic. Overflow beyond the queue bound
             // goes to the backlog, which idle workers drain.
             job.status.lock().expect("job status poisoned").state = JobState::Queued;
-            if state.queue.push(id).is_err() {
+            if state.queue.push(job.spec.tenant.as_deref(), id).is_err() {
                 state
                     .backlog
                     .lock()
@@ -758,6 +899,9 @@ fn worker_loop(state: Arc<ServerState>, index: usize) {
         state.metrics.busy.fetch_add(1, Ordering::AcqRel);
         run_job(&state, &job);
         state.metrics.busy.fetch_sub(1, Ordering::AcqRel);
+        // Release the fair-scheduler dispatch slot (no-op in open
+        // mode): the owner's lane may have been at `max_running`.
+        state.queue.finish(job.spec.tenant.as_deref());
     }
 }
 
@@ -1161,15 +1305,36 @@ fn route(state: &Arc<ServerState>, request: Request, stream: &mut TcpStream) {
         ["jobs", _, "events"] => "/jobs/{id}/events",
         _ => "other",
     };
+    // Job-mutating routes pass bearer auth when a registry is loaded.
+    // Everything else — reads, /healthz, /metrics — stays open (the
+    // fleet health probe scrapes /metrics unauthenticated).
+    let mutating = matches!(
+        (request.method.as_str(), segments.as_slice()),
+        ("POST", ["jobs"]) | ("DELETE", ["jobs", _])
+    );
+    let tenant: Option<String> = match &state.tenancy {
+        Some(t) if mutating => match t.registry.authorize(request.header("authorization")) {
+            Ok(spec) => Some(spec.id.clone()),
+            Err(e) => {
+                let response = Response::error(e.status(), e.message());
+                state.record_http(&request.method, route_name, response.status);
+                let _ = response.write(stream);
+                return;
+            }
+        },
+        _ => None,
+    };
     let response = match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => handle_health(state),
         ("GET", ["metrics"]) => handle_metrics(state),
-        ("POST", ["jobs"]) => handle_submit(state, &request),
+        ("POST", ["jobs"]) => handle_submit(state, &request, tenant.as_deref()),
         ("GET", ["jobs"]) => handle_list(state),
         ("GET", ["jobs", id]) => with_job(state, id, |job| {
             Response::json(200, &status_json(job, true))
         }),
-        ("DELETE", ["jobs", id]) => with_job(state, id, |job| handle_delete(state, job)),
+        ("DELETE", ["jobs", id]) => with_job(state, id, |job| {
+            handle_delete(state, job, tenant.as_deref())
+        }),
         ("GET", ["jobs", id, "artifact"]) => with_job(state, id, |job| handle_artifact(state, job)),
         ("GET", ["jobs", id, "patterns"]) => with_job(state, id, |job| handle_patterns(state, job)),
         ("GET", ["jobs", id, "events"]) => {
@@ -1274,6 +1439,18 @@ fn handle_metrics(state: &Arc<ServerState>) -> Response {
     });
     m.store_bytes.set(store_stats.bytes as f64);
     m.store_objects.set(store_stats.objects as f64);
+    if let (Some(t), JobQueue::Fair(q)) = (&state.tenancy, &state.queue) {
+        // Lanes the scheduler has not seen yet keep their pre-registered
+        // zero; the ownerless "" lane has no gauge and is skipped.
+        for (tenant, queued, running) in q.snapshot() {
+            if let Some(g) = t.queued.get(&tenant) {
+                g.set(queued as f64);
+            }
+            if let Some(g) = t.running.get(&tenant) {
+                g.set(running as f64);
+            }
+        }
+    }
     Response::text(200, state.registry.render())
 }
 
@@ -1313,6 +1490,9 @@ fn status_json(job: &Arc<Job>, verbose: bool) -> Json {
     if let Some(shard) = &job.spec.shard {
         fields.push(("shard".into(), shard.encode()));
     }
+    if let Some(tenant) = &job.spec.tenant {
+        fields.push(("tenant".into(), Json::Str(tenant.clone())));
+    }
     if verbose {
         fields.extend(encode_config(&job.spec.config));
         fields.push(("parallelism".into(), Json::Num(job.spec.parallelism as f64)));
@@ -1326,7 +1506,7 @@ fn status_json(job: &Arc<Job>, verbose: bool) -> Json {
     Json::Obj(fields)
 }
 
-fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
+fn handle_submit(state: &Arc<ServerState>, request: &Request, tenant: Option<&str>) -> Response {
     let body = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return Response::error(400, "body is not UTF-8"),
@@ -1335,10 +1515,11 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
         Ok(parsed) => parsed,
         Err(e) => return Response::error(400, format!("bad JSON: {e}")),
     };
-    let spec = match decode_submission(&parsed, state.default_checkpoint_every) {
+    let mut spec = match decode_submission(&parsed, state.default_checkpoint_every) {
         Ok(spec) => spec,
         Err(message) => return Response::error(400, message),
     };
+    spec.tenant = tenant.map(str::to_string);
     if state.stopping.load(Ordering::Acquire) {
         return Response::error(503, "server is stopping");
     }
@@ -1346,6 +1527,18 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
         // `Retry-After` marks this 503 as a deliberate drain verdict:
         // clients route elsewhere instead of retrying here.
         return Response::error(503, "server is draining; resubmit elsewhere").with_retry_after(5);
+    }
+    // Request-rate admission, before the cache peek: the rate limit
+    // prices the *request*, not the work, so cache hits count too.
+    if let (Some(t), Some(tenant)) = (&state.tenancy, tenant) {
+        if let Err(wait) = t.take_rate_token(tenant) {
+            t.record_rejected(tenant);
+            return Response::error(
+                429,
+                format!("tenant `{tenant}` is over its request rate; retry later"),
+            )
+            .with_retry_after(wait.ceil().max(1.0) as u32);
+        }
     }
 
     // Exact result cache: a stored artifact under the same
@@ -1418,13 +1611,35 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
             }
         }
     }
-    if !served_from_cache && state.queue.push(id).is_err() {
-        state.jobs.lock().expect("job store poisoned").remove(&id);
-        // A subscriber that raced onto /jobs/<id>/events in the insert
-        // window must see the stream end, not keepalives forever.
-        job.events.close();
-        let _ = std::fs::remove_dir_all(&dir);
-        return Response::error(503, "job queue is full; retry later");
+    if !served_from_cache {
+        if let Err(e) = state.queue.push(job.spec.tenant.as_deref(), id) {
+            state.jobs.lock().expect("job store poisoned").remove(&id);
+            // A subscriber that raced onto /jobs/<id>/events in the
+            // insert window must see the stream end, not keepalives
+            // forever.
+            job.events.close();
+            let _ = std::fs::remove_dir_all(&dir);
+            return match e {
+                // Global capacity: the server's problem.
+                PushError::Full => Response::error(503, "job queue is full; retry later"),
+                // The tenant's own queued-job quota: their problem —
+                // a slot frees as soon as one of their jobs dispatches.
+                PushError::OverQuota => {
+                    let tenant = job.spec.tenant.as_deref().unwrap_or("");
+                    if let Some(t) = &state.tenancy {
+                        t.record_rejected(tenant);
+                    }
+                    Response::error(
+                        429,
+                        format!("tenant `{tenant}` is at its queued-job quota; retry later"),
+                    )
+                    .with_retry_after(1)
+                }
+            };
+        }
+    }
+    if let (Some(t), Some(tenant)) = (&state.tenancy, tenant) {
+        t.record_admitted(tenant);
     }
     Response::json(
         201,
@@ -1436,7 +1651,17 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
     )
 }
 
-fn handle_delete(state: &Arc<ServerState>, job: &Arc<Job>) -> Response {
+fn handle_delete(state: &Arc<ServerState>, job: &Arc<Job>, tenant: Option<&str>) -> Response {
+    // Tenant mode: a job with an owner can only be cancelled/removed by
+    // that owner. Ownerless jobs (recovered from an open-mode run) stay
+    // manageable by any authenticated tenant.
+    if state.tenancy.is_some() {
+        if let Some(owner) = job.spec.tenant.as_deref() {
+            if Some(owner) != tenant {
+                return Response::error(403, format!("job {} belongs to another tenant", job.id));
+            }
+        }
+    }
     let current = job.status().state;
     let action = match current {
         JobState::Queued => {
@@ -1532,26 +1757,89 @@ fn handle_patterns(state: &Arc<ServerState>, job: &Arc<Job>) -> Response {
     }
 }
 
+/// Per-write cap on `/events` streams. A reader that stops draining
+/// eventually blocks our writes; failing the write after 10 seconds
+/// frees this connection slot instead of pinning a handler thread for
+/// the job's lifetime ([`MAX_CONNECTIONS`] is a hard cap — a handful of
+/// stalled streams must not brown the server out for everyone else).
+const STREAM_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// The keepalive payload on a silent stream: deliberately *padded* (a
+/// KiB of blank lines — NDJSON consumers skip them). Tiny keepalives
+/// let a stalled reader's TCP receive window absorb writes for hours
+/// before anything blocks; padded ones fill it within a bounded number
+/// of rounds, so the stall probe below fires in seconds.
+const STREAM_KEEPALIVE: &[u8] = &[b'\n'; 1024];
+/// Consecutive keepalive rounds with bytes still sitting in the
+/// socket's send queue before the subscriber is declared stalled.
+const STREAM_STALL_ROUNDS: u32 = 5;
+
+/// Bytes unsent/unacknowledged in `stream`'s kernel send queue
+/// (`TIOCOUTQ`), or `None` where the probe is unavailable. A healthy
+/// subscriber drains to zero between keepalives; a stalled one keeps a
+/// growing residue once its receive window is full.
+#[cfg(target_os = "linux")]
+fn send_queue_depth(stream: &TcpStream) -> Option<usize> {
+    use std::os::fd::AsRawFd;
+    const TIOCOUTQ: std::ffi::c_ulong = 0x5411;
+    extern "C" {
+        fn ioctl(fd: std::ffi::c_int, request: std::ffi::c_ulong, ...) -> std::ffi::c_int;
+    }
+    let mut pending: std::ffi::c_int = 0;
+    match unsafe { ioctl(stream.as_raw_fd(), TIOCOUTQ, &mut pending) } {
+        0 => Some(pending.max(0) as usize),
+        _ => None,
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn send_queue_depth(_stream: &TcpStream) -> Option<usize> {
+    None
+}
+
 /// Streams the job's event log as NDJSON chunks: full replay from the
 /// start of this server process, then live until the job closes it.
 /// Once a job is terminal its log is compacted to the last
 /// [`TERMINAL_EVENT_TAIL`] events, so a late subscriber to a large
 /// finished job replays the tail (the `finished` event included), not
 /// the whole per-fault history — the artifact is the durable record.
+///
+/// Slow readers cannot pin the connection slot: a busy stream trips
+/// [`STREAM_WRITE_TIMEOUT`] once the socket buffers fill, and a silent
+/// stream (keepalives only — e.g. a queued job) is cut by the
+/// `TIOCOUTQ` stall probe after [`STREAM_STALL_ROUNDS`] rounds.
 fn stream_events(job: &Arc<Job>, stream: &mut TcpStream) {
     // Streams outlive ordinary requests; only cap per-write time.
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(STREAM_WRITE_TIMEOUT));
+    // A second handle onto the socket for the stall probe — the
+    // ChunkedWriter borrows `stream` for the stream's lifetime.
+    let probe = stream.try_clone().ok();
     let Ok(mut writer) = ChunkedWriter::start(&mut *stream, 200, "application/x-ndjson") else {
         return;
     };
     let mut position = 0usize;
+    let mut stalled_rounds = 0u32;
     loop {
         let (batch, next, closed) = job.events.wait_from(position, EVENT_POLL);
         if batch.is_empty() && !closed {
             // Keepalive on a silent stream: keeps the subscriber's read
             // timeout from firing while the job sits in the queue, and
             // detects a vanished subscriber. Consumers skip blank lines.
-            if writer.chunk(b"\n").is_err() {
+            //
+            // Probe *before* writing: the previous round's payload has
+            // had a full EVENT_POLL to drain, so any residue means the
+            // reader is not consuming — its kernel buffers would
+            // otherwise absorb padded keepalives quietly until the
+            // write timeout, and tiny ones nearly forever.
+            match probe.as_ref().and_then(send_queue_depth) {
+                Some(pending) if pending > 0 => {
+                    stalled_rounds += 1;
+                    if stalled_rounds >= STREAM_STALL_ROUNDS {
+                        return; // stalled subscriber: free the slot
+                    }
+                }
+                _ => stalled_rounds = 0,
+            }
+            if writer.chunk(STREAM_KEEPALIVE).is_err() {
                 return;
             }
             continue;
@@ -1704,6 +1992,9 @@ pub fn decode_submission(j: &Json, default_checkpoint: usize) -> Result<JobSpec,
     Ok(JobSpec {
         source,
         config,
+        // Stamped by the submit handler from the authorized token,
+        // never taken from the body — a client cannot claim a tenant.
+        tenant: None,
         parallelism: j
             .get("parallelism")
             .and_then(Json::as_usize)

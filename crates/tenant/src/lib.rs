@@ -1,0 +1,59 @@
+//! `gdf_tenant` — multi-tenant admission control and QoS for the ATPG
+//! service.
+//!
+//! The server (`gdf-serve`) proves hostile *bytes*, *disks*, and
+//! *wires* are survivable; this crate handles hostile **load**: one
+//! tenant flooding the bounded queue must not starve everyone else.
+//! Three pieces, all dependency-free in the workspace's no-crates.io
+//! discipline:
+//!
+//! - [`TenantRegistry`] — the persistent `tenants.json` document
+//!   (schema-versioned like `fleet.json`) mapping bearer tokens to
+//!   tenant ids, with [`constant_time_eq`] token comparison so auth
+//!   never leaks token bytes through timing.
+//! - [`TokenBucket`] — a hand-rolled requests-per-second limiter; the
+//!   server turns an empty bucket into `429 Too Many Requests` with a
+//!   `Retry-After` telling the tenant exactly when to come back
+//!   (distinct from the saturation `503`, which means "the *server* is
+//!   full", not "*you* are over quota").
+//! - [`FairScheduler`] — weighted deficit round-robin across tenants
+//!   within priority bands. A burst from one tenant queues behind its
+//!   own lane; other tenants keep their weighted share of the worker
+//!   pool. Every decision is deterministic (tie-break by tenant id,
+//!   then job id), so the serve determinism invariant — byte-identical
+//!   artifacts regardless of concurrency — extends unchanged to
+//!   contended multi-tenant load.
+//!
+//! The crate is pure policy: no sockets, no threads, no clocks of its
+//! own (callers pass `Instant`s in), which is what makes every piece
+//! unit-testable without a server.
+
+pub mod bucket;
+pub mod registry;
+pub mod sched;
+
+pub use bucket::TokenBucket;
+pub use registry::{
+    constant_time_eq, AuthError, TenantRegistry, TenantSpec, TENANTS_VERSION, TENANTS_VERSION_MIN,
+};
+pub use sched::{EnqueueError, FairScheduler, LaneConfig};
+
+/// Errors from registry parsing and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TenantError {
+    /// Filesystem trouble reading or writing `tenants.json`.
+    Io(String),
+    /// The document is not a valid tenant registry.
+    Schema(String),
+}
+
+impl std::fmt::Display for TenantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantError::Io(m) => write!(f, "tenant registry I/O: {m}"),
+            TenantError::Schema(m) => write!(f, "tenant registry schema: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {}

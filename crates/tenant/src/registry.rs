@@ -1,0 +1,420 @@
+//! The persistent tenant registry — `tenants.json`.
+//!
+//! A registry pins down who may talk to a server and on what terms:
+//! one entry per tenant with its bearer token, priority class,
+//! scheduling weight, and quota limits. The document is
+//! schema-versioned exactly like `fleet.json` (`"schema":
+//! "gdf-tenants"` plus a `version` window), so a future field can ship
+//! without stranding old files.
+//!
+//! Token lookup is constant-time: [`TenantRegistry::authenticate`]
+//! scans *every* entry and compares each token with
+//! [`constant_time_eq`], accumulating the match instead of
+//! early-returning, so response timing reveals nothing about how many
+//! token bytes matched.
+
+use crate::TenantError;
+use gdf_core::json::{Json, ParseLimits};
+use std::path::Path;
+
+/// Current `tenants.json` schema version.
+pub const TENANTS_VERSION: u32 = 1;
+
+/// Oldest schema version [`TenantRegistry::decode`] still reads.
+pub const TENANTS_VERSION_MIN: u32 = 1;
+
+/// Default priority class when an entry does not name one. Lower
+/// values are served first; class 0 is the most urgent.
+pub const DEFAULT_PRIORITY: u8 = 1;
+
+/// One tenant: identity, credential, and QoS terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant id — the metric label, the `job.json` owner tag, and
+    /// the deterministic scheduling tie-break key.
+    pub id: String,
+    /// The bearer token presented in `Authorization: Bearer <token>`.
+    pub token: String,
+    /// Priority class; lower runs first, 0 is the most urgent.
+    pub priority: u8,
+    /// Scheduling weight within a priority band (≥ 1). A weight-2
+    /// tenant gets twice the worker share of a weight-1 tenant when
+    /// both have work queued.
+    pub weight: u64,
+    /// Most jobs the tenant may have queued at once; `None` = no cap.
+    pub max_queued: Option<usize>,
+    /// Most jobs the tenant may have running at once; `None` = no cap.
+    pub max_running: Option<usize>,
+    /// Sustained submit rate in requests/second; `None` = unlimited.
+    pub rate_per_sec: Option<f64>,
+    /// Token-bucket burst size; defaults to `max(rate_per_sec, 1)`.
+    pub burst: Option<f64>,
+}
+
+impl TenantSpec {
+    /// A tenant with the given id and token and default terms
+    /// (priority 1, weight 1, no caps, no rate limit).
+    pub fn new(id: impl Into<String>, token: impl Into<String>) -> TenantSpec {
+        TenantSpec {
+            id: id.into(),
+            token: token.into(),
+            priority: DEFAULT_PRIORITY,
+            weight: 1,
+            max_queued: None,
+            max_running: None,
+            rate_per_sec: None,
+            burst: None,
+        }
+    }
+
+    /// Sets the priority class (lower runs first).
+    pub fn with_priority(mut self, priority: u8) -> TenantSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the scheduling weight (clamped to ≥ 1).
+    pub fn with_weight(mut self, weight: u64) -> TenantSpec {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Caps how many jobs the tenant may have queued.
+    pub fn with_max_queued(mut self, n: usize) -> TenantSpec {
+        self.max_queued = Some(n);
+        self
+    }
+
+    /// Caps how many jobs the tenant may have running.
+    pub fn with_max_running(mut self, n: usize) -> TenantSpec {
+        self.max_running = Some(n);
+        self
+    }
+
+    /// Sets the sustained submit rate and burst size.
+    pub fn with_rate(mut self, per_sec: f64, burst: f64) -> TenantSpec {
+        self.rate_per_sec = Some(per_sec);
+        self.burst = Some(burst);
+        self
+    }
+
+    /// The burst size the token bucket should use.
+    pub fn effective_burst(&self) -> f64 {
+        self.burst
+            .unwrap_or_else(|| self.rate_per_sec.unwrap_or(1.0).max(1.0))
+    }
+}
+
+/// Why a request failed authentication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// No `Authorization` header at all.
+    Missing,
+    /// An `Authorization` header that is not `Bearer <token>`.
+    Malformed,
+    /// A well-formed bearer token matching no tenant.
+    Unknown,
+}
+
+impl AuthError {
+    /// The HTTP status the server should answer with: `401` when the
+    /// client sent no usable credential, `403` when it sent one that
+    /// matches no tenant.
+    pub fn status(self) -> u16 {
+        match self {
+            AuthError::Missing | AuthError::Malformed => 401,
+            AuthError::Unknown => 403,
+        }
+    }
+
+    /// The error message for the response body.
+    pub fn message(self) -> &'static str {
+        match self {
+            AuthError::Missing => "missing bearer token",
+            AuthError::Malformed => "malformed Authorization header; expected `Bearer <token>`",
+            AuthError::Unknown => "unknown token",
+        }
+    }
+}
+
+/// Compares two byte strings in time independent of *where* they
+/// differ. The comparison inspects `min(len)` bytes of both inputs and
+/// folds every difference (including a length mismatch) into one
+/// accumulator, so early mismatches cost the same as late ones.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().min(b.len()) {
+        diff |= (a[i] ^ b[i]) as usize;
+    }
+    diff == 0
+}
+
+/// The schema-versioned tenant registry; see the module docs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantRegistry {
+    /// The tenants, in document order.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl TenantRegistry {
+    /// A registry over the given tenants. Validates the same rules as
+    /// [`TenantRegistry::decode`].
+    pub fn new(tenants: Vec<TenantSpec>) -> Result<TenantRegistry, TenantError> {
+        let registry = TenantRegistry { tenants };
+        registry.validate()?;
+        Ok(registry)
+    }
+
+    /// The tenant with the given id, if any.
+    pub fn tenant(&self, id: &str) -> Option<&TenantSpec> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+
+    /// Resolves a bearer token to a tenant, in time independent of
+    /// which (if any) entry matches: every token is compared.
+    pub fn authenticate(&self, token: &str) -> Result<&TenantSpec, AuthError> {
+        let mut found = usize::MAX;
+        for (index, tenant) in self.tenants.iter().enumerate() {
+            if constant_time_eq(tenant.token.as_bytes(), token.as_bytes()) {
+                found = index;
+            }
+        }
+        self.tenants.get(found).ok_or(AuthError::Unknown)
+    }
+
+    /// Resolves a raw `Authorization` header value (or its absence) to
+    /// a tenant. Accepts `Bearer <token>` with a case-insensitive
+    /// scheme, per RFC 7235.
+    pub fn authorize(&self, header: Option<&str>) -> Result<&TenantSpec, AuthError> {
+        let header = header.ok_or(AuthError::Missing)?;
+        let mut parts = header.trim().splitn(2, char::is_whitespace);
+        let scheme = parts.next().unwrap_or("");
+        let token = parts.next().map(str::trim).unwrap_or("");
+        if !scheme.eq_ignore_ascii_case("bearer") || token.is_empty() {
+            return Err(AuthError::Malformed);
+        }
+        self.authenticate(token)
+    }
+
+    fn validate(&self) -> Result<(), TenantError> {
+        let schema = |m: String| TenantError::Schema(m);
+        for (index, tenant) in self.tenants.iter().enumerate() {
+            if tenant.id.is_empty()
+                || !tenant
+                    .id
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+            {
+                return Err(schema(format!(
+                    "tenant {index}: id {:?} must be non-empty [A-Za-z0-9._-]",
+                    tenant.id
+                )));
+            }
+            if tenant.token.is_empty() {
+                return Err(schema(format!("tenant {:?}: empty token", tenant.id)));
+            }
+            if tenant.weight == 0 {
+                return Err(schema(format!("tenant {:?}: zero weight", tenant.id)));
+            }
+            if let Some(rate) = tenant.rate_per_sec {
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(schema(format!(
+                        "tenant {:?}: rate_per_sec must be a positive finite number",
+                        tenant.id
+                    )));
+                }
+            }
+            for earlier in &self.tenants[..index] {
+                if earlier.id == tenant.id {
+                    return Err(schema(format!("duplicate tenant id {:?}", tenant.id)));
+                }
+                if earlier.token == tenant.token {
+                    return Err(schema(format!(
+                        "tenants {:?} and {:?} share a token",
+                        earlier.id, tenant.id
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes the registry as a schema-versioned pretty JSON document.
+    pub fn encode(&self) -> String {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let mut fields = vec![
+                    ("id".into(), Json::Str(t.id.clone())),
+                    ("token".into(), Json::Str(t.token.clone())),
+                    ("priority".into(), Json::Num(t.priority as f64)),
+                    ("weight".into(), Json::Num(t.weight as f64)),
+                ];
+                if let Some(n) = t.max_queued {
+                    fields.push(("max_queued".into(), Json::Num(n as f64)));
+                }
+                if let Some(n) = t.max_running {
+                    fields.push(("max_running".into(), Json::Num(n as f64)));
+                }
+                if let Some(r) = t.rate_per_sec {
+                    fields.push(("rate_per_sec".into(), Json::Num(r)));
+                }
+                if let Some(b) = t.burst {
+                    fields.push(("burst".into(), Json::Num(b)));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("gdf-tenants".into())),
+            ("version".into(), Json::Num(TENANTS_VERSION as f64)),
+            ("tenants".into(), Json::Arr(tenants)),
+        ])
+        .pretty()
+    }
+
+    /// Decodes a document written by [`TenantRegistry::encode`].
+    pub fn decode(text: &str) -> Result<TenantRegistry, TenantError> {
+        let schema = |m: String| TenantError::Schema(m);
+        let j = Json::parse_with_limits(text, ParseLimits::network())
+            .map_err(|e| schema(format!("{e:?}")))?;
+        if j.get("schema").and_then(Json::as_str) != Some("gdf-tenants") {
+            return Err(schema("not a gdf-tenants registry".into()));
+        }
+        let version = j
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| schema("missing `version`".into()))? as u32;
+        if !(TENANTS_VERSION_MIN..=TENANTS_VERSION).contains(&version) {
+            return Err(schema(format!(
+                "unsupported tenants version {version} (supported: \
+                 {TENANTS_VERSION_MIN}..={TENANTS_VERSION})"
+            )));
+        }
+        let raw = j
+            .get("tenants")
+            .and_then(Json::as_array)
+            .ok_or_else(|| schema("missing `tenants`".into()))?;
+        let mut tenants = Vec::with_capacity(raw.len());
+        for t in raw {
+            let id = t
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| schema("tenant missing `id`".into()))?
+                .to_string();
+            let token = t
+                .get("token")
+                .and_then(Json::as_str)
+                .ok_or_else(|| schema(format!("tenant {id:?} missing `token`")))?
+                .to_string();
+            tenants.push(TenantSpec {
+                id,
+                token,
+                priority: t
+                    .get("priority")
+                    .and_then(Json::as_u64)
+                    .map(|p| p.min(u8::MAX as u64) as u8)
+                    .unwrap_or(DEFAULT_PRIORITY),
+                weight: t.get("weight").and_then(Json::as_u64).unwrap_or(1).max(1),
+                max_queued: t.get("max_queued").and_then(Json::as_usize),
+                max_running: t.get("max_running").and_then(Json::as_usize),
+                rate_per_sec: t.get("rate_per_sec").and_then(Json::as_f64),
+                burst: t.get("burst").and_then(Json::as_f64),
+            });
+        }
+        TenantRegistry::new(tenants)
+    }
+
+    /// Reads and decodes a registry from `path` (through the core I/O
+    /// facade, so fault harnesses see registry reads too).
+    pub fn load(path: impl AsRef<Path>) -> Result<TenantRegistry, TenantError> {
+        let text = gdf_core::io::read_to_string(path.as_ref())
+            .map_err(|e| TenantError::Io(format!("{}: {e}", path.as_ref().display())))?;
+        Self::decode(&text)
+    }
+
+    /// Atomically writes the registry to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TenantError> {
+        gdf_core::io::write_atomic(path.as_ref(), &self.encode())
+            .map_err(|e| TenantError::Io(format!("{}: {e}", path.as_ref().display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tenants() -> TenantRegistry {
+        TenantRegistry::new(vec![
+            TenantSpec::new("acme", "tok-acme")
+                .with_weight(2)
+                .with_max_queued(4)
+                .with_rate(10.0, 20.0),
+            TenantSpec::new("zeta", "tok-zeta").with_priority(2),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn registry_round_trips() {
+        let registry = two_tenants();
+        let decoded = TenantRegistry::decode(&registry.encode()).unwrap();
+        assert_eq!(decoded, registry);
+        assert_eq!(decoded.tenant("acme").unwrap().weight, 2);
+        assert_eq!(decoded.tenant("zeta").unwrap().priority, 2);
+        assert_eq!(decoded.tenant("zeta").unwrap().max_queued, None);
+    }
+
+    #[test]
+    fn decode_rejects_foreign_and_invalid_documents() {
+        assert!(TenantRegistry::decode("{}").is_err());
+        assert!(TenantRegistry::decode("{\"schema\":\"gdf-fleet\"}").is_err());
+        assert!(TenantRegistry::decode("{\"schema\":\"gdf-tenants\",\"version\":99}").is_err());
+        // Duplicate ids, duplicate tokens, empty tokens, bad ids.
+        for (a, b) in [
+            (TenantSpec::new("a", "t1"), TenantSpec::new("a", "t2")),
+            (TenantSpec::new("a", "t1"), TenantSpec::new("b", "t1")),
+        ] {
+            assert!(TenantRegistry::new(vec![a, b]).is_err());
+        }
+        assert!(TenantRegistry::new(vec![TenantSpec::new("a", "")]).is_err());
+        assert!(TenantRegistry::new(vec![TenantSpec::new("no spaces", "t")]).is_err());
+    }
+
+    #[test]
+    fn authorize_separates_missing_malformed_unknown() {
+        let registry = two_tenants();
+        assert_eq!(registry.authorize(None), Err(AuthError::Missing));
+        assert_eq!(
+            registry.authorize(Some("Basic dXNlcg==")),
+            Err(AuthError::Malformed)
+        );
+        assert_eq!(
+            registry.authorize(Some("Bearer ")),
+            Err(AuthError::Malformed)
+        );
+        assert_eq!(
+            registry.authorize(Some("Bearer nope")),
+            Err(AuthError::Unknown)
+        );
+        assert_eq!(AuthError::Missing.status(), 401);
+        assert_eq!(AuthError::Unknown.status(), 403);
+        let t = registry.authorize(Some("bearer tok-acme")).unwrap();
+        assert_eq!(t.id, "acme");
+    }
+
+    #[test]
+    fn constant_time_eq_matches_plain_equality() {
+        for (a, b) in [
+            ("", ""),
+            ("x", "x"),
+            ("x", "y"),
+            ("abc", "ab"),
+            ("secret-token", "secret-token"),
+            ("secret-token", "secret-tokem"),
+        ] {
+            assert_eq!(constant_time_eq(a.as_bytes(), b.as_bytes()), a == b);
+        }
+    }
+}

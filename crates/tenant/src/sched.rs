@@ -1,0 +1,383 @@
+//! Weighted deficit round-robin across tenants, within priority bands.
+//!
+//! Each tenant owns a **lane**: a FIFO of queued job ids plus a deficit
+//! counter. Dispatch picks the most urgent (lowest-numbered) priority
+//! band with eligible work, then serves lanes by classic DRR: a lane
+//! may dispatch while its deficit covers the job (every job costs 1);
+//! when no lane in the band has credit, every eligible lane is topped
+//! up by its weight. Over time each tenant's share of dispatches
+//! converges to `weight / Σ weights` of its band — a burst from one
+//! tenant queues behind its own lane instead of starving the rest.
+//!
+//! Every decision is a pure function of the scheduler state: ties on
+//! deficit break by tenant id (lexicographic), and within a lane jobs
+//! leave in id order (the FIFO is fed monotonically by the server), so
+//! the dispatch sequence for a given arrival history is deterministic.
+//! Artifact bytes never depended on dispatch order — the engine is
+//! deterministic per job — but a reproducible order makes contended
+//! multi-tenant runs auditable end to end.
+
+use crate::registry::TenantSpec;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Scheduling terms for one lane, decoupled from the auth side of
+/// [`TenantSpec`] so recovered jobs from a stale registry still get a
+/// (default) lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneConfig {
+    /// DRR quantum per replenish round (≥ 1).
+    pub weight: u64,
+    /// Priority band; lower dispatches first.
+    pub priority: u8,
+    /// Cap on queued jobs; `None` = unlimited.
+    pub max_queued: Option<usize>,
+    /// Cap on concurrently running jobs; `None` = unlimited.
+    pub max_running: Option<usize>,
+}
+
+impl Default for LaneConfig {
+    fn default() -> Self {
+        LaneConfig {
+            weight: 1,
+            priority: crate::registry::DEFAULT_PRIORITY,
+            max_queued: None,
+            max_running: None,
+        }
+    }
+}
+
+impl From<&TenantSpec> for LaneConfig {
+    fn from(t: &TenantSpec) -> LaneConfig {
+        LaneConfig {
+            weight: t.weight.max(1),
+            priority: t.priority,
+            max_queued: t.max_queued,
+            max_running: t.max_running,
+        }
+    }
+}
+
+/// Why [`FairScheduler::enqueue`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The scheduler's global capacity is exhausted — the *server* is
+    /// full (the HTTP layer answers `503`).
+    Saturated,
+    /// The tenant's own `max_queued` quota is exhausted — the *tenant*
+    /// is over quota (the HTTP layer answers `429`).
+    OverQuota,
+}
+
+#[derive(Debug, Default)]
+struct Lane {
+    cfg: LaneConfig,
+    deficit: u64,
+    queue: VecDeque<u64>,
+    running: usize,
+}
+
+impl Lane {
+    /// Whether the lane may dispatch right now.
+    fn eligible(&self) -> bool {
+        !self.queue.is_empty() && self.cfg.max_running.is_none_or(|m| self.running < m)
+    }
+}
+
+/// The per-server WDRR dispatcher; see the module docs. Lanes are keyed
+/// by tenant id (the empty string is the open/ownerless lane used for
+/// jobs recovered from records that predate tenancy).
+#[derive(Debug, Default)]
+pub struct FairScheduler {
+    /// Total queued bound across all lanes; 0 = unlimited.
+    capacity: usize,
+    lanes: BTreeMap<String, Lane>,
+    queued: usize,
+}
+
+impl FairScheduler {
+    /// A scheduler bounding total queued jobs at `capacity` (0 = no
+    /// bound).
+    pub fn new(capacity: usize) -> FairScheduler {
+        FairScheduler {
+            capacity,
+            lanes: BTreeMap::new(),
+            queued: 0,
+        }
+    }
+
+    /// Declares (or reconfigures) a lane. Lanes for unknown tenants are
+    /// auto-created with [`LaneConfig::default`] on first enqueue.
+    pub fn configure(&mut self, tenant: &str, cfg: LaneConfig) {
+        self.lanes.entry(tenant.to_string()).or_default().cfg = cfg;
+    }
+
+    /// Queues a job on the tenant's lane.
+    pub fn enqueue(&mut self, tenant: &str, job: u64) -> Result<(), EnqueueError> {
+        if self.capacity != 0 && self.queued >= self.capacity {
+            return Err(EnqueueError::Saturated);
+        }
+        let lane = self.lanes.entry(tenant.to_string()).or_default();
+        if let Some(cap) = lane.cfg.max_queued {
+            if lane.queue.len() >= cap {
+                return Err(EnqueueError::OverQuota);
+            }
+        }
+        lane.queue.push_back(job);
+        self.queued += 1;
+        Ok(())
+    }
+
+    /// Dispatches the next job per WDRR, bumping the lane's running
+    /// count. Returns `None` when no lane is eligible (empty, or every
+    /// non-empty lane is at its `max_running` cap).
+    pub fn dispatch(&mut self) -> Option<(String, u64)> {
+        let band = self
+            .lanes
+            .values()
+            .filter(|l| l.eligible())
+            .map(|l| l.cfg.priority)
+            .min()?;
+        loop {
+            let mut best: Option<(&String, u64)> = None;
+            for (id, lane) in &self.lanes {
+                if lane.cfg.priority != band || !lane.eligible() || lane.deficit == 0 {
+                    continue;
+                }
+                // Strict > keeps the lexicographically-first tenant on
+                // a deficit tie — the deterministic tie-break.
+                if best.is_none_or(|(_, d)| lane.deficit > d) {
+                    best = Some((id, lane.deficit));
+                }
+            }
+            if let Some((id, _)) = best {
+                let id = id.clone();
+                let lane = self.lanes.get_mut(&id).expect("picked lane exists");
+                let job = lane.queue.pop_front().expect("eligible lane has work");
+                lane.deficit -= 1;
+                lane.running += 1;
+                if lane.queue.is_empty() {
+                    // Idle lanes must not hoard credit across bursts.
+                    lane.deficit = 0;
+                }
+                self.queued -= 1;
+                return Some((id, job));
+            }
+            // No credit anywhere in the band: replenish by weight.
+            for lane in self.lanes.values_mut() {
+                if lane.cfg.priority == band && lane.eligible() {
+                    lane.deficit += lane.cfg.weight;
+                }
+            }
+        }
+    }
+
+    /// Records a dispatched job finishing (or being abandoned).
+    pub fn finish(&mut self, tenant: &str) {
+        if let Some(lane) = self.lanes.get_mut(tenant) {
+            lane.running = lane.running.saturating_sub(1);
+        }
+    }
+
+    /// Removes a queued job (cancellation); `false` if it is not
+    /// queued.
+    pub fn remove(&mut self, job: u64) -> bool {
+        for lane in self.lanes.values_mut() {
+            if let Some(pos) = lane.queue.iter().position(|&j| j == job) {
+                lane.queue.remove(pos);
+                if lane.queue.is_empty() {
+                    lane.deficit = 0;
+                }
+                self.queued -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total queued jobs across all lanes.
+    pub fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// Whether nothing is queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Jobs queued on one tenant's lane.
+    pub fn queued_of(&self, tenant: &str) -> usize {
+        self.lanes.get(tenant).map_or(0, |l| l.queue.len())
+    }
+
+    /// Jobs dispatched-but-unfinished on one tenant's lane.
+    pub fn running_of(&self, tenant: &str) -> usize {
+        self.lanes.get(tenant).map_or(0, |l| l.running)
+    }
+
+    /// `(tenant, queued, running)` for every lane, in tenant-id order.
+    pub fn snapshot(&self) -> Vec<(String, usize, usize)> {
+        self.lanes
+            .iter()
+            .map(|(id, l)| (id.clone(), l.queue.len(), l.running))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane(weight: u64, priority: u8) -> LaneConfig {
+        LaneConfig {
+            weight,
+            priority,
+            ..LaneConfig::default()
+        }
+    }
+
+    /// Drains up to `n` dispatches, finishing each immediately.
+    fn drain(s: &mut FairScheduler, n: usize) -> Vec<String> {
+        let mut order = Vec::new();
+        for _ in 0..n {
+            match s.dispatch() {
+                Some((tenant, _)) => {
+                    s.finish(&tenant);
+                    order.push(tenant);
+                }
+                None => break,
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn weights_set_the_dispatch_ratio() {
+        let mut s = FairScheduler::new(0);
+        s.configure("a", lane(2, 1));
+        s.configure("b", lane(1, 1));
+        for j in 0..9 {
+            s.enqueue(if j % 2 == 0 { "a" } else { "b" }, 100 + j)
+                .unwrap();
+        }
+        // a holds jobs 100,102,104,106,108; b holds 101,103,105,107.
+        let order = drain(&mut s, 6);
+        assert_eq!(order, ["a", "a", "b", "a", "a", "b"], "2:1 WDRR pattern");
+    }
+
+    #[test]
+    fn equal_weights_alternate_with_deterministic_ties() {
+        let mut s = FairScheduler::new(0);
+        s.configure("a", lane(1, 1));
+        s.configure("b", lane(1, 1));
+        for j in 0..6 {
+            s.enqueue(["a", "b"][j % 2], j as u64).unwrap();
+        }
+        assert_eq!(drain(&mut s, 6), ["a", "b", "a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn lower_priority_band_waits_unless_the_urgent_band_is_capped() {
+        let mut s = FairScheduler::new(0);
+        s.configure("urgent", lane(1, 0));
+        s.configure(
+            "bulk",
+            LaneConfig {
+                weight: 1,
+                priority: 1,
+                ..LaneConfig::default()
+            },
+        );
+        for j in 0..2 {
+            s.enqueue("urgent", j).unwrap();
+            s.enqueue("bulk", 10 + j).unwrap();
+        }
+        // The urgent band drains completely first.
+        assert_eq!(drain(&mut s, 4), ["urgent", "urgent", "bulk", "bulk"]);
+
+        // But a capped urgent band must not block the bulk band.
+        s.configure(
+            "urgent",
+            LaneConfig {
+                weight: 1,
+                priority: 0,
+                max_running: Some(1),
+                ..LaneConfig::default()
+            },
+        );
+        s.enqueue("urgent", 20).unwrap();
+        s.enqueue("urgent", 21).unwrap();
+        s.enqueue("bulk", 30).unwrap();
+        let (first, _) = s.dispatch().unwrap();
+        assert_eq!(first, "urgent");
+        // urgent is now at max_running=1 with job 21 still queued; the
+        // scheduler falls through to the bulk band rather than idling.
+        let (second, job) = s.dispatch().unwrap();
+        assert_eq!((second.as_str(), job), ("bulk", 30));
+        // Finishing the urgent job re-opens its lane.
+        s.finish("urgent");
+        assert_eq!(s.dispatch().unwrap(), ("urgent".to_string(), 21));
+    }
+
+    #[test]
+    fn jobs_leave_a_lane_in_fifo_id_order() {
+        let mut s = FairScheduler::new(0);
+        for j in [7u64, 9, 11] {
+            s.enqueue("a", j).unwrap();
+        }
+        let jobs: Vec<u64> = (0..3).map(|_| s.dispatch().unwrap().1).collect();
+        assert_eq!(jobs, [7, 9, 11]);
+    }
+
+    #[test]
+    fn capacity_and_quota_reject_distinctly() {
+        let mut s = FairScheduler::new(2);
+        s.configure(
+            "a",
+            LaneConfig {
+                max_queued: Some(1),
+                ..LaneConfig::default()
+            },
+        );
+        s.enqueue("a", 1).unwrap();
+        assert_eq!(s.enqueue("a", 2), Err(EnqueueError::OverQuota));
+        s.enqueue("b", 3).unwrap();
+        assert_eq!(s.enqueue("b", 4), Err(EnqueueError::Saturated));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_accounting() {
+        let mut s = FairScheduler::new(0);
+        s.enqueue("a", 1).unwrap();
+        s.enqueue("a", 2).unwrap();
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert_eq!(s.queued_of("a"), 1);
+        let (tenant, job) = s.dispatch().unwrap();
+        assert_eq!((tenant.as_str(), job), ("a", 2));
+        assert_eq!(s.running_of("a"), 1);
+        s.finish("a");
+        assert_eq!(s.running_of("a"), 0);
+        assert_eq!(s.snapshot(), vec![("a".to_string(), 0, 0)]);
+        assert!(s.dispatch().is_none());
+    }
+
+    #[test]
+    fn idle_lanes_do_not_hoard_credit() {
+        let mut s = FairScheduler::new(0);
+        s.configure("a", lane(8, 1));
+        s.configure("b", lane(1, 1));
+        // a drains alone and empties; its leftover deficit must reset.
+        s.enqueue("a", 1).unwrap();
+        assert_eq!(s.dispatch().unwrap().1, 1);
+        s.finish("a");
+        // Now both contend; a must not burst ahead on stale credit.
+        for j in 0..4 {
+            s.enqueue("a", 10 + j).unwrap();
+            s.enqueue("b", 20 + j).unwrap();
+        }
+        let order = drain(&mut s, 9);
+        let first_b = order.iter().position(|t| t == "b").unwrap();
+        assert!(first_b <= 8, "b is served within one replenish round");
+    }
+}

@@ -49,6 +49,7 @@ use gdf::netlist::{parse_bench, suite, Circuit, FaultUniverse};
 use gdf::serve::server::{submission_for_bench, submission_for_suite, submission_with_runtime};
 use gdf::serve::{Client, JobServer, ServeConfig};
 use gdf::store::{compact_campaign, CacheKey, Store};
+use gdf::tenant::TenantRegistry;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
@@ -105,6 +106,9 @@ OPTIONS:
     --addr <HOST:PORT>                            (serve/remote) server address
     --workers <N>                                 (serve) worker pool size
     --queue-capacity <N>                          (serve) queued jobs per shard
+    --tenants <FILE>                              (serve) tenants.json registry:
+                                                  bearer auth + quotas + fair sched
+    --token <TOKEN>                               (remote/campaign) tenant bearer token
     --wait                                        (submit) block until terminal
     --follow                                      (submit/status) stream events
     --no-obs                                      (serve) disable tracing/profiling
@@ -261,6 +265,8 @@ const RUN_VALUES: &[&str] = &[
     "units",
     "steal-after",
     "interval",
+    "tenants",
+    "token",
 ];
 const RUN_SWITCHES: &[&str] = &[
     "quiet", "suite", "resume", "diff", "wait", "follow", "cache", "once", "chrome", "no-obs",
@@ -799,6 +805,10 @@ fn cmd_campaign_fleet(opts: &Opts, nodes_arg: &str) -> Result<ExitCode, String> 
     if let Some(secs) = opts.number("steal-after")? {
         coordinator = coordinator.with_steal_after(Duration::from_secs(secs));
     }
+    if let Some(token) = opts.value("token") {
+        // Multi-tenant nodes: in-memory only, never into fleet.json.
+        coordinator = coordinator.with_token(token);
+    }
     let report = coordinator.run().map_err(|e| e.to_string())?;
     print!("{}", report.campaign.render());
     println!(
@@ -1118,7 +1128,13 @@ fn client_from(opts: &Opts) -> Result<Client, String> {
     let addr = opts
         .value("addr")
         .ok_or("--addr <HOST:PORT> is required for remote commands")?;
-    Ok(Client::new(addr))
+    let mut client = Client::new(addr);
+    // `--token` authenticates against a multi-tenant server
+    // (`gdf serve --tenants`); open servers ignore the header.
+    if let Some(token) = opts.value("token") {
+        client = client.with_token(token);
+    }
+    Ok(client)
 }
 
 fn job_id_arg(opts: &Opts, what: &str) -> Result<u64, String> {
@@ -1148,13 +1164,26 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     if opts.switch("no-obs") {
         config = config.with_obs(false);
     }
+    let mut tenant_count = None;
+    if let Some(path) = opts.value("tenants") {
+        let registry = TenantRegistry::load(path).map_err(|e| format!("--tenants {path}: {e}"))?;
+        tenant_count = Some(registry.tenants.len());
+        config = config.with_tenants(registry);
+    }
     let workers = config.workers;
     let server = JobServer::start(config).map_err(|e| e.to_string())?;
-    println!(
-        "gdf serve: listening on {} ({} workers, jobs in {dir})",
-        server.local_addr(),
-        workers
-    );
+    match tenant_count {
+        Some(n) => println!(
+            "gdf serve: listening on {} ({} workers, jobs in {dir}, {n} tenants)",
+            server.local_addr(),
+            workers
+        ),
+        None => println!(
+            "gdf serve: listening on {} ({} workers, jobs in {dir})",
+            server.local_addr(),
+            workers
+        ),
+    }
     #[cfg(unix)]
     {
         // Graceful degradation: SIGTERM drains (stop accepting,
@@ -1532,6 +1561,40 @@ fn render_top(addr: &str, text: &str) -> String {
         let _ = writeln!(out, "\n  {:<16} {:>10} {:>12}", "phase", "spans", "total");
         for (phase, sum, count) in phases {
             let _ = writeln!(out, "  {phase:<16} {count:>10} {sum:>11.3}s");
+        }
+    }
+    // Per-tenant admission table (multi-tenant servers only): one row
+    // per tenant seen in the gdf_tenant_* families.
+    let mut tenants: Vec<String> = samples
+        .iter()
+        .filter(|(n, _, _)| n == "gdf_tenant_admitted_total")
+        .filter_map(|(_, l, _)| label_value(l, "tenant").map(str::to_string))
+        .collect();
+    tenants.sort();
+    tenants.dedup();
+    if !tenants.is_empty() {
+        let labeled = |name: &str, tenant: &str| -> f64 {
+            samples
+                .iter()
+                .find(|(n, l, _)| n == name && label_value(l, "tenant") == Some(tenant))
+                .map(|(_, _, v)| *v)
+                .unwrap_or(0.0)
+        };
+        let _ = writeln!(
+            out,
+            "\n  {:<16} {:>8} {:>8} {:>10} {:>10}",
+            "tenant", "queued", "running", "admitted", "rejected"
+        );
+        for tenant in tenants {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>8} {:>8} {:>10} {:>10}",
+                tenant,
+                labeled("gdf_tenant_queued", &tenant),
+                labeled("gdf_tenant_running", &tenant),
+                labeled("gdf_tenant_admitted_total", &tenant),
+                labeled("gdf_tenant_rejected_total", &tenant),
+            );
         }
     }
     // HTTP request counters, busiest first.

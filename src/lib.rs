@@ -58,7 +58,19 @@
 //!   chrome://tracing), engine profiling hooks (`core::phase`) feeding
 //!   per-phase histograms and per-job `profile` blocks, and the
 //!   `gdf top` / `gdf fleet top` live dashboards. Strictly a side
-//!   channel: canonical artifact bytes are identical with it on or off.
+//!   channel: canonical artifact bytes are identical with it on or off;
+//! * [`tenant`] — **multi-tenant admission control**: the
+//!   schema-versioned `tenants.json` bearer-token registry with
+//!   constant-time token comparison, per-tenant quotas (max queued, max
+//!   running, requests/second via a hand-rolled token bucket), priority
+//!   classes, and a weighted deficit round-robin scheduler with
+//!   deterministic tie-breaks. `gdf serve --tenants FILE` turns it on;
+//!   without a registry the server runs open, exactly as before. Over-
+//!   quota submissions get `429 + Retry-After` (the tenant's problem),
+//!   saturation keeps `503` (the server's problem), and per-tenant
+//!   `gdf_tenant_*` metrics join `/metrics` and `gdf top`. The
+//!   `bench_serve` bin load-tests the whole stack with thousands of
+//!   concurrent clients.
 //!
 //! ## Quickstart
 //!
@@ -113,3 +125,4 @@ pub use gdf_serve as serve;
 pub use gdf_sim as sim;
 pub use gdf_store as store;
 pub use gdf_tdgen as tdgen;
+pub use gdf_tenant as tenant;

@@ -136,8 +136,10 @@ fn retry_after_503_returns_immediately() {
         Err(ServeError::Api {
             status: 503,
             message,
+            retry_after,
         }) => {
-            assert!(message.contains("draining"), "{message}")
+            assert!(message.contains("draining"), "{message}");
+            assert_eq!(retry_after, Some(5), "the drain hint must survive");
         }
         other => panic!("expected the drain 503, got {other:?}"),
     }

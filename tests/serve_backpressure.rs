@@ -1,0 +1,171 @@
+//! Slow-reader backpressure on `/events`: a subscriber that never
+//! reads must not pin its connection slot for the job's lifetime.
+//!
+//! The client here connects with a deliberately tiny receive buffer
+//! (`SO_RCVBUF` = 1 KiB, set *before* connect so the handshake
+//! advertises the small window), subscribes to the event stream of a
+//! job that never runs, and then reads nothing. The server's padded
+//! keepalives fill the window within a few rounds; the `TIOCOUTQ`
+//! stall probe then cuts the stream. Before the fix this connection
+//! held its slot (one of `MAX_CONNECTIONS = 256`) until the job ended
+//! — forever, for a suspended job.
+//!
+//! Linux-only: the test (like the probe it exercises) speaks raw
+//! socket APIs.
+#![cfg(target_os = "linux")]
+
+use gdf::core::{Backend, RunConfig};
+use gdf::serve::server::submission_for_suite;
+use gdf::serve::{Client, JobServer, ServeConfig};
+use gdf::tenant::{TenantRegistry, TenantSpec};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gdf-backp-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A TCP connection whose `SO_RCVBUF` was shrunk to 1 KiB *before*
+/// connecting, so the handshake advertises a tiny receive window and a
+/// non-reading peer stalls the sender within a few kilobytes.
+fn connect_with_tiny_rcvbuf(addr: SocketAddr) -> TcpStream {
+    use std::os::fd::FromRawFd;
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const std::ffi::c_void,
+            len: u32,
+        ) -> i32;
+        fn connect(fd: i32, addr: *const std::ffi::c_void, len: u32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+
+    let SocketAddr::V4(v4) = addr else {
+        panic!("test server binds IPv4");
+    };
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM, 0) };
+    assert!(fd >= 0, "socket() failed");
+    let size: i32 = 1024;
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&size as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF) failed");
+    // `sin_addr` and `sin_port` are network byte order.
+    let sin = SockaddrIn {
+        family: AF_INET as u16,
+        port: v4.port().to_be(),
+        addr: u32::from_ne_bytes(v4.ip().octets()),
+        zero: [0; 8],
+    };
+    let rc = unsafe {
+        connect(
+            fd,
+            (&sin as *const SockaddrIn).cast(),
+            std::mem::size_of::<SockaddrIn>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "connect() failed");
+    unsafe { TcpStream::from_raw_fd(fd) }
+}
+
+#[test]
+fn never_reading_events_subscriber_is_dropped() {
+    let dir = temp_dir("stall");
+    // A suspended lane (max_running 0): the job is admitted but never
+    // dispatched, so its event stream is keepalives only, indefinitely
+    // — the stream's natural end can never race the stall verdict.
+    let registry =
+        TenantRegistry::new(vec![TenantSpec::new("cap", "tok-cap").with_max_running(0)]).unwrap();
+    let server = JobServer::start(
+        ServeConfig::new("127.0.0.1:0", &dir)
+            .with_workers(1)
+            .with_tenants(registry),
+    )
+    .expect("server starts");
+    let submitter = Client::new(server.local_addr().to_string()).with_token("tok-cap");
+    let id = submitter
+        .submit(&submission_for_suite(
+            "suite:s27",
+            &RunConfig::new(Backend::StuckAt),
+        ))
+        .expect("submit");
+
+    // Subscribe through the tiny-window socket and then go silent.
+    let mut stalled = connect_with_tiny_rcvbuf(server.local_addr());
+    write!(
+        stalled,
+        "GET /jobs/{id}/events HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+
+    // Never read while the stall builds: the window fills within a few
+    // padded keepalive rounds, then STREAM_STALL_ROUNDS probes (2 s
+    // apart) declare the subscriber dead — ~15 s end to end.
+    std::thread::sleep(Duration::from_secs(30));
+
+    // Now drain: a dropped stream yields a bounded backlog and then
+    // EOF/reset. A still-attached stream (the regression) would keep
+    // producing keepalives every 2 s forever and time this loop out.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut drained = 0usize;
+    let mut buf = [0u8; 4096];
+    let closed = loop {
+        match stalled.read(&mut buf) {
+            Ok(0) => break true,
+            Ok(n) => drained += n,
+            Err(e) if matches!(e.kind(), ErrorKind::ConnectionReset | ErrorKind::BrokenPipe) => {
+                break true
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => panic!("unexpected read error: {e}"),
+        }
+        if Instant::now() > deadline {
+            break false;
+        }
+    };
+    assert!(drained > 0, "the stream produced nothing at all");
+    assert!(
+        closed,
+        "server never dropped the never-reading subscriber ({drained} bytes drained)"
+    );
+
+    // The slot is free and the server is healthy — a fresh client gets
+    // straight through.
+    submitter.healthz().expect("/healthz after the stall drop");
+    let status = submitter.status(id).expect("job status");
+    assert_eq!(
+        status.get("state").and_then(gdf::core::json::Json::as_str),
+        Some("queued"),
+        "the suspended job itself is untouched: {status}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
